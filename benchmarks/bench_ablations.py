@@ -1,0 +1,41 @@
+"""Ablations: the contribution of each Octant mechanism.
+
+DESIGN.md calls out the design choices worth ablating: convex-hull calibration
+vs the conservative speed-of-light bound, height correction, latency-derived
+negative constraints, piecewise router localization, weighted vs strict
+solving, and geographic constraints.  This benchmark localizes a target subset
+under each configuration and prints the resulting error summary, which backs
+the discussion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalx import ABLATION_CONFIGS, format_ablation_table, run_ablation_study
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_study(benchmark, dataset, target_ids):
+    targets = list(target_ids)[: max(6, len(target_ids) // 3)]
+
+    results = benchmark.pedantic(
+        run_ablation_study,
+        args=(dataset,),
+        kwargs={"configs": ABLATION_CONFIGS, "target_ids": targets},
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print("=" * 72)
+    print("Ablation study -- Octant configurations with one mechanism disabled")
+    print("=" * 72)
+    print(format_ablation_table(results))
+
+    by_name = {r.name: r for r in results}
+    full = by_name["full"]
+    conservative = by_name["no-calibration (speed of light)"]
+    # The calibrated configuration must beat the conservative speed-of-light
+    # configuration -- the core claim of Section 2.1.
+    assert full.median_error_miles <= conservative.median_error_miles * 1.2

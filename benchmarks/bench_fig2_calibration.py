@@ -1,0 +1,36 @@
+"""Figure 2: latency-to-distance scatter and convex-hull calibration facets.
+
+The paper plots, for one landmark (planetlab1.cs.rochester.edu), the network
+latency against physical distance to every peer landmark, the convex hull
+facets Octant derives as its R_L / r_L bounds, latency percentiles and the
+2/3-speed-of-light reference line.  This benchmark regenerates exactly that
+data for one landmark of the simulated deployment and prints it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalx import calibration_scatter, format_calibration_summary
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_calibration_scatter(benchmark, dataset):
+    landmark = dataset.host_ids[0]
+
+    scatter = benchmark.pedantic(
+        calibration_scatter, args=(dataset, landmark), rounds=3, iterations=1
+    )
+
+    print()
+    print("=" * 72)
+    print(f"Figure 2 -- latency vs distance calibration for landmark {landmark}")
+    print("=" * 72)
+    print(format_calibration_summary(scatter))
+
+    # Sanity of the reproduced figure: the hull brackets every sample and the
+    # speed-of-light line dominates everything, as in the paper.
+    assert len(scatter.samples) == len(dataset.host_ids) - 1
+    assert scatter.latency_percentiles[50] <= scatter.latency_percentiles[90]
+    max_distance = max(s.distance_km for s in scatter.samples)
+    assert max(y for _, y in scatter.upper_facet) >= max_distance - 1e-6

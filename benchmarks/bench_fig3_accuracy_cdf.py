@@ -1,0 +1,49 @@
+"""Figure 3: CDF of localization error for Octant vs GeoLim, GeoPing, GeoTrack.
+
+The paper's headline accuracy figure plots the cumulative fraction of targets
+localized within a given error for each method.  This benchmark runs the
+leave-one-out study over the simulated deployment with all methods and prints
+the CDF as a table (plus the underlying per-method error summary).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalx import (
+    default_method_factories,
+    format_cdf_table,
+    format_error_table,
+    run_accuracy_study,
+)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_accuracy_cdf(benchmark, dataset, target_ids, accuracy_study):
+    # The heavyweight study is computed once (shared fixture); the benchmark
+    # itself times a single-target localization sweep with the default method
+    # set so the figure's cost is still measured without repeating the study.
+    sample_targets = target_ids[:2]
+
+    def run_sample():
+        return run_accuracy_study(
+            dataset, default_method_factories(), target_ids=sample_targets
+        )
+
+    benchmark.pedantic(run_sample, rounds=1, iterations=1)
+
+    study = accuracy_study
+    print()
+    print("=" * 72)
+    print("Figure 3 -- cumulative distribution of localization error (miles)")
+    print("=" * 72)
+    print(format_cdf_table(study))
+    print()
+    print(format_error_table(study))
+
+    stats = study.statistics()
+    # Shape checks mirroring the paper: Octant is the most accurate latency
+    # method; the pure-latency baselines trail it.
+    assert stats["octant"].median <= stats["geolim"].median * 1.1
+    assert stats["octant"].median < stats["geoping"].median
+    assert stats["octant"].median < stats["shortest-ping"].median

@@ -1,0 +1,78 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+section.  They all operate on a single simulated PlanetLab-like deployment
+built once per session.
+
+The deployment size defaults to 20 hosts so the whole benchmark suite runs in
+a few minutes; set ``OCTANT_BENCH_HOSTS=51`` to reproduce the paper's full
+51-node study (the numbers reported in EXPERIMENTS.md were produced that way),
+and ``OCTANT_BENCH_TARGETS`` to bound how many targets the heavier benchmarks
+localize.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import DeploymentConfig, build_deployment, collect_dataset
+from repro.evalx import default_method_factories, run_accuracy_study
+from repro.network import TopologyConfig
+from repro.network.geodata import EUROPEAN_CITIES, US_CITIES
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+BENCH_HOST_COUNT = _env_int("OCTANT_BENCH_HOSTS", 20)
+BENCH_TARGET_COUNT = _env_int("OCTANT_BENCH_TARGETS", BENCH_HOST_COUNT)
+BENCH_SEED = _env_int("OCTANT_BENCH_SEED", 42)
+
+
+@pytest.fixture(scope="session")
+def deployment():
+    """The simulated measurement infrastructure shared by all benchmarks."""
+    config = DeploymentConfig(
+        host_count=BENCH_HOST_COUNT,
+        seed=BENCH_SEED,
+        topology=TopologyConfig(
+            seed=BENCH_SEED,
+            num_providers=4,
+            pops_per_provider=38,
+            peering_city_count=8,
+            cities=US_CITIES + EUROPEAN_CITIES,
+        ),
+    )
+    return build_deployment(config)
+
+
+@pytest.fixture(scope="session")
+def dataset(deployment):
+    """All-pairs ping + traceroute measurements over the deployment."""
+    return collect_dataset(deployment)
+
+
+@pytest.fixture(scope="session")
+def target_ids(dataset):
+    """The targets localized by the heavier benchmarks."""
+    return dataset.host_ids[:BENCH_TARGET_COUNT]
+
+
+_STUDY_CACHE: dict[int, object] = {}
+
+
+@pytest.fixture(scope="session")
+def accuracy_study(dataset, target_ids):
+    """The leave-one-out accuracy study shared by Figure 3 and the error table."""
+    key = id(dataset)
+    if key not in _STUDY_CACHE:
+        _STUDY_CACHE[key] = run_accuracy_study(
+            dataset, default_method_factories(), target_ids=target_ids
+        )
+    return _STUDY_CACHE[key]

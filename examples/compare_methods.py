@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Compare Octant against GeoLim, GeoPing, GeoTrack and shortest-ping.
+
+Reproduces a small version of the paper's Figure 3 study: every host takes a
+turn as the target while the others serve as landmarks, each method produces
+a point estimate, and the per-method error distribution is printed as a table
+together with the error CDF.
+
+Run with::
+
+    python examples/compare_methods.py [host_count]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import collect_dataset, small_deployment
+from repro.evalx import format_cdf_table, format_error_table, run_accuracy_study
+
+
+def main() -> None:
+    host_count = int(sys.argv[1]) if len(sys.argv) > 1 else 14
+    print(f"Building a {host_count}-host deployment and collecting measurements ...")
+    deployment = small_deployment(host_count=host_count, seed=19)
+    dataset = collect_dataset(deployment)
+
+    print("Running the leave-one-out accuracy study (this localizes every host "
+          "with every method) ...\n")
+    study = run_accuracy_study(dataset)
+
+    print("Per-method error summary (miles), cf. the paper's Section 3 numbers:")
+    print(format_error_table(study))
+    print()
+    print("Error CDF (fraction of targets within each error bound), cf. Figure 3:")
+    print(format_cdf_table(study))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Using the Octant constraint machinery directly, outside the host pipeline.
+
+The constraint system is general (Section 2.5 of the paper): any knowledge
+that can be expressed as "the node is inside / outside this area, with this
+confidence" can participate in a localization.  This example localizes a
+hypothetical node from hand-written evidence:
+
+* three latency-style distance bounds from cities with known coordinates,
+* a negative constraint carving out the Gulf of Mexico,
+* a weak positive WHOIS-style hint around a registered city.
+
+It then prints the resulting weighted region and point estimate.
+
+Run with::
+
+    python examples/custom_constraints.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    DiskConstraint,
+    DistanceConstraint,
+    GeoRegionConstraint,
+    Polarity,
+    WeightedRegionSolver,
+)
+from repro.geometry import GeoPoint, km_to_miles, projection_for_points
+from repro.network import city_by_code
+from repro.network.geodata import OCEAN_REGIONS
+
+
+def main() -> None:
+    atlanta = city_by_code("ATL").location
+    dallas = city_by_code("DFW").location
+    chicago = city_by_code("ORD").location
+    memphis = city_by_code("MEM").location
+
+    constraints = [
+        # "Within 450 miles of Atlanta, but not within 120 miles of it."
+        DistanceConstraint(
+            "atlanta", atlanta, max_km=724.0, min_km=193.0, weight=0.9, label="ping:atl"
+        ),
+        # "Within 500 miles of Dallas."
+        DistanceConstraint("dallas", dallas, max_km=805.0, weight=0.7, label="ping:dfw"),
+        # "Within 700 miles of Chicago."
+        DistanceConstraint("chicago", chicago, max_km=1127.0, weight=0.5, label="ping:ord"),
+        # WHOIS says the block is registered in Memphis -- weak evidence.
+        DiskConstraint(memphis, 300.0, Polarity.POSITIVE, weight=0.3, label="whois:memphis"),
+    ]
+    # Oceans are impossible locations.
+    gulf = next(r for r in OCEAN_REGIONS if r.name == "gulf-of-mexico")
+    constraints.append(
+        GeoRegionConstraint(gulf.ring, Polarity.NEGATIVE, weight=5.0, label="ocean:gulf")
+    )
+
+    projection = projection_for_points([atlanta, dallas, chicago])
+    planar = [c.to_planar(projection) for c in constraints]
+
+    solver = WeightedRegionSolver()
+    region = solver.solve(planar, projection)
+
+    print("Weighted location region:")
+    print(f"  pieces        : {len(region)}")
+    print(f"  area          : {region.area_square_miles():.0f} square miles")
+    print(f"  highest weight: {region.max_weight():.2f}")
+
+    estimate = region.point_estimate()
+    print(f"  point estimate: {estimate}")
+    for name, location in [("Memphis", memphis), ("Atlanta", atlanta), ("Dallas", dallas)]:
+        print(
+            f"    distance to {name:8s}: "
+            f"{km_to_miles(estimate.distance_km(location)):6.0f} miles"
+        )
+    nashville = GeoPoint(36.1627, -86.7816)
+    print(f"  contains Nashville? {region.contains_geopoint(nashville)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: localize one host with Octant on a small simulated deployment.
+
+Builds a 12-host PlanetLab-like deployment, collects the all-pairs ping and
+traceroute measurements, and runs the full Octant pipeline (calibration,
+heights, piecewise router localization, geographic constraints, weighted
+solve) for a single target.  Prints the estimated region, the point estimate
+and the error against the known true position.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Octant, collect_dataset, small_deployment
+
+
+def main() -> None:
+    print("Building a 12-host simulated PlanetLab deployment ...")
+    deployment = small_deployment(host_count=12, seed=7)
+    dataset = collect_dataset(deployment)
+    print(
+        f"  hosts: {len(dataset.hosts)}, router hops observed: {len(dataset.routers)}, "
+        f"ping pairs: {len(dataset.pings)}"
+    )
+
+    octant = Octant(dataset)
+    target = dataset.host_ids[0]
+    truth = dataset.true_location(target)
+
+    print(f"\nLocalizing {target} (true position {truth}) ...")
+    estimate = octant.localize(target)
+
+    print(f"  point estimate   : {estimate.point}")
+    print(f"  error            : {estimate.error_miles(truth):.1f} miles")
+    print(f"  region area      : {estimate.region_area_square_miles():.0f} square miles")
+    print(f"  truth in region  : {estimate.contains_true_location(truth)}")
+    print(f"  constraints used : {estimate.constraints_used}")
+    print(f"  solve time       : {estimate.solve_time_s:.2f} s")
+
+    print("\nEstimated region boundary (first piece, geographic ring):")
+    ring = estimate.region.boundary_geopoints()[0]
+    for point in ring[:: max(1, len(ring) // 8)]:
+        print(f"  {point}")
+
+
+if __name__ == "__main__":
+    main()

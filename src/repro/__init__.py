@@ -1,0 +1,58 @@
+"""Octant reproduction: geolocalization of Internet hosts via constraint regions.
+
+This package reproduces *Octant: A Comprehensive Framework for the
+Geolocalization of Internet Hosts* (Wong, Stoyanov, Sirer).  The public API is
+organized in four layers:
+
+* :mod:`repro.geometry` -- spherical math, Bezier-bounded areas, polygon
+  boolean algebra and weighted regions.
+* :mod:`repro.network`  -- the synthetic Internet substrate (topology, delay
+  model, ping/traceroute, DNS and WHOIS) plus measurement datasets.
+* :mod:`repro.core`     -- the Octant framework itself: constraints,
+  calibration, heights, piecewise localization and the weighted solver.
+* :mod:`repro.baselines` / :mod:`repro.evalx` -- the systems the paper
+  compares against and the harness that regenerates its figures and tables.
+
+Quickstart::
+
+    from repro import build_deployment, collect_dataset, Octant
+
+    deployment = build_deployment()
+    dataset = collect_dataset(deployment)
+    estimate = Octant(dataset).localize(dataset.host_ids[0])
+    print(estimate.point, estimate.region_area_square_miles())
+"""
+
+from .core import (
+    LocationEstimate,
+    Octant,
+    OctantConfig,
+    SolverConfig,
+)
+from .geometry import GeoPoint, Region
+from .network import (
+    Deployment,
+    DeploymentConfig,
+    MeasurementDataset,
+    build_deployment,
+    collect_dataset,
+    small_deployment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "GeoPoint",
+    "Region",
+    "OctantConfig",
+    "SolverConfig",
+    "Octant",
+    "LocationEstimate",
+    "Deployment",
+    "DeploymentConfig",
+    "MeasurementDataset",
+    "build_deployment",
+    "collect_dataset",
+    "small_deployment",
+]

@@ -1,0 +1,19 @@
+"""Baseline geolocalization methods the paper compares Octant against."""
+
+from .base import Geolocalizer, default_landmarks
+from .geolim import Bestline, GeoLim, fit_bestline
+from .geoping import GeoPing
+from .geotrack import GeoTrack
+from .shortest_ping import ShortestPing, SpeedOfLight
+
+__all__ = [
+    "Geolocalizer",
+    "default_landmarks",
+    "GeoLim",
+    "Bestline",
+    "fit_bestline",
+    "GeoPing",
+    "GeoTrack",
+    "ShortestPing",
+    "SpeedOfLight",
+]

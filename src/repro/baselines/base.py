@@ -1,0 +1,44 @@
+"""Common interface for geolocalization methods.
+
+Octant and every baseline implement the same small interface so the
+evaluation harness can treat them interchangeably: construct with a
+:class:`~repro.network.dataset.MeasurementDataset`, call
+:meth:`Geolocalizer.localize` with a target id and an optional landmark list,
+and get back a :class:`~repro.core.estimate.LocationEstimate`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from ..core.estimate import LocationEstimate
+from ..network.dataset import MeasurementDataset
+
+__all__ = ["Geolocalizer", "default_landmarks"]
+
+
+@runtime_checkable
+class Geolocalizer(Protocol):
+    """Anything that can place a target host on the globe."""
+
+    #: Short method name used in reports and plots ("octant", "geolim", ...).
+    name: str
+
+    def localize(
+        self, target_id: str, landmark_ids: Sequence[str] | None = None
+    ) -> LocationEstimate:
+        """Localize one target using the given landmarks (all others by default)."""
+        ...
+
+
+def default_landmarks(
+    dataset: MeasurementDataset, target_id: str, landmark_ids: Sequence[str] | None
+) -> list[str]:
+    """Resolve the landmark list, excluding the target (leave-one-out)."""
+    if landmark_ids is None:
+        landmarks = dataset.landmark_ids_excluding(target_id)
+    else:
+        landmarks = [lid for lid in landmark_ids if lid != target_id]
+    if len(landmarks) < 1:
+        raise ValueError("at least one landmark is required")
+    return landmarks

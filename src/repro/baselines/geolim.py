@@ -1,0 +1,232 @@
+"""GeoLim: constraint-based geolocation (Gueye et al., IMC 2004).
+
+GeoLim (called CBG, Constraint-Based Geolocation, in the original paper)
+derives one distance *upper bound* per landmark from the latency to the
+target, and locates the target in the intersection of the resulting disks.
+The distance bound comes from each landmark's "bestline": the line in
+(distance, delay) space that lies below every inter-landmark observation
+while being as close to them as possible -- it converts a measured delay into
+the largest distance consistent with that landmark's historical behaviour.
+
+GeoLim uses *only positive information* and the *strict intersection* of the
+disks: it has no weights and no negative constraints.  As the paper's Figure 4
+shows, this makes it brittle -- a single over-aggressive bestline can make the
+intersection miss the target (or be empty outright), and the probability of
+that grows with the number of landmarks.  This implementation reproduces that
+behaviour faithfully, including returning an empty region when the
+constraints conflict (the point estimate then falls back to the intersection
+built from the subset of disks that still agree).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.estimate import LocationEstimate
+from ..geometry import (
+    GeoPoint,
+    Polygon,
+    Region,
+    RegionPiece,
+    clip_convex,
+    disk_polygon,
+    projection_for_points,
+    rtt_ms_to_max_distance_km,
+)
+from ..network.dataset import MeasurementDataset
+from .base import default_landmarks
+
+__all__ = ["Bestline", "GeoLim", "fit_bestline"]
+
+
+@dataclass(frozen=True)
+class Bestline:
+    """The per-landmark delay-to-distance conversion line ``delay = m * distance + b``.
+
+    Given a measured delay ``d`` to the target, the implied distance bound is
+    ``(d - b) / m``.  The slope is never allowed to fall below the physical
+    2/3-speed-of-light slope, and the intercept is non-negative (it captures
+    the landmark's fixed overhead).
+    """
+
+    slope_ms_per_km: float
+    intercept_ms: float
+
+    def distance_bound_km(self, delay_ms: float) -> float:
+        """Upper bound on the distance implied by a delay measurement."""
+        if self.slope_ms_per_km <= 0:
+            return rtt_ms_to_max_distance_km(delay_ms)
+        bound = (delay_ms - self.intercept_ms) / self.slope_ms_per_km
+        return max(bound, 1.0)
+
+
+#: The physical lower bound on the slope: RTT milliseconds per km at 2/3 c.
+_SOL_SLOPE_MS_PER_KM = 1.0 / rtt_ms_to_max_distance_km(1.0)
+
+
+def fit_bestline(samples: Sequence[tuple[float, float]]) -> Bestline:
+    """Fit the CBG bestline to ``(distance_km, delay_ms)`` samples.
+
+    The bestline lies below every sample (so that converting a delay gives an
+    *over*-estimate of distance), has slope at least the speed-of-light slope
+    and non-negative intercept, and among the feasible candidate lines picks
+    the one minimizing the total vertical distance to the samples.  Candidate
+    lines pass through pairs of samples on the lower-left of the cloud, the
+    standard CBG construction.
+    """
+    points = [(d, y) for d, y in samples if d >= 0 and y >= 0]
+    if len(points) < 2:
+        raise ValueError("bestline fitting needs at least 2 samples")
+
+    def feasible(m: float, b: float) -> bool:
+        if m < _SOL_SLOPE_MS_PER_KM or b < 0:
+            return False
+        return all(y >= m * x + b - 1e-9 for x, y in points)
+
+    def cost(m: float, b: float) -> float:
+        return sum(y - (m * x + b) for x, y in points)
+
+    best: tuple[float, float] | None = None
+    best_cost = float("inf")
+
+    # Candidate 1: speed-of-light slope pushed up to touch the lowest point.
+    b0 = min(y - _SOL_SLOPE_MS_PER_KM * x for x, y in points)
+    if b0 >= 0 and feasible(_SOL_SLOPE_MS_PER_KM, b0):
+        best = (_SOL_SLOPE_MS_PER_KM, b0)
+        best_cost = cost(*best)
+
+    # Candidate 2: lines through every pair of points.
+    for i in range(len(points)):
+        for j in range(i + 1, len(points)):
+            x1, y1 = points[i]
+            x2, y2 = points[j]
+            if abs(x2 - x1) < 1e-9:
+                continue
+            m = (y2 - y1) / (x2 - x1)
+            b = y1 - m * x1
+            if not feasible(m, b):
+                continue
+            c = cost(m, b)
+            if c < best_cost:
+                best = (m, b)
+                best_cost = c
+
+    if best is None:
+        # Degenerate cloud (e.g. all points share a distance): fall back to
+        # the physical bound with zero intercept, which is always sound.
+        return Bestline(_SOL_SLOPE_MS_PER_KM, 0.0)
+    return Bestline(best[0], max(0.0, best[1]))
+
+
+class GeoLim:
+    """The GeoLim / CBG baseline."""
+
+    name = "geolim"
+
+    def __init__(self, dataset: MeasurementDataset, circle_segments: int = 32):
+        self.dataset = dataset
+        self.circle_segments = circle_segments
+        self._bestlines: dict[tuple[str, ...], dict[str, Bestline]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Calibration
+    # ------------------------------------------------------------------ #
+    def bestlines_for(self, landmark_ids: Sequence[str]) -> dict[str, Bestline]:
+        """Fit (and cache) the bestline of every landmark in the set."""
+        key = tuple(sorted(landmark_ids))
+        cached = self._bestlines.get(key)
+        if cached is not None:
+            return cached
+        lines: dict[str, Bestline] = {}
+        for landmark in key:
+            samples: list[tuple[float, float]] = []
+            loc = self.dataset.true_location(landmark)
+            for peer in key:
+                if peer == landmark:
+                    continue
+                rtt = self.dataset.min_rtt_ms(landmark, peer)
+                if rtt is None:
+                    continue
+                samples.append((loc.distance_km(self.dataset.true_location(peer)), rtt))
+            if len(samples) >= 2:
+                lines[landmark] = fit_bestline(samples)
+        self._bestlines[key] = lines
+        return lines
+
+    # ------------------------------------------------------------------ #
+    # Localization
+    # ------------------------------------------------------------------ #
+    def localize(
+        self, target_id: str, landmark_ids: Sequence[str] | None = None
+    ) -> LocationEstimate:
+        """Intersect the per-landmark disks and return the region and centroid."""
+        started = time.perf_counter()
+        landmarks = default_landmarks(self.dataset, target_id, landmark_ids)
+        bestlines = self.bestlines_for(landmarks)
+
+        disks: list[tuple[str, GeoPoint, float]] = []
+        for landmark in landmarks:
+            rtt = self.dataset.min_rtt_ms(landmark, target_id)
+            if rtt is None:
+                continue
+            line = bestlines.get(landmark)
+            radius = (
+                line.distance_bound_km(rtt)
+                if line is not None
+                else rtt_ms_to_max_distance_km(rtt)
+            )
+            disks.append((landmark, self.dataset.true_location(landmark), radius))
+
+        if not disks:
+            return LocationEstimate(target_id, self.name, None)
+
+        projection = projection_for_points([loc for _, loc, _ in disks])
+        # Intersect the disks strictly, tightest bounds first (the order does
+        # not change the final intersection but lets the fallback point come
+        # from the most informative prefix when the intersection empties).
+        disks.sort(key=lambda item: item[2])
+        region_polygon: Polygon | None = None
+        last_non_empty: Polygon | None = None
+        empty = False
+        for _, center, radius in disks:
+            disk = disk_polygon(center, max(radius, 1.0), projection, self.circle_segments)
+            if region_polygon is None:
+                region_polygon = disk
+            else:
+                clipped = clip_convex(region_polygon, disk)
+                if clipped is None:
+                    empty = True
+                    break
+                region_polygon = clipped
+            last_non_empty = region_polygon
+
+        elapsed = time.perf_counter() - started
+        if empty or region_polygon is None:
+            # Overconstrained: no region contains all bounds.  GeoLim reports
+            # a failure for the region; the point estimate uses the last
+            # consistent prefix so a comparison point still exists.
+            point = None
+            if last_non_empty is not None:
+                point = projection.inverse(last_non_empty.centroid())
+            return LocationEstimate(
+                target_id,
+                self.name,
+                point,
+                region=None,
+                constraints_used=len(disks),
+                solve_time_s=elapsed,
+                details={"overconstrained": True},
+            )
+
+        region = Region([RegionPiece(region_polygon, 1.0)], projection)
+        return LocationEstimate(
+            target_id,
+            self.name,
+            projection.inverse(region_polygon.centroid()),
+            region=region,
+            constraints_used=len(disks),
+            solve_time_s=elapsed,
+            details={"overconstrained": False},
+        )

@@ -1,0 +1,86 @@
+"""GeoPing: nearest latency signature (Padmanabhan & Subramanian, SIGCOMM 2001).
+
+GeoPing places the target at the location of the landmark whose *latency
+vector* (its delays to all probing hosts) most resembles the target's.  The
+similarity metric follows the RADAR work the original paper cites: Euclidean
+distance between delay vectors over the probes both nodes share.
+
+GeoPing produces only a point estimate -- one of the landmark positions -- so
+its error is bounded below by the distance from the target to the nearest
+landmark, which is why its error tail in the paper's Figure 3 is long.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Sequence
+
+from ..core.estimate import LocationEstimate
+from ..network.dataset import MeasurementDataset
+from .base import default_landmarks
+
+__all__ = ["GeoPing"]
+
+
+class GeoPing:
+    """The GeoPing baseline."""
+
+    name = "geoping"
+
+    def __init__(self, dataset: MeasurementDataset):
+        self.dataset = dataset
+
+    def _latency_vector(
+        self, node_id: str, probe_ids: Sequence[str]
+    ) -> dict[str, float]:
+        """Minimum RTT from every probe host to ``node_id`` (missing pairs skipped)."""
+        vector: dict[str, float] = {}
+        for probe in probe_ids:
+            if probe == node_id:
+                continue
+            rtt = self.dataset.min_rtt_ms(probe, node_id)
+            if rtt is not None:
+                vector[probe] = rtt
+        return vector
+
+    @staticmethod
+    def _signature_distance(a: dict[str, float], b: dict[str, float]) -> float:
+        """Euclidean distance between two delay vectors over their shared probes."""
+        shared = sorted(set(a) & set(b))
+        if not shared:
+            return math.inf
+        return math.sqrt(sum((a[p] - b[p]) ** 2 for p in shared) / len(shared))
+
+    def localize(
+        self, target_id: str, landmark_ids: Sequence[str] | None = None
+    ) -> LocationEstimate:
+        """Map the target onto the landmark with the most similar delay vector."""
+        started = time.perf_counter()
+        landmarks = default_landmarks(self.dataset, target_id, landmark_ids)
+
+        target_vector = self._latency_vector(target_id, landmarks)
+        if not target_vector:
+            return LocationEstimate(target_id, self.name, None)
+
+        best_landmark: str | None = None
+        best_distance = math.inf
+        for landmark in landmarks:
+            vector = self._latency_vector(landmark, landmarks)
+            distance = self._signature_distance(target_vector, vector)
+            if distance < best_distance:
+                best_distance = distance
+                best_landmark = landmark
+
+        elapsed = time.perf_counter() - started
+        if best_landmark is None:
+            return LocationEstimate(target_id, self.name, None, solve_time_s=elapsed)
+        return LocationEstimate(
+            target_id,
+            self.name,
+            self.dataset.true_location(best_landmark),
+            region=None,
+            constraints_used=len(landmarks),
+            solve_time_s=elapsed,
+            details={"matched_landmark": best_landmark, "signature_distance": best_distance},
+        )

@@ -1,0 +1,123 @@
+"""Shortest-ping and speed-of-light baselines.
+
+Two simple reference methods that bracket the design space:
+
+* :class:`ShortestPing` -- place the target at the landmark with the lowest
+  RTT.  Trivial, surprisingly competitive when landmarks are dense, and the
+  standard sanity baseline in the geolocation literature.
+* :class:`SpeedOfLight` -- the fully conservative region method: intersect
+  the 2/3-speed-of-light disks implied by every measurement.  Always sound
+  (the target is guaranteed to be inside the region) but very imprecise; this
+  is the "constraints so loose that they lead to very low precision" strawman
+  of Section 2.1 and the natural ablation anchor.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from ..core.estimate import LocationEstimate
+from ..geometry import (
+    Polygon,
+    Region,
+    RegionPiece,
+    clip_convex,
+    disk_polygon,
+    projection_for_points,
+    rtt_ms_to_max_distance_km,
+)
+from ..network.dataset import MeasurementDataset
+from .base import default_landmarks
+
+__all__ = ["ShortestPing", "SpeedOfLight"]
+
+
+class ShortestPing:
+    """Locate the target at its lowest-latency landmark."""
+
+    name = "shortest-ping"
+
+    def __init__(self, dataset: MeasurementDataset):
+        self.dataset = dataset
+
+    def localize(
+        self, target_id: str, landmark_ids: Sequence[str] | None = None
+    ) -> LocationEstimate:
+        """Return the location of the landmark with the smallest RTT to the target."""
+        started = time.perf_counter()
+        landmarks = default_landmarks(self.dataset, target_id, landmark_ids)
+        best: tuple[float, str] | None = None
+        for landmark in landmarks:
+            rtt = self.dataset.min_rtt_ms(landmark, target_id)
+            if rtt is None:
+                continue
+            if best is None or rtt < best[0]:
+                best = (rtt, landmark)
+        elapsed = time.perf_counter() - started
+        if best is None:
+            return LocationEstimate(target_id, self.name, None, solve_time_s=elapsed)
+        return LocationEstimate(
+            target_id,
+            self.name,
+            self.dataset.true_location(best[1]),
+            constraints_used=len(landmarks),
+            solve_time_s=elapsed,
+            details={"matched_landmark": best[1], "min_rtt_ms": best[0]},
+        )
+
+
+class SpeedOfLight:
+    """Intersect the conservative 2/3-c disks from every landmark."""
+
+    name = "speed-of-light"
+
+    def __init__(self, dataset: MeasurementDataset, circle_segments: int = 32):
+        self.dataset = dataset
+        self.circle_segments = circle_segments
+
+    def localize(
+        self, target_id: str, landmark_ids: Sequence[str] | None = None
+    ) -> LocationEstimate:
+        """Return the intersection of speed-of-light disks and its centroid."""
+        started = time.perf_counter()
+        landmarks = default_landmarks(self.dataset, target_id, landmark_ids)
+
+        disks = []
+        for landmark in landmarks:
+            rtt = self.dataset.min_rtt_ms(landmark, target_id)
+            if rtt is None:
+                continue
+            disks.append(
+                (self.dataset.true_location(landmark), rtt_ms_to_max_distance_km(rtt))
+            )
+        if not disks:
+            return LocationEstimate(target_id, self.name, None)
+
+        projection = projection_for_points([loc for loc, _ in disks])
+        disks.sort(key=lambda item: item[1])
+        region_polygon: Polygon | None = None
+        for center, radius in disks:
+            disk = disk_polygon(center, max(radius, 1.0), projection, self.circle_segments)
+            if region_polygon is None:
+                region_polygon = disk
+                continue
+            clipped = clip_convex(region_polygon, disk)
+            if clipped is None:
+                # Physically impossible with sound bounds; keep the last
+                # consistent region rather than failing.
+                break
+            region_polygon = clipped
+
+        elapsed = time.perf_counter() - started
+        if region_polygon is None:
+            return LocationEstimate(target_id, self.name, None, solve_time_s=elapsed)
+        region = Region([RegionPiece(region_polygon, 1.0)], projection)
+        return LocationEstimate(
+            target_id,
+            self.name,
+            projection.inverse(region_polygon.centroid()),
+            region=region,
+            constraints_used=len(disks),
+            solve_time_s=elapsed,
+        )

@@ -1,0 +1,73 @@
+"""Core Octant algorithms: constraints, calibration, heights, solver, facade."""
+
+from .calibration import (
+    CalibrationSample,
+    CalibrationSet,
+    LandmarkCalibration,
+    calibrate_landmark,
+)
+from .config import OctantConfig, SolverConfig
+from .constraints import (
+    Constraint,
+    ConstraintSet,
+    DiskConstraint,
+    DistanceConstraint,
+    GeoRegionConstraint,
+    PlanarConstraint,
+    Polarity,
+    latency_weight,
+)
+from .estimate import LocationEstimate
+from .geo_constraints import (
+    geographic_constraints,
+    ocean_constraints,
+    uninhabited_constraints,
+    whois_constraint,
+)
+from .heights import (
+    HeightModel,
+    estimate_landmark_heights,
+    estimate_target_height,
+    pairwise_excess_ms,
+)
+from .octant import Octant, PreparedLandmarks
+from .piecewise import (
+    RouterLocalizer,
+    RouterPosition,
+    secondary_constraints_for_target,
+)
+from .solver import SolverDiagnostics, WeightedRegionSolver, strict_intersection
+
+__all__ = [
+    "OctantConfig",
+    "SolverConfig",
+    "Polarity",
+    "PlanarConstraint",
+    "Constraint",
+    "DistanceConstraint",
+    "DiskConstraint",
+    "GeoRegionConstraint",
+    "ConstraintSet",
+    "latency_weight",
+    "CalibrationSample",
+    "LandmarkCalibration",
+    "CalibrationSet",
+    "calibrate_landmark",
+    "HeightModel",
+    "estimate_landmark_heights",
+    "estimate_target_height",
+    "pairwise_excess_ms",
+    "geographic_constraints",
+    "ocean_constraints",
+    "uninhabited_constraints",
+    "whois_constraint",
+    "RouterPosition",
+    "RouterLocalizer",
+    "secondary_constraints_for_target",
+    "SolverDiagnostics",
+    "WeightedRegionSolver",
+    "strict_intersection",
+    "LocationEstimate",
+    "Octant",
+    "PreparedLandmarks",
+]

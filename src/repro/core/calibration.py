@@ -1,0 +1,209 @@
+"""Per-landmark latency-to-distance calibration (Section 2.1 of the paper).
+
+For every landmark L the calibration step turns the scatter of
+(latency, great-circle distance) points observed toward all *other* landmarks
+into two functions:
+
+* ``R_L(d)`` -- the maximum plausible distance of a node whose latency is d
+  (the *upper* facet of the convex hull around the scatter), and
+* ``r_L(d)`` -- the minimum plausible distance (the *lower* facet).
+
+Both are more aggressive than the conservative 2/3-speed-of-light bound and
+give Octant its tight positive and negative constraints.  Because the scatter
+only covers latencies actually observed between landmarks, the paper
+introduces a cutoff ``rho`` (a percentile of the observed latencies): beyond
+it the lower bound is frozen and the upper bound blends linearly toward a
+far-away sentinel point that sits on the speed-of-light line, giving a smooth
+transition from aggressive to conservative constraints.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..geometry import Point2D, lower_hull, rtt_ms_to_max_distance_km, upper_hull
+
+__all__ = ["CalibrationSample", "LandmarkCalibration", "CalibrationSet", "calibrate_landmark"]
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One inter-landmark observation: measured latency and true distance."""
+
+    latency_ms: float
+    distance_km: float
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0:
+            raise ValueError(f"latency must be non-negative, got {self.latency_ms!r}")
+        if self.distance_km < 0:
+            raise ValueError(f"distance must be non-negative, got {self.distance_km!r}")
+
+
+class _PiecewiseLinear:
+    """A piecewise-linear function given by (x, y) breakpoints sorted by x."""
+
+    __slots__ = ("_xs", "_ys")
+
+    def __init__(self, points: Sequence[tuple[float, float]]):
+        if not points:
+            raise ValueError("need at least one breakpoint")
+        pts = sorted(points)
+        self._xs = [p[0] for p in pts]
+        self._ys = [p[1] for p in pts]
+
+    def __call__(self, x: float) -> float:
+        xs, ys = self._xs, self._ys
+        if x <= xs[0]:
+            return ys[0]
+        if x >= xs[-1]:
+            return ys[-1]
+        i = bisect.bisect_right(xs, x)
+        x0, x1 = xs[i - 1], xs[i]
+        y0, y1 = ys[i - 1], ys[i]
+        if x1 == x0:
+            return max(y0, y1)
+        t = (x - x0) / (x1 - x0)
+        return y0 + t * (y1 - y0)
+
+    @property
+    def breakpoints(self) -> list[tuple[float, float]]:
+        return list(zip(self._xs, self._ys))
+
+
+@dataclass(frozen=True)
+class LandmarkCalibration:
+    """Calibrated latency-to-distance bounds for one landmark.
+
+    Use :func:`calibrate_landmark` to build one from samples; the constructor
+    takes the already-computed facet functions (kept explicit so tests can
+    construct synthetic calibrations directly).
+    """
+
+    landmark_id: str
+    upper: _PiecewiseLinear
+    lower: _PiecewiseLinear
+    cutoff_ms: float
+    upper_slope_beyond_cutoff: float
+    sample_count: int
+    slack: float = 0.0
+
+    def max_distance_km(self, latency_ms: float) -> float:
+        """The bound ``R_L``: maximum plausible distance for a latency.
+
+        Never exceeds (and beyond the calibrated range converges to) the
+        speed-of-light bound, and never goes below zero.
+        """
+        if latency_ms < 0:
+            raise ValueError(f"latency must be non-negative, got {latency_ms!r}")
+        sol = rtt_ms_to_max_distance_km(latency_ms)
+        if latency_ms <= self.cutoff_ms:
+            value = self.upper(latency_ms)
+        else:
+            anchor = self.upper(self.cutoff_ms)
+            value = anchor + self.upper_slope_beyond_cutoff * (latency_ms - self.cutoff_ms)
+        value *= 1.0 + self.slack
+        return max(1.0, min(value, sol))
+
+    def min_distance_km(self, latency_ms: float) -> float:
+        """The bound ``r_L``: minimum plausible distance for a latency.
+
+        Frozen at its cutoff value for latencies beyond the calibrated range,
+        as the paper prescribes, and never allowed to exceed the maximum bound.
+        """
+        if latency_ms < 0:
+            raise ValueError(f"latency must be non-negative, got {latency_ms!r}")
+        clamped = min(latency_ms, self.cutoff_ms)
+        value = self.lower(clamped) * (1.0 - self.slack)
+        return max(0.0, min(value, self.max_distance_km(latency_ms) * 0.999))
+
+    def bounds_km(self, latency_ms: float) -> tuple[float, float]:
+        """``(r_L, R_L)`` for a latency, convenient for constraint building."""
+        return (self.min_distance_km(latency_ms), self.max_distance_km(latency_ms))
+
+
+def calibrate_landmark(
+    landmark_id: str,
+    samples: Iterable[CalibrationSample],
+    cutoff_percentile: float = 75.0,
+    sentinel_ms: float = 400.0,
+    slack: float = 0.0,
+) -> LandmarkCalibration:
+    """Build the convex-hull calibration for one landmark.
+
+    ``samples`` are the (latency, distance) pairs toward all peer landmarks.
+    ``cutoff_percentile`` selects the latency ``rho`` such that the given
+    percentage of samples lies to its left; ``sentinel_ms`` is the latency of
+    the fictitious far-away point (placed on the speed-of-light line) used to
+    extend the upper facet smoothly past the cutoff.
+    """
+    points = [CalibrationSample(s.latency_ms, s.distance_km) for s in samples]
+    if len(points) < 3:
+        raise ValueError(
+            f"calibration for {landmark_id!r} needs at least 3 samples, got {len(points)}"
+        )
+    if not 0.0 < cutoff_percentile <= 100.0:
+        raise ValueError(f"cutoff_percentile must be in (0, 100], got {cutoff_percentile!r}")
+
+    planar = [Point2D(p.latency_ms, p.distance_km) for p in points]
+    # Anchor the hull at the origin: zero latency implies zero distance, which
+    # keeps the facets sensible for latencies below the smallest observation.
+    planar.append(Point2D(0.0, 0.0))
+
+    upper_pts = [(p.x, p.y) for p in upper_hull(planar)]
+    lower_pts = [(p.x, p.y) for p in lower_hull(planar)]
+
+    latencies = sorted(p.latency_ms for p in points)
+    rank = (cutoff_percentile / 100.0) * (len(latencies) - 1)
+    low_idx = int(math.floor(rank))
+    high_idx = min(low_idx + 1, len(latencies) - 1)
+    frac = rank - low_idx
+    cutoff = latencies[low_idx] * (1.0 - frac) + latencies[high_idx] * frac
+
+    upper_fn = _PiecewiseLinear(upper_pts)
+    lower_fn = _PiecewiseLinear(lower_pts)
+
+    sentinel_latency = max(sentinel_ms, cutoff * 2.0)
+    sentinel_distance = rtt_ms_to_max_distance_km(sentinel_latency)
+    anchor = upper_fn(cutoff)
+    denom = sentinel_latency - cutoff
+    slope = (sentinel_distance - anchor) / denom if denom > 0 else 0.0
+    slope = max(0.0, slope)
+
+    return LandmarkCalibration(
+        landmark_id=landmark_id,
+        upper=upper_fn,
+        lower=lower_fn,
+        cutoff_ms=cutoff,
+        upper_slope_beyond_cutoff=slope,
+        sample_count=len(points),
+        slack=slack,
+    )
+
+
+class CalibrationSet:
+    """Calibrations for a whole landmark population, keyed by landmark id."""
+
+    def __init__(self, calibrations: Mapping[str, LandmarkCalibration] | None = None):
+        self._calibrations: dict[str, LandmarkCalibration] = dict(calibrations or {})
+
+    def add(self, calibration: LandmarkCalibration) -> None:
+        """Register (or replace) the calibration of one landmark."""
+        self._calibrations[calibration.landmark_id] = calibration
+
+    def get(self, landmark_id: str) -> LandmarkCalibration | None:
+        """Calibration of a landmark, or ``None`` when it has none."""
+        return self._calibrations.get(landmark_id)
+
+    def __contains__(self, landmark_id: str) -> bool:
+        return landmark_id in self._calibrations
+
+    def __len__(self) -> int:
+        return len(self._calibrations)
+
+    def landmark_ids(self) -> list[str]:
+        """All calibrated landmark ids, sorted."""
+        return sorted(self._calibrations)

@@ -1,0 +1,156 @@
+"""Configuration of the Octant localization pipeline.
+
+Every mechanism the paper describes can be switched on or off independently,
+which is what the ablation benchmarks exercise: convex-hull calibration vs the
+conservative speed-of-light bound, height correction, negative constraints,
+piecewise router localization, geographic constraints, WHOIS hints and the
+weighted (vs strict) solution strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["OctantConfig", "SolverConfig"]
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Parameters of the weighted geometric solver.
+
+    The solver maintains a set of weighted region pieces and refines it with
+    one constraint at a time; these knobs bound the work it does and define
+    how the final estimate region is selected from the weighted pieces.
+    """
+
+    #: Maximum number of weighted pieces kept after each constraint is applied.
+    max_pieces: int = 16
+    #: Pieces smaller than this (square km) are discarded as numerical slivers.
+    min_piece_area_km2: float = 1.0
+    #: The final estimate keeps the heaviest pieces until their combined area
+    #: reaches this threshold (the paper's "desired size threshold").  The
+    #: default is sized to the residual uncertainty of a calibrated latency
+    #: constraint (roughly a 250 km radius), so that the reported region is an
+    #: honest confidence area rather than just the deepest intersection.
+    target_region_area_km2: float = 200000.0
+    #: Number of vertices used when turning disks into polygons.
+    circle_segments: int = 32
+    #: Margin (km) added around the constraint extents when building the
+    #: initial universe piece.
+    universe_margin_km: float = 500.0
+    #: When True the solver maintains exact, disjoint complements of every
+    #: split (paper equation semantics, more expensive).  When False -- the
+    #: default -- the unsatisfied side of a split keeps the original piece,
+    #: which produces the same lattice of constraint intersections the paper
+    #: describes while staying fast enough for the full evaluation.
+    exact_complements: bool = False
+
+
+@dataclass(frozen=True)
+class OctantConfig:
+    """Feature switches and tuning parameters for the full Octant pipeline."""
+
+    # ---- constraint extraction (Section 2.1) -------------------------- #
+    #: Use per-landmark convex-hull calibration.  When False, positive
+    #: constraints fall back to the conservative 2/3-speed-of-light bound and
+    #: no latency-derived negative constraints are produced.
+    use_calibration: bool = True
+    #: Percentile (0-100) of inter-landmark latencies used as the calibration
+    #: cutoff rho; beyond it the bounds blend toward the speed-of-light limit.
+    calibration_cutoff_percentile: float = 75.0
+    #: Latency (ms) of the fictitious sentinel data point that anchors the
+    #: transition from aggressive to conservative bounds past the cutoff.
+    calibration_sentinel_ms: float = 400.0
+    #: Safety margin added to calibrated upper bounds, as a fraction of the
+    #: bound (0.05 = 5 % slack), absorbing measurement noise unseen during
+    #: calibration.
+    calibration_slack: float = 0.05
+
+    # ---- latency-derived negative constraints -------------------------- #
+    #: Derive "further than r_L(d)" negative constraints from the lower hull.
+    use_negative_constraints: bool = True
+
+    # ---- queuing delay compensation (Section 2.2) ----------------------- #
+    #: Estimate per-node heights and subtract them from measurements.
+    use_heights: bool = True
+    #: Uncertainty margin (ms) on the height-adjusted latency: positive bounds
+    #: are evaluated at ``adjusted + margin`` and negative bounds at
+    #: ``adjusted - margin`` so that a small error in the estimated heights
+    #: cannot turn a sound constraint into one that excludes the target.
+    height_margin_ms: float = 1.0
+    #: Positive bounds are never tightened below this distance; it reflects
+    #: the floor on how precisely a single latency measurement can place a
+    #: node regardless of calibration quality.
+    min_positive_bound_km: float = 30.0
+
+    # ---- indirect routes (Section 2.3) --------------------------------- #
+    #: Localize routers on the landmark-to-target paths and use them as
+    #: secondary landmarks.
+    use_piecewise: bool = True
+    #: Minimum DNS-hint confidence for a router hint to be used directly.
+    router_hint_min_confidence: float = 0.6
+    #: Radius (km) of the positive constraint placed around a DNS-hinted city.
+    router_hint_radius_km: float = 60.0
+    #: Maximum number of secondary-landmark constraints added per target.
+    max_secondary_constraints: int = 20
+
+    # ---- uncertainty handling (Section 2.4) ----------------------------- #
+    #: Use the exponentially decaying latency weights.  When False every
+    #: constraint gets weight 1 and the solver degenerates toward the strict
+    #: intersection of prior work.
+    use_weights: bool = True
+    #: Latency scale (ms) of the exponential weight decay exp(-latency/scale).
+    weight_decay_ms: float = 50.0
+    #: Weight floor so distant landmarks still contribute a little.
+    min_constraint_weight: float = 0.02
+
+    # ---- geographic constraints (Section 2.5) --------------------------- #
+    #: Subtract oceans and uninhabited areas from the estimate.
+    use_geographic_constraints: bool = True
+    #: Add a weak positive constraint around the WHOIS-registered city.
+    use_whois: bool = False
+    #: Radius (km) of the WHOIS positive constraint.
+    whois_radius_km: float = 300.0
+    #: Weight of the WHOIS positive constraint.
+    whois_weight: float = 0.3
+
+    # ---- measurement handling ------------------------------------------ #
+    #: Number of probes whose minimum is used per pair (the dataset may hold
+    #: more; extra probes are ignored).
+    probes_per_measurement: int = 10
+
+    # ---- solver ---------------------------------------------------------- #
+    solver: SolverConfig = field(default_factory=SolverConfig)
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors for the ablation study
+    # ------------------------------------------------------------------ #
+    def with_overrides(self, **kwargs: object) -> "OctantConfig":
+        """A copy of this configuration with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def conservative(cls) -> "OctantConfig":
+        """Speed-of-light bounds only: the sound-but-loose baseline configuration."""
+        return cls(
+            use_calibration=False,
+            use_negative_constraints=False,
+            use_heights=False,
+            use_piecewise=False,
+            use_geographic_constraints=False,
+            use_whois=False,
+        )
+
+    @classmethod
+    def latency_only(cls) -> "OctantConfig":
+        """Calibrated latency constraints only, no auxiliary data sources."""
+        return cls(
+            use_piecewise=False,
+            use_geographic_constraints=False,
+            use_whois=False,
+        )
+
+    @classmethod
+    def full(cls) -> "OctantConfig":
+        """Everything the paper describes switched on (including WHOIS)."""
+        return cls(use_whois=True)

@@ -1,0 +1,274 @@
+"""Constraint model: regions where the target can or cannot be.
+
+A constraint pairs a region on the globe with a weight expressing how much
+the system believes it (Section 2 and 2.4 of the paper).  Constraints come in
+two polarities:
+
+* **positive** -- the target lies inside the region,
+* **negative** -- the target lies outside the region.
+
+Concrete constraint types cover the sources the paper uses:
+
+* :class:`DistanceConstraint` -- an annulus ``r <= distance(L, target) <= R``
+  around a landmark whose own position is either a point (primary landmark)
+  or a region (secondary landmark).
+* :class:`GeoRegionConstraint` -- an arbitrary geographic polygon, used for
+  oceans and uninhabited areas (negative) or zipcode neighbourhoods
+  (positive).
+* :class:`DiskConstraint` -- a plain disk around a point, used for DNS-hinted
+  router positions and WHOIS-registered cities.
+
+Constraints are *descriptions*; they are turned into planar polygons only at
+solve time, under the projection chosen for the particular localization, via
+:meth:`Constraint.to_planar`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..geometry import (
+    GeoPoint,
+    Polygon,
+    Projection,
+    Region,
+    dilate_polygon,
+    disk_polygon,
+    erode_polygon,
+    polygon_from_geopoints,
+)
+
+__all__ = [
+    "Polarity",
+    "PlanarConstraint",
+    "Constraint",
+    "DistanceConstraint",
+    "DiskConstraint",
+    "GeoRegionConstraint",
+    "ConstraintSet",
+    "latency_weight",
+]
+
+
+class Polarity(enum.Enum):
+    """Whether a constraint asserts presence inside or absence from its region."""
+
+    POSITIVE = "positive"
+    NEGATIVE = "negative"
+
+
+@dataclass(frozen=True)
+class PlanarConstraint:
+    """A constraint realized as planar geometry under a specific projection.
+
+    ``inclusion`` is the polygon the target should be inside (``None`` for a
+    purely negative constraint), ``exclusion`` the polygon it should be
+    outside (``None`` when there is no negative component).  A calibrated
+    latency measurement produces both at once: the outer disk as inclusion and
+    the inner disk as exclusion.
+    """
+
+    inclusion: Polygon | None
+    exclusion: Polygon | None
+    weight: float
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.inclusion is None and self.exclusion is None:
+            raise ValueError("a planar constraint needs an inclusion or an exclusion")
+        if self.weight < 0:
+            raise ValueError(f"constraint weight must be non-negative, got {self.weight!r}")
+
+
+class Constraint:
+    """Base class for location constraints."""
+
+    #: Human-readable label identifying the source of the constraint.
+    label: str
+    #: Strength of the belief in this constraint (Section 2.4).
+    weight: float
+
+    def to_planar(self, projection: Projection) -> PlanarConstraint | None:
+        """Realize the constraint as planar polygons under ``projection``.
+
+        Returns ``None`` when the constraint degenerates to nothing under the
+        given configuration (for example an erosion that comes out empty).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DistanceConstraint(Constraint):
+    """Distance bounds from a landmark: ``min_km <= dist(landmark, target) <= max_km``.
+
+    For a primary landmark ``landmark_region`` is ``None`` and the bounds are
+    measured from ``landmark_location``.  For a secondary landmark the
+    landmark's own position is uncertain: ``landmark_region`` holds its
+    estimated location region (in the *same projection* the constraint will be
+    realized under), and the bounds are dilated/eroded accordingly so the
+    resulting constraint stays sound (Section 2 of the paper).
+    """
+
+    landmark_id: str
+    landmark_location: GeoPoint
+    max_km: float
+    min_km: float = 0.0
+    weight: float = 1.0
+    label: str = ""
+    landmark_region: Region | None = None
+    circle_segments: int = 48
+
+    def __post_init__(self) -> None:
+        if self.max_km <= 0:
+            raise ValueError(f"max_km must be positive, got {self.max_km!r}")
+        if self.min_km < 0:
+            raise ValueError(f"min_km must be non-negative, got {self.min_km!r}")
+        if self.min_km >= self.max_km:
+            raise ValueError(
+                f"min_km must be smaller than max_km, got {self.min_km!r} >= {self.max_km!r}"
+            )
+        if not self.label:
+            object.__setattr__(self, "label", f"latency:{self.landmark_id}")
+
+    def to_planar(self, projection: Projection) -> PlanarConstraint | None:
+        outer = disk_polygon(
+            self.landmark_location, self.max_km, projection, self.circle_segments
+        )
+        inner: Polygon | None = None
+        if self.min_km > 0:
+            inner = disk_polygon(
+                self.landmark_location, self.min_km, projection, self.circle_segments
+            )
+
+        if self.landmark_region is not None and not self.landmark_region.is_empty():
+            # Secondary landmark: the positive bound grows by the landmark's
+            # own positional uncertainty (Minkowski dilation) and the negative
+            # bound shrinks by it (erosion), keeping both sides sound.
+            pieces = self.landmark_region.pieces
+            base = max(pieces, key=lambda p: p.weighted_area()).polygon
+            uncertainty = base.max_distance_to_point(base.centroid())
+            outer = dilate_polygon(base, self.max_km, segments=self.circle_segments // 2)
+            if inner is not None:
+                shrunk_km = self.min_km - uncertainty
+                if shrunk_km <= 0:
+                    inner = None
+                else:
+                    inner = erode_polygon(
+                        disk_polygon(
+                            self.landmark_location, self.min_km, projection, self.circle_segments
+                        ),
+                        uncertainty,
+                    )
+        return PlanarConstraint(
+            inclusion=outer, exclusion=inner, weight=self.weight, label=self.label
+        )
+
+
+@dataclass(frozen=True)
+class DiskConstraint(Constraint):
+    """A plain disk around a geographic point, positive or negative."""
+
+    center: GeoPoint
+    radius_km: float
+    polarity: Polarity = Polarity.POSITIVE
+    weight: float = 1.0
+    label: str = "disk"
+    circle_segments: int = 48
+
+    def __post_init__(self) -> None:
+        if self.radius_km <= 0:
+            raise ValueError(f"radius_km must be positive, got {self.radius_km!r}")
+
+    def to_planar(self, projection: Projection) -> PlanarConstraint | None:
+        disk = disk_polygon(self.center, self.radius_km, projection, self.circle_segments)
+        if self.polarity is Polarity.POSITIVE:
+            return PlanarConstraint(disk, None, self.weight, self.label)
+        return PlanarConstraint(None, disk, self.weight, self.label)
+
+
+@dataclass(frozen=True)
+class GeoRegionConstraint(Constraint):
+    """An arbitrary geographic polygon used as a constraint region."""
+
+    ring: tuple[GeoPoint, ...]
+    polarity: Polarity = Polarity.NEGATIVE
+    weight: float = 1.0
+    label: str = "region"
+
+    def __post_init__(self) -> None:
+        if len(self.ring) < 3:
+            raise ValueError("a region constraint needs at least 3 boundary points")
+
+    def to_planar(self, projection: Projection) -> PlanarConstraint | None:
+        polygon = polygon_from_geopoints(list(self.ring), projection).ensure_ccw()
+        if self.polarity is Polarity.POSITIVE:
+            return PlanarConstraint(polygon, None, self.weight, self.label)
+        return PlanarConstraint(None, polygon, self.weight, self.label)
+
+
+class ConstraintSet:
+    """An ordered collection of constraints feeding one localization."""
+
+    def __init__(self, constraints: Iterable[Constraint] = ()):
+        self._constraints: list[Constraint] = list(constraints)
+
+    def add(self, constraint: Constraint | None) -> None:
+        """Append a constraint; ``None`` is ignored to simplify call sites."""
+        if constraint is not None:
+            self._constraints.append(constraint)
+
+    def extend(self, constraints: Iterable[Constraint]) -> None:
+        """Append several constraints."""
+        for constraint in constraints:
+            self.add(constraint)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    def __bool__(self) -> bool:
+        return bool(self._constraints)
+
+    @property
+    def constraints(self) -> list[Constraint]:
+        """The constraints in insertion order (copy)."""
+        return list(self._constraints)
+
+    def sorted_by_weight(self) -> list[Constraint]:
+        """Constraints sorted by decreasing weight (the solver's processing order)."""
+        return sorted(self._constraints, key=lambda c: c.weight, reverse=True)
+
+    def total_weight(self) -> float:
+        """Sum of all constraint weights."""
+        return sum(c.weight for c in self._constraints)
+
+    def distance_constraints(self) -> list["DistanceConstraint"]:
+        """Only the latency-derived distance constraints."""
+        return [c for c in self._constraints if isinstance(c, DistanceConstraint)]
+
+    def geographic_constraints(self) -> list[Constraint]:
+        """Only the non-latency constraints (geographic, WHOIS, DNS hints)."""
+        return [c for c in self._constraints if not isinstance(c, DistanceConstraint)]
+
+
+def latency_weight(
+    latency_ms: float,
+    decay_ms: float = 50.0,
+    floor: float = 0.02,
+) -> float:
+    """The paper's exponentially decaying confidence weight for a latency.
+
+    Constraints from nearby (low-latency) landmarks are more trustworthy than
+    those from distant ones; the weight decays as ``exp(-latency / decay)``
+    and is clamped below by ``floor`` so distant landmarks still contribute.
+    """
+    if latency_ms < 0:
+        raise ValueError(f"latency must be non-negative, got {latency_ms!r}")
+    if decay_ms <= 0:
+        raise ValueError(f"decay_ms must be positive, got {decay_ms!r}")
+    return max(floor, math.exp(-latency_ms / decay_ms))

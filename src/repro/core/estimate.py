@@ -1,0 +1,95 @@
+"""Location estimates: the result object returned by a localization.
+
+A :class:`LocationEstimate` bundles the estimated location region, the derived
+point estimate, and diagnostics about the solve (how many constraints were
+used, which were dropped, how long the solve took).  Evaluation helpers --
+error against a known true position, containment of the true position in the
+region -- live here so that both the Octant pipeline and the baselines return
+directly comparable objects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..geometry import GeoPoint, Region, km_to_miles
+
+__all__ = ["LocationEstimate"]
+
+
+@dataclass
+class LocationEstimate:
+    """The outcome of localizing one target."""
+
+    target_id: str
+    method: str
+    point: GeoPoint | None
+    region: Region | None = None
+    constraints_used: int = 0
+    constraints_dropped: int = 0
+    solve_time_s: float = 0.0
+    details: dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Success / failure
+    # ------------------------------------------------------------------ #
+    @property
+    def succeeded(self) -> bool:
+        """True when the method produced a point estimate."""
+        return self.point is not None
+
+    def region_area_km2(self) -> float:
+        """Area of the estimated region (0 when the method yields only a point)."""
+        if self.region is None:
+            return 0.0
+        return self.region.area_km2()
+
+    def region_area_square_miles(self) -> float:
+        """Area of the estimated region in square miles."""
+        if self.region is None:
+            return 0.0
+        return self.region.area_square_miles()
+
+    # ------------------------------------------------------------------ #
+    # Evaluation against ground truth
+    # ------------------------------------------------------------------ #
+    def error_km(self, true_location: GeoPoint) -> float:
+        """Great-circle distance between the point estimate and the truth."""
+        if self.point is None:
+            return math.inf
+        return self.point.distance_km(true_location)
+
+    def error_miles(self, true_location: GeoPoint) -> float:
+        """Localization error in statute miles, the unit the paper reports."""
+        error = self.error_km(true_location)
+        return math.inf if math.isinf(error) else km_to_miles(error)
+
+    def contains_true_location(self, true_location: GeoPoint) -> bool:
+        """True when the estimated region contains the target's true position.
+
+        This is the success criterion of the paper's Figure 4.  Methods that
+        produce only a point estimate (GeoPing, GeoTrack) never contain the
+        truth under this definition, matching how the paper restricts that
+        comparison to the region-based systems.
+        """
+        if self.region is None or self.region.is_empty():
+            return False
+        return self.region.contains_geopoint(true_location)
+
+    def summary(self, true_location: GeoPoint | None = None) -> Mapping[str, object]:
+        """A flat dictionary convenient for tabular reporting."""
+        out: dict[str, object] = {
+            "target": self.target_id,
+            "method": self.method,
+            "succeeded": self.succeeded,
+            "region_area_sq_mi": round(self.region_area_square_miles(), 1),
+            "constraints_used": self.constraints_used,
+            "constraints_dropped": self.constraints_dropped,
+            "solve_time_s": round(self.solve_time_s, 3),
+        }
+        if true_location is not None:
+            out["error_miles"] = round(self.error_miles(true_location), 1)
+            out["contains_truth"] = self.contains_true_location(true_location)
+        return out

@@ -1,0 +1,285 @@
+"""Height (minimum queuing delay) estimation -- Section 2.2 of the paper.
+
+A measured round-trip time decomposes into transmission (propagation) delay,
+which correlates with distance, and an inelastic per-endpoint component the
+paper calls the node's *height*: access-link serialization, last-mile
+congestion, end-host processing.  Heights inflate every measurement a node
+takes part in and, left uncorrected, systematically loosen the calibrated
+latency-to-distance bounds.
+
+Octant estimates heights from inter-landmark measurements alone.  For every
+pair of primary landmarks ``a, b`` with known positions, the excess delay
+``[a,b] - (a,b)`` (measured RTT minus the RTT-equivalent of the great-circle
+distance) is attributed to the two endpoints: ``h_a + h_b ~= [a,b] - (a,b)``.
+Stacking one equation per pair gives an overdetermined linear system solved
+in the least-squares sense (the paper's 3-landmark example generalizes to the
+full landmark set).  Target heights are then recovered from the target's
+measurements to the landmarks by jointly fitting the target's height and a
+rough position -- the position itself is noisy and discarded, exactly as the
+paper notes, but the height estimate is what allows measurement adjustment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..geometry import GeoPoint, distance_km_to_min_rtt_ms, geographic_midpoint
+
+__all__ = [
+    "HeightModel",
+    "estimate_landmark_heights",
+    "estimate_landmark_heights_lstsq",
+    "estimate_target_height",
+]
+
+
+@dataclass(frozen=True)
+class HeightModel:
+    """Estimated per-node heights (in RTT milliseconds attributable to the node)."""
+
+    heights_ms: dict[str, float]
+    residual_ms: float
+
+    def height(self, node_id: str) -> float:
+        """Height of a node; unknown nodes are assumed to add no delay."""
+        return self.heights_ms.get(node_id, 0.0)
+
+    def adjusted_rtt_ms(self, rtt_ms: float, node_a: str, node_b: str) -> float:
+        """Measurement with both endpoints' heights removed (never below zero)."""
+        return max(0.0, rtt_ms - self.height(node_a) - self.height(node_b))
+
+    def __len__(self) -> int:
+        return len(self.heights_ms)
+
+
+def _pairwise_excess_table(
+    landmark_locations: Mapping[str, GeoPoint],
+    pairwise_rtt_ms: Mapping[tuple[str, str], float],
+) -> tuple[list[str], dict[tuple[str, str], float]]:
+    """Per-pair excess delay (RTT minus propagation), symmetric and deduplicated."""
+    landmark_ids = sorted(landmark_locations)
+    index = set(landmark_ids)
+    if len(landmark_ids) < 3:
+        raise ValueError("height estimation needs at least 3 landmarks")
+
+    best: dict[tuple[str, str], float] = {}
+    for (a, b), rtt in pairwise_rtt_ms.items():
+        if a not in index or b not in index or a == b:
+            continue
+        key = (a, b) if a <= b else (b, a)
+        if key not in best or rtt < best[key]:
+            best[key] = rtt
+    if len(best) < len(landmark_ids):
+        raise ValueError(
+            "height estimation needs at least as many measured pairs as landmarks; "
+            f"got {len(best)} pairs for {len(landmark_ids)} landmarks"
+        )
+
+    excess: dict[tuple[str, str], float] = {}
+    for (a, b), rtt in best.items():
+        distance = landmark_locations[a].distance_km(landmark_locations[b])
+        excess[(a, b)] = rtt - distance_km_to_min_rtt_ms(distance)
+    return landmark_ids, excess
+
+
+def estimate_landmark_heights(
+    landmark_locations: Mapping[str, GeoPoint],
+    pairwise_rtt_ms: Mapping[tuple[str, str], float],
+    quantile: float = 0.15,
+    iterations: int = 10,
+) -> HeightModel:
+    """Estimate the per-landmark *minimum* excess delay (the paper's height).
+
+    The excess of a measurement over the propagation floor mixes two effects:
+    the per-endpoint constant the paper calls height (access links, end-host
+    stacks, fixed backhaul to the provider PoP) and per-path route inflation,
+    which varies pair by pair.  A least-squares fit of ``h_a + h_b ~= excess``
+    spreads the inflation over the endpoints and grossly over-estimates
+    heights; Octant wants the *minimum* component only, so the estimator
+    iterates a robust low-quantile fix-point::
+
+        h_a <- quantile_q over peers b of (excess_ab - h_b)
+
+    With a small ``quantile`` the estimate converges to the constant component
+    seen on the landmark's least-inflated paths, which is exactly the
+    inelastic part the adjustment should remove.  Heights are clamped to be
+    non-negative.
+    """
+    if not 0.0 <= quantile <= 0.5:
+        raise ValueError(f"quantile must be in [0, 0.5], got {quantile!r}")
+    landmark_ids, excess = _pairwise_excess_table(landmark_locations, pairwise_rtt_ms)
+
+    peers: dict[str, list[tuple[str, float]]] = {lid: [] for lid in landmark_ids}
+    for (a, b), value in excess.items():
+        peers[a].append((b, value))
+        peers[b].append((a, value))
+
+    heights = {lid: 0.0 for lid in landmark_ids}
+    for _ in range(iterations):
+        updated: dict[str, float] = {}
+        for lid in landmark_ids:
+            observations = peers[lid]
+            if not observations:
+                updated[lid] = 0.0
+                continue
+            implied = sorted(value - heights[peer] for peer, value in observations)
+            rank = min(len(implied) - 1, max(0, int(round(quantile * (len(implied) - 1)))))
+            updated[lid] = max(0.0, implied[rank])
+        # Damped update keeps the fix-point iteration stable.
+        heights = {
+            lid: 0.5 * heights[lid] + 0.5 * updated[lid] for lid in landmark_ids
+        }
+
+    residuals = [
+        max(0.0, value - heights[a] - heights[b]) for (a, b), value in excess.items()
+    ]
+    residual = float(np.sqrt(np.mean(np.square(residuals)))) if residuals else 0.0
+    return HeightModel(heights_ms=dict(heights), residual_ms=residual)
+
+
+def estimate_landmark_heights_lstsq(
+    landmark_locations: Mapping[str, GeoPoint],
+    pairwise_rtt_ms: Mapping[tuple[str, str], float],
+) -> HeightModel:
+    """The naive least-squares variant of the height system (for comparison).
+
+    Solves the paper's linear system ``h_a + h_b = [a,b] - (a,b)`` literally,
+    in the least-squares sense.  On paths with little route inflation it
+    matches :func:`estimate_landmark_heights`; with realistic inflation it
+    over-estimates heights because inflation gets averaged into the endpoints.
+    Kept as a reference point for tests and the ablation discussion.
+    """
+    landmark_ids, excess = _pairwise_excess_table(landmark_locations, pairwise_rtt_ms)
+    index = {lid: i for i, lid in enumerate(landmark_ids)}
+
+    rows = []
+    rhs = []
+    for (a, b), value in sorted(excess.items()):
+        row = np.zeros(len(landmark_ids))
+        row[index[a]] = 1.0
+        row[index[b]] = 1.0
+        rows.append(row)
+        rhs.append(value)
+
+    matrix = np.vstack(rows)
+    target = np.asarray(rhs)
+    solution, _, _, _ = np.linalg.lstsq(matrix, target, rcond=None)
+    heights = np.maximum(solution, 0.0)
+    residual = float(np.sqrt(np.mean((matrix @ heights - target) ** 2)))
+
+    return HeightModel(
+        heights_ms={lid: float(heights[index[lid]]) for lid in landmark_ids},
+        residual_ms=residual,
+    )
+
+
+def estimate_target_height(
+    target_rtts_ms: Mapping[str, float],
+    landmark_locations: Mapping[str, GeoPoint],
+    landmark_heights: HeightModel,
+    quantile: float = 0.15,
+    refine_step_deg: float = 1.0,
+) -> tuple[float, GeoPoint]:
+    """Estimate a target's height (and a rough position) from its measurements.
+
+    Follows the paper's Section 2.2: solve, over all landmarks ``a`` the
+    target was probed from, the system ``h_a + h_t + (a, t) = [a, t]`` for the
+    target height ``h_t`` and a rough position, where ``(a, t)`` is the
+    RTT-equivalent of the great-circle distance from a candidate position.
+
+    The position search evaluates every landmark location as a candidate (the
+    target is always bracketed by landmarks in the paper's setting) and then
+    refines on a small local grid around the best candidate.  Given a
+    position, the height is the low-quantile of the implied per-landmark
+    heights -- the same robust statistic used for the landmark heights, so
+    target and landmark heights are directly comparable.  The returned
+    position is noisy and, as the paper notes, not used downstream; the height
+    is what the measurement adjustment needs.
+    """
+    usable = {
+        lid: rtt
+        for lid, rtt in target_rtts_ms.items()
+        if lid in landmark_locations and rtt >= 0
+    }
+    if len(usable) < 3:
+        raise ValueError("target height estimation needs measurements to >= 3 landmarks")
+
+    landmark_ids = sorted(usable)
+    locations = [landmark_locations[lid] for lid in landmark_ids]
+    rtts = np.asarray([usable[lid] for lid in landmark_ids])
+    lm_heights = np.asarray([landmark_heights.height(lid) for lid in landmark_ids])
+
+    lat_arr = np.radians(np.asarray([loc.lat for loc in locations]))
+    lon_arr = np.radians(np.asarray([loc.lon for loc in locations]))
+
+    # No position can make the target height exceed the smallest
+    # height-corrected measurement: the height is an additive component of
+    # every RTT the target participates in.
+    height_ceiling = max(0.0, float(np.min(rtts - lm_heights)))
+
+    def evaluate(lat_deg: float, lon_deg: float) -> tuple[float, float]:
+        """Optimal height and RMS residual for a candidate position."""
+        phi = math.radians(lat_deg)
+        lam = math.radians(lon_deg)
+        # Vectorized haversine to every landmark.
+        dphi = lat_arr - phi
+        dlam = lon_arr - lam
+        a = np.sin(dphi / 2.0) ** 2 + math.cos(phi) * np.cos(lat_arr) * np.sin(dlam / 2.0) ** 2
+        distances = 2.0 * 6371.0088 * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+        transmission = np.asarray([distance_km_to_min_rtt_ms(float(d)) for d in distances])
+        implied = rtts - lm_heights - transmission
+        height = float(np.quantile(implied, quantile))
+        height = min(max(0.0, height), height_ceiling)
+        residual = float(np.sqrt(np.mean((implied - height) ** 2)))
+        return height, residual
+
+    candidates: list[tuple[float, float]] = [(loc.lat, loc.lon) for loc in locations]
+    midpoint = geographic_midpoint(locations)
+    candidates.append((midpoint.lat, midpoint.lon))
+
+    best_height = 0.0
+    best_residual = math.inf
+    best_lat, best_lon = candidates[0]
+    for lat, lon in candidates:
+        height, residual = evaluate(lat, lon)
+        if residual < best_residual:
+            best_residual = residual
+            best_height = height
+            best_lat, best_lon = lat, lon
+
+    # Local refinement around the best landmark-anchored candidate.
+    step = refine_step_deg
+    for _ in range(3):
+        improved = False
+        for dlat in (-step, 0.0, step):
+            for dlon in (-step, 0.0, step):
+                if dlat == 0.0 and dlon == 0.0:
+                    continue
+                lat = max(-89.0, min(89.0, best_lat + dlat))
+                lon = ((best_lon + dlon + 180.0) % 360.0) - 180.0
+                height, residual = evaluate(lat, lon)
+                if residual < best_residual:
+                    best_residual = residual
+                    best_height = height
+                    best_lat, best_lon = lat, lon
+                    improved = True
+        if not improved:
+            step /= 2.0
+
+    return best_height, GeoPoint(best_lat, best_lon)
+
+
+def pairwise_excess_ms(
+    location_a: GeoPoint, location_b: GeoPoint, rtt_ms: float
+) -> float:
+    """Excess of a measurement over the propagation floor for a known pair.
+
+    Convenience used by tests and diagnostics: ``[a,b] - (a,b)``, floored at
+    zero because measurement noise can push the difference slightly negative.
+    """
+    transmission = distance_km_to_min_rtt_ms(location_a.distance_km(location_b))
+    return max(0.0, rtt_ms - transmission)

@@ -1,0 +1,364 @@
+"""The Octant facade: end-to-end localization of a target host.
+
+:class:`Octant` wires together every mechanism of the framework --
+calibration, height estimation, latency constraints (positive and negative),
+geographic constraints, WHOIS hints, piecewise router localization and the
+weighted geometric solver -- behind two calls::
+
+    octant = Octant(dataset)                  # measurement data in, nothing probed
+    estimate = octant.localize("host-sea")    # estimated region + point estimate
+
+The landmark set defaults to every host in the dataset except the target, the
+leave-one-out methodology of the paper's evaluation.  All per-landmark state
+(heights, calibrations, router positions) is computed from that landmark set
+only, so information about the target never leaks into its own localization.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..geometry import (
+    GeoPoint,
+    Projection,
+    projection_for_points,
+    rtt_ms_to_max_distance_km,
+)
+from ..network.dataset import MeasurementDataset
+from ..network.dns import UndnsParser
+from .calibration import CalibrationSample, CalibrationSet, calibrate_landmark
+from .config import OctantConfig
+from .constraints import ConstraintSet, DistanceConstraint, latency_weight
+from .estimate import LocationEstimate
+from .geo_constraints import geographic_constraints, whois_constraint
+from .heights import HeightModel, estimate_landmark_heights, estimate_target_height
+from .piecewise import RouterLocalizer, RouterPosition, secondary_constraints_for_target
+from .solver import WeightedRegionSolver
+
+__all__ = ["Octant", "PreparedLandmarks"]
+
+
+@dataclass
+class PreparedLandmarks:
+    """Per-landmark state derived from inter-landmark measurements only."""
+
+    landmark_ids: tuple[str, ...]
+    locations: dict[str, GeoPoint]
+    heights: HeightModel | None
+    calibrations: CalibrationSet
+    router_positions: dict[str, RouterPosition]
+
+
+class Octant:
+    """Localizes targets from a :class:`~repro.network.dataset.MeasurementDataset`."""
+
+    def __init__(
+        self,
+        dataset: MeasurementDataset,
+        config: OctantConfig | None = None,
+        parser: UndnsParser | None = None,
+    ):
+        self.dataset = dataset
+        self.config = config or OctantConfig()
+        self.parser = parser or UndnsParser()
+        self._prepared: dict[tuple[str, ...], PreparedLandmarks] = {}
+
+    # ------------------------------------------------------------------ #
+    # Preparation: heights, calibration, router localization
+    # ------------------------------------------------------------------ #
+    def prepare(self, landmark_ids: Sequence[str]) -> PreparedLandmarks:
+        """Compute (and cache) all per-landmark state for a landmark set."""
+        key = tuple(sorted(landmark_ids))
+        cached = self._prepared.get(key)
+        if cached is not None:
+            return cached
+
+        locations = {lid: self.dataset.true_location(lid) for lid in key}
+        heights = self._estimate_heights(key, locations) if self.config.use_heights else None
+        calibrations = self._calibrate(key, locations, heights)
+
+        router_positions: dict[str, RouterPosition] = {}
+        if self.config.use_piecewise:
+            localizer = RouterLocalizer(
+                self.dataset, self.config, calibrations, heights, self.parser
+            )
+            router_positions = localizer.localize_routers(list(key))
+
+        prepared = PreparedLandmarks(
+            landmark_ids=key,
+            locations=locations,
+            heights=heights,
+            calibrations=calibrations,
+            router_positions=router_positions,
+        )
+        self._prepared[key] = prepared
+        return prepared
+
+    def _estimate_heights(
+        self, landmark_ids: Sequence[str], locations: Mapping[str, GeoPoint]
+    ) -> HeightModel | None:
+        pairwise: dict[tuple[str, str], float] = {}
+        for i, a in enumerate(landmark_ids):
+            for b in landmark_ids[i + 1 :]:
+                rtt = self.dataset.min_rtt_ms(a, b)
+                if rtt is not None:
+                    pairwise[(a, b)] = rtt
+        if len(pairwise) < len(landmark_ids):
+            return None
+        return estimate_landmark_heights(locations, pairwise)
+
+    def _pseudo_target_heights(
+        self,
+        landmark_ids: Sequence[str],
+        locations: Mapping[str, GeoPoint],
+        heights: HeightModel,
+    ) -> dict[str, float]:
+        """Estimate every landmark's height *as if it were a target*.
+
+        Calibration samples must be adjusted exactly the way target
+        measurements will be adjusted at localization time, otherwise the
+        calibrated envelope is systematically offset from the points it is
+        later evaluated on.  A target's height is estimated from its
+        measurements alone (Section 2.2), so for calibration each peer
+        landmark is put through the same estimator, ignoring its known
+        position.
+        """
+        pseudo: dict[str, float] = {}
+        for peer in landmark_ids:
+            rtts = {
+                lid: rtt
+                for lid in landmark_ids
+                if lid != peer and (rtt := self.dataset.min_rtt_ms(lid, peer)) is not None
+            }
+            if len(rtts) < 3:
+                pseudo[peer] = heights.height(peer)
+                continue
+            height, _ = estimate_target_height(rtts, locations, heights)
+            pseudo[peer] = height
+        return pseudo
+
+    def _calibrate(
+        self,
+        landmark_ids: Sequence[str],
+        locations: Mapping[str, GeoPoint],
+        heights: HeightModel | None,
+    ) -> CalibrationSet:
+        calibrations = CalibrationSet()
+        if not self.config.use_calibration:
+            return calibrations
+        pseudo_heights: dict[str, float] = {}
+        if heights is not None:
+            pseudo_heights = self._pseudo_target_heights(landmark_ids, locations, heights)
+        for landmark in landmark_ids:
+            samples: list[CalibrationSample] = []
+            for peer in landmark_ids:
+                if peer == landmark:
+                    continue
+                rtt = self.dataset.min_rtt_ms(landmark, peer)
+                if rtt is None:
+                    continue
+                if heights is not None:
+                    rtt = max(
+                        0.0, rtt - heights.height(landmark) - pseudo_heights.get(peer, 0.0)
+                    )
+                distance = locations[landmark].distance_km(locations[peer])
+                samples.append(CalibrationSample(rtt, distance))
+            if len(samples) < 3:
+                continue
+            calibrations.add(
+                calibrate_landmark(
+                    landmark,
+                    samples,
+                    cutoff_percentile=self.config.calibration_cutoff_percentile,
+                    sentinel_ms=self.config.calibration_sentinel_ms,
+                    slack=self.config.calibration_slack,
+                )
+            )
+        return calibrations
+
+    # ------------------------------------------------------------------ #
+    # Constraint construction
+    # ------------------------------------------------------------------ #
+    def build_constraints(
+        self,
+        target_id: str,
+        prepared: PreparedLandmarks,
+        target_height_ms: float = 0.0,
+    ) -> ConstraintSet:
+        """Assemble every constraint for one target under the configuration."""
+        cfg = self.config
+        constraints = ConstraintSet()
+
+        margin = cfg.height_margin_ms if cfg.use_heights else 0.0
+        for landmark_id in prepared.landmark_ids:
+            rtt = self.dataset.min_rtt_ms(landmark_id, target_id)
+            if rtt is None:
+                continue
+            adjusted = rtt
+            if prepared.heights is not None:
+                adjusted = max(
+                    0.5, rtt - prepared.heights.height(landmark_id) - target_height_ms
+                )
+
+            calibration = prepared.calibrations.get(landmark_id)
+            if cfg.use_calibration and calibration is not None:
+                # Evaluate the positive bound a margin above and the negative
+                # bound a margin below the adjusted latency, so errors in the
+                # height estimates cannot turn a sound constraint unsound.
+                max_km = calibration.max_distance_km(adjusted + margin)
+                min_km = calibration.min_distance_km(max(0.0, adjusted - margin))
+                if not cfg.use_negative_constraints:
+                    min_km = 0.0
+            else:
+                max_km = rtt_ms_to_max_distance_km(adjusted + margin)
+                min_km = 0.0
+
+            weight = 1.0
+            if cfg.use_weights:
+                weight = latency_weight(
+                    adjusted, cfg.weight_decay_ms, cfg.min_constraint_weight
+                )
+            max_km = max(max_km, cfg.min_positive_bound_km)
+            constraints.add(
+                DistanceConstraint(
+                    landmark_id=landmark_id,
+                    landmark_location=prepared.locations[landmark_id],
+                    max_km=max_km,
+                    min_km=max(0.0, min(min_km, max_km * 0.98)),
+                    weight=weight,
+                    circle_segments=cfg.solver.circle_segments,
+                )
+            )
+
+        constraints.extend(geographic_constraints(cfg))
+        constraints.add(whois_constraint(self.dataset, target_id, cfg))
+
+        if cfg.use_piecewise and prepared.router_positions:
+            constraints.extend(
+                secondary_constraints_for_target(
+                    target_id,
+                    list(prepared.landmark_ids),
+                    self.dataset,
+                    prepared.router_positions,
+                    prepared.calibrations,
+                    cfg,
+                    prepared.heights,
+                    target_height_ms,
+                )
+            )
+        return constraints
+
+    # ------------------------------------------------------------------ #
+    # Localization
+    # ------------------------------------------------------------------ #
+    def localize(
+        self,
+        target_id: str,
+        landmark_ids: Sequence[str] | None = None,
+    ) -> LocationEstimate:
+        """Localize one target and return its estimate."""
+        started = time.perf_counter()
+        landmarks = (
+            list(landmark_ids)
+            if landmark_ids is not None
+            else self.dataset.landmark_ids_excluding(target_id)
+        )
+        landmarks = [lid for lid in landmarks if lid != target_id]
+        if len(landmarks) < 3:
+            raise ValueError("localization needs at least 3 landmarks")
+        prepared = self.prepare(landmarks)
+
+        target_height = 0.0
+        if self.config.use_heights and prepared.heights is not None:
+            target_rtts = {
+                lid: rtt
+                for lid in landmarks
+                if (rtt := self.dataset.min_rtt_ms(lid, target_id)) is not None
+            }
+            if len(target_rtts) >= 3:
+                target_height, _rough_position = estimate_target_height(
+                    target_rtts, prepared.locations, prepared.heights
+                )
+
+        constraints = self.build_constraints(target_id, prepared, target_height)
+        projection = self._projection_for(prepared, target_id)
+        planar = [
+            c.to_planar(projection)
+            for c in constraints.sorted_by_weight()
+        ]
+        planar = [p for p in planar if p is not None]
+
+        solver = WeightedRegionSolver(self.config.solver)
+        region = solver.solve(planar, projection)
+
+        point = region.point_estimate() if not region.is_empty() else None
+        if point is None:
+            point = self._fallback_point(target_id, landmarks, prepared)
+
+        elapsed = time.perf_counter() - started
+        return LocationEstimate(
+            target_id=target_id,
+            method="octant",
+            point=point,
+            region=region if not region.is_empty() else None,
+            constraints_used=solver.diagnostics.constraints_applied,
+            constraints_dropped=solver.diagnostics.constraints_skipped,
+            solve_time_s=elapsed,
+            details={
+                "target_height_ms": target_height,
+                "landmark_count": len(landmarks),
+                "dropped_constraints": list(solver.diagnostics.dropped_constraints),
+                "max_weight": solver.diagnostics.max_weight,
+            },
+        )
+
+    def localize_all(
+        self, target_ids: Sequence[str] | None = None
+    ) -> dict[str, LocationEstimate]:
+        """Leave-one-out localization of every host (or the given targets)."""
+        targets = list(target_ids) if target_ids is not None else self.dataset.host_ids
+        return {target: self.localize(target) for target in targets}
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _projection_for(
+        self, prepared: PreparedLandmarks, target_id: str
+    ) -> Projection:
+        """Projection centred on the landmarks weighted toward the target.
+
+        The target's position is unknown, so the projection is centred on the
+        locations of the landmarks with the lowest latency to the target --
+        they bracket the target and keep projection distortion small where the
+        constraints are tight.
+        """
+        rtts: list[tuple[float, str]] = []
+        for lid in prepared.landmark_ids:
+            rtt = self.dataset.min_rtt_ms(lid, target_id)
+            if rtt is not None:
+                rtts.append((rtt, lid))
+        rtts.sort()
+        nearest = [prepared.locations[lid] for _, lid in rtts[:8]]
+        if not nearest:
+            nearest = list(prepared.locations.values())
+        return projection_for_points(nearest)
+
+    def _fallback_point(
+        self,
+        target_id: str,
+        landmarks: Sequence[str],
+        prepared: PreparedLandmarks,
+    ) -> GeoPoint | None:
+        """Last-resort point estimate: the lowest-latency landmark's location."""
+        best: tuple[float, str] | None = None
+        for lid in landmarks:
+            rtt = self.dataset.min_rtt_ms(lid, target_id)
+            if rtt is None:
+                continue
+            if best is None or rtt < best[0]:
+                best = (rtt, lid)
+        if best is None:
+            return None
+        return prepared.locations[best[1]]

@@ -1,0 +1,277 @@
+"""Piecewise localization of routers on the path -- Section 2.3 of the paper.
+
+Policy routing makes end-to-end paths longer than great circles, which loosens
+the relation between end-to-end latency and distance.  Octant compensates by
+localizing the *routers* on the landmark-to-target paths and using them as
+secondary landmarks: the final path segment from a well-localized router near
+the target to the target itself is short, largely free of indirect routing,
+and therefore yields a much tighter constraint than the end-to-end
+measurement.
+
+Router positions come from two sources, mirroring the paper:
+
+* reverse-DNS hints parsed with the undns-style rules
+  (:class:`~repro.network.dns.UndnsParser`), and
+* latency measurements from the landmarks to the router (extracted from
+  traceroute hop timings), solved with the same calibrated disk constraints
+  used for ordinary targets, but with a deliberately lightweight greedy
+  intersection because hundreds of routers may need localizing.
+
+The result of router localization is a :class:`RouterPosition` -- a centre, an
+uncertainty radius and a confidence -- which
+:func:`secondary_constraints_for_target` turns into additional positive
+constraints for the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..geometry import (
+    GeoPoint,
+    Polygon,
+    Region,
+    clip_convex,
+    disk_polygon,
+    projection_for_points,
+)
+from ..network.dataset import MeasurementDataset
+from ..network.dns import UndnsParser
+from .calibration import CalibrationSet
+from .config import OctantConfig
+from .constraints import Constraint, DistanceConstraint, latency_weight
+from .heights import HeightModel
+
+__all__ = ["RouterPosition", "RouterLocalizer", "secondary_constraints_for_target"]
+
+
+@dataclass(frozen=True)
+class RouterPosition:
+    """An estimated router location with its uncertainty."""
+
+    router_id: str
+    center: GeoPoint
+    uncertainty_km: float
+    confidence: float
+    source: str
+
+    DNS = "dns"
+    LATENCY = "latency"
+
+
+class RouterLocalizer:
+    """Estimates positions for the routers observed on traceroute paths."""
+
+    def __init__(
+        self,
+        dataset: MeasurementDataset,
+        config: OctantConfig,
+        calibrations: CalibrationSet,
+        heights: HeightModel | None = None,
+        parser: UndnsParser | None = None,
+    ):
+        self.dataset = dataset
+        self.config = config
+        self.calibrations = calibrations
+        self.heights = heights
+        self.parser = parser or UndnsParser()
+
+    # ------------------------------------------------------------------ #
+    # Router localization
+    # ------------------------------------------------------------------ #
+    def localize_routers(self, landmark_ids: Sequence[str]) -> dict[str, RouterPosition]:
+        """Estimate a position for every router measurable from the landmarks."""
+        landmarks = set(landmark_ids)
+        positions: dict[str, RouterPosition] = {}
+        router_ids = sorted(
+            {r for (h, r) in self.dataset.router_pings if h in landmarks}
+        )
+        for router_id in router_ids:
+            position = self.localize_router(router_id, landmark_ids)
+            if position is not None:
+                positions[router_id] = position
+        return positions
+
+    def localize_router(
+        self, router_id: str, landmark_ids: Sequence[str]
+    ) -> RouterPosition | None:
+        """Estimate one router's position from DNS hints and landmark latencies."""
+        dns_position = self._dns_position(router_id)
+        if dns_position is not None:
+            return dns_position
+        return self._latency_position(router_id, landmark_ids)
+
+    def _dns_position(self, router_id: str) -> RouterPosition | None:
+        record = self.dataset.routers.get(router_id)
+        if record is None:
+            return None
+        hint = self.parser.parse(record.dns_name)
+        if hint is None or hint.confidence < self.config.router_hint_min_confidence:
+            return None
+        return RouterPosition(
+            router_id=router_id,
+            center=hint.location,
+            uncertainty_km=self.config.router_hint_radius_km,
+            confidence=hint.confidence,
+            source=RouterPosition.DNS,
+        )
+
+    def _latency_position(
+        self, router_id: str, landmark_ids: Sequence[str]
+    ) -> RouterPosition | None:
+        """Greedy intersection of the tightest calibrated disks around landmarks."""
+        observations: list[tuple[float, str]] = []
+        for landmark_id in landmark_ids:
+            rtt = self.dataset.router_min_rtt_ms(landmark_id, router_id)
+            if rtt is None:
+                continue
+            if self.heights is not None:
+                rtt = max(0.0, rtt - self.heights.height(landmark_id))
+            observations.append((rtt, landmark_id))
+        if not observations:
+            return None
+        observations.sort()
+        observations = observations[:5]
+
+        centers: list[GeoPoint] = []
+        disks: list[tuple[GeoPoint, float]] = []
+        for rtt, landmark_id in observations:
+            calibration = self.calibrations.get(landmark_id)
+            location = self.dataset.true_location(landmark_id)
+            if calibration is not None and self.config.use_calibration:
+                radius = calibration.max_distance_km(rtt)
+            else:
+                from ..geometry import rtt_ms_to_max_distance_km
+
+                radius = rtt_ms_to_max_distance_km(rtt)
+            centers.append(location)
+            disks.append((location, radius))
+
+        projection = projection_for_points(centers)
+        region: Polygon | None = None
+        for center, radius in disks:
+            disk = disk_polygon(center, max(radius, 5.0), projection, segments=24)
+            if region is None:
+                region = disk
+                continue
+            clipped = clip_convex(region, disk)
+            if clipped is not None:
+                region = clipped
+        if region is None:
+            return None
+
+        centroid = region.centroid()
+        center_geo = projection.inverse(centroid)
+        uncertainty = region.max_distance_to_point(centroid)
+        return RouterPosition(
+            router_id=router_id,
+            center=center_geo,
+            uncertainty_km=uncertainty,
+            confidence=0.4,
+            source=RouterPosition.LATENCY,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Region view (for callers that want a Region rather than a disk summary)
+    # ------------------------------------------------------------------ #
+    def router_region(self, position: RouterPosition) -> Region:
+        """The router's location estimate as a single-disk region."""
+        projection = projection_for_points([position.center])
+        polygon = disk_polygon(
+            position.center, max(position.uncertainty_km, 1.0), projection, segments=24
+        )
+        return Region.from_polygon(polygon, projection, weight=position.confidence)
+
+
+def secondary_constraints_for_target(
+    target_id: str,
+    landmark_ids: Sequence[str],
+    dataset: MeasurementDataset,
+    router_positions: Mapping[str, RouterPosition],
+    calibrations: CalibrationSet,
+    config: OctantConfig,
+    heights: HeightModel | None = None,
+    target_height_ms: float = 0.0,
+) -> list[Constraint]:
+    """Constraints on the target from routers close to it on the measured paths.
+
+    For every landmark with a traceroute to the target, the last localized
+    router on the path acts as a secondary landmark: the latency from that
+    router to the target is the end-to-end minimum RTT minus the
+    landmark-to-router RTT, and the resulting distance bound is widened by the
+    router's own positional uncertainty so the constraint stays sound.
+    """
+    # For every localized router on any path toward the target, keep the
+    # *tightest* remaining-latency observation over all landmarks whose
+    # traceroute passes through it; one constraint per router, at the best
+    # bound available, follows the paper's "serial" refinement while avoiding
+    # a pile of redundant, highly correlated constraints.
+    best_per_router: dict[str, tuple[float, str]] = {}
+    for landmark_id in landmark_ids:
+        trace = dataset.traceroute(landmark_id, target_id)
+        if trace is None:
+            continue
+        end_to_end = dataset.min_rtt_ms(landmark_id, target_id)
+        if end_to_end is None:
+            continue
+        if heights is not None:
+            end_to_end = max(
+                0.0, end_to_end - heights.height(landmark_id) - target_height_ms
+            )
+
+        # Walk hops nearest the target first and use the first localized one.
+        for hop in reversed(trace.router_hops()):
+            position = router_positions.get(hop.node_id)
+            if position is None:
+                continue
+            to_router = dataset.router_min_rtt_ms(landmark_id, hop.node_id)
+            if to_router is None:
+                to_router = hop.min_rtt_ms
+            if heights is not None:
+                to_router = max(0.0, to_router - heights.height(landmark_id))
+            remaining = max(0.5, end_to_end - to_router)
+            current = best_per_router.get(hop.node_id)
+            if current is None or remaining < current[0]:
+                best_per_router[hop.node_id] = (remaining, landmark_id)
+            break
+
+    constraints: list[Constraint] = []
+    margin = config.height_margin_ms if config.use_heights else 0.0
+    for router_id, (remaining, landmark_id) in best_per_router.items():
+        position = router_positions[router_id]
+        calibration = calibrations.get(landmark_id)
+        if calibration is not None and config.use_calibration:
+            bound = calibration.max_distance_km(remaining + margin)
+        else:
+            from ..geometry import rtt_ms_to_max_distance_km
+
+            bound = rtt_ms_to_max_distance_km(remaining + margin)
+        max_km = bound + position.uncertainty_km
+
+        # Secondary constraints inherit the latency-based weight of the short
+        # final segment; that makes well-localized routers near the target the
+        # strongest evidence available, which is the point of piecewise
+        # localization.  Routers localized only from latency (no DNS hint) are
+        # discounted by their lower confidence.
+        weight = 1.0
+        if config.use_weights:
+            weight = latency_weight(
+                remaining, config.weight_decay_ms, config.min_constraint_weight
+            )
+            if position.source != RouterPosition.DNS:
+                weight *= position.confidence
+        constraints.append(
+            DistanceConstraint(
+                landmark_id=router_id,
+                landmark_location=position.center,
+                max_km=max(max_km, 10.0),
+                min_km=0.0,
+                weight=weight,
+                label=f"piecewise:{landmark_id}->{router_id}",
+                circle_segments=config.solver.circle_segments,
+            )
+        )
+
+    constraints.sort(key=lambda c: c.weight, reverse=True)
+    return constraints[: config.max_secondary_constraints]

@@ -1,0 +1,267 @@
+"""The weighted geometric constraint solver -- Sections 2 and 2.4 of the paper.
+
+The solver receives a set of planar constraints (inclusion and/or exclusion
+polygons with weights) and produces the estimated location region: a weighted,
+possibly disconnected set of polygon pieces.
+
+The strict formulation -- intersect all positive regions, subtract all
+negative ones -- is brittle: one erroneous constraint collapses the solution
+to the empty set.  Octant instead *accumulates weight*.  The solver maintains
+a collection of weighted pieces (initially a single "universe" piece of weight
+zero covering the extent of all constraints).  Each constraint splits every
+piece into the part that satisfies it (which gains the constraint's weight)
+and the part that does not (which keeps its weight).  After all constraints
+are applied, pieces are ranked by weight and the heaviest pieces are unioned
+until the configured size threshold is reached -- precisely the paper's
+"union of all regions, sorted by weight, such that they exceed a desired size
+threshold".
+
+Setting every weight to 1 and the selection threshold to "maximum weight only"
+recovers the strict intersection semantics, which is how the ablation compares
+weighted and unweighted solving.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..geometry import (
+    BoundingBox,
+    Polygon,
+    Projection,
+    Region,
+    RegionPiece,
+    intersect_polygons,
+    subtract_polygons,
+)
+from .config import SolverConfig
+from .constraints import PlanarConstraint
+
+__all__ = ["SolverDiagnostics", "WeightedRegionSolver", "strict_intersection"]
+
+
+@dataclass
+class SolverDiagnostics:
+    """Book-keeping about one solver run, useful for tests and reporting."""
+
+    constraints_applied: int = 0
+    constraints_skipped: int = 0
+    max_pieces_seen: int = 0
+    final_piece_count: int = 0
+    max_weight: float = 0.0
+    selected_weight: float = 0.0
+    dropped_constraints: list[str] = field(default_factory=list)
+
+
+class WeightedRegionSolver:
+    """Applies weighted planar constraints and extracts the estimate region."""
+
+    def __init__(self, config: SolverConfig | None = None):
+        self.config = config or SolverConfig()
+        self.diagnostics = SolverDiagnostics()
+
+    # ------------------------------------------------------------------ #
+    # Public entry point
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        constraints: Sequence[PlanarConstraint],
+        projection: Projection,
+        universe: Polygon | None = None,
+    ) -> Region:
+        """Run the weighted accumulation and return the estimated region.
+
+        ``universe`` bounds the search; when omitted it is the bounding box of
+        all constraint geometry expanded by the configured margin.
+        """
+        self.diagnostics = SolverDiagnostics()
+        usable = [c for c in constraints if c is not None]
+        if not usable:
+            return Region.empty(projection)
+
+        base = universe or self._universe_polygon(usable)
+        if base is None:
+            return Region.empty(projection)
+
+        pieces: list[RegionPiece] = [RegionPiece(base, 0.0)]
+        ordered = sorted(usable, key=lambda c: c.weight, reverse=True)
+
+        for constraint in ordered:
+            new_pieces = self._apply_constraint(pieces, constraint)
+            if not new_pieces:
+                # The constraint wiped out everything; skip it rather than
+                # collapsing the solution (it is inconsistent with the
+                # accumulated evidence, which outweighs it).
+                self.diagnostics.constraints_skipped += 1
+                self.diagnostics.dropped_constraints.append(constraint.label)
+                continue
+            pieces = self._prune(new_pieces)
+            self.diagnostics.constraints_applied += 1
+            self.diagnostics.max_pieces_seen = max(
+                self.diagnostics.max_pieces_seen, len(pieces)
+            )
+
+        selected = self._select(pieces)
+        self.diagnostics.final_piece_count = len(selected)
+        self.diagnostics.max_weight = max((p.weight for p in pieces), default=0.0)
+        self.diagnostics.selected_weight = max((p.weight for p in selected), default=0.0)
+        return Region(selected, projection)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _universe_polygon(self, constraints: Sequence[PlanarConstraint]) -> Polygon | None:
+        boxes: list[BoundingBox] = []
+        for constraint in constraints:
+            if constraint.inclusion is not None:
+                boxes.append(constraint.inclusion.bounding_box())
+            elif constraint.exclusion is not None:
+                boxes.append(constraint.exclusion.bounding_box())
+        if not boxes:
+            return None
+        box = boxes[0]
+        for other in boxes[1:]:
+            box = box.union(other)
+        return Polygon.rectangle(box.expanded(self.config.universe_margin_km))
+
+    def _apply_constraint(
+        self, pieces: Sequence[RegionPiece], constraint: PlanarConstraint
+    ) -> list[RegionPiece]:
+        """Split every piece by the constraint, assigning weight to the satisfied part."""
+        result: list[RegionPiece] = []
+        for piece in pieces:
+            satisfied, unsatisfied = self._split_piece(piece.polygon, constraint)
+            for polygon in satisfied:
+                result.append(RegionPiece(polygon, piece.weight + constraint.weight))
+            for polygon in unsatisfied:
+                result.append(RegionPiece(polygon, piece.weight))
+        return [p for p in result if p.area_km2() >= self.config.min_piece_area_km2]
+
+    def _split_piece(
+        self, polygon: Polygon, constraint: PlanarConstraint
+    ) -> tuple[list[Polygon], list[Polygon]]:
+        """Partition ``polygon`` into (satisfies constraint, does not satisfy).
+
+        In the default (non-exact) mode the unsatisfied side is simply the
+        original piece: the solver then carries the full lattice of constraint
+        intersections ("all possible resulting regions via intersections", as
+        the paper puts it) with overlapping lower-weight fallbacks, rather
+        than maintaining disjoint complements.
+        """
+        inclusion = constraint.inclusion
+        exclusion = constraint.exclusion
+        exact = self.config.exact_complements
+
+        if inclusion is not None:
+            inside = intersect_polygons(polygon, inclusion)
+            outside = subtract_polygons(polygon, inclusion) if exact else [polygon]
+        else:
+            inside = [polygon]
+            outside = []
+
+        if exclusion is None:
+            return inside, outside
+
+        satisfied: list[Polygon] = []
+        unsatisfied: list[Polygon] = list(outside)
+        for piece in inside:
+            kept = self._subtract_cautious(piece, exclusion)
+            satisfied.extend(kept)
+            if exact:
+                unsatisfied.extend(intersect_polygons(piece, exclusion))
+            elif not outside:
+                unsatisfied.append(piece)
+        return satisfied, unsatisfied
+
+    @staticmethod
+    def _subtract_cautious(piece: Polygon, exclusion: Polygon) -> list[Polygon]:
+        """Subtract ``exclusion`` from ``piece`` without fragmenting it.
+
+        When the exclusion lies strictly inside the piece, the classic wedge
+        decomposition would shatter the result into one piece per exclusion
+        edge; a keyholed polygon keeps it as a single piece with identical
+        area and containment behaviour.  Otherwise general subtraction is used.
+        """
+        if not piece.bounding_box().intersects(exclusion.bounding_box()):
+            return [piece]
+        if all(piece.contains_point(v) for v in exclusion.vertices):
+            return [piece.with_hole(exclusion)]
+        return subtract_polygons(piece, exclusion)
+
+    def _prune(self, pieces: list[RegionPiece]) -> list[RegionPiece]:
+        """Bound the piece population: drop slivers, keep the heaviest pieces."""
+        viable = [p for p in pieces if p.area_km2() >= self.config.min_piece_area_km2]
+        if len(viable) <= self.config.max_pieces:
+            return viable
+        ranked = sorted(viable, key=lambda p: (p.weight, p.area_km2()), reverse=True)
+        return ranked[: self.config.max_pieces]
+
+    def _select(self, pieces: Sequence[RegionPiece]) -> list[RegionPiece]:
+        """Pick the heaviest pieces until the target region size is reached."""
+        if not pieces:
+            return []
+        ranked = sorted(pieces, key=lambda p: (p.weight, -p.area_km2()), reverse=True)
+        selected: list[RegionPiece] = []
+        accumulated = 0.0
+        top_weight = ranked[0].weight
+        for piece in ranked:
+            if selected and accumulated >= self.config.target_region_area_km2:
+                break
+            if selected and piece.weight < top_weight and accumulated > 0:
+                # Once the area threshold logic moves past the top weight
+                # class, only add lighter pieces while the region is still
+                # too small to be meaningful.
+                if accumulated >= self.config.target_region_area_km2 / 4.0:
+                    break
+            selected.append(piece)
+            accumulated += piece.area_km2()
+        return selected
+
+
+def strict_intersection(
+    constraints: Iterable[PlanarConstraint],
+    projection: Projection,
+    universe: Polygon | None = None,
+    min_piece_area_km2: float = 1.0,
+) -> Region:
+    """The brittle textbook solution: intersect positives, subtract negatives.
+
+    Provided both as the degenerate mode the ablation study compares against
+    and as the behaviour of prior region-based work (GeoLim) inside the Octant
+    machinery.  Returns an empty region as soon as the constraints conflict.
+    """
+    usable = [c for c in constraints if c is not None]
+    if not usable:
+        return Region.empty(projection)
+
+    solver = WeightedRegionSolver(
+        SolverConfig(min_piece_area_km2=min_piece_area_km2, max_pieces=64)
+    )
+    base = universe or solver._universe_polygon(usable)
+    if base is None:
+        return Region.empty(projection)
+
+    current: list[Polygon] = [base]
+    for constraint in usable:
+        next_pieces: list[Polygon] = []
+        for piece in current:
+            parts = [piece]
+            if constraint.inclusion is not None:
+                parts = [
+                    p
+                    for part in parts
+                    for p in intersect_polygons(part, constraint.inclusion)
+                ]
+            if constraint.exclusion is not None:
+                parts = [
+                    p
+                    for part in parts
+                    for p in subtract_polygons(part, constraint.exclusion)
+                ]
+            next_pieces.extend(parts)
+        current = [p for p in next_pieces if p.area() >= min_piece_area_km2]
+        if not current:
+            return Region.empty(projection)
+    return Region([RegionPiece(p, 1.0) for p in current], projection)

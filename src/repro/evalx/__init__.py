@@ -1,0 +1,59 @@
+"""Evaluation harness: metrics, the paper's experiments and text reporting."""
+
+from .experiments import (
+    ABLATION_CONFIGS,
+    AblationResult,
+    AccuracyStudy,
+    CalibrationScatter,
+    LandmarkSweepPoint,
+    MethodFactory,
+    TargetResult,
+    calibration_scatter,
+    default_method_factories,
+    run_ablation_study,
+    run_accuracy_study,
+    run_landmark_sweep,
+)
+from .metrics import (
+    ErrorStatistics,
+    cdf_at,
+    containment_rate,
+    empirical_cdf,
+    percentile,
+    summarize_errors,
+)
+from .reporting import (
+    format_ablation_table,
+    format_calibration_summary,
+    format_cdf_table,
+    format_error_table,
+    format_landmark_sweep,
+    format_table,
+)
+
+__all__ = [
+    "ErrorStatistics",
+    "empirical_cdf",
+    "cdf_at",
+    "percentile",
+    "summarize_errors",
+    "containment_rate",
+    "MethodFactory",
+    "TargetResult",
+    "AccuracyStudy",
+    "CalibrationScatter",
+    "LandmarkSweepPoint",
+    "AblationResult",
+    "ABLATION_CONFIGS",
+    "default_method_factories",
+    "calibration_scatter",
+    "run_accuracy_study",
+    "run_landmark_sweep",
+    "run_ablation_study",
+    "format_table",
+    "format_error_table",
+    "format_cdf_table",
+    "format_landmark_sweep",
+    "format_calibration_summary",
+    "format_ablation_table",
+]

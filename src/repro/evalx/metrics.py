@@ -1,0 +1,133 @@
+"""Error metrics and distribution summaries for the evaluation harness.
+
+The paper reports localization error as the great-circle distance (in statute
+miles) between the point estimate and the target's true position, summarized
+as a CDF (Figure 3), the median and the worst case (the Section 3 text), and
+as the fraction of targets whose true position falls inside the estimated
+region (Figure 4).  This module computes those summaries from lists of
+per-target results.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "ErrorStatistics",
+    "empirical_cdf",
+    "cdf_at",
+    "percentile",
+    "summarize_errors",
+    "containment_rate",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q!r}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+@dataclass(frozen=True)
+class ErrorStatistics:
+    """Summary statistics of a per-target error distribution (miles or km)."""
+
+    count: int
+    mean: float
+    median: float
+    p25: float
+    p75: float
+    p90: float
+    p95: float
+    worst: float
+    best: float
+
+    @classmethod
+    def from_errors(cls, errors: Iterable[float]) -> "ErrorStatistics":
+        """Build the summary from raw errors; infinite errors are excluded."""
+        values = [e for e in errors if not math.isinf(e) and not math.isnan(e)]
+        if not values:
+            raise ValueError("no finite errors to summarize")
+        return cls(
+            count=len(values),
+            mean=statistics.fmean(values),
+            median=statistics.median(values),
+            p25=percentile(values, 25),
+            p75=percentile(values, 75),
+            p90=percentile(values, 90),
+            p95=percentile(values, 95),
+            worst=max(values),
+            best=min(values),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict of the statistics, rounded for reporting."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 1),
+            "median": round(self.median, 1),
+            "p25": round(self.p25, 1),
+            "p75": round(self.p75, 1),
+            "p90": round(self.p90, 1),
+            "p95": round(self.p95, 1),
+            "worst": round(self.worst, 1),
+            "best": round(self.best, 1),
+        }
+
+
+def empirical_cdf(values: Sequence[float]) -> list[tuple[float, float]]:
+    """The empirical CDF as (value, cumulative fraction) points.
+
+    Infinite values (failed localizations) count toward the denominator but
+    never appear as breakpoints, so the CDF tops out below 1.0 when a method
+    fails on some targets -- the honest way to plot a method that does not
+    always produce an estimate.
+    """
+    finite = sorted(v for v in values if not math.isinf(v) and not math.isnan(v))
+    total = len([v for v in values if not math.isnan(v)])
+    if total == 0:
+        return []
+    return [(value, (i + 1) / total) for i, value in enumerate(finite)]
+
+
+def cdf_at(values: Sequence[float], thresholds: Sequence[float]) -> list[float]:
+    """Fraction of values at or below each threshold."""
+    total = len([v for v in values if not math.isnan(v)])
+    if total == 0:
+        return [0.0 for _ in thresholds]
+    out = []
+    for threshold in thresholds:
+        covered = sum(1 for v in values if not math.isnan(v) and v <= threshold)
+        out.append(covered / total)
+    return out
+
+
+def summarize_errors(
+    errors_by_method: Mapping[str, Sequence[float]],
+) -> dict[str, ErrorStatistics]:
+    """Per-method error summaries for a whole study."""
+    return {
+        method: ErrorStatistics.from_errors(errors)
+        for method, errors in errors_by_method.items()
+        if any(not math.isinf(e) for e in errors)
+    }
+
+
+def containment_rate(flags: Sequence[bool]) -> float:
+    """Fraction of targets whose true position fell inside the estimated region."""
+    if not flags:
+        return 0.0
+    return sum(1 for f in flags if f) / len(flags)

@@ -1,0 +1,143 @@
+"""Plain-text reporting of experiment results.
+
+The benchmark harness prints the same rows and series the paper reports --
+error CDFs, the median/worst-case table, the containment-vs-landmarks curve --
+as aligned text tables so they can be eyeballed against the paper and logged
+into EXPERIMENTS.md.  No plotting dependencies are used.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .experiments import (
+    AblationResult,
+    AccuracyStudy,
+    CalibrationScatter,
+    LandmarkSweepPoint,
+)
+from .metrics import cdf_at
+
+__all__ = [
+    "format_table",
+    "format_error_table",
+    "format_cdf_table",
+    "format_landmark_sweep",
+    "format_calibration_summary",
+    "format_ablation_table",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    columns = [str(h) for h in headers]
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns)),
+        "  ".join("-" * widths[i] for i in range(len(columns))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def format_error_table(study: AccuracyStudy) -> str:
+    """The Section 3 table: median and worst-case error per method (miles)."""
+    rows = []
+    for method, stats in sorted(study.statistics().items()):
+        rows.append(
+            [
+                method,
+                stats.median,
+                stats.mean,
+                stats.p90,
+                stats.worst,
+                f"{study.containment_for(method) * 100.0:.0f}%",
+                f"{study.mean_solve_time_s(method):.2f}s",
+            ]
+        )
+    return format_table(
+        ["method", "median (mi)", "mean (mi)", "p90 (mi)", "worst (mi)", "in-region", "time"],
+        rows,
+    )
+
+
+def format_cdf_table(
+    study: AccuracyStudy,
+    thresholds: Sequence[float] = (25, 50, 100, 150, 200, 300, 400, 500),
+) -> str:
+    """Figure 3 as a table: cumulative fraction of targets below each error."""
+    headers = ["method"] + [f"<={int(t)} mi" for t in thresholds]
+    rows = []
+    for method, errors in sorted(study.errors_by_method().items()):
+        fractions = cdf_at(errors, thresholds)
+        rows.append([method] + [f"{f * 100.0:.0f}%" for f in fractions])
+    return format_table(headers, rows)
+
+
+def format_landmark_sweep(points: Sequence[LandmarkSweepPoint]) -> str:
+    """Figure 4 as a table: containment rate vs number of landmarks."""
+    methods = sorted({p.method for p in points})
+    counts = sorted({p.landmark_count for p in points})
+    headers = ["landmarks"] + [f"{m} in-region" for m in methods] + [
+        f"{m} median err (mi)" for m in methods
+    ]
+    rows = []
+    indexed = {(p.method, p.landmark_count): p for p in points}
+    for count in counts:
+        row: list[object] = [count]
+        for method in methods:
+            p = indexed.get((method, count))
+            row.append(f"{p.containment * 100.0:.0f}%" if p else "-")
+        for method in methods:
+            p = indexed.get((method, count))
+            row.append(f"{p.median_error_miles:.0f}" if p else "-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_calibration_summary(scatter: CalibrationScatter) -> str:
+    """Figure 2 as a table: scatter extents, hull facets and percentiles."""
+    lines = [f"calibration scatter for landmark {scatter.landmark_id}"]
+    lines.append(f"  samples: {len(scatter.samples)}")
+    for p, latency in sorted(scatter.latency_percentiles.items()):
+        lines.append(f"  {p}th percentile latency: {latency:.1f} ms")
+    lines.append("  upper facet R_L (latency ms -> max distance km):")
+    for x, y in scatter.upper_facet:
+        lines.append(f"    {x:8.1f} -> {y:8.1f}")
+    lines.append("  lower facet r_L (latency ms -> min distance km):")
+    for x, y in scatter.lower_facet:
+        lines.append(f"    {x:8.1f} -> {y:8.1f}")
+    lines.append("  2/3-speed-of-light reference (latency ms -> distance km):")
+    for x, y in scatter.speed_of_light:
+        lines.append(f"    {x:8.1f} -> {y:8.1f}")
+    return "\n".join(lines)
+
+
+def format_ablation_table(results: Sequence[AblationResult]) -> str:
+    """The ablation study as a table."""
+    rows = [
+        [
+            r.name,
+            r.median_error_miles,
+            r.p90_error_miles,
+            r.worst_error_miles,
+            f"{r.containment * 100.0:.0f}%",
+            f"{r.mean_solve_time_s:.2f}s",
+        ]
+        for r in results
+    ]
+    return format_table(
+        ["configuration", "median (mi)", "p90 (mi)", "worst (mi)", "in-region", "time"],
+        rows,
+    )

@@ -1,0 +1,136 @@
+"""Axis-aligned bounding boxes.
+
+Bounding boxes are used as a fast rejection test before the (comparatively
+expensive) polygon clipping operations in :mod:`repro.geometry.clipping`, and
+as the sampling window for the grid-based solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .point import Point2D
+
+__all__ = ["BoundingBox"]
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                "bounding box min corner must not exceed max corner: "
+                f"({self.min_x}, {self.min_y}) vs ({self.max_x}, {self.max_y})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_points(cls, points: Iterable[Point2D]) -> "BoundingBox":
+        """Smallest box containing every point; raises on empty input."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("BoundingBox.from_points requires at least one point")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def width(self) -> float:
+        """Extent along the x axis."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along the y axis."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Area of the rectangle."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point2D:
+        """Center point of the rectangle."""
+        return Point2D((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def contains_point(self, p: Point2D, tol: float = 0.0) -> bool:
+        """True when ``p`` lies inside (or within ``tol`` of) the box."""
+        return (
+            self.min_x - tol <= p.x <= self.max_x + tol
+            and self.min_y - tol <= p.y <= self.max_y + tol
+        )
+
+    def intersects(self, other: "BoundingBox", tol: float = 0.0) -> bool:
+        """True when the two boxes overlap (touching counts as overlapping)."""
+        return not (
+            self.max_x + tol < other.min_x
+            or other.max_x + tol < self.min_x
+            or self.max_y + tol < other.min_y
+            or other.max_y + tol < self.min_y
+        )
+
+    def contains_box(self, other: "BoundingBox") -> bool:
+        """True when ``other`` is entirely inside this box."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    # ------------------------------------------------------------------ #
+    # Combination
+    # ------------------------------------------------------------------ #
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """Smallest box containing both boxes."""
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def intersection(self, other: "BoundingBox") -> "BoundingBox | None":
+        """Overlapping box, or ``None`` when the boxes are disjoint."""
+        min_x = max(self.min_x, other.min_x)
+        min_y = max(self.min_y, other.min_y)
+        max_x = min(self.max_x, other.max_x)
+        max_y = min(self.max_y, other.max_y)
+        if min_x > max_x or min_y > max_y:
+            return None
+        return BoundingBox(min_x, min_y, max_x, max_y)
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Box grown by ``margin`` on every side (negative margins shrink)."""
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def corners(self) -> list[Point2D]:
+        """The four corners in counter-clockwise order."""
+        return [
+            Point2D(self.min_x, self.min_y),
+            Point2D(self.max_x, self.min_y),
+            Point2D(self.max_x, self.max_y),
+            Point2D(self.min_x, self.max_y),
+        ]

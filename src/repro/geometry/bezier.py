@@ -1,0 +1,291 @@
+"""Cubic Bezier curves and closed Bezier paths.
+
+The Octant paper represents estimated location regions as areas *bounded by
+Bezier curves*: the representation is compact (a disk needs only four cubic
+segments), supports non-convex and disconnected regions, and boolean
+operations can be carried out by operating on segment control points.
+
+This module provides:
+
+* :class:`CubicBezier` -- a single cubic segment with evaluation, splitting
+  (de Casteljau), bounding boxes and adaptive flattening to a polyline.
+* :class:`BezierPath` -- a closed loop of cubic segments, convertible to and
+  from polygons, with affine transforms and area/containment queries.
+
+The polygon boolean machinery in :mod:`repro.geometry.clipping` operates on
+flattened polylines; :class:`BezierPath` is the exchange format that keeps the
+boundary representation compact, exactly as in the paper, while flattening
+with a controlled tolerance for the numeric operations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from .bbox import BoundingBox
+from .point import Point2D
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .polygon import Polygon
+
+__all__ = ["CubicBezier", "BezierPath", "KAPPA"]
+
+#: The magic constant for approximating a quarter circle with a cubic Bezier:
+#: control points at distance ``KAPPA * radius`` along the tangents give a
+#: maximum radial error of about 0.02 % of the radius.
+KAPPA = 4.0 * (math.sqrt(2.0) - 1.0) / 3.0
+
+#: Default flattening tolerance (km).  Flattened polylines deviate from the
+#: true curve by at most roughly this distance.
+DEFAULT_FLATNESS_KM = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class CubicBezier:
+    """A cubic Bezier segment defined by four control points."""
+
+    p0: Point2D
+    p1: Point2D
+    p2: Point2D
+    p3: Point2D
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def point_at(self, t: float) -> Point2D:
+        """Evaluate the curve at parameter ``t`` in ``[0, 1]``."""
+        mt = 1.0 - t
+        a = mt * mt * mt
+        b = 3.0 * mt * mt * t
+        c = 3.0 * mt * t * t
+        d = t * t * t
+        return Point2D(
+            a * self.p0.x + b * self.p1.x + c * self.p2.x + d * self.p3.x,
+            a * self.p0.y + b * self.p1.y + c * self.p2.y + d * self.p3.y,
+        )
+
+    def derivative_at(self, t: float) -> Point2D:
+        """First derivative (tangent vector) at parameter ``t``."""
+        mt = 1.0 - t
+        d0 = (self.p1 - self.p0) * (3.0 * mt * mt)
+        d1 = (self.p2 - self.p1) * (6.0 * mt * t)
+        d2 = (self.p3 - self.p2) * (3.0 * t * t)
+        return d0 + d1 + d2
+
+    # ------------------------------------------------------------------ #
+    # Subdivision and flattening
+    # ------------------------------------------------------------------ #
+    def split(self, t: float = 0.5) -> tuple["CubicBezier", "CubicBezier"]:
+        """Split into two curves at parameter ``t`` using de Casteljau."""
+        p01 = self.p0 * (1 - t) + self.p1 * t
+        p12 = self.p1 * (1 - t) + self.p2 * t
+        p23 = self.p2 * (1 - t) + self.p3 * t
+        p012 = p01 * (1 - t) + p12 * t
+        p123 = p12 * (1 - t) + p23 * t
+        mid = p012 * (1 - t) + p123 * t
+        return (
+            CubicBezier(self.p0, p01, p012, mid),
+            CubicBezier(mid, p123, p23, self.p3),
+        )
+
+    def flatness(self) -> float:
+        """Upper bound on the deviation of the curve from its chord."""
+        # Distance of the control points from the chord p0-p3 bounds the
+        # deviation of the whole curve (convex-hull property of Beziers).
+        d1 = _point_line_distance(self.p1, self.p0, self.p3)
+        d2 = _point_line_distance(self.p2, self.p0, self.p3)
+        return max(d1, d2)
+
+    def flatten(self, tolerance: float = DEFAULT_FLATNESS_KM) -> list[Point2D]:
+        """Approximate the curve by a polyline within ``tolerance``.
+
+        The returned list includes both endpoints.
+        """
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance!r}")
+        points: list[Point2D] = [self.p0]
+        self._flatten_into(points, tolerance, depth=0)
+        points.append(self.p3)
+        return points
+
+    def _flatten_into(self, out: list[Point2D], tolerance: float, depth: int) -> None:
+        if depth >= 24 or self.flatness() <= tolerance:
+            return
+        left, right = self.split(0.5)
+        left._flatten_into(out, tolerance, depth + 1)
+        out.append(left.p3)
+        right._flatten_into(out, tolerance, depth + 1)
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+    def bounding_box(self) -> BoundingBox:
+        """Bounding box of the control polygon (contains the curve)."""
+        return BoundingBox.from_points([self.p0, self.p1, self.p2, self.p3])
+
+    def arc_length(self, samples: int = 32) -> float:
+        """Approximate arc length by uniform parameter sampling."""
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        total = 0.0
+        prev = self.p0
+        for i in range(1, samples + 1):
+            cur = self.point_at(i / samples)
+            total += prev.distance_to(cur)
+            prev = cur
+        return total
+
+    def reversed(self) -> "CubicBezier":
+        """The same curve traversed in the opposite direction."""
+        return CubicBezier(self.p3, self.p2, self.p1, self.p0)
+
+    def transformed(self, fn: Callable[[Point2D], Point2D]) -> "CubicBezier":
+        """Apply a point-wise transform to all control points."""
+        return CubicBezier(fn(self.p0), fn(self.p1), fn(self.p2), fn(self.p3))
+
+    @classmethod
+    def from_line(cls, a: Point2D, b: Point2D) -> "CubicBezier":
+        """Degree-elevate a straight segment to a cubic Bezier."""
+        return cls(a, a * (2.0 / 3.0) + b * (1.0 / 3.0), a * (1.0 / 3.0) + b * (2.0 / 3.0), b)
+
+
+def _point_line_distance(p: Point2D, a: Point2D, b: Point2D) -> float:
+    """Distance from ``p`` to the infinite line through ``a`` and ``b``."""
+    ab = b - a
+    length = ab.norm()
+    if length < 1e-12:
+        return p.distance_to(a)
+    return abs((p.x - a.x) * ab.y - (p.y - a.y) * ab.x) / length
+
+
+class BezierPath:
+    """A closed path made of cubic Bezier segments.
+
+    The path is the boundary of a region piece; segments are expected to be
+    connected end-to-end (segment ``i`` ends where segment ``i+1`` starts) and
+    the last segment closes back to the first segment's start point.
+    """
+
+    __slots__ = ("_segments",)
+
+    def __init__(self, segments: Sequence[CubicBezier]):
+        segs = list(segments)
+        if len(segs) < 2:
+            raise ValueError("a closed BezierPath needs at least two segments")
+        for i, seg in enumerate(segs):
+            nxt = segs[(i + 1) % len(segs)]
+            if not seg.p3.almost_equal(nxt.p0, tol=1e-6):
+                raise ValueError(
+                    f"BezierPath segments are not connected at index {i}: "
+                    f"{seg.p3} != {nxt.p0}"
+                )
+        self._segments = segs
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def segments(self) -> list[CubicBezier]:
+        """The cubic segments forming the closed boundary."""
+        return list(self._segments)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self) -> Iterable[CubicBezier]:
+        return iter(self._segments)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_points(cls, points: Sequence[Point2D]) -> "BezierPath":
+        """Build a path of straight (degree-elevated) segments through points."""
+        pts = list(points)
+        if len(pts) < 3:
+            raise ValueError("need at least three points to form a closed path")
+        segments = [
+            CubicBezier.from_line(pts[i], pts[(i + 1) % len(pts)]) for i in range(len(pts))
+        ]
+        return cls(segments)
+
+    @classmethod
+    def circle(cls, center: Point2D, radius: float) -> "BezierPath":
+        """Closed path approximating a circle with four cubic segments."""
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius!r}")
+        c = center
+        r = radius
+        k = KAPPA * r
+        east = Point2D(c.x + r, c.y)
+        north = Point2D(c.x, c.y + r)
+        west = Point2D(c.x - r, c.y)
+        south = Point2D(c.x, c.y - r)
+        segments = [
+            CubicBezier(east, Point2D(c.x + r, c.y + k), Point2D(c.x + k, c.y + r), north),
+            CubicBezier(north, Point2D(c.x - k, c.y + r), Point2D(c.x - r, c.y + k), west),
+            CubicBezier(west, Point2D(c.x - r, c.y - k), Point2D(c.x - k, c.y - r), south),
+            CubicBezier(south, Point2D(c.x + k, c.y - r), Point2D(c.x + r, c.y - k), east),
+        ]
+        return cls(segments)
+
+    # ------------------------------------------------------------------ #
+    # Conversion and transforms
+    # ------------------------------------------------------------------ #
+    def flatten(self, tolerance: float = DEFAULT_FLATNESS_KM) -> list[Point2D]:
+        """Flatten the closed path to a polygon vertex list (no repeat of start)."""
+        points: list[Point2D] = []
+        for seg in self._segments:
+            flat = seg.flatten(tolerance)
+            # Skip the last point of each segment: it is the first point of
+            # the next segment, and the final one closes the loop.
+            points.extend(flat[:-1])
+        return points
+
+    def to_polygon(self, tolerance: float = DEFAULT_FLATNESS_KM) -> "Polygon":
+        """Flatten into a :class:`~repro.geometry.polygon.Polygon`."""
+        from .polygon import Polygon
+
+        return Polygon(self.flatten(tolerance))
+
+    def transformed(self, fn: Callable[[Point2D], Point2D]) -> "BezierPath":
+        """Apply a point-wise transform to every control point.
+
+        This is the operation the paper highlights: because regions are
+        bounded by Bezier curves, affine manipulations only need to touch the
+        segment endpoints and control points.
+        """
+        return BezierPath([seg.transformed(fn) for seg in self._segments])
+
+    def translated(self, offset: Point2D) -> "BezierPath":
+        """Path rigidly translated by ``offset``."""
+        return self.transformed(lambda p: p + offset)
+
+    def scaled(self, factor: float, origin: Point2D | None = None) -> "BezierPath":
+        """Path scaled by ``factor`` about ``origin`` (default: the origin)."""
+        o = origin if origin is not None else Point2D(0.0, 0.0)
+        return self.transformed(lambda p: o + (p - o) * factor)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def bounding_box(self) -> BoundingBox:
+        """Bounding box of all control points (contains the region)."""
+        box = self._segments[0].bounding_box()
+        for seg in self._segments[1:]:
+            box = box.union(seg.bounding_box())
+        return box
+
+    def area(self, tolerance: float = DEFAULT_FLATNESS_KM) -> float:
+        """Unsigned enclosed area, computed on the flattened boundary."""
+        return abs(self.to_polygon(tolerance).signed_area())
+
+    def contains_point(self, p: Point2D, tolerance: float = DEFAULT_FLATNESS_KM) -> bool:
+        """Point-in-region test on the flattened boundary."""
+        return self.to_polygon(tolerance).contains_point(p)
+
+    def perimeter(self) -> float:
+        """Approximate boundary length."""
+        return sum(seg.arc_length() for seg in self._segments)

@@ -1,0 +1,217 @@
+"""Geodesic disks, rings and their planar representations.
+
+The raw material of Octant's constraint system is the *disk*: a positive
+constraint from a landmark with calibrated bound ``R_L(d)`` is "the target is
+inside the disk of radius ``R_L(d)`` centred at the landmark", and a negative
+constraint with bound ``r_L(d)`` removes the disk of radius ``r_L(d)``.
+
+Disks live on the sphere but are clipped and accumulated on the projected
+plane.  This module constructs them in both representations:
+
+* :func:`geodesic_circle_points` -- points of a circle of constant
+  great-circle radius around a geographic centre (computed with destination
+  points so the circle is correct on the sphere, not merely in projection).
+* :func:`disk_polygon` / :func:`disk_bezier` -- planar polygon / Bezier-path
+  representation of such a disk under a given projection.
+* :func:`annulus_polygon` -- the ring between an outer (positive) and inner
+  (negative) bound from the same landmark, keyholed into a simple polygon.
+* :func:`dilate_polygon` / :func:`erode_polygon` -- approximate Minkowski
+  sum/difference with a disk, used to turn a *secondary* landmark's location
+  region into positive/negative constraints (Section 2 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .bezier import KAPPA, BezierPath, CubicBezier
+from .convexhull import convex_hull
+from .point import Point2D
+from .polygon import Polygon
+from .projection import Projection
+from .sphere import GeoPoint
+
+__all__ = [
+    "DEFAULT_CIRCLE_SEGMENTS",
+    "geodesic_circle_points",
+    "disk_polygon",
+    "disk_bezier",
+    "annulus_polygon",
+    "planar_circle_polygon",
+    "dilate_polygon",
+    "erode_polygon",
+    "polygon_from_geopoints",
+]
+
+#: Number of boundary vertices used when flattening a disk to a polygon.  At
+#: 64 segments the polygon under-estimates the true disk radius by less than
+#: 0.13 %, far below measurement noise.
+DEFAULT_CIRCLE_SEGMENTS = 64
+
+
+def geodesic_circle_points(
+    center: GeoPoint,
+    radius_km: float,
+    segments: int = DEFAULT_CIRCLE_SEGMENTS,
+) -> list[GeoPoint]:
+    """Points of the circle of great-circle radius ``radius_km`` around ``center``.
+
+    Points are returned in counter-clockwise order (as seen looking down on
+    the northern hemisphere) starting from due north of the centre.
+    """
+    if radius_km <= 0:
+        raise ValueError(f"radius must be positive, got {radius_km!r}")
+    if segments < 3:
+        raise ValueError(f"need at least 3 segments, got {segments!r}")
+    points = []
+    for i in range(segments):
+        bearing = 360.0 * i / segments
+        points.append(center.destination(bearing, radius_km))
+    # Destination bearings advance clockwise; reverse for CCW planar order.
+    points.reverse()
+    return points
+
+
+def disk_polygon(
+    center: GeoPoint,
+    radius_km: float,
+    projection: Projection,
+    segments: int = DEFAULT_CIRCLE_SEGMENTS,
+) -> Polygon:
+    """Planar polygon approximating the geodesic disk under ``projection``."""
+    boundary = geodesic_circle_points(center, radius_km, segments)
+    return Polygon(projection.forward_many(boundary)).ensure_ccw()
+
+
+def disk_bezier(
+    center: GeoPoint,
+    radius_km: float,
+    projection: Projection,
+    arcs: int = 8,
+) -> BezierPath:
+    """Bezier-bounded representation of the geodesic disk under ``projection``.
+
+    The disk boundary is sampled at ``arcs`` geodesic points and each arc is
+    fitted with a cubic segment whose control points follow the local tangent
+    directions -- the compact representation the paper advocates.
+    """
+    if arcs < 3:
+        raise ValueError(f"need at least 3 arcs, got {arcs!r}")
+    boundary = geodesic_circle_points(center, radius_km, arcs)
+    planar = projection.forward_many(boundary)
+    center_planar = projection.forward(center)
+
+    segments: list[CubicBezier] = []
+    # The KAPPA handle length is exact for quarter-circle arcs; scale it to
+    # the actual arc angle for other segment counts.
+    arc_angle = 2.0 * math.pi / arcs
+    handle = (4.0 / 3.0) * math.tan(arc_angle / 4.0)
+    for i in range(arcs):
+        p0 = planar[i]
+        p3 = planar[(i + 1) % arcs]
+        r0 = p0 - center_planar
+        r3 = p3 - center_planar
+        # Tangents are perpendicular to the local radius, oriented CCW.
+        t0 = r0.perpendicular()
+        t3 = r3.perpendicular()
+        p1 = p0 + t0 * handle
+        p2 = p3 - t3 * handle
+        segments.append(CubicBezier(p0, p1, p2, p3))
+    return BezierPath(segments)
+
+
+def planar_circle_polygon(
+    center: Point2D,
+    radius_km: float,
+    segments: int = DEFAULT_CIRCLE_SEGMENTS,
+) -> Polygon:
+    """Plain planar circle polygon (no projection involved)."""
+    if radius_km <= 0:
+        raise ValueError(f"radius must be positive, got {radius_km!r}")
+    return Polygon.regular(center, radius_km, segments)
+
+
+def annulus_polygon(
+    center: GeoPoint,
+    outer_radius_km: float,
+    inner_radius_km: float,
+    projection: Projection,
+    segments: int = DEFAULT_CIRCLE_SEGMENTS,
+) -> Polygon:
+    """The ring ``inner_radius <= distance <= outer_radius`` as a keyholed polygon.
+
+    This is exactly the constraint a single landmark with calibrated bounds
+    ``r_L(d) < R_L(d)`` contributes: the target is inside the outer disk but
+    outside the inner one.  When ``inner_radius_km`` is zero or negative the
+    plain outer disk is returned.
+    """
+    if outer_radius_km <= 0:
+        raise ValueError(f"outer radius must be positive, got {outer_radius_km!r}")
+    if inner_radius_km >= outer_radius_km:
+        raise ValueError(
+            "inner radius must be smaller than outer radius: "
+            f"{inner_radius_km!r} >= {outer_radius_km!r}"
+        )
+    outer = disk_polygon(center, outer_radius_km, projection, segments)
+    if inner_radius_km <= 0:
+        return outer
+    inner = disk_polygon(center, inner_radius_km, projection, segments)
+    return outer.with_hole(inner)
+
+
+def dilate_polygon(polygon: Polygon, radius_km: float, segments: int = 16) -> Polygon:
+    """Convex over-approximation of the Minkowski sum of ``polygon`` with a disk.
+
+    A positive constraint observed from a *secondary* landmark whose own
+    position is only known to be somewhere inside a region beta is the union
+    of disks of radius ``d`` centred at every point of beta -- i.e. the
+    Minkowski sum of beta with the disk.  Octant approximates this by the
+    convex hull of disks placed at the region's vertices, which always
+    *contains* the exact sum (so the constraint stays sound) and is convex,
+    keeping the downstream clipping on the fast path.
+    """
+    if radius_km < 0:
+        raise ValueError(f"radius must be non-negative, got {radius_km!r}")
+    if radius_km == 0:
+        return polygon
+    points: list[Point2D] = []
+    for v in polygon.vertices:
+        for i in range(segments):
+            angle = 2.0 * math.pi * i / segments
+            points.append(
+                Point2D(v.x + radius_km * math.cos(angle), v.y + radius_km * math.sin(angle))
+            )
+    hull = convex_hull(points)
+    return Polygon(hull)
+
+
+def erode_polygon(polygon: Polygon, radius_km: float) -> Polygon | None:
+    """Approximate Minkowski erosion of ``polygon`` by a disk of ``radius_km``.
+
+    A negative constraint observed from a secondary landmark must only exclude
+    points that are within distance ``d`` of *every* possible landmark
+    position -- the erosion of the exclusion disk by the landmark's region.
+    Octant approximates the erosion by shrinking the polygon about its
+    centroid so that the maximum vertex distance decreases by ``radius_km``.
+    The approximation under-estimates the eroded area, so the resulting
+    negative constraint never excludes a point it should not (it stays sound).
+    Returns ``None`` when the erosion is empty.
+    """
+    if radius_km < 0:
+        raise ValueError(f"radius must be non-negative, got {radius_km!r}")
+    if radius_km == 0:
+        return polygon
+    centroid = polygon.centroid()
+    max_extent = polygon.max_distance_to_point(centroid)
+    if max_extent <= radius_km:
+        return None
+    factor = (max_extent - radius_km) / max_extent
+    return polygon.scaled(factor, origin=centroid)
+
+
+def polygon_from_geopoints(points: Sequence[GeoPoint], projection: Projection) -> Polygon:
+    """Project a closed ring of geographic points into a planar polygon."""
+    if len(points) < 3:
+        raise ValueError("need at least three geographic points")
+    return Polygon(projection.forward_many(points))

@@ -1,0 +1,115 @@
+"""Convex hulls and hull facets.
+
+Two distinct parts of Octant need convex hulls:
+
+* The region algebra occasionally needs the hull of a planar point cloud
+  (e.g. to bound a secondary landmark's location region).
+* The calibration step of Section 2.1 computes the convex hull of the
+  (latency, distance) scatter plot of inter-landmark measurements and uses its
+  *upper* and *lower* facets as the functions ``R_L(d)`` and ``r_L(d)``.
+
+Both use Andrew's monotone-chain algorithm, which is simple, deterministic and
+O(n log n).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .point import Point2D, cross
+
+__all__ = [
+    "convex_hull",
+    "upper_hull",
+    "lower_hull",
+    "is_point_in_convex_hull",
+]
+
+
+def _sorted_unique(points: Sequence[Point2D]) -> list[Point2D]:
+    """Sort points lexicographically and drop exact duplicates."""
+    seen: set[tuple[float, float]] = set()
+    unique: list[Point2D] = []
+    for p in sorted(points, key=lambda q: (q.x, q.y)):
+        key = (p.x, p.y)
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique
+
+
+def _half_hull(points: list[Point2D]) -> list[Point2D]:
+    """Build one chain of the monotone-chain hull (points must be sorted)."""
+    chain: list[Point2D] = []
+    for p in points:
+        while len(chain) >= 2 and cross(chain[-1] - chain[-2], p - chain[-2]) <= 0:
+            chain.pop()
+        chain.append(p)
+    return chain
+
+
+def lower_hull(points: Sequence[Point2D]) -> list[Point2D]:
+    """Lower chain of the convex hull, ordered by increasing x.
+
+    For the calibration scatter (x = latency, y = distance) this chain is the
+    function ``r_L`` mapping a latency to the *minimum* plausible distance.
+    """
+    pts = _sorted_unique(points)
+    if len(pts) <= 2:
+        return pts
+    return _half_hull(pts)
+
+
+def upper_hull(points: Sequence[Point2D]) -> list[Point2D]:
+    """Upper chain of the convex hull, ordered by increasing x.
+
+    For the calibration scatter this chain is the function ``R_L`` mapping a
+    latency to the *maximum* plausible distance.
+    """
+    pts = _sorted_unique(points)
+    if len(pts) <= 2:
+        return pts
+    upper = _half_hull(list(reversed(pts)))
+    upper.reverse()
+    return upper
+
+
+def convex_hull(points: Sequence[Point2D]) -> list[Point2D]:
+    """Convex hull of a point set in counter-clockwise order.
+
+    Degenerate inputs (fewer than three distinct points, or all points
+    collinear) return the sorted distinct points, which callers treat as a
+    degenerate hull.
+    """
+    pts = _sorted_unique(points)
+    if len(pts) <= 2:
+        return pts
+    lower = _half_hull(pts)
+    upper = _half_hull(list(reversed(pts)))
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:
+        return pts
+    return hull
+
+
+def is_point_in_convex_hull(p: Point2D, hull: Sequence[Point2D], tol: float = 1e-9) -> bool:
+    """True when ``p`` lies inside or on the boundary of a CCW convex hull."""
+    n = len(hull)
+    if n == 0:
+        return False
+    if n == 1:
+        return p.almost_equal(hull[0], tol=max(tol, 1e-9))
+    if n == 2:
+        a, b = hull
+        ab = b - a
+        ap = p - a
+        if abs(cross(ab, ap)) > tol * max(1.0, ab.norm()):
+            return False
+        t = (ap.x * ab.x + ap.y * ab.y) / max(ab.norm() ** 2, 1e-18)
+        return -tol <= t <= 1.0 + tol
+    for i in range(n):
+        a = hull[i]
+        b = hull[(i + 1) % n]
+        if cross(b - a, p - a) < -tol:
+            return False
+    return True

@@ -1,0 +1,200 @@
+"""Map projections between the globe and the local working plane.
+
+Octant's region algebra (disk construction, polygon clipping, weighted
+accumulation) is carried out on a plane.  For the continental scales the paper
+deals with (PlanetLab nodes spread over North America and Europe), an
+*azimuthal equidistant* projection centred near the constraint system is an
+excellent fit: great-circle distances from the projection centre are preserved
+exactly, and distances between arbitrary nearby points are distorted by well
+under a percent for regions a few thousand kilometres across.
+
+The :class:`AzimuthalEquidistantProjection` provides ``forward`` (lat/lon to
+planar km) and ``inverse`` (planar km to lat/lon) mappings.  A simpler
+:class:`EquirectangularProjection` is provided for comparison and for the
+latency-model internals where only approximate planar coordinates are needed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from .point import Point2D
+from .sphere import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    geographic_midpoint,
+    normalize_latitude,
+    normalize_longitude,
+)
+
+__all__ = [
+    "Projection",
+    "AzimuthalEquidistantProjection",
+    "EquirectangularProjection",
+    "projection_for_points",
+]
+
+
+class Projection:
+    """Abstract interface for the two-way globe/plane mapping.
+
+    Concrete projections implement :meth:`forward` and :meth:`inverse`; the
+    convenience batch methods are shared.
+    """
+
+    def forward(self, point: GeoPoint) -> Point2D:
+        """Project a geographic point onto the plane (coordinates in km)."""
+        raise NotImplementedError
+
+    def inverse(self, point: Point2D) -> GeoPoint:
+        """Map a planar point (km) back to geographic coordinates."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Batch helpers
+    # ------------------------------------------------------------------ #
+    def forward_many(self, points: Iterable[GeoPoint]) -> list[Point2D]:
+        """Project a sequence of geographic points."""
+        return [self.forward(p) for p in points]
+
+    def inverse_many(self, points: Iterable[Point2D]) -> list[GeoPoint]:
+        """Un-project a sequence of planar points."""
+        return [self.inverse(p) for p in points]
+
+    def roundtrip_error_km(self, point: GeoPoint) -> float:
+        """Great-circle distance between ``point`` and its forward/inverse image.
+
+        Useful in tests and for sanity-checking that a projection is adequate
+        for the extent of a particular constraint system.
+        """
+        return point.distance_km(self.inverse(self.forward(point)))
+
+
+class AzimuthalEquidistantProjection(Projection):
+    """Azimuthal equidistant projection centred on a reference point.
+
+    All distances and azimuths measured *from the centre* are preserved
+    exactly.  Distortion between two non-central points grows with their
+    distance from the centre but stays small for continental extents, which is
+    why Octant re-centres the projection on the constraint system for every
+    localization (see :func:`projection_for_points`).
+    """
+
+    __slots__ = ("_center", "_sin_phi0", "_cos_phi0", "_lambda0")
+
+    def __init__(self, center: GeoPoint):
+        self._center = center
+        phi0 = math.radians(center.lat)
+        self._sin_phi0 = math.sin(phi0)
+        self._cos_phi0 = math.cos(phi0)
+        self._lambda0 = math.radians(center.lon)
+
+    @property
+    def center(self) -> GeoPoint:
+        """The geographic point that maps to the planar origin."""
+        return self._center
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AzimuthalEquidistantProjection(center={self._center})"
+
+    # ------------------------------------------------------------------ #
+    # Forward / inverse
+    # ------------------------------------------------------------------ #
+    def forward(self, point: GeoPoint) -> Point2D:
+        """Project ``point``; the centre maps to ``(0, 0)``."""
+        phi = math.radians(point.lat)
+        lam = math.radians(point.lon)
+        dlam = lam - self._lambda0
+
+        sin_phi = math.sin(phi)
+        cos_phi = math.cos(phi)
+        cos_c = self._sin_phi0 * sin_phi + self._cos_phi0 * cos_phi * math.cos(dlam)
+        cos_c = min(1.0, max(-1.0, cos_c))
+        c = math.acos(cos_c)
+
+        if c < 1e-12:
+            return Point2D(0.0, 0.0)
+
+        # k is the scale factor along the radial direction.
+        k = c / math.sin(c)
+        x = EARTH_RADIUS_KM * k * cos_phi * math.sin(dlam)
+        y = EARTH_RADIUS_KM * k * (
+            self._cos_phi0 * sin_phi - self._sin_phi0 * cos_phi * math.cos(dlam)
+        )
+        return Point2D(x, y)
+
+    def inverse(self, point: Point2D) -> GeoPoint:
+        """Map a planar point back to latitude/longitude."""
+        rho = point.norm()
+        if rho < 1e-9:
+            return self._center
+        c = rho / EARTH_RADIUS_KM
+        sin_c = math.sin(c)
+        cos_c = math.cos(c)
+
+        sin_phi = cos_c * self._sin_phi0 + (point.y * sin_c * self._cos_phi0) / rho
+        sin_phi = min(1.0, max(-1.0, sin_phi))
+        phi = math.asin(sin_phi)
+
+        num = point.x * sin_c
+        den = rho * self._cos_phi0 * cos_c - point.y * self._sin_phi0 * sin_c
+        lam = self._lambda0 + math.atan2(num, den)
+
+        return GeoPoint(
+            normalize_latitude(math.degrees(phi)),
+            normalize_longitude(math.degrees(lam)),
+        )
+
+
+class EquirectangularProjection(Projection):
+    """Equirectangular (plate carree) projection scaled at a reference latitude.
+
+    Cheap and adequate for quick distance estimates; distances along parallels
+    are distorted away from the reference latitude, so the main Octant solver
+    prefers :class:`AzimuthalEquidistantProjection`.
+    """
+
+    __slots__ = ("_center", "_cos_phi0")
+
+    def __init__(self, center: GeoPoint):
+        self._center = center
+        self._cos_phi0 = math.cos(math.radians(center.lat))
+
+    @property
+    def center(self) -> GeoPoint:
+        """The geographic point that maps to the planar origin."""
+        return self._center
+
+    def forward(self, point: GeoPoint) -> Point2D:
+        """Project ``point``; the centre maps to ``(0, 0)``."""
+        dlon = normalize_longitude(point.lon - self._center.lon)
+        x = math.radians(dlon) * EARTH_RADIUS_KM * self._cos_phi0
+        y = math.radians(point.lat - self._center.lat) * EARTH_RADIUS_KM
+        return Point2D(x, y)
+
+    def inverse(self, point: Point2D) -> GeoPoint:
+        """Map a planar point back to latitude/longitude."""
+        lat = self._center.lat + math.degrees(point.y / EARTH_RADIUS_KM)
+        denom = EARTH_RADIUS_KM * self._cos_phi0
+        if abs(denom) < 1e-9:
+            lon = self._center.lon
+        else:
+            lon = self._center.lon + math.degrees(point.x / denom)
+        return GeoPoint(normalize_latitude(lat), normalize_longitude(lon))
+
+
+def projection_for_points(
+    points: Sequence[GeoPoint] | Iterable[GeoPoint],
+) -> AzimuthalEquidistantProjection:
+    """Azimuthal equidistant projection centred on the midpoint of ``points``.
+
+    This is how Octant picks its working plane for a localization: the
+    constraint system (landmarks plus any prior region for the target) is
+    projected about its own geographic midpoint so projection distortion is
+    minimized where the constraints actually interact.
+    """
+    pts = list(points)
+    if not pts:
+        raise ValueError("projection_for_points requires at least one point")
+    return AzimuthalEquidistantProjection(geographic_midpoint(pts))

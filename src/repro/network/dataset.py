@@ -1,0 +1,220 @@
+"""Measurement datasets: the data Octant and the baselines actually consume.
+
+A :class:`MeasurementDataset` is the boundary between the measurement plane
+(the synthetic substrate, or in a real deployment, ping/traceroute against
+the Internet) and the localization algorithms.  It contains exactly the
+information the paper's study collected:
+
+* the set of participating hosts and the ground-truth position of each
+  (used for landmarks, and held back for a host while it plays the target),
+* the all-pairs ping measurements (10 time-dispersed probes per pair),
+* the all-pairs traceroutes, including per-hop RTTs, router IPs and DNS names,
+* the WHOIS registry.
+
+The dataset is a plain in-memory object with dictionary lookups so the
+algorithms never touch the simulator, which keeps them honest: they can only
+use information a real deployment would have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..geometry import GeoPoint
+from .planetlab import Deployment
+from .probes import PingResult, TracerouteResult
+from .whois import WhoisRecord, WhoisRegistry
+
+__all__ = ["NodeRecord", "MeasurementDataset", "collect_dataset"]
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """Identity and metadata of a node appearing in the dataset."""
+
+    node_id: str
+    ip_address: str
+    dns_name: str
+    location: GeoPoint | None
+    is_host: bool
+
+    def with_location(self, location: GeoPoint | None) -> "NodeRecord":
+        """Copy of this record with a different (possibly hidden) location."""
+        return NodeRecord(self.node_id, self.ip_address, self.dns_name, location, self.is_host)
+
+
+@dataclass
+class MeasurementDataset:
+    """All measurements collected for one study.
+
+    ``hosts`` maps host id to its :class:`NodeRecord` (with ground-truth
+    location); ``routers`` likewise for every router observed on any
+    traceroute.  ``pings`` and ``traceroutes`` are keyed by ``(src, dst)``
+    host-id pairs.  ``router_pings`` holds landmark-to-router latency derived
+    from traceroute hop timings, keyed by ``(host_id, router_id)``.
+    """
+
+    hosts: dict[str, NodeRecord] = field(default_factory=dict)
+    routers: dict[str, NodeRecord] = field(default_factory=dict)
+    pings: dict[tuple[str, str], PingResult] = field(default_factory=dict)
+    traceroutes: dict[tuple[str, str], TracerouteResult] = field(default_factory=dict)
+    router_pings: dict[tuple[str, str], float] = field(default_factory=dict)
+    whois: WhoisRegistry = field(default_factory=WhoisRegistry)
+
+    # ------------------------------------------------------------------ #
+    # Node accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def host_ids(self) -> list[str]:
+        """All host ids, sorted for determinism."""
+        return sorted(self.hosts)
+
+    def node(self, node_id: str) -> NodeRecord:
+        """Record for a host or router id."""
+        if node_id in self.hosts:
+            return self.hosts[node_id]
+        return self.routers[node_id]
+
+    def true_location(self, node_id: str) -> GeoPoint:
+        """Ground-truth position of a node; raises when unknown."""
+        record = self.node(node_id)
+        if record.location is None:
+            raise KeyError(f"no ground-truth location recorded for {node_id!r}")
+        return record.location
+
+    def whois_lookup(self, node_id: str) -> WhoisRecord | None:
+        """WHOIS record covering the node's IP address, if any."""
+        return self.whois.lookup(self.node(node_id).ip_address)
+
+    # ------------------------------------------------------------------ #
+    # Measurement accessors
+    # ------------------------------------------------------------------ #
+    def ping(self, src: str, dst: str) -> PingResult | None:
+        """The ping result for ``(src, dst)``, or ``None`` when not measured."""
+        return self.pings.get((src, dst))
+
+    def min_rtt_ms(self, a: str, b: str) -> float | None:
+        """Minimum RTT between two hosts over both probing directions."""
+        candidates = []
+        forward = self.pings.get((a, b))
+        backward = self.pings.get((b, a))
+        if forward is not None:
+            candidates.append(forward.min_rtt_ms)
+        if backward is not None:
+            candidates.append(backward.min_rtt_ms)
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def traceroute(self, src: str, dst: str) -> TracerouteResult | None:
+        """Traceroute from ``src`` to ``dst``, or ``None`` when not collected."""
+        return self.traceroutes.get((src, dst))
+
+    def router_min_rtt_ms(self, host_id: str, router_id: str) -> float | None:
+        """Minimum observed RTT from a host to a router (from traceroute hops)."""
+        return self.router_pings.get((host_id, router_id))
+
+    def routers_measured_from(self, host_id: str) -> list[str]:
+        """Router ids for which ``host_id`` has a latency measurement."""
+        return sorted(r for (h, r) in self.router_pings if h == host_id)
+
+    # ------------------------------------------------------------------ #
+    # Views for leave-one-out evaluation
+    # ------------------------------------------------------------------ #
+    def landmark_ids_excluding(self, target_id: str) -> list[str]:
+        """All hosts except the target -- the landmark set the paper uses."""
+        return [h for h in self.host_ids if h != target_id]
+
+    def restrict_landmarks(self, landmark_ids: Sequence[str]) -> "MeasurementDataset":
+        """A dataset view containing only the given hosts as landmarks.
+
+        Targets can still be probed (their ping rows/columns are retained for
+        pairs that involve a kept landmark), which is what a deployment with a
+        reduced landmark population would observe.
+        """
+        keep = set(landmark_ids)
+        hosts = {h: r for h, r in self.hosts.items() if h in keep or True}
+        pings = {
+            (s, d): p
+            for (s, d), p in self.pings.items()
+            if s in keep or d in keep
+        }
+        traceroutes = {
+            (s, d): t
+            for (s, d), t in self.traceroutes.items()
+            if s in keep or d in keep
+        }
+        router_pings = {
+            (h, r): v for (h, r), v in self.router_pings.items() if h in keep
+        }
+        return MeasurementDataset(
+            hosts=hosts,
+            routers=dict(self.routers),
+            pings=pings,
+            traceroutes=traceroutes,
+            router_pings=router_pings,
+            whois=self.whois,
+        )
+
+
+def collect_dataset(
+    deployment: Deployment,
+    host_ids: Iterable[str] | None = None,
+    probe_count: int | None = None,
+    collect_traceroutes: bool = True,
+) -> MeasurementDataset:
+    """Run the full measurement collection against a deployment.
+
+    Mirrors the paper's methodology: all-pairs pings with time-dispersed
+    probes, all-pairs traceroutes, and latency measurements to intermediate
+    routers (derived from traceroute hop timings).
+    """
+    ids = sorted(host_ids) if host_ids is not None else sorted(deployment.host_ids)
+    prober = deployment.prober
+    topology = deployment.topology
+    dataset = MeasurementDataset(whois=deployment.whois)
+
+    for host_id in ids:
+        node = topology.node(host_id)
+        dataset.hosts[host_id] = NodeRecord(
+            node_id=host_id,
+            ip_address=node.ip_address,
+            dns_name=node.dns_name,
+            location=node.location,
+            is_host=True,
+        )
+
+    count = probe_count or deployment.config.probe_count
+    for src in ids:
+        for dst in ids:
+            if src == dst:
+                continue
+            dataset.pings[(src, dst)] = prober.ping(src, dst, count)
+
+    if not collect_traceroutes:
+        return dataset
+
+    for src in ids:
+        for dst in ids:
+            if src == dst:
+                continue
+            trace = prober.traceroute(src, dst)
+            dataset.traceroutes[(src, dst)] = trace
+            for hop in trace.hops:
+                if hop.node_id == dst:
+                    continue
+                router = topology.node(hop.node_id)
+                if hop.node_id not in dataset.routers:
+                    dataset.routers[hop.node_id] = NodeRecord(
+                        node_id=hop.node_id,
+                        ip_address=router.ip_address,
+                        dns_name=router.dns_name,
+                        location=router.location,
+                        is_host=False,
+                    )
+                key = (src, hop.node_id)
+                current = dataset.router_pings.get(key)
+                if current is None or hop.min_rtt_ms < current:
+                    dataset.router_pings[key] = hop.min_rtt_ms
+    return dataset

@@ -1,0 +1,189 @@
+"""End-to-end delay model for the synthetic Internet substrate.
+
+The model decomposes a round-trip time into the components Octant reasons
+about:
+
+* **Propagation delay** along every link of the routed path, at 2/3 the speed
+  of light in fiber -- the physically inelastic component that correlates
+  with geographic distance.
+* **Per-node heights** -- the minimum access/processing delay added by the
+  endpoints (last-mile links, end-host stacks).  Heights are fixed per node,
+  which is exactly the quantity Section 2.2 of the paper recovers by solving
+  its linear system over inter-landmark measurements.
+* **Queuing jitter** -- a random, probe-varying, non-negative delay on every
+  link.  Taking the minimum over several probes drives this component toward
+  zero, mirroring how real measurement studies use minimum RTTs.
+
+The model is fully deterministic given its seed: heights are derived from a
+per-node hash, and probe jitter from a per-(src, dst, probe index) hash, so
+repeated collections and repeated test runs see identical data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..geometry import FIBER_SPEED_KM_PER_MS
+from .topology import Link, NetworkTopology
+
+__all__ = ["LatencyConfig", "LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Parameters of the delay model.
+
+    All times are in milliseconds and describe *one-way* contributions unless
+    the name says otherwise; round trips double the path components and count
+    the endpoint heights once per direction, matching how an ICMP echo
+    traverses the path.
+    """
+
+    #: Scale of host access-link heights; heights are drawn from an
+    #: exponential distribution with this mean, then clamped to ``max_host_height_ms``.
+    #: Campus access networks, department switches and end-host stacks add a
+    #: few milliseconds that no amount of probing removes -- this is the
+    #: inelastic component Section 2.2 of the paper recovers.
+    mean_host_height_ms: float = 4.0
+    #: Upper clamp for host heights (badly provisioned DSL, not satellite).
+    max_host_height_ms: float = 18.0
+    #: Fixed per-router forwarding/processing delay.
+    router_processing_ms: float = 0.05
+    #: Mean of the exponential queuing jitter added per link per probe.
+    mean_link_queuing_ms: float = 0.4
+    #: Probability that a probe crosses a transiently congested link, in which
+    #: case an extra burst delay is added.
+    congestion_probability: float = 0.03
+    #: Mean of the extra burst delay on congested probes.
+    congestion_burst_ms: float = 25.0
+    #: Standard deviation of zero-mean Gaussian measurement noise per probe
+    #: (timestamping granularity, kernel scheduling).
+    measurement_noise_ms: float = 0.1
+    #: Deterministic seed for heights and probe jitter.
+    seed: int = 1
+
+
+class LatencyModel:
+    """Computes probe delays over a :class:`~repro.network.topology.NetworkTopology`."""
+
+    def __init__(self, topology: NetworkTopology, config: LatencyConfig | None = None):
+        self.topology = topology
+        self.config = config or LatencyConfig()
+        self._heights: dict[str, float] = {}
+        self._assign_heights()
+
+    # ------------------------------------------------------------------ #
+    # Deterministic randomness helpers
+    # ------------------------------------------------------------------ #
+    def _rng_for(self, *parts: object) -> random.Random:
+        """A ``random.Random`` seeded from the model seed and a label tuple."""
+        material = ":".join(str(p) for p in (self.config.seed, *parts))
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def _assign_heights(self) -> None:
+        """Assign the fixed per-node height (minimum access delay)."""
+        for node_id, node in self.topology.nodes.items():
+            rng = self._rng_for("height", node_id)
+            if node.is_host:
+                height = min(
+                    rng.expovariate(1.0 / self.config.mean_host_height_ms),
+                    self.config.max_host_height_ms,
+                )
+            else:
+                height = self.config.router_processing_ms
+            self._heights[node_id] = height
+
+    # ------------------------------------------------------------------ #
+    # Ground truth accessors (used by tests and the evaluation harness)
+    # ------------------------------------------------------------------ #
+    def true_height_ms(self, node_id: str) -> float:
+        """The node's true one-way height; ground truth for Section 2.2 tests."""
+        return self._heights[node_id]
+
+    def propagation_one_way_ms(self, path: Sequence[str]) -> float:
+        """Pure propagation delay of a routed path, one way."""
+        total = 0.0
+        for link in self.topology.path_links(path):
+            total += link.distance_km / FIBER_SPEED_KM_PER_MS
+        return total
+
+    def minimum_rtt_ms(self, src: str, dst: str) -> float:
+        """The floor any probe between ``src`` and ``dst`` can achieve.
+
+        Propagation both ways along the routed path, plus both endpoint
+        heights in each direction and the router processing on the path.
+        This is the value minimum-filtered measurements converge to.
+        """
+        path = self.topology.route(src, dst)
+        prop = self.propagation_one_way_ms(path)
+        processing = sum(
+            self._heights[node_id] for node_id in path[1:-1]
+        )
+        endpoint = self._heights[src] + self._heights[dst]
+        return 2.0 * (prop + processing) + 2.0 * endpoint
+
+    # ------------------------------------------------------------------ #
+    # Probe simulation
+    # ------------------------------------------------------------------ #
+    def probe_rtt_ms(self, src: str, dst: str, probe_index: int = 0) -> float:
+        """Round-trip time of one probe, including queuing jitter and noise."""
+        path = self.topology.route(src, dst)
+        return self._probe_over_path(path, src, dst, probe_index)
+
+    def probe_rtts_ms(self, src: str, dst: str, count: int) -> list[float]:
+        """Round-trip times of ``count`` time-dispersed probes."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count!r}")
+        return [self.probe_rtt_ms(src, dst, i) for i in range(count)]
+
+    def partial_path_rtt_ms(
+        self, src: str, dst: str, hop_index: int, probe_index: int = 0
+    ) -> float:
+        """RTT from ``src`` to the ``hop_index``-th node on the route to ``dst``.
+
+        This is what a traceroute probe with a limited TTL measures: the
+        packet travels the path prefix and the ICMP time-exceeded comes back
+        the same way.  ``hop_index`` counts nodes from the source (1 is the
+        first router).
+        """
+        path = self.topology.route(src, dst)
+        if not 1 <= hop_index < len(path):
+            raise ValueError(
+                f"hop_index must be in [1, {len(path) - 1}], got {hop_index!r}"
+            )
+        prefix = path[: hop_index + 1]
+        return self._probe_over_path(prefix, src, dst, probe_index, partial=True)
+
+    def _probe_over_path(
+        self,
+        path: Sequence[str],
+        src: str,
+        dst: str,
+        probe_index: int,
+        partial: bool = False,
+    ) -> float:
+        if len(path) < 2:
+            return 0.0
+        cfg = self.config
+        rng = self._rng_for("probe", src, dst, probe_index, len(path) if partial else "full")
+
+        prop = self.propagation_one_way_ms(path)
+        processing = sum(self._heights[n] for n in path[1:-1])
+        # The responding node (last on the partial path) contributes its own
+        # processing; for a full ping that is the destination host's height.
+        endpoint = self._heights[path[0]] + self._heights[path[-1]]
+
+        queuing = 0.0
+        for _ in self.topology.path_links(path):
+            # Forward and reverse direction each pick up jitter.
+            queuing += rng.expovariate(1.0 / cfg.mean_link_queuing_ms)
+            queuing += rng.expovariate(1.0 / cfg.mean_link_queuing_ms)
+            if rng.random() < cfg.congestion_probability:
+                queuing += rng.expovariate(1.0 / cfg.congestion_burst_ms)
+
+        noise = abs(rng.gauss(0.0, cfg.measurement_noise_ms))
+        return 2.0 * (prop + processing) + 2.0 * endpoint + queuing + noise

@@ -1,0 +1,575 @@
+"""Synthetic Internet topology with geographic embedding and policy routing.
+
+The Octant paper measures real PlanetLab hosts across the real Internet.  The
+reproduction needs a substrate that produces the same *shape* of data:
+
+* end-to-end latencies that are at least the great-circle propagation delay
+  and usually moderately above it,
+* occasional badly inflated routes caused by policy routing (traffic between
+  two nearby hosts of different providers detouring through a distant peering
+  point),
+* traceroute paths whose intermediate routers have meaningful positions and
+  DNS names carrying city codes,
+* per-host access-link delays ("heights") that differ between hosts.
+
+This module builds the structural part: providers (autonomous systems), their
+points of presence in cities, backbone links, restricted peering links, and
+host access links.  Delays are assigned by :mod:`repro.network.latency`; probe
+traffic (ping / traceroute) is simulated by :mod:`repro.network.probes`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import networkx as nx
+
+from ..geometry import GeoPoint
+from .geodata import City, WORLD_CITIES
+
+__all__ = [
+    "NodeKind",
+    "NetworkNode",
+    "Link",
+    "Provider",
+    "TopologyConfig",
+    "NetworkTopology",
+    "build_topology",
+]
+
+
+class NodeKind:
+    """String constants for the kinds of nodes in the topology graph."""
+
+    ROUTER = "router"
+    HOST = "host"
+
+
+@dataclass(frozen=True)
+class NetworkNode:
+    """A router or end host placed at a geographic location.
+
+    Attributes
+    ----------
+    node_id:
+        Unique string identifier, also the graph node key.
+    kind:
+        Either :data:`NodeKind.ROUTER` or :data:`NodeKind.HOST`.
+    city:
+        The city the node is physically located in.
+    location:
+        Exact coordinates.  Routers sit at the city centre; hosts are placed a
+        few kilometres away from the centre so that no two hosts coincide.
+    provider:
+        Name of the provider (autonomous system) operating the node; hosts
+        record the provider of their access network.
+    ip_address:
+        Synthetic dotted-quad address, unique across the topology.
+    dns_name:
+        Reverse-DNS name.  Router names embed the city code in the style of
+        real ISP naming schemes so that the undns-style parser can extract
+        location hints; a configurable fraction of routers get opaque names.
+    """
+
+    node_id: str
+    kind: str
+    city: City
+    location: GeoPoint
+    provider: str
+    ip_address: str
+    dns_name: str
+
+    @property
+    def is_router(self) -> bool:
+        """True for backbone/PoP routers."""
+        return self.kind == NodeKind.ROUTER
+
+    @property
+    def is_host(self) -> bool:
+        """True for end hosts."""
+        return self.kind == NodeKind.HOST
+
+
+@dataclass(frozen=True)
+class Link:
+    """A physical link between two nodes.
+
+    ``distance_km`` is the great-circle distance between the endpoints; the
+    latency model converts it to propagation delay and adds queuing.
+    ``kind`` distinguishes backbone, peering and access links because they get
+    different queuing behaviour and routing weights.
+    """
+
+    node_a: str
+    node_b: str
+    distance_km: float
+    kind: str
+
+    BACKBONE = "backbone"
+    PEERING = "peering"
+    ACCESS = "access"
+
+    def endpoints(self) -> tuple[str, str]:
+        """The two node ids, in stored order."""
+        return (self.node_a, self.node_b)
+
+
+@dataclass
+class Provider:
+    """An autonomous system: a named provider with PoPs in a set of cities."""
+
+    name: str
+    cities: list[City] = field(default_factory=list)
+    router_ids: list[str] = field(default_factory=list)
+    ip_prefix: int = 10
+
+    def pop_city_codes(self) -> set[str]:
+        """City codes where this provider has a PoP."""
+        return {c.code for c in self.cities}
+
+
+@dataclass
+class TopologyConfig:
+    """Parameters controlling synthetic topology construction.
+
+    The defaults produce a topology sized like the paper's measurement
+    universe: a handful of continental providers, PoPs in most catalogue
+    cities and restricted peering that yields realistic route inflation.
+    """
+
+    seed: int = 42
+    num_providers: int = 4
+    pops_per_provider: int = 28
+    peering_city_count: int = 8
+    backbone_neighbors: int = 4
+    opaque_dns_fraction: float = 0.2
+    misleading_dns_fraction: float = 0.05
+    cities: Sequence[City] = WORLD_CITIES
+    host_offset_km: float = 8.0
+    route_hop_penalty_ms: float = 0.25
+
+
+class NetworkTopology:
+    """A geographically embedded router/host graph with policy routing.
+
+    The routing metric is propagation delay plus a per-hop penalty, with
+    peering links additionally penalized.  This mirrors real intra-domain
+    shortest-path routing combined with a preference to stay on one's own
+    backbone, and it is what produces inflated, indirect routes between hosts
+    of different providers -- the phenomenon Section 2.3 of the paper
+    compensates for with piecewise localization.
+    """
+
+    def __init__(self, config: TopologyConfig):
+        self.config = config
+        self.graph = nx.Graph()
+        self.nodes: dict[str, NetworkNode] = {}
+        self.links: dict[tuple[str, str], Link] = {}
+        self.providers: dict[str, Provider] = {}
+        self._ip_counter = itertools.count(1)
+        self._path_cache: dict[tuple[str, str], list[str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: NetworkNode) -> None:
+        """Register a node and add it to the graph."""
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self.nodes[node.node_id] = node
+        self.graph.add_node(node.node_id, kind=node.kind)
+
+    def add_link(self, node_a: str, node_b: str, kind: str) -> Link:
+        """Create a link between two existing nodes and add it to the graph."""
+        if node_a not in self.nodes or node_b not in self.nodes:
+            raise KeyError(f"both endpoints must exist: {node_a!r}, {node_b!r}")
+        if node_a == node_b:
+            raise ValueError("self-links are not allowed")
+        a = self.nodes[node_a]
+        b = self.nodes[node_b]
+        distance = a.location.distance_km(b.location)
+        link = Link(node_a, node_b, distance, kind)
+        key = self._link_key(node_a, node_b)
+        self.links[key] = link
+        weight = self._routing_weight(link)
+        self.graph.add_edge(node_a, node_b, weight=weight, kind=kind, distance_km=distance)
+        self._path_cache.clear()
+        return link
+
+    def _routing_weight(self, link: Link) -> float:
+        """Routing metric for a link: propagation-like cost plus policy penalties."""
+        base = link.distance_km / 100.0 + self.config.route_hop_penalty_ms
+        if link.kind == Link.PEERING:
+            # Providers prefer to carry traffic on their own backbone ("hot
+            # potato" avoidance is not modelled; a flat penalty suffices to
+            # produce inflated paths between providers).
+            base += 8.0
+        elif link.kind == Link.ACCESS:
+            base += 1.0
+        return base
+
+    @staticmethod
+    def _link_key(node_a: str, node_b: str) -> tuple[str, str]:
+        return (node_a, node_b) if node_a <= node_b else (node_b, node_a)
+
+    def next_ip(self, prefix: int) -> str:
+        """Allocate the next synthetic IP address under a /8-style prefix."""
+        n = next(self._ip_counter)
+        return f"{prefix}.{(n >> 16) & 0xFF}.{(n >> 8) & 0xFF}.{n & 0xFF}"
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def node(self, node_id: str) -> NetworkNode:
+        """The node with the given id; raises ``KeyError`` if unknown."""
+        return self.nodes[node_id]
+
+    def link_between(self, node_a: str, node_b: str) -> Link:
+        """The link between two adjacent nodes; raises ``KeyError`` if absent."""
+        return self.links[self._link_key(node_a, node_b)]
+
+    def routers(self) -> list[NetworkNode]:
+        """All router nodes."""
+        return [n for n in self.nodes.values() if n.is_router]
+
+    def hosts(self) -> list[NetworkNode]:
+        """All host nodes."""
+        return [n for n in self.nodes.values() if n.is_host]
+
+    def node_by_ip(self, ip_address: str) -> NetworkNode | None:
+        """Node owning an IP address, or ``None``."""
+        for node in self.nodes.values():
+            if node.ip_address == ip_address:
+                return node
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def route(self, src: str, dst: str) -> list[str]:
+        """The routed path (list of node ids, inclusive) from ``src`` to ``dst``.
+
+        Shortest path under the policy-aware routing metric.  Paths are cached
+        because the measurement collection repeatedly probes the same pairs.
+        """
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return list(cached)
+        reverse = self._path_cache.get((dst, src))
+        if reverse is not None:
+            path = list(reversed(reverse))
+            self._path_cache[key] = path
+            return list(path)
+        path = nx.shortest_path(self.graph, src, dst, weight="weight")
+        self._path_cache[key] = path
+        return list(path)
+
+    def path_links(self, path: Sequence[str]) -> list[Link]:
+        """Links traversed by a node path."""
+        return [self.link_between(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+    def path_distance_km(self, path: Sequence[str]) -> float:
+        """Total physical length of a path in kilometres."""
+        return sum(link.distance_km for link in self.path_links(path))
+
+    def route_inflation(self, src: str, dst: str) -> float:
+        """Ratio of routed path length to great-circle distance (>= 1)."""
+        direct = self.nodes[src].location.distance_km(self.nodes[dst].location)
+        if direct <= 0.0:
+            return 1.0
+        return self.path_distance_km(self.route(src, dst)) / direct
+
+    # ------------------------------------------------------------------ #
+    # Host attachment
+    # ------------------------------------------------------------------ #
+    def attach_host(
+        self,
+        host_id: str,
+        city: City,
+        rng: random.Random,
+        provider_name: str | None = None,
+        dns_name: str | None = None,
+        local_pop_threshold_km: float = 80.0,
+    ) -> NetworkNode:
+        """Create a host in ``city`` and connect it to a nearby access router.
+
+        The host is offset from the city centre by up to
+        ``config.host_offset_km`` so two hosts in the same city do not share
+        coordinates.  It attaches to the closest router of the preferred
+        provider when that provider has a plausibly local PoP.  When no
+        provider has a router within ``local_pop_threshold_km``, a local
+        *access router* is created in the host's city and dual-homed to the
+        two nearest backbone routers -- mirroring how every university town
+        has metro/regional infrastructure even if no national carrier runs a
+        core PoP there.  Without this, a host's access path would stretch
+        hundreds of kilometres toward one direction and the inelastic "height"
+        of Section 2.2 would stop being direction-free.
+        """
+        if host_id in self.nodes:
+            raise ValueError(f"duplicate host id {host_id!r}")
+        bearing = rng.uniform(0.0, 360.0)
+        offset = rng.uniform(0.0, self.config.host_offset_km)
+        location = city.location.destination(bearing, offset) if offset > 0 else city.location
+
+        candidates = self.routers()
+        if not candidates:
+            raise RuntimeError("topology has no routers to attach the host to")
+        if provider_name is not None:
+            provider_routers = [r for r in candidates if r.provider == provider_name]
+            if provider_routers:
+                nearest_provider_pop = min(
+                    provider_routers, key=lambda r: r.location.distance_km(location)
+                )
+                # Only honour the provider preference when that provider has a
+                # plausibly local PoP; nobody buys transit from a carrier whose
+                # nearest point of presence is on another continent.
+                if nearest_provider_pop.location.distance_km(location) <= 300.0:
+                    candidates = provider_routers
+        attach_router = min(candidates, key=lambda r: r.location.distance_km(location))
+
+        if attach_router.location.distance_km(location) > local_pop_threshold_km:
+            attach_router = self._create_access_router(city, attach_router.provider, rng)
+
+        provider = attach_router.provider
+        prefix = self.providers[provider].ip_prefix if provider in self.providers else 100
+        host = NetworkNode(
+            node_id=host_id,
+            kind=NodeKind.HOST,
+            city=city,
+            location=location,
+            provider=provider,
+            ip_address=self.next_ip(prefix),
+            dns_name=dns_name or f"{host_id}.{city.code.lower()}.edu",
+        )
+        self.add_node(host)
+        self.add_link(host_id, attach_router.node_id, Link.ACCESS)
+        return host
+
+    def _create_access_router(
+        self, city: City, provider_name: str, rng: random.Random
+    ) -> NetworkNode:
+        """Create a metro access router in ``city`` dual-homed to the backbone."""
+        router_id = f"{provider_name}-{city.code.lower()}-ar"
+        if router_id in self.nodes:
+            return self.nodes[router_id]
+        provider = self.providers.get(provider_name)
+        prefix = provider.ip_prefix if provider is not None else 100
+        # Metro/edge aggregation routers rarely follow the tidy PoP naming
+        # convention of core routers; most get opaque names, which is what
+        # limits GeoTrack (and undns hints generally) near the network edge.
+        if rng.random() < 0.75:
+            dns_name = (
+                f"te-{rng.randint(0, 9)}-{rng.randint(0, 3)}.agg{rng.randint(1, 9)}."
+                f"{provider_name}.net"
+            )
+        else:
+            dns_name = (
+                f"ge-{rng.randint(0, 9)}-0-0.ar1.{city.code.lower()}1.{provider_name}.net"
+            )
+        router = NetworkNode(
+            node_id=router_id,
+            kind=NodeKind.ROUTER,
+            city=city,
+            location=city.location,
+            provider=provider_name,
+            ip_address=self.next_ip(prefix),
+            dns_name=dns_name,
+        )
+        self.add_node(router)
+        if provider is not None:
+            provider.router_ids.append(router_id)
+        backbone = sorted(
+            (r for r in self.routers() if r.node_id != router_id),
+            key=lambda r: r.location.distance_km(city.location),
+        )
+        for neighbour in backbone[:2]:
+            self.add_link(router_id, neighbour.node_id, Link.BACKBONE)
+        return router
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict[str, int]:
+        """Small dict of counts, handy for logging and tests."""
+        return {
+            "providers": len(self.providers),
+            "routers": len(self.routers()),
+            "hosts": len(self.hosts()),
+            "links": len(self.links),
+        }
+
+
+def _router_dns_name(
+    provider: str,
+    city: City,
+    index: int,
+    rng: random.Random,
+    opaque_fraction: float,
+    misleading_fraction: float,
+    all_cities: Sequence[City],
+) -> str:
+    """Generate a realistic router DNS name.
+
+    Most routers follow the common ISP convention of embedding the city code
+    (``ge-1-2-0.cr1.ord2.ispname.net``).  A configurable fraction get opaque
+    names that carry no location hint, and a smaller fraction get *misleading*
+    names mentioning a different city -- both happen in the wild and exercise
+    Octant's tolerance to erroneous hints.
+    """
+    interface = f"ge-{rng.randint(0, 9)}-{rng.randint(0, 3)}-{rng.randint(0, 3)}"
+    roll = rng.random()
+    if roll < misleading_fraction:
+        wrong_city = rng.choice([c for c in all_cities if c.code != city.code])
+        code = wrong_city.code.lower()
+    elif roll < misleading_fraction + opaque_fraction:
+        return f"{interface}.r{index}.{provider.lower()}.net"
+    else:
+        code = city.code.lower()
+    return f"{interface}.cr{index}.{code}{rng.randint(1, 3)}.{provider.lower()}.net"
+
+
+def build_topology(config: TopologyConfig | None = None) -> NetworkTopology:
+    """Build the full synthetic topology described by ``config``.
+
+    The construction is deterministic for a given seed:
+
+    1.  Providers are created and assigned PoP cities.  Cities are sampled
+        with probability proportional to population so major hubs host PoPs
+        of several providers while small university towns typically see one.
+    2.  Each provider's PoPs are connected into a backbone: every PoP links to
+        its ``backbone_neighbors`` nearest same-provider PoPs, and the whole
+        backbone is patched to be connected.
+    3.  Providers peer with each other only at the ``peering_city_count``
+        largest cities where both have PoPs, creating the restricted peering
+        that inflates inter-provider routes.
+    """
+    cfg = config or TopologyConfig()
+    rng = random.Random(cfg.seed)
+    topo = NetworkTopology(cfg)
+
+    cities = list(cfg.cities)
+    if not cities:
+        raise ValueError("TopologyConfig.cities must not be empty")
+
+    weights = [float(c.population) for c in cities]
+
+    provider_names = [f"isp{i + 1}" for i in range(cfg.num_providers)]
+    for idx, name in enumerate(provider_names):
+        provider = Provider(name=name, ip_prefix=10 + idx)
+        # Population-weighted sample of PoP cities without replacement.
+        chosen: list[City] = []
+        pool = list(zip(cities, weights))
+        for _ in range(min(cfg.pops_per_provider, len(pool))):
+            total = sum(w for _, w in pool)
+            pick = rng.uniform(0.0, total)
+            acc = 0.0
+            for j, (city, w) in enumerate(pool):
+                acc += w
+                if pick <= acc:
+                    chosen.append(city)
+                    pool.pop(j)
+                    break
+        provider.cities = chosen
+        topo.providers[name] = provider
+
+    # Create routers: one router per (provider, PoP city).
+    for name, provider in topo.providers.items():
+        for i, city in enumerate(provider.cities):
+            router_id = f"{name}-{city.code.lower()}"
+            dns = _router_dns_name(
+                name,
+                city,
+                index=i % 3 + 1,
+                rng=rng,
+                opaque_fraction=cfg.opaque_dns_fraction,
+                misleading_fraction=cfg.misleading_dns_fraction,
+                all_cities=cities,
+            )
+            node = NetworkNode(
+                node_id=router_id,
+                kind=NodeKind.ROUTER,
+                city=city,
+                location=city.location,
+                provider=name,
+                ip_address=topo.next_ip(provider.ip_prefix),
+                dns_name=dns,
+            )
+            topo.add_node(node)
+            provider.router_ids.append(router_id)
+
+    # Backbone links: nearest-neighbour mesh within each provider.
+    for provider in topo.providers.values():
+        routers = [topo.node(rid) for rid in provider.router_ids]
+        for router in routers:
+            others = sorted(
+                (r for r in routers if r.node_id != router.node_id),
+                key=lambda r: r.location.distance_km(router.location),
+            )
+            for neighbour in others[: cfg.backbone_neighbors]:
+                key = topo._link_key(router.node_id, neighbour.node_id)
+                if key not in topo.links:
+                    topo.add_link(router.node_id, neighbour.node_id, Link.BACKBONE)
+        # Patch connectivity: link consecutive components through their
+        # closest router pair until the provider backbone is one component.
+        subgraph_nodes = set(provider.router_ids)
+        while True:
+            sub = topo.graph.subgraph(subgraph_nodes)
+            components = [list(c) for c in nx.connected_components(sub)]
+            if len(components) <= 1:
+                break
+            comp_a, comp_b = components[0], components[1]
+            best_pair = min(
+                ((a, b) for a in comp_a for b in comp_b),
+                key=lambda pair: topo.node(pair[0]).location.distance_km(
+                    topo.node(pair[1]).location
+                ),
+            )
+            topo.add_link(best_pair[0], best_pair[1], Link.BACKBONE)
+
+    # Peering links at the largest shared cities.  Peering points are chosen
+    # per region (roughly: the Americas vs the rest of the world) so that two
+    # providers serving hosts on both continents never have to haul intra-
+    # continental traffic across an ocean just to reach a peering point --
+    # real carriers peer at exchanges on every continent they operate on.
+    for name_a, name_b in itertools.combinations(provider_names, 2):
+        prov_a = topo.providers[name_a]
+        prov_b = topo.providers[name_b]
+        shared_codes = prov_a.pop_city_codes() & prov_b.pop_city_codes()
+        shared_cities = sorted(
+            (c for c in cities if c.code in shared_codes),
+            key=lambda c: c.population,
+            reverse=True,
+        )
+        americas = [c for c in shared_cities if c.location.lon < -30.0]
+        elsewhere = [c for c in shared_cities if c.location.lon >= -30.0]
+        per_region = max(1, cfg.peering_city_count // 2)
+        peer_cities = americas[:per_region] + elsewhere[:per_region]
+        if not peer_cities:
+            peer_cities = shared_cities[: cfg.peering_city_count]
+        if not peer_cities:
+            # No shared city: peer at the geographically closest PoP pair so
+            # the graph stays connected.
+            best_pair = min(
+                (
+                    (ra, rb)
+                    for ra in prov_a.router_ids
+                    for rb in prov_b.router_ids
+                ),
+                key=lambda pair: topo.node(pair[0]).location.distance_km(
+                    topo.node(pair[1]).location
+                ),
+            )
+            topo.add_link(best_pair[0], best_pair[1], Link.PEERING)
+            continue
+        for city in peer_cities:
+            topo.add_link(
+                f"{name_a}-{city.code.lower()}",
+                f"{name_b}-{city.code.lower()}",
+                Link.PEERING,
+            )
+
+    return topo

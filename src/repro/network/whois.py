@@ -1,0 +1,134 @@
+"""Synthetic WHOIS registry mapping IP prefixes to registered street locations.
+
+Section 2.5 of the paper lists the WHOIS database as a source of *positive*
+geographic constraints: the zipcode registered for an IP address block places
+its hosts near that zipcode's centroid -- most of the time.  Large
+organizations register entire address blocks at their headquarters, so the
+registered location can be hundreds of miles from where a particular host
+actually sits; Octant therefore treats WHOIS-derived constraints as weak
+(low-weight) and sized generously.
+
+The synthetic registry reproduces both behaviours: most records point near
+the covered hosts' true city, and a configurable fraction are "headquarters
+records" pointing at a distant city.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..geometry import GeoPoint
+from .geodata import City, WORLD_CITIES
+from .topology import NetworkTopology
+
+__all__ = ["WhoisRecord", "WhoisRegistry", "build_registry_from_topology"]
+
+
+@dataclass(frozen=True)
+class WhoisRecord:
+    """A registration record for an IP prefix.
+
+    Attributes
+    ----------
+    prefix:
+        Dotted prefix string, e.g. ``"10.0"`` covering ``10.0.0.0/16``-style
+        blocks (the synthetic addressing uses the first two octets as the
+        organizational block).
+    organization:
+        Registered organization name.
+    city:
+        The catalogue city of the registered address.
+    postal_code:
+        Registered postal code.
+    accurate:
+        True when the registered city matches where the covered hosts really
+        are; False for headquarters-style registrations.  Ground-truth flag
+        used only by tests and the evaluation harness, never by Octant.
+    """
+
+    prefix: str
+    organization: str
+    city: City
+    postal_code: str
+    accurate: bool
+
+    @property
+    def location(self) -> GeoPoint:
+        """Coordinates of the registered city centre."""
+        return self.city.location
+
+
+class WhoisRegistry:
+    """Longest-prefix lookup over a set of :class:`WhoisRecord` entries."""
+
+    def __init__(self, records: Iterable[WhoisRecord] = ()):
+        self._records: dict[str, WhoisRecord] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: WhoisRecord) -> None:
+        """Register a record, replacing any existing record for the prefix."""
+        self._records[record.prefix] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> list[WhoisRecord]:
+        """All records (copy)."""
+        return list(self._records.values())
+
+    def lookup(self, ip_address: str) -> WhoisRecord | None:
+        """Longest-matching-prefix lookup for an IP address."""
+        octets = ip_address.split(".")
+        for length in range(len(octets), 0, -1):
+            prefix = ".".join(octets[:length])
+            record = self._records.get(prefix)
+            if record is not None:
+                return record
+        return None
+
+
+def build_registry_from_topology(
+    topology: NetworkTopology,
+    seed: int = 7,
+    inaccurate_fraction: float = 0.2,
+) -> WhoisRegistry:
+    """Create a WHOIS registry covering every host's address assignment.
+
+    Each host's assignment is registered to the host's own city with
+    probability ``1 - inaccurate_fraction``; otherwise it is registered to a
+    large "headquarters" city elsewhere, reproducing the registered-far-from-
+    reality failure mode the paper (and the IP2Geo/GeoCluster work it cites)
+    warns about.
+    """
+    if not 0.0 <= inaccurate_fraction <= 1.0:
+        raise ValueError(f"inaccurate_fraction must be in [0, 1], got {inaccurate_fraction!r}")
+    rng = random.Random(seed)
+    registry = WhoisRegistry()
+    headquarters_pool = sorted(WORLD_CITIES, key=lambda c: c.population, reverse=True)[:12]
+
+    for host in topology.hosts():
+        # Register the host's own assignment (a SWIP'd /32-style record).
+        # Coarser records covering whole provider blocks would make every
+        # record inaccurate for most hosts by construction; the paper's
+        # failure mode of interest -- headquarters registrations -- is
+        # modelled explicitly through ``inaccurate_fraction`` instead.
+        prefix = host.ip_address
+        accurate = rng.random() >= inaccurate_fraction
+        if accurate:
+            city = host.city
+        else:
+            candidates = [c for c in headquarters_pool if c.code != host.city.code]
+            city = rng.choice(candidates)
+        registry.add(
+            WhoisRecord(
+                prefix=prefix,
+                organization=f"{host.city.name} Research Network",
+                city=city,
+                postal_code=city.postal_code,
+                accurate=accurate,
+            )
+        )
+    return registry

@@ -1,0 +1,170 @@
+"""Tests for the baseline geolocalization methods (GeoLim, GeoPing, GeoTrack)."""
+
+import pytest
+
+from repro import collect_dataset, small_deployment
+from repro.baselines import (
+    Bestline,
+    GeoLim,
+    GeoPing,
+    GeoTrack,
+    Geolocalizer,
+    ShortestPing,
+    SpeedOfLight,
+    fit_bestline,
+)
+from repro.geometry import rtt_ms_to_max_distance_km
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return collect_dataset(small_deployment(host_count=10, seed=29))
+
+
+class TestBestline:
+    def test_bound_is_above_all_samples(self):
+        # (distance_km, delay_ms) with delay at least the propagation floor.
+        samples = [(d, d / 80.0 + 5.0 + (d % 7)) for d in range(100, 3000, 100)]
+        line = fit_bestline(samples)
+        for distance, delay in samples:
+            assert line.distance_bound_km(delay) >= distance - 1e-6
+
+    def test_slope_at_least_speed_of_light(self):
+        samples = [(100.0, 1.0), (200.0, 2.0), (400.0, 4.0)]
+        line = fit_bestline(samples)
+        # Bound for a given delay never exceeds the physical limit.
+        assert line.distance_bound_km(10.0) <= rtt_ms_to_max_distance_km(10.0) + 1e-6
+
+    def test_intercept_nonnegative(self):
+        samples = [(d, d / 50.0 + 3.0) for d in range(100, 2000, 150)]
+        line = fit_bestline(samples)
+        assert line.intercept_ms >= 0.0
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            fit_bestline([(100.0, 5.0)])
+
+    def test_degenerate_slope_falls_back_to_physical_bound(self):
+        line = Bestline(0.0, 0.0)
+        assert line.distance_bound_km(10.0) == rtt_ms_to_max_distance_km(10.0)
+
+    def test_bound_floor_is_positive(self):
+        samples = [(d, d / 80.0 + 5.0) for d in range(100, 2000, 100)]
+        line = fit_bestline(samples)
+        assert line.distance_bound_km(0.1) >= 1.0
+
+
+class TestGeoLim:
+    def test_produces_region_and_point(self, dataset):
+        geolim = GeoLim(dataset)
+        target = dataset.host_ids[0]
+        estimate = geolim.localize(target)
+        assert estimate.method == "geolim"
+        assert estimate.succeeded
+        assert estimate.constraints_used > 0
+
+    def test_bestlines_cached_per_landmark_set(self, dataset):
+        geolim = GeoLim(dataset)
+        landmarks = dataset.landmark_ids_excluding(dataset.host_ids[0])
+        assert geolim.bestlines_for(landmarks) is geolim.bestlines_for(list(reversed(landmarks)))
+
+    def test_point_estimate_reasonable(self, dataset):
+        geolim = GeoLim(dataset)
+        target = dataset.host_ids[1]
+        truth = dataset.true_location(target)
+        estimate = geolim.localize(target)
+        assert estimate.error_km(truth) < 6000.0
+
+    def test_uses_only_given_landmarks(self, dataset):
+        geolim = GeoLim(dataset)
+        target = dataset.host_ids[2]
+        subset = dataset.landmark_ids_excluding(target)[:4]
+        estimate = geolim.localize(target, subset)
+        assert estimate.constraints_used <= 4
+
+    def test_overconstrained_flag_recorded(self, dataset):
+        geolim = GeoLim(dataset)
+        results = [geolim.localize(t) for t in dataset.host_ids]
+        assert all("overconstrained" in r.details for r in results)
+
+
+class TestGeoPing:
+    def test_maps_to_a_landmark_position(self, dataset):
+        geoping = GeoPing(dataset)
+        target = dataset.host_ids[0]
+        estimate = geoping.localize(target)
+        assert estimate.succeeded
+        matched = estimate.details["matched_landmark"]
+        assert matched in dataset.host_ids
+        assert estimate.point.distance_km(dataset.true_location(matched)) < 1e-6
+
+    def test_no_region_produced(self, dataset):
+        geoping = GeoPing(dataset)
+        estimate = geoping.localize(dataset.host_ids[1])
+        assert estimate.region is None
+        assert not estimate.contains_true_location(dataset.true_location(dataset.host_ids[1]))
+
+    def test_error_at_least_nearest_landmark_distance(self, dataset):
+        geoping = GeoPing(dataset)
+        target = dataset.host_ids[2]
+        truth = dataset.true_location(target)
+        nearest = min(
+            dataset.true_location(lid).distance_km(truth)
+            for lid in dataset.landmark_ids_excluding(target)
+        )
+        assert geoping.localize(target).error_km(truth) >= nearest - 1e-6
+
+
+class TestGeoTrack:
+    def test_localizes_to_router_hint_or_fallback(self, dataset):
+        geotrack = GeoTrack(dataset)
+        estimate = geotrack.localize(dataset.host_ids[0])
+        assert estimate.succeeded
+        assert estimate.method == "geotrack"
+
+    def test_details_name_router_when_hint_found(self, dataset):
+        geotrack = GeoTrack(dataset)
+        found_hint = False
+        for target in dataset.host_ids:
+            estimate = geotrack.localize(target)
+            if "router" in estimate.details:
+                found_hint = True
+                assert estimate.details["dns_name"]
+                assert estimate.details["hint_city"]
+        assert found_hint
+
+    def test_single_vantage_point_used(self, dataset):
+        geotrack = GeoTrack(dataset)
+        for target in dataset.host_ids[:4]:
+            estimate = geotrack.localize(target)
+            if "vantage" in estimate.details:
+                # The vantage must be the lowest-latency landmark.
+                landmarks = dataset.landmark_ids_excluding(target)
+                best = min(landmarks, key=lambda lid: dataset.min_rtt_ms(lid, target))
+                assert estimate.details["vantage"] == best
+
+
+class TestSimpleBaselines:
+    def test_shortest_ping_matches_lowest_latency_landmark(self, dataset):
+        shortest = ShortestPing(dataset)
+        target = dataset.host_ids[0]
+        estimate = shortest.localize(target)
+        landmarks = dataset.landmark_ids_excluding(target)
+        best = min(landmarks, key=lambda lid: dataset.min_rtt_ms(lid, target))
+        assert estimate.details["matched_landmark"] == best
+
+    def test_speed_of_light_region_always_contains_truth(self, dataset):
+        sol = SpeedOfLight(dataset)
+        for target in dataset.host_ids[:5]:
+            truth = dataset.true_location(target)
+            estimate = sol.localize(target)
+            assert estimate.contains_true_location(truth)
+
+    def test_speed_of_light_region_is_large(self, dataset):
+        sol = SpeedOfLight(dataset)
+        estimate = sol.localize(dataset.host_ids[0])
+        assert estimate.region_area_km2() > 1e5
+
+    def test_protocol_conformance(self, dataset):
+        for method in (GeoLim(dataset), GeoPing(dataset), GeoTrack(dataset), ShortestPing(dataset)):
+            assert isinstance(method, Geolocalizer)

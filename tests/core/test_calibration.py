@@ -1,0 +1,146 @@
+"""Tests for the convex-hull latency-to-distance calibration (Section 2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CalibrationSample, CalibrationSet, calibrate_landmark
+from repro.geometry import rtt_ms_to_max_distance_km
+
+
+def linear_samples(slope_km_per_ms=60.0, noise=(0.8, 1.0, 1.2), latencies=range(5, 100, 5)):
+    """Synthetic scatter: distance roughly proportional to latency with spread.
+
+    Distances are capped at the physical speed-of-light bound so the synthetic
+    data stays feasible (no real measurement can exceed it).
+    """
+    samples = []
+    for latency in latencies:
+        for factor in noise:
+            distance = min(
+                slope_km_per_ms * latency * factor,
+                rtt_ms_to_max_distance_km(float(latency)),
+            )
+            samples.append(CalibrationSample(float(latency), distance))
+    return samples
+
+
+class TestCalibrationSample:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            CalibrationSample(-1.0, 100.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            CalibrationSample(1.0, -100.0)
+
+
+class TestCalibrateLandmark:
+    def test_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            calibrate_landmark("lm", [CalibrationSample(1, 10), CalibrationSample(2, 20)])
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_landmark("lm", linear_samples(), cutoff_percentile=0.0)
+
+    def test_bounds_bracket_all_samples(self):
+        samples = linear_samples()
+        calibration = calibrate_landmark("lm", samples)
+        for s in samples:
+            r, upper = calibration.bounds_km(s.latency_ms)
+            assert r <= s.distance_km + 1e-6
+            assert upper >= s.distance_km * (1.0 - 1e-9) or upper >= s.distance_km - 1e-6
+
+    def test_upper_bound_never_exceeds_speed_of_light(self):
+        calibration = calibrate_landmark("lm", linear_samples())
+        for latency in (1, 10, 50, 100, 300, 1000):
+            assert calibration.max_distance_km(latency) <= rtt_ms_to_max_distance_km(latency)
+
+    def test_bounds_monotone_enough(self):
+        calibration = calibrate_landmark("lm", linear_samples())
+        previous = 0.0
+        for latency in range(1, 200, 5):
+            upper = calibration.max_distance_km(float(latency))
+            assert upper >= previous - 1e-6
+            previous = upper
+
+    def test_min_bound_below_max_bound(self):
+        calibration = calibrate_landmark("lm", linear_samples())
+        for latency in (0.5, 5, 20, 80, 150, 400):
+            r, upper = calibration.bounds_km(latency)
+            assert r <= upper
+
+    def test_negative_latency_rejected_in_queries(self):
+        calibration = calibrate_landmark("lm", linear_samples())
+        with pytest.raises(ValueError):
+            calibration.max_distance_km(-1.0)
+        with pytest.raises(ValueError):
+            calibration.min_distance_km(-1.0)
+
+    def test_cutoff_freezes_lower_bound(self):
+        calibration = calibrate_landmark("lm", linear_samples(), cutoff_percentile=50.0)
+        frozen = calibration.min_distance_km(calibration.cutoff_ms)
+        assert calibration.min_distance_km(calibration.cutoff_ms * 3.0) == pytest.approx(
+            frozen, rel=0.05
+        )
+
+    def test_upper_bound_beyond_cutoff_blends_toward_speed_of_light(self):
+        calibration = calibrate_landmark(
+            "lm", linear_samples(), cutoff_percentile=50.0, sentinel_ms=400.0
+        )
+        at_cutoff = calibration.max_distance_km(calibration.cutoff_ms)
+        beyond = calibration.max_distance_km(calibration.cutoff_ms + 100.0)
+        assert beyond >= at_cutoff
+        # Far beyond the sentinel the bound is capped by the speed of light.
+        far = calibration.max_distance_km(2000.0)
+        assert far == pytest.approx(rtt_ms_to_max_distance_km(2000.0), rel=1e-6)
+
+    def test_slack_widens_bounds(self):
+        samples = linear_samples()
+        tight = calibrate_landmark("lm", samples, slack=0.0)
+        loose = calibrate_landmark("lm", samples, slack=0.2)
+        latency = 40.0
+        assert loose.max_distance_km(latency) >= tight.max_distance_km(latency)
+        assert loose.min_distance_km(latency) <= tight.min_distance_km(latency)
+
+    def test_aggressive_bounds_tighter_than_speed_of_light(self):
+        """The whole point of calibration: bounds well below the physical limit."""
+        calibration = calibrate_landmark("lm", linear_samples(slope_km_per_ms=60.0))
+        # 60 km/ms of RTT is far below ~100 km/ms at 2/3 c, so the calibrated
+        # bound at mid-range latencies must be much tighter than the physical one.
+        latency = 50.0
+        assert calibration.max_distance_km(latency) < 0.8 * rtt_ms_to_max_distance_km(latency)
+
+    @given(
+        slope=st.floats(20.0, 95.0),
+        spread=st.floats(1.05, 1.6),
+        cutoff=st.floats(40.0, 95.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sample_containment_property(self, slope, spread, cutoff):
+        """Every calibration sample satisfies its own landmark's bounds."""
+        samples = linear_samples(slope_km_per_ms=slope, noise=(1.0 / spread, 1.0, spread))
+        calibration = calibrate_landmark("lm", samples, cutoff_percentile=cutoff)
+        for s in samples:
+            if s.latency_ms <= calibration.cutoff_ms:
+                r, upper = calibration.bounds_km(s.latency_ms)
+                assert r <= s.distance_km + 1e-6
+                assert upper >= s.distance_km - 1e-6
+
+
+class TestCalibrationSet:
+    def test_add_and_get(self):
+        calibration = calibrate_landmark("lm-1", linear_samples())
+        cs = CalibrationSet()
+        cs.add(calibration)
+        assert "lm-1" in cs
+        assert cs.get("lm-1") is calibration
+        assert cs.get("lm-2") is None
+        assert cs.landmark_ids() == ["lm-1"]
+        assert len(cs) == 1
+
+    def test_constructor_with_mapping(self):
+        calibration = calibrate_landmark("lm-1", linear_samples())
+        cs = CalibrationSet({"lm-1": calibration})
+        assert cs.get("lm-1") is calibration

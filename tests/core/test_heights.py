@@ -1,0 +1,171 @@
+"""Tests for height (minimum queuing delay) estimation (Section 2.2)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    HeightModel,
+    estimate_landmark_heights,
+    estimate_target_height,
+    pairwise_excess_ms,
+)
+from repro.core.heights import estimate_landmark_heights_lstsq
+from repro.geometry import GeoPoint, distance_km_to_min_rtt_ms
+
+
+def synthetic_landmarks(n=12, seed=3):
+    """Landmarks on a grid with known heights and exact-height RTTs."""
+    rng = random.Random(seed)
+    locations = {}
+    heights = {}
+    for i in range(n):
+        lid = f"lm-{i}"
+        locations[lid] = GeoPoint(35.0 + (i % 4) * 3.0, -110.0 + (i // 4) * 6.0)
+        heights[lid] = rng.uniform(0.5, 8.0)
+    return locations, heights
+
+
+def rtts_from(locations, heights, inflation=lambda a, b: 0.0):
+    rtts = {}
+    ids = sorted(locations)
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            transmission = distance_km_to_min_rtt_ms(locations[a].distance_km(locations[b]))
+            rtts[(a, b)] = transmission + heights[a] + heights[b] + inflation(a, b)
+    return rtts
+
+
+class TestHeightModel:
+    def test_unknown_node_has_zero_height(self):
+        model = HeightModel({"a": 2.0}, residual_ms=0.0)
+        assert model.height("a") == 2.0
+        assert model.height("zzz") == 0.0
+
+    def test_adjusted_rtt_never_negative(self):
+        model = HeightModel({"a": 5.0, "b": 7.0}, residual_ms=0.0)
+        assert model.adjusted_rtt_ms(10.0, "a", "b") == 0.0
+        assert model.adjusted_rtt_ms(20.0, "a", "b") == pytest.approx(8.0)
+
+
+class TestLandmarkHeights:
+    def test_exact_recovery_without_inflation(self):
+        locations, true_heights = synthetic_landmarks()
+        rtts = rtts_from(locations, true_heights)
+        model = estimate_landmark_heights(locations, rtts)
+        for lid, expected in true_heights.items():
+            assert model.height(lid) == pytest.approx(expected, abs=0.5)
+
+    def test_lstsq_exact_recovery_without_inflation(self):
+        locations, true_heights = synthetic_landmarks()
+        rtts = rtts_from(locations, true_heights)
+        model = estimate_landmark_heights_lstsq(locations, rtts)
+        for lid, expected in true_heights.items():
+            assert model.height(lid) == pytest.approx(expected, abs=1e-6)
+
+    def test_robust_estimator_resists_inflation(self):
+        """With per-pair inflation the quantile estimator stays near the truth
+        while the least-squares estimator drifts upward."""
+        locations, true_heights = synthetic_landmarks()
+        rng = random.Random(9)
+        rtts = rtts_from(locations, true_heights, inflation=lambda a, b: rng.uniform(0.0, 20.0))
+        robust = estimate_landmark_heights(locations, rtts)
+        lstsq = estimate_landmark_heights_lstsq(locations, rtts)
+        robust_bias = sum(robust.height(l) - true_heights[l] for l in true_heights)
+        lstsq_bias = sum(lstsq.height(l) - true_heights[l] for l in true_heights)
+        assert robust_bias < lstsq_bias
+
+    def test_heights_nonnegative(self):
+        locations, true_heights = synthetic_landmarks()
+        rtts = rtts_from(locations, true_heights)
+        model = estimate_landmark_heights(locations, rtts)
+        assert all(h >= 0 for h in model.heights_ms.values())
+
+    def test_needs_at_least_three_landmarks(self):
+        locations = {"a": GeoPoint(0, 0), "b": GeoPoint(1, 1)}
+        with pytest.raises(ValueError):
+            estimate_landmark_heights(locations, {("a", "b"): 10.0})
+
+    def test_needs_enough_pairs(self):
+        locations, _ = synthetic_landmarks(n=5)
+        with pytest.raises(ValueError):
+            estimate_landmark_heights(locations, {("lm-0", "lm-1"): 10.0})
+
+    def test_invalid_quantile_rejected(self):
+        locations, true_heights = synthetic_landmarks()
+        rtts = rtts_from(locations, true_heights)
+        with pytest.raises(ValueError):
+            estimate_landmark_heights(locations, rtts, quantile=0.9)
+
+    def test_duplicate_pairs_keep_minimum(self):
+        locations, true_heights = synthetic_landmarks(n=4)
+        rtts = rtts_from(locations, true_heights)
+        noisy = dict(rtts)
+        # Add reversed-direction duplicates with larger values; they must be ignored.
+        for (a, b), v in rtts.items():
+            noisy[(b, a)] = v + 50.0
+        model = estimate_landmark_heights(locations, noisy)
+        clean = estimate_landmark_heights(locations, rtts)
+        for lid in locations:
+            assert model.height(lid) == pytest.approx(clean.height(lid), abs=1e-6)
+
+
+class TestTargetHeight:
+    def test_recovers_target_height(self):
+        locations, true_heights = synthetic_landmarks()
+        rtts = rtts_from(locations, true_heights)
+        model = estimate_landmark_heights(locations, rtts)
+
+        target_location = GeoPoint(38.0, -100.0)
+        target_height = 4.0
+        target_rtts = {
+            lid: distance_km_to_min_rtt_ms(target_location.distance_km(loc))
+            + true_heights[lid]
+            + target_height
+            for lid, loc in locations.items()
+        }
+        estimated, rough = estimate_target_height(target_rtts, locations, model)
+        assert estimated == pytest.approx(target_height, abs=1.5)
+        assert rough.distance_km(target_location) < 1500.0
+
+    def test_zero_height_target(self):
+        locations, true_heights = synthetic_landmarks()
+        rtts = rtts_from(locations, true_heights)
+        model = estimate_landmark_heights(locations, rtts)
+        target_location = GeoPoint(40.0, -105.0)
+        target_rtts = {
+            lid: distance_km_to_min_rtt_ms(target_location.distance_km(loc)) + true_heights[lid]
+            for lid, loc in locations.items()
+        }
+        estimated, _ = estimate_target_height(target_rtts, locations, model)
+        assert estimated == pytest.approx(0.0, abs=1.0)
+
+    def test_requires_three_measurements(self):
+        locations, true_heights = synthetic_landmarks()
+        model = HeightModel({lid: 0.0 for lid in locations}, residual_ms=0.0)
+        with pytest.raises(ValueError):
+            estimate_target_height({"lm-0": 10.0}, locations, model)
+
+    def test_height_never_negative(self):
+        locations, true_heights = synthetic_landmarks()
+        rtts = rtts_from(locations, true_heights)
+        model = estimate_landmark_heights(locations, rtts)
+        target_rtts = {lid: 1.0 for lid in list(locations)[:5]}
+        estimated, _ = estimate_target_height(target_rtts, locations, model)
+        assert estimated >= 0.0
+
+
+class TestPairwiseExcess:
+    def test_excess_of_exact_propagation_is_zero(self):
+        a, b = GeoPoint(40.0, -100.0), GeoPoint(42.0, -95.0)
+        rtt = distance_km_to_min_rtt_ms(a.distance_km(b))
+        assert pairwise_excess_ms(a, b, rtt) == pytest.approx(0.0, abs=1e-9)
+
+    def test_excess_positive_for_inflated_measurement(self):
+        a, b = GeoPoint(40.0, -100.0), GeoPoint(42.0, -95.0)
+        rtt = distance_km_to_min_rtt_ms(a.distance_km(b)) + 12.0
+        assert pairwise_excess_ms(a, b, rtt) == pytest.approx(12.0)
+
+    def test_excess_floored_at_zero(self):
+        a, b = GeoPoint(40.0, -100.0), GeoPoint(42.0, -95.0)
+        assert pairwise_excess_ms(a, b, 0.0) == 0.0

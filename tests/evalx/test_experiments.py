@@ -1,0 +1,148 @@
+"""Tests for the experiment harness that regenerates the paper's figures."""
+
+import pytest
+
+from repro import OctantConfig, collect_dataset, small_deployment
+from repro.baselines import GeoLim, GeoPing, ShortestPing
+from repro.core import Octant
+from repro.evalx import (
+    ABLATION_CONFIGS,
+    calibration_scatter,
+    default_method_factories,
+    format_ablation_table,
+    format_calibration_summary,
+    format_cdf_table,
+    format_error_table,
+    format_landmark_sweep,
+    run_ablation_study,
+    run_accuracy_study,
+    run_landmark_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return collect_dataset(small_deployment(host_count=8, seed=41))
+
+
+#: Fast method set used by the harness tests: region method, point method.
+FAST_METHODS = {
+    "geolim": lambda ds: GeoLim(ds),
+    "geoping": lambda ds: GeoPing(ds),
+    "shortest-ping": lambda ds: ShortestPing(ds),
+}
+
+
+class TestCalibrationScatter:
+    def test_scatter_covers_all_peers(self, dataset):
+        scatter = calibration_scatter(dataset, dataset.host_ids[0])
+        assert len(scatter.samples) == len(dataset.host_ids) - 1
+
+    def test_facets_and_percentiles_present(self, dataset):
+        scatter = calibration_scatter(dataset, dataset.host_ids[0])
+        assert len(scatter.upper_facet) >= 2
+        assert len(scatter.lower_facet) >= 2
+        assert set(scatter.latency_percentiles) == {50, 75, 90}
+        assert scatter.max_latency_ms() > 0
+
+    def test_speed_of_light_line_dominates_samples(self, dataset):
+        """Every sample lies below the 2/3-c line, as in the paper's Figure 2."""
+        scatter = calibration_scatter(dataset, dataset.host_ids[1])
+        from repro.geometry import rtt_ms_to_max_distance_km
+
+        for sample in scatter.samples:
+            assert sample.distance_km <= rtt_ms_to_max_distance_km(sample.latency_ms) + 1e-6
+
+    def test_summary_formatting(self, dataset):
+        scatter = calibration_scatter(dataset, dataset.host_ids[0])
+        text = format_calibration_summary(scatter)
+        assert "upper facet" in text
+        assert dataset.host_ids[0] in text
+
+    def test_unknown_landmark_rejected(self, dataset):
+        with pytest.raises(KeyError):
+            calibration_scatter(dataset, "host-nonexistent")
+
+
+class TestAccuracyStudy:
+    def test_study_covers_methods_and_targets(self, dataset):
+        study = run_accuracy_study(dataset, FAST_METHODS, target_ids=dataset.host_ids[:4])
+        assert set(study.methods()) == set(FAST_METHODS)
+        assert len(study.results) == len(FAST_METHODS) * 4
+
+    def test_statistics_and_formatting(self, dataset):
+        study = run_accuracy_study(dataset, FAST_METHODS, target_ids=dataset.host_ids[:4])
+        stats = study.statistics()
+        assert all(s.count == 4 for s in stats.values())
+        table = format_error_table(study)
+        assert "median (mi)" in table
+        cdf = format_cdf_table(study, thresholds=(50, 200))
+        assert "<=50 mi" in cdf
+
+    def test_containment_only_for_region_methods(self, dataset):
+        study = run_accuracy_study(dataset, FAST_METHODS, target_ids=dataset.host_ids[:4])
+        assert study.containment_for("geoping") == 0.0
+        assert 0.0 <= study.containment_for("geolim") <= 1.0
+
+    def test_default_method_factories_include_paper_methods(self):
+        factories = default_method_factories()
+        assert {"octant", "geolim", "geoping", "geotrack"} <= set(factories)
+
+    def test_octant_factory_accepts_config(self, dataset):
+        factories = default_method_factories(OctantConfig.latency_only())
+        octant = factories["octant"](dataset)
+        assert isinstance(octant, Octant)
+        assert not octant.config.use_piecewise
+
+
+class TestLandmarkSweep:
+    def test_sweep_points_structure(self, dataset):
+        points = run_landmark_sweep(
+            dataset,
+            landmark_counts=(4, 6),
+            method_factories={"geolim": lambda ds: GeoLim(ds)},
+            target_ids=dataset.host_ids[:3],
+        )
+        assert {p.landmark_count for p in points} == {4, 6}
+        for p in points:
+            assert 0.0 <= p.containment <= 1.0
+            assert p.targets_evaluated > 0
+
+    def test_sweep_formatting(self, dataset):
+        points = run_landmark_sweep(
+            dataset,
+            landmark_counts=(4,),
+            method_factories={"geolim": lambda ds: GeoLim(ds)},
+            target_ids=dataset.host_ids[:3],
+        )
+        table = format_landmark_sweep(points)
+        assert "landmarks" in table
+        assert "geolim in-region" in table
+
+    def test_sweep_caps_landmark_count(self, dataset):
+        points = run_landmark_sweep(
+            dataset,
+            landmark_counts=(100,),
+            method_factories={"geolim": lambda ds: GeoLim(ds)},
+            target_ids=dataset.host_ids[:2],
+        )
+        assert all(p.landmark_count <= len(dataset.host_ids) - 1 for p in points)
+
+
+class TestAblation:
+    def test_ablation_config_catalogue(self):
+        assert "full" in ABLATION_CONFIGS
+        assert any("heights" in name for name in ABLATION_CONFIGS)
+        assert any("weights" in name for name in ABLATION_CONFIGS)
+
+    def test_ablation_run_small(self, dataset):
+        configs = {
+            "latency-only": OctantConfig.latency_only(),
+            "conservative": OctantConfig.conservative(),
+        }
+        results = run_ablation_study(dataset, configs, target_ids=dataset.host_ids[:2])
+        assert len(results) == 2
+        names = {r.name for r in results}
+        assert names == set(configs)
+        table = format_ablation_table(results)
+        assert "configuration" in table

@@ -1,0 +1,123 @@
+"""Tests for the evaluation metrics and reporting helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evalx import (
+    ErrorStatistics,
+    cdf_at,
+    containment_rate,
+    empirical_cdf,
+    format_table,
+    percentile,
+    summarize_errors,
+)
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5, 1, 9, 3]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_single_value(self):
+        assert percentile([7.0], 90) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2], 150)
+
+    @given(st.lists(st.floats(0, 1000), min_size=1, max_size=50), st.floats(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_within_range(self, values, q):
+        result = percentile(values, q)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+class TestErrorStatistics:
+    def test_summary_fields(self):
+        stats = ErrorStatistics.from_errors([10, 20, 30, 40, 50])
+        assert stats.count == 5
+        assert stats.median == 30
+        assert stats.mean == 30
+        assert stats.worst == 50
+        assert stats.best == 10
+        assert stats.p90 == pytest.approx(46.0)
+
+    def test_infinite_errors_excluded(self):
+        stats = ErrorStatistics.from_errors([10, math.inf, 20])
+        assert stats.count == 2
+        assert stats.worst == 20
+
+    def test_all_infinite_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorStatistics.from_errors([math.inf, math.inf])
+
+    def test_as_dict_rounding(self):
+        stats = ErrorStatistics.from_errors([10.123, 20.456])
+        d = stats.as_dict()
+        assert d["median"] == pytest.approx(15.3, abs=0.05)
+        assert d["count"] == 2
+
+    def test_summarize_errors_skips_all_failed_methods(self):
+        out = summarize_errors({"good": [1.0, 2.0], "broken": [math.inf]})
+        assert "good" in out
+        assert "broken" not in out
+
+
+class TestCdf:
+    def test_empirical_cdf_monotone(self):
+        cdf = empirical_cdf([5, 1, 3, 2, 4])
+        values = [v for v, _ in cdf]
+        fractions = [f for _, f in cdf]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_empirical_cdf_with_failures_tops_below_one(self):
+        cdf = empirical_cdf([1.0, 2.0, math.inf, math.inf])
+        assert cdf[-1][1] == pytest.approx(0.5)
+
+    def test_empirical_cdf_empty(self):
+        assert empirical_cdf([]) == []
+
+    def test_cdf_at_thresholds(self):
+        fractions = cdf_at([10, 20, 30, 40], [15, 35, 100])
+        assert fractions == [pytest.approx(0.25), pytest.approx(0.75), pytest.approx(1.0)]
+
+    def test_cdf_at_empty(self):
+        assert cdf_at([], [10, 20]) == [0.0, 0.0]
+
+
+class TestContainment:
+    def test_rate(self):
+        assert containment_rate([True, True, False, False]) == 0.5
+
+    def test_empty(self):
+        assert containment_rate([]) == 0.0
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.0], ["long-name", 23.456]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "23.5" in lines[-1]
+
+    def test_format_table_handles_mixed_types(self):
+        table = format_table(["x"], [[1], ["text"], [2.5]])
+        assert "text" in table

@@ -1,0 +1,156 @@
+"""Tests for bounding boxes and convex hulls."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    BoundingBox,
+    Point2D,
+    convex_hull,
+    is_point_in_convex_hull,
+    lower_hull,
+    upper_hull,
+)
+
+
+class TestBoundingBox:
+    def test_invalid_corners_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(5, 0, 0, 5)
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([Point2D(1, 2), Point2D(-3, 7), Point2D(4, 0)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-3, 0, 4, 7)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_points([])
+
+    def test_dimensions(self):
+        box = BoundingBox(0, 0, 4, 3)
+        assert box.width == 4
+        assert box.height == 3
+        assert box.area == 12
+        assert box.center.almost_equal(Point2D(2, 1.5))
+
+    def test_contains_point(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert box.contains_point(Point2D(1, 1))
+        assert box.contains_point(Point2D(0, 2))
+        assert not box.contains_point(Point2D(3, 1))
+        assert box.contains_point(Point2D(2.5, 1), tol=0.5)
+
+    def test_intersects(self):
+        a = BoundingBox(0, 0, 2, 2)
+        assert a.intersects(BoundingBox(1, 1, 3, 3))
+        assert a.intersects(BoundingBox(2, 2, 3, 3))  # touching counts
+        assert not a.intersects(BoundingBox(5, 5, 6, 6))
+
+    def test_contains_box(self):
+        outer = BoundingBox(0, 0, 10, 10)
+        assert outer.contains_box(BoundingBox(2, 2, 5, 5))
+        assert not outer.contains_box(BoundingBox(5, 5, 15, 15))
+
+    def test_union(self):
+        u = BoundingBox(0, 0, 1, 1).union(BoundingBox(5, 5, 6, 6))
+        assert (u.min_x, u.min_y, u.max_x, u.max_y) == (0, 0, 6, 6)
+
+    def test_intersection(self):
+        inter = BoundingBox(0, 0, 4, 4).intersection(BoundingBox(2, 2, 6, 6))
+        assert inter is not None
+        assert (inter.min_x, inter.min_y, inter.max_x, inter.max_y) == (2, 2, 4, 4)
+
+    def test_intersection_disjoint_is_none(self):
+        assert BoundingBox(0, 0, 1, 1).intersection(BoundingBox(5, 5, 6, 6)) is None
+
+    def test_expanded(self):
+        box = BoundingBox(0, 0, 2, 2).expanded(1.0)
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-1, -1, 3, 3)
+
+    def test_corners_ccw(self):
+        corners = BoundingBox(0, 0, 2, 1).corners()
+        assert len(corners) == 4
+        assert corners[0].almost_equal(Point2D(0, 0))
+        assert corners[2].almost_equal(Point2D(2, 1))
+
+
+class TestConvexHull:
+    def test_hull_of_square_with_interior_point(self):
+        pts = [Point2D(0, 0), Point2D(4, 0), Point2D(4, 4), Point2D(0, 4), Point2D(2, 2)]
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert Point2D(2, 2) not in hull
+
+    def test_hull_is_counter_clockwise(self):
+        from repro.geometry import cross
+
+        pts = [Point2D(0, 0), Point2D(3, 1), Point2D(4, 4), Point2D(1, 3), Point2D(2, 2)]
+        hull = convex_hull(pts)
+        n = len(hull)
+        for i in range(n):
+            a, b, c = hull[i], hull[(i + 1) % n], hull[(i + 2) % n]
+            assert cross(b - a, c - b) >= 0
+
+    def test_degenerate_collinear_points(self):
+        pts = [Point2D(0, 0), Point2D(1, 1), Point2D(2, 2)]
+        hull = convex_hull(pts)
+        assert len(hull) <= 3
+
+    def test_duplicate_points_deduplicated(self):
+        pts = [Point2D(0, 0), Point2D(0, 0), Point2D(1, 0), Point2D(0, 1)]
+        assert len(convex_hull(pts)) == 3
+
+    def test_upper_and_lower_hull_partition(self):
+        pts = [Point2D(float(i), float((i * 7) % 5)) for i in range(12)]
+        up = upper_hull(pts)
+        lo = lower_hull(pts)
+        # Both chains share the leftmost and rightmost points.
+        assert up[0].almost_equal(lo[0])
+        assert up[-1].almost_equal(lo[-1])
+
+    def test_upper_hull_dominates_lower_hull(self):
+        pts = [Point2D(float(i % 7), float((i * 13) % 11)) for i in range(25)]
+        up = upper_hull(pts)
+        lo = lower_hull(pts)
+
+        def interp(chain, x):
+            for i in range(len(chain) - 1):
+                a, b = chain[i], chain[i + 1]
+                if a.x <= x <= b.x and b.x > a.x:
+                    t = (x - a.x) / (b.x - a.x)
+                    return a.y + t * (b.y - a.y)
+            return None
+
+        for p in pts:
+            hi = interp(up, p.x)
+            lo_y = interp(lo, p.x)
+            if hi is not None:
+                assert hi >= p.y - 1e-9
+            if lo_y is not None:
+                assert lo_y <= p.y + 1e-9
+
+    def test_point_in_hull(self):
+        hull = convex_hull([Point2D(0, 0), Point2D(4, 0), Point2D(4, 4), Point2D(0, 4)])
+        assert is_point_in_convex_hull(Point2D(2, 2), hull)
+        assert is_point_in_convex_hull(Point2D(0, 0), hull)
+        assert not is_point_in_convex_hull(Point2D(5, 2), hull)
+
+    def test_point_in_empty_hull(self):
+        assert not is_point_in_convex_hull(Point2D(0, 0), [])
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+            min_size=3,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_points_inside_their_hull(self, raw_points):
+        pts = [Point2D(x, y) for x, y in raw_points]
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            return
+        for p in pts:
+            assert is_point_in_convex_hull(p, hull, tol=1e-6)

@@ -1,0 +1,171 @@
+"""Tests for cubic Bezier curves and closed Bezier paths."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import BezierPath, CubicBezier, Point2D
+
+
+def straight_segment():
+    return CubicBezier.from_line(Point2D(0, 0), Point2D(10, 0))
+
+
+class TestCubicBezierEvaluation:
+    def test_endpoints(self):
+        curve = CubicBezier(Point2D(0, 0), Point2D(1, 2), Point2D(3, 2), Point2D(4, 0))
+        assert curve.point_at(0.0).almost_equal(Point2D(0, 0))
+        assert curve.point_at(1.0).almost_equal(Point2D(4, 0))
+
+    def test_midpoint_of_straight_segment(self):
+        assert straight_segment().point_at(0.5).almost_equal(Point2D(5, 0))
+
+    def test_symmetry_of_symmetric_curve(self):
+        curve = CubicBezier(Point2D(0, 0), Point2D(1, 3), Point2D(3, 3), Point2D(4, 0))
+        left = curve.point_at(0.25)
+        right = curve.point_at(0.75)
+        assert left.y == pytest.approx(right.y)
+        assert left.x + right.x == pytest.approx(4.0)
+
+    def test_derivative_direction_for_straight_segment(self):
+        d = straight_segment().derivative_at(0.5)
+        assert d.y == pytest.approx(0.0)
+        assert d.x > 0
+
+
+class TestSplitAndFlatten:
+    def test_split_preserves_endpoints(self):
+        curve = CubicBezier(Point2D(0, 0), Point2D(1, 2), Point2D(3, 2), Point2D(4, 0))
+        left, right = curve.split(0.5)
+        assert left.p0.almost_equal(curve.p0)
+        assert right.p3.almost_equal(curve.p3)
+        assert left.p3.almost_equal(right.p0)
+
+    def test_split_point_matches_evaluation(self):
+        curve = CubicBezier(Point2D(0, 0), Point2D(1, 2), Point2D(3, 2), Point2D(4, 0))
+        left, _ = curve.split(0.3)
+        assert left.p3.almost_equal(curve.point_at(0.3))
+
+    def test_flatten_endpoints(self):
+        curve = CubicBezier(Point2D(0, 0), Point2D(0, 5), Point2D(5, 5), Point2D(5, 0))
+        pts = curve.flatten(0.1)
+        assert pts[0].almost_equal(curve.p0)
+        assert pts[-1].almost_equal(curve.p3)
+
+    def test_flatten_respects_tolerance(self):
+        curve = CubicBezier(Point2D(0, 0), Point2D(0, 10), Point2D(10, 10), Point2D(10, 0))
+        coarse = curve.flatten(5.0)
+        fine = curve.flatten(0.01)
+        assert len(fine) > len(coarse)
+
+    def test_flatten_requires_positive_tolerance(self):
+        with pytest.raises(ValueError):
+            straight_segment().flatten(0.0)
+
+    def test_straight_segment_is_already_flat(self):
+        assert straight_segment().flatness() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestMiscCurve:
+    def test_arc_length_of_straight_segment(self):
+        assert straight_segment().arc_length() == pytest.approx(10.0, rel=1e-6)
+
+    def test_reversed_swaps_endpoints(self):
+        curve = CubicBezier(Point2D(0, 0), Point2D(1, 2), Point2D(3, 2), Point2D(4, 0))
+        rev = curve.reversed()
+        assert rev.p0.almost_equal(curve.p3)
+        assert rev.p3.almost_equal(curve.p0)
+
+    def test_reversed_traces_same_points(self):
+        curve = CubicBezier(Point2D(0, 0), Point2D(1, 2), Point2D(3, 2), Point2D(4, 0))
+        assert curve.reversed().point_at(0.25).almost_equal(curve.point_at(0.75))
+
+    def test_transform_translation(self):
+        moved = straight_segment().transformed(lambda p: p + Point2D(0, 5))
+        assert moved.point_at(0.5).almost_equal(Point2D(5, 5))
+
+    def test_bounding_box_contains_curve(self):
+        curve = CubicBezier(Point2D(0, 0), Point2D(2, 8), Point2D(6, -4), Point2D(8, 2))
+        box = curve.bounding_box()
+        for i in range(21):
+            assert box.contains_point(curve.point_at(i / 20.0), tol=1e-9)
+
+
+class TestBezierPath:
+    def test_circle_area_close_to_true_circle(self):
+        path = BezierPath.circle(Point2D(0, 0), 100.0)
+        assert path.area(tolerance=0.05) == pytest.approx(math.pi * 100.0**2, rel=0.001)
+
+    def test_circle_radius_error_is_small(self):
+        path = BezierPath.circle(Point2D(0, 0), 100.0)
+        for seg in path.segments:
+            for i in range(11):
+                r = seg.point_at(i / 10.0).norm()
+                assert abs(r - 100.0) < 0.05
+
+    def test_circle_contains_center(self):
+        assert BezierPath.circle(Point2D(3, 4), 10.0).contains_point(Point2D(3, 4))
+
+    def test_circle_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            BezierPath.circle(Point2D(0, 0), 0.0)
+
+    def test_from_points_closes_loop(self):
+        path = BezierPath.from_points(
+            [Point2D(0, 0), Point2D(4, 0), Point2D(4, 4), Point2D(0, 4)]
+        )
+        assert len(path) == 4
+        assert path.area() == pytest.approx(16.0, rel=1e-6)
+
+    def test_from_points_requires_three(self):
+        with pytest.raises(ValueError):
+            BezierPath.from_points([Point2D(0, 0), Point2D(1, 1)])
+
+    def test_disconnected_segments_rejected(self):
+        seg1 = CubicBezier.from_line(Point2D(0, 0), Point2D(1, 0))
+        seg2 = CubicBezier.from_line(Point2D(5, 5), Point2D(0, 0))
+        with pytest.raises(ValueError):
+            BezierPath([seg1, seg2])
+
+    def test_translated_path(self):
+        path = BezierPath.circle(Point2D(0, 0), 5.0).translated(Point2D(10, 0))
+        assert path.contains_point(Point2D(10, 0))
+        assert not path.contains_point(Point2D(0, 0))
+
+    def test_scaled_path_area(self):
+        path = BezierPath.circle(Point2D(0, 0), 5.0)
+        # Use a fine flattening tolerance so the comparison is not dominated
+        # by the polyline approximation of the two differently sized circles.
+        assert path.scaled(2.0).area(0.001) == pytest.approx(path.area(0.001) * 4.0, rel=1e-3)
+
+    def test_to_polygon_roundtrip_area(self):
+        path = BezierPath.circle(Point2D(0, 0), 50.0)
+        assert path.to_polygon(0.1).area() == pytest.approx(path.area(0.1), rel=1e-9)
+
+    def test_perimeter_of_circle(self):
+        path = BezierPath.circle(Point2D(0, 0), 100.0)
+        assert path.perimeter() == pytest.approx(2 * math.pi * 100.0, rel=0.001)
+
+
+class TestPropertyBased:
+    @given(
+        cx=st.floats(-1e4, 1e4),
+        cy=st.floats(-1e4, 1e4),
+        radius=st.floats(0.1, 1e4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_circle_area_scales_with_radius_squared(self, cx, cy, radius):
+        path = BezierPath.circle(Point2D(cx, cy), radius)
+        assert path.area(tolerance=max(radius / 500.0, 1e-3)) == pytest.approx(
+            math.pi * radius * radius, rel=0.01
+        )
+
+    @given(t=st.floats(0.01, 0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_split_continuity(self, t):
+        curve = CubicBezier(Point2D(0, 0), Point2D(2, 7), Point2D(9, -3), Point2D(10, 1))
+        left, right = curve.split(t)
+        assert left.p3.almost_equal(right.p0, tol=1e-9)
+        assert left.p3.almost_equal(curve.point_at(t), tol=1e-6)

@@ -1,0 +1,230 @@
+"""Tests for polygon boolean operations: intersection, union, difference."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point2D,
+    Polygon,
+    clip_convex,
+    clip_halfplane,
+    intersect_polygons,
+    subtract_convex,
+    subtract_polygons,
+    union_polygons,
+)
+
+
+def square(size=2.0, origin=Point2D(0, 0)):
+    return Polygon(
+        [
+            origin,
+            origin + Point2D(size, 0),
+            origin + Point2D(size, size),
+            origin + Point2D(0, size),
+        ]
+    )
+
+
+def circle(cx, cy, r, sides=48):
+    return Polygon.regular(Point2D(cx, cy), r, sides)
+
+
+def total_area(polygons):
+    return sum(p.area() for p in polygons)
+
+
+class TestClipConvex:
+    def test_overlapping_squares(self):
+        result = clip_convex(square(4.0), square(4.0, origin=Point2D(2, 2)))
+        assert result is not None
+        assert result.area() == pytest.approx(4.0, rel=1e-6)
+
+    def test_disjoint_squares(self):
+        assert clip_convex(square(2.0), square(2.0, origin=Point2D(10, 10))) is None
+
+    def test_contained_square(self):
+        inner = square(2.0, origin=Point2D(1, 1))
+        result = clip_convex(inner, square(10.0))
+        assert result is not None
+        assert result.area() == pytest.approx(4.0, rel=1e-6)
+
+    def test_clip_larger_subject(self):
+        result = clip_convex(square(10.0), square(2.0, origin=Point2D(1, 1)))
+        assert result is not None
+        assert result.area() == pytest.approx(4.0, rel=1e-6)
+
+    def test_circle_circle_lens(self):
+        # Two unit-radius circles with centres 1 apart: lens area formula.
+        a = circle(0, 0, 1.0, sides=256)
+        b = circle(1, 0, 1.0, sides=256)
+        result = clip_convex(a, b)
+        expected = 2.0 * math.acos(0.5) - 0.5 * math.sqrt(3.0)
+        assert result is not None
+        assert result.area() == pytest.approx(expected, rel=0.01)
+
+    def test_concave_subject_convex_clip(self):
+        ell = Polygon(
+            [
+                Point2D(0, 0),
+                Point2D(4, 0),
+                Point2D(4, 2),
+                Point2D(2, 2),
+                Point2D(2, 4),
+                Point2D(0, 4),
+            ]
+        )
+        result = clip_convex(ell, square(4.0))
+        assert result is not None
+        assert result.area() == pytest.approx(ell.area(), rel=1e-6)
+
+
+class TestClipHalfplane:
+    def test_keep_left(self):
+        result = clip_halfplane(square(2.0), Point2D(1, -10), Point2D(1, 10), keep_left=True)
+        assert result is not None
+        assert result.area() == pytest.approx(2.0, rel=1e-6)
+        assert result.centroid().x < 1.0
+
+    def test_keep_right(self):
+        result = clip_halfplane(square(2.0), Point2D(1, -10), Point2D(1, 10), keep_left=False)
+        assert result is not None
+        assert result.area() == pytest.approx(2.0, rel=1e-6)
+        assert result.centroid().x > 1.0
+
+    def test_everything_clipped_away(self):
+        result = clip_halfplane(square(2.0), Point2D(10, -1), Point2D(10, 1), keep_left=False)
+        assert result is None
+
+    def test_nothing_clipped(self):
+        result = clip_halfplane(square(2.0), Point2D(-5, -10), Point2D(-5, 10), keep_left=False)
+        assert result is not None
+        assert result.area() == pytest.approx(4.0, rel=1e-6)
+
+
+class TestIntersect:
+    def test_partial_overlap(self):
+        pieces = intersect_polygons(square(4.0), square(4.0, origin=Point2D(2, 2)))
+        assert total_area(pieces) == pytest.approx(4.0, rel=1e-6)
+
+    def test_disjoint(self):
+        assert intersect_polygons(square(2.0), square(2.0, origin=Point2D(5, 5))) == []
+
+    def test_intersection_commutes(self):
+        a, b = circle(0, 0, 3.0), square(4.0, origin=Point2D(1, 1))
+        area_ab = total_area(intersect_polygons(a, b))
+        area_ba = total_area(intersect_polygons(b, a))
+        assert area_ab == pytest.approx(area_ba, rel=1e-3)
+
+    def test_intersection_bounded_by_operands(self):
+        a, b = circle(0, 0, 3.0), circle(2, 0, 2.0)
+        area = total_area(intersect_polygons(a, b))
+        assert area <= min(a.area(), b.area()) + 1e-6
+        assert area > 0
+
+
+class TestSubtractConvex:
+    def test_hole_in_middle_preserves_area(self):
+        outer = square(10.0)
+        inner = square(2.0, origin=Point2D(4, 4))
+        pieces = subtract_convex(outer, inner)
+        assert total_area(pieces) == pytest.approx(96.0, rel=1e-6)
+
+    def test_partial_overlap(self):
+        pieces = subtract_convex(square(4.0), square(4.0, origin=Point2D(2, 2)))
+        assert total_area(pieces) == pytest.approx(12.0, rel=1e-6)
+
+    def test_subtract_everything(self):
+        pieces = subtract_convex(square(2.0), square(10.0, origin=Point2D(-4, -4)))
+        assert pieces == []
+
+    def test_disjoint_returns_subject(self):
+        subject = square(2.0)
+        pieces = subtract_convex(subject, square(2.0, origin=Point2D(10, 10)))
+        assert total_area(pieces) == pytest.approx(subject.area(), rel=1e-9)
+
+    def test_pieces_are_disjoint_from_clip(self):
+        outer = square(10.0)
+        inner = circle(5, 5, 2.0)
+        for piece in subtract_convex(outer, inner):
+            centroid = piece.centroid()
+            # Piece centroids must not be inside the removed disk.
+            assert not inner.contains_point(centroid, include_boundary=False) or piece.area() < 1e-3
+
+
+class TestSubtractPolygons:
+    def test_convex_clip_dispatches_correctly(self):
+        pieces = subtract_polygons(square(6.0), square(2.0, origin=Point2D(2, 2)))
+        assert total_area(pieces) == pytest.approx(32.0, rel=1e-6)
+
+    def test_subtract_covering_clip_empties(self):
+        assert subtract_polygons(square(2.0), square(8.0, origin=Point2D(-3, -3))) == []
+
+    def test_complementarity_with_intersection(self):
+        """area(A) == area(A and B) + area(A minus B) for convex B."""
+        a = circle(0, 0, 3.0, sides=96)
+        b = circle(2.5, 0, 2.0, sides=96)
+        inter = total_area(intersect_polygons(a, b))
+        diff = total_area(subtract_polygons(a, b))
+        assert inter + diff == pytest.approx(a.area(), rel=1e-2)
+
+
+class TestUnion:
+    def test_disjoint_union_keeps_both(self):
+        pieces = union_polygons(square(2.0), square(2.0, origin=Point2D(10, 10)))
+        assert len(pieces) == 2
+        assert total_area(pieces) == pytest.approx(8.0, rel=1e-6)
+
+    def test_contained_union_returns_outer(self):
+        pieces = union_polygons(square(10.0), square(2.0, origin=Point2D(3, 3)))
+        assert total_area(pieces) == pytest.approx(100.0, rel=1e-6)
+
+    def test_overlapping_union_area(self):
+        pieces = union_polygons(square(4.0), square(4.0, origin=Point2D(2, 2)))
+        assert total_area(pieces) == pytest.approx(28.0, rel=1e-2)
+
+
+class TestPropertyBased:
+    @given(
+        offset_x=st.floats(-6, 6),
+        offset_y=st.floats(-6, 6),
+        size=st.floats(1.0, 5.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_intersection_area_never_exceeds_operands(self, offset_x, offset_y, size):
+        a = square(4.0)
+        b = square(size, origin=Point2D(offset_x, offset_y))
+        area = total_area(intersect_polygons(a, b))
+        assert area <= min(a.area(), b.area()) + 1e-6
+        assert area >= -1e-9
+
+    @given(
+        offset_x=st.floats(-6, 6),
+        offset_y=st.floats(-6, 6),
+        radius=st.floats(0.5, 4.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_subtraction_plus_intersection_equals_subject(self, offset_x, offset_y, radius):
+        subject = square(5.0)
+        clip = circle(offset_x, offset_y, radius, sides=32)
+        inter = total_area(intersect_polygons(subject, clip))
+        diff = total_area(subtract_polygons(subject, clip))
+        assert inter + diff == pytest.approx(subject.area(), rel=2e-2, abs=0.05)
+
+    @given(
+        offset=st.floats(-8, 8),
+        size=st.floats(1.0, 6.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_clip_convex_result_inside_both(self, offset, size):
+        a = square(5.0)
+        b = square(size, origin=Point2D(offset, offset / 2))
+        result = clip_convex(a, b)
+        if result is None:
+            return
+        c = result.centroid()
+        assert a.contains_point(c)
+        assert b.contains_point(c)

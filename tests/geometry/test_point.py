@@ -1,0 +1,179 @@
+"""Tests for planar point/vector primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point2D,
+    centroid_of_points,
+    cross,
+    dot,
+    orientation,
+    point_segment_distance,
+    segment_intersection,
+)
+
+finite_coord = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestPoint2DArithmetic:
+    def test_addition(self):
+        assert Point2D(1, 2) + Point2D(3, 4) == Point2D(4, 6)
+
+    def test_subtraction(self):
+        assert Point2D(5, 7) - Point2D(2, 3) == Point2D(3, 4)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Point2D(1, -2) * 3 == Point2D(3, -6)
+        assert 3 * Point2D(1, -2) == Point2D(3, -6)
+
+    def test_division(self):
+        assert Point2D(4, 8) / 2 == Point2D(2, 4)
+
+    def test_negation(self):
+        assert -Point2D(1, -2) == Point2D(-1, 2)
+
+    def test_iteration_unpacks_coordinates(self):
+        x, y = Point2D(3.5, -1.5)
+        assert (x, y) == (3.5, -1.5)
+
+    def test_as_tuple(self):
+        assert Point2D(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+
+class TestPoint2DGeometry:
+    def test_norm(self):
+        assert Point2D(3, 4).norm() == pytest.approx(5.0)
+
+    def test_distance(self):
+        assert Point2D(0, 0).distance_to(Point2D(3, 4)) == pytest.approx(5.0)
+
+    def test_normalized_has_unit_length(self):
+        assert Point2D(3, 4).normalized().norm() == pytest.approx(1.0)
+
+    def test_normalized_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            Point2D(0, 0).normalized()
+
+    def test_perpendicular_is_orthogonal(self):
+        p = Point2D(3, 4)
+        assert dot(p, p.perpendicular()) == pytest.approx(0.0)
+
+    def test_rotation_by_quarter_turn(self):
+        p = Point2D(1, 0).rotated(math.pi / 2)
+        assert p.almost_equal(Point2D(0, 1))
+
+    def test_rotation_preserves_length(self):
+        p = Point2D(3, 4).rotated(1.234)
+        assert p.norm() == pytest.approx(5.0)
+
+    def test_almost_equal_tolerance(self):
+        assert Point2D(1, 1).almost_equal(Point2D(1 + 1e-9, 1 - 1e-9))
+        assert not Point2D(1, 1).almost_equal(Point2D(1.1, 1))
+
+
+class TestVectorProducts:
+    def test_dot_product(self):
+        assert dot(Point2D(1, 2), Point2D(3, 4)) == pytest.approx(11.0)
+
+    def test_cross_product_sign(self):
+        assert cross(Point2D(1, 0), Point2D(0, 1)) > 0
+        assert cross(Point2D(0, 1), Point2D(1, 0)) < 0
+
+    def test_cross_of_parallel_vectors_is_zero(self):
+        assert cross(Point2D(2, 4), Point2D(1, 2)) == pytest.approx(0.0)
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation(Point2D(0, 0), Point2D(1, 0), Point2D(0, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation(Point2D(0, 0), Point2D(0, 1), Point2D(1, 0)) == -1
+
+    def test_collinear(self):
+        assert orientation(Point2D(0, 0), Point2D(1, 1), Point2D(2, 2)) == 0
+
+
+class TestSegmentIntersection:
+    def test_crossing_segments(self):
+        result = segment_intersection(
+            Point2D(0, 0), Point2D(2, 2), Point2D(0, 2), Point2D(2, 0)
+        )
+        assert result is not None
+        alpha, beta = result
+        assert alpha == pytest.approx(0.5)
+        assert beta == pytest.approx(0.5)
+
+    def test_parallel_segments_do_not_intersect(self):
+        assert (
+            segment_intersection(Point2D(0, 0), Point2D(1, 0), Point2D(0, 1), Point2D(1, 1))
+            is None
+        )
+
+    def test_non_overlapping_segments(self):
+        assert (
+            segment_intersection(Point2D(0, 0), Point2D(1, 0), Point2D(5, -1), Point2D(5, 1))
+            is None
+        )
+
+    def test_intersection_point_consistency(self):
+        p1, p2 = Point2D(0, 0), Point2D(4, 4)
+        q1, q2 = Point2D(0, 4), Point2D(4, 0)
+        alpha, beta = segment_intersection(p1, p2, q1, q2)
+        point_a = p1 + (p2 - p1) * alpha
+        point_b = q1 + (q2 - q1) * beta
+        assert point_a.almost_equal(point_b)
+
+
+class TestPointSegmentDistance:
+    def test_point_on_segment(self):
+        assert point_segment_distance(Point2D(1, 0), Point2D(0, 0), Point2D(2, 0)) == 0.0
+
+    def test_point_above_segment(self):
+        assert point_segment_distance(Point2D(1, 3), Point2D(0, 0), Point2D(2, 0)) == pytest.approx(3.0)
+
+    def test_point_beyond_endpoint(self):
+        assert point_segment_distance(Point2D(5, 0), Point2D(0, 0), Point2D(2, 0)) == pytest.approx(3.0)
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance(Point2D(3, 4), Point2D(0, 0), Point2D(0, 0)) == pytest.approx(5.0)
+
+
+class TestCentroid:
+    def test_centroid_of_square_corners(self):
+        pts = [Point2D(0, 0), Point2D(2, 0), Point2D(2, 2), Point2D(0, 2)]
+        assert centroid_of_points(pts).almost_equal(Point2D(1, 1))
+
+    def test_centroid_of_single_point(self):
+        assert centroid_of_points([Point2D(3, 4)]).almost_equal(Point2D(3, 4))
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            centroid_of_points([])
+
+
+class TestPropertyBased:
+    @given(x1=finite_coord, y1=finite_coord, x2=finite_coord, y2=finite_coord)
+    @settings(max_examples=100, deadline=None)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point2D(x1, y1), Point2D(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a), rel=1e-9, abs=1e-9)
+
+    @given(x=finite_coord, y=finite_coord, angle=st.floats(-10, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_rotation_preserves_norm(self, x, y, angle):
+        p = Point2D(x, y)
+        assert p.rotated(angle).norm() == pytest.approx(p.norm(), rel=1e-6, abs=1e-6)
+
+    @given(
+        x1=finite_coord, y1=finite_coord, x2=finite_coord, y2=finite_coord,
+        x3=finite_coord, y3=finite_coord,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point2D(x1, y1), Point2D(x2, y2), Point2D(x3, y3)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6

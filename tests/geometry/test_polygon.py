@@ -1,0 +1,242 @@
+"""Tests for simple polygons: area, containment, orientation, keyholes."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import BoundingBox, Point2D, Polygon
+
+
+def square(size=2.0, origin=Point2D(0, 0)):
+    return Polygon(
+        [
+            origin,
+            origin + Point2D(size, 0),
+            origin + Point2D(size, size),
+            origin + Point2D(0, size),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_requires_three_distinct_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([Point2D(0, 0), Point2D(1, 1)])
+
+    def test_duplicate_consecutive_vertices_are_merged(self):
+        poly = Polygon([Point2D(0, 0), Point2D(0, 0), Point2D(1, 0), Point2D(1, 1), Point2D(0, 1)])
+        assert len(poly) == 4
+
+    def test_closing_vertex_is_dropped(self):
+        poly = Polygon([Point2D(0, 0), Point2D(1, 0), Point2D(1, 1), Point2D(0, 0)])
+        assert len(poly) == 3
+
+    def test_vertices_returns_copy(self):
+        poly = square()
+        verts = poly.vertices
+        verts.append(Point2D(99, 99))
+        assert len(poly.vertices) == 4
+
+
+class TestMetrics:
+    def test_square_area(self):
+        assert square(2.0).area() == pytest.approx(4.0)
+
+    def test_signed_area_positive_for_ccw(self):
+        assert square().signed_area() > 0
+
+    def test_signed_area_negative_for_cw(self):
+        assert square().reversed().signed_area() < 0
+
+    def test_perimeter(self):
+        assert square(2.0).perimeter() == pytest.approx(8.0)
+
+    def test_centroid_of_square(self):
+        assert square(2.0).centroid().almost_equal(Point2D(1, 1))
+
+    def test_centroid_of_translated_square(self):
+        poly = square(2.0, origin=Point2D(10, 20))
+        assert poly.centroid().almost_equal(Point2D(11, 21))
+
+    def test_bounding_box(self):
+        box = square(3.0).bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 3, 3)
+
+    def test_triangle_area(self):
+        tri = Polygon([Point2D(0, 0), Point2D(4, 0), Point2D(0, 3)])
+        assert tri.area() == pytest.approx(6.0)
+
+
+class TestOrientation:
+    def test_ensure_ccw_flips_clockwise_polygon(self):
+        cw = square().reversed()
+        assert not cw.is_ccw()
+        assert cw.ensure_ccw().is_ccw()
+
+    def test_ensure_ccw_keeps_ccw_polygon(self):
+        ccw = square()
+        assert ccw.ensure_ccw().vertices == ccw.vertices
+
+    def test_convexity_of_square(self):
+        assert square().is_convex()
+
+    def test_concave_polygon_detected(self):
+        concave = Polygon(
+            [Point2D(0, 0), Point2D(4, 0), Point2D(4, 4), Point2D(2, 1), Point2D(0, 4)]
+        )
+        assert not concave.is_convex()
+
+
+class TestContainment:
+    def test_interior_point(self):
+        assert square(2.0).contains_point(Point2D(1, 1))
+
+    def test_exterior_point(self):
+        assert not square(2.0).contains_point(Point2D(3, 3))
+
+    def test_boundary_point_included_by_default(self):
+        assert square(2.0).contains_point(Point2D(0, 1))
+
+    def test_boundary_point_excluded_when_requested(self):
+        assert not square(2.0).contains_point(Point2D(0, 1), include_boundary=False)
+
+    def test_point_on_boundary_detection(self):
+        assert square(2.0).point_on_boundary(Point2D(2, 1))
+        assert not square(2.0).point_on_boundary(Point2D(1, 1))
+
+    def test_distance_to_point_inside_is_zero(self):
+        assert square(2.0).distance_to_point(Point2D(1, 1)) == 0.0
+
+    def test_distance_to_point_outside(self):
+        assert square(2.0).distance_to_point(Point2D(5, 1)) == pytest.approx(3.0)
+
+    def test_max_distance_to_point(self):
+        assert square(2.0).max_distance_to_point(Point2D(0, 0)) == pytest.approx(math.sqrt(8))
+
+    def test_contains_polygon(self):
+        outer = square(10.0)
+        inner = square(2.0, origin=Point2D(4, 4))
+        assert outer.contains_polygon(inner)
+        assert not inner.contains_polygon(outer)
+
+    def test_concave_containment(self):
+        # L-shaped polygon: the notch is not inside.
+        ell = Polygon(
+            [
+                Point2D(0, 0),
+                Point2D(4, 0),
+                Point2D(4, 2),
+                Point2D(2, 2),
+                Point2D(2, 4),
+                Point2D(0, 4),
+            ]
+        )
+        assert ell.contains_point(Point2D(1, 3))
+        assert ell.contains_point(Point2D(3, 1))
+        assert not ell.contains_point(Point2D(3, 3))
+
+
+class TestTransforms:
+    def test_translation_moves_centroid(self):
+        moved = square(2.0).translated(Point2D(5, -3))
+        assert moved.centroid().almost_equal(Point2D(6, -2))
+
+    def test_scaling_about_centroid_preserves_centroid(self):
+        poly = square(2.0)
+        scaled = poly.scaled(2.0)
+        assert scaled.centroid().almost_equal(poly.centroid())
+        assert scaled.area() == pytest.approx(poly.area() * 4.0)
+
+    def test_scaling_about_origin(self):
+        scaled = square(2.0).scaled(0.5, origin=Point2D(0, 0))
+        assert scaled.area() == pytest.approx(1.0)
+
+    def test_simplified_removes_collinear_vertices(self):
+        poly = Polygon(
+            [Point2D(0, 0), Point2D(1, 0), Point2D(2, 0), Point2D(2, 2), Point2D(0, 2)]
+        )
+        simplified = poly.simplified(0.01)
+        assert len(simplified) == 4
+        assert simplified.area() == pytest.approx(poly.area(), rel=1e-6)
+
+
+class TestFactories:
+    def test_regular_polygon_area_converges_to_circle(self):
+        poly = Polygon.regular(Point2D(0, 0), 10.0, 128)
+        assert poly.area() == pytest.approx(math.pi * 100.0, rel=0.01)
+
+    def test_regular_polygon_requires_three_sides(self):
+        with pytest.raises(ValueError):
+            Polygon.regular(Point2D(0, 0), 1.0, 2)
+
+    def test_rectangle_from_bbox(self):
+        rect = Polygon.rectangle(BoundingBox(0, 0, 4, 2))
+        assert rect.area() == pytest.approx(8.0)
+
+
+class TestKeyhole:
+    def test_with_hole_area(self):
+        outer = square(10.0)
+        hole = square(2.0, origin=Point2D(4, 4))
+        holed = outer.with_hole(hole)
+        assert holed.area() == pytest.approx(100.0 - 4.0, rel=1e-3)
+
+    def test_with_hole_containment(self):
+        outer = square(10.0)
+        hole = square(2.0, origin=Point2D(4, 4))
+        holed = outer.with_hole(hole)
+        assert not holed.contains_point(Point2D(5, 5))
+        assert holed.contains_point(Point2D(1, 1))
+
+    def test_with_hole_annulus_like(self):
+        outer = Polygon.regular(Point2D(0, 0), 10.0, 48)
+        inner = Polygon.regular(Point2D(0, 0), 4.0, 48)
+        ring = outer.with_hole(inner)
+        assert ring.contains_point(Point2D(7, 0))
+        assert not ring.contains_point(Point2D(0, 0))
+        assert ring.area() == pytest.approx(outer.area() - inner.area(), rel=1e-3)
+
+
+class TestSampling:
+    def test_sample_interior_points_are_inside(self):
+        poly = square(10.0)
+        for p in poly.sample_interior(2.0):
+            assert poly.contains_point(p)
+
+    def test_sample_interior_never_empty(self):
+        tiny = Polygon([Point2D(0, 0), Point2D(0.5, 0), Point2D(0.25, 0.4)])
+        assert len(tiny.sample_interior(10.0)) >= 1
+
+    def test_sample_spacing_must_be_positive(self):
+        with pytest.raises(ValueError):
+            square().sample_interior(0.0)
+
+
+class TestPropertyBased:
+    @given(
+        cx=st.floats(-1000, 1000),
+        cy=st.floats(-1000, 1000),
+        radius=st.floats(0.5, 500),
+        sides=st.integers(3, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_regular_polygon_invariants(self, cx, cy, radius, sides):
+        poly = Polygon.regular(Point2D(cx, cy), radius, sides)
+        assert poly.is_ccw()
+        assert poly.is_convex()
+        assert poly.contains_point(Point2D(cx, cy))
+        assert poly.area() <= math.pi * radius * radius + 1e-6
+
+    @given(
+        dx=st.floats(-500, 500),
+        dy=st.floats(-500, 500),
+        size=st.floats(0.1, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_translation_preserves_area(self, dx, dy, size):
+        poly = square(size)
+        assert poly.translated(Point2D(dx, dy)).area() == pytest.approx(
+            poly.area(), rel=1e-6, abs=1e-9
+        )

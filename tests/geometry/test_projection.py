@@ -1,0 +1,109 @@
+"""Tests for the globe/plane projections."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    AzimuthalEquidistantProjection,
+    EquirectangularProjection,
+    GeoPoint,
+    Point2D,
+    projection_for_points,
+)
+
+ITHACA = GeoPoint(42.4440, -76.5019)
+CHICAGO = GeoPoint(41.8781, -87.6298)
+SEATTLE = GeoPoint(47.6062, -122.3321)
+LONDON = GeoPoint(51.5074, -0.1278)
+
+
+class TestAzimuthalEquidistant:
+    def test_center_maps_to_origin(self):
+        proj = AzimuthalEquidistantProjection(ITHACA)
+        assert proj.forward(ITHACA).almost_equal(Point2D(0, 0), tol=1e-6)
+
+    def test_roundtrip_identity(self):
+        proj = AzimuthalEquidistantProjection(ITHACA)
+        for point in (CHICAGO, SEATTLE, LONDON, GeoPoint(10.0, 20.0)):
+            assert proj.roundtrip_error_km(point) < 1e-6
+
+    def test_radial_distances_preserved_exactly(self):
+        proj = AzimuthalEquidistantProjection(ITHACA)
+        for point in (CHICAGO, SEATTLE, LONDON):
+            planar = proj.forward(point)
+            assert planar.norm() == pytest.approx(ITHACA.distance_km(point), rel=1e-9)
+
+    def test_pairwise_distance_distortion_is_small_at_continental_scale(self):
+        proj = AzimuthalEquidistantProjection(CHICAGO)
+        true = ITHACA.distance_km(SEATTLE)
+        planar = proj.forward(ITHACA).distance_to(proj.forward(SEATTLE))
+        assert planar == pytest.approx(true, rel=0.02)
+
+    def test_north_is_positive_y(self):
+        proj = AzimuthalEquidistantProjection(ITHACA)
+        north = proj.forward(GeoPoint(ITHACA.lat + 1.0, ITHACA.lon))
+        assert north.y > 0
+        assert abs(north.x) < 5.0
+
+    def test_east_is_positive_x(self):
+        proj = AzimuthalEquidistantProjection(ITHACA)
+        east = proj.forward(GeoPoint(ITHACA.lat, ITHACA.lon + 1.0))
+        assert east.x > 0
+
+    def test_inverse_of_origin_is_center(self):
+        proj = AzimuthalEquidistantProjection(SEATTLE)
+        assert proj.inverse(Point2D(0, 0)).distance_km(SEATTLE) < 1e-6
+
+    @given(
+        lat=st.floats(-70, 70),
+        lon=st.floats(-170, 170),
+        dlat=st.floats(-25, 25),
+        dlon=st.floats(-25, 25),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, lat, lon, dlat, dlon):
+        center = GeoPoint(lat, lon)
+        target_lat = max(-89.0, min(89.0, lat + dlat))
+        target = GeoPoint(target_lat, lon + dlon)
+        proj = AzimuthalEquidistantProjection(center)
+        assert proj.roundtrip_error_km(target) < 1e-3
+
+
+class TestEquirectangular:
+    def test_center_maps_to_origin(self):
+        proj = EquirectangularProjection(CHICAGO)
+        assert proj.forward(CHICAGO).almost_equal(Point2D(0, 0), tol=1e-6)
+
+    def test_roundtrip(self):
+        proj = EquirectangularProjection(CHICAGO)
+        assert proj.roundtrip_error_km(ITHACA) < 1e-6
+
+    def test_distance_reasonable_near_center(self):
+        proj = EquirectangularProjection(CHICAGO)
+        planar = proj.forward(ITHACA).norm()
+        assert planar == pytest.approx(CHICAGO.distance_km(ITHACA), rel=0.02)
+
+    def test_batch_helpers(self):
+        proj = EquirectangularProjection(CHICAGO)
+        points = [ITHACA, SEATTLE]
+        planar = proj.forward_many(points)
+        back = proj.inverse_many(planar)
+        assert back[0].distance_km(ITHACA) < 1e-6
+        assert back[1].distance_km(SEATTLE) < 1e-6
+
+
+class TestProjectionForPoints:
+    def test_centered_on_midpoint(self):
+        proj = projection_for_points([ITHACA, CHICAGO])
+        assert proj.center.distance_km(ITHACA) == pytest.approx(
+            proj.center.distance_km(CHICAGO), rel=1e-6
+        )
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            projection_for_points([])
+
+    def test_single_point_center(self):
+        proj = projection_for_points([LONDON])
+        assert proj.center.distance_km(LONDON) < 1e-6

@@ -1,0 +1,144 @@
+"""Tests for the PlanetLab-like deployment and the measurement dataset."""
+
+import pytest
+
+from repro.network import (
+    DeploymentConfig,
+    MeasurementDataset,
+    TopologyConfig,
+    build_deployment,
+    collect_dataset,
+)
+from repro.network.planetlab import small_deployment
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return small_deployment(host_count=8, seed=21)
+
+
+@pytest.fixture(scope="module")
+def dataset(deployment):
+    return collect_dataset(deployment)
+
+
+class TestDeployment:
+    def test_host_count(self, deployment):
+        assert len(deployment.host_ids) == 8
+        assert len(deployment.topology.hosts()) == 8
+
+    def test_hosts_are_in_distinct_cities(self, deployment):
+        cities = [c.code for c in deployment.host_cities()]
+        assert len(cities) == len(set(cities))
+
+    def test_host_mix_is_us_heavy(self):
+        deployment = build_deployment(
+            DeploymentConfig(
+                host_count=25,
+                us_fraction=0.72,
+                topology=TopologyConfig(seed=1, num_providers=3, pops_per_provider=24),
+            )
+        )
+        us = sum(1 for c in deployment.host_cities() if c.country in ("US", "CA"))
+        assert us == round(25 * 0.72)
+
+    def test_true_location_matches_topology(self, deployment):
+        for host_id in deployment.host_ids:
+            node = deployment.topology.node(host_id)
+            assert deployment.true_location(host_id) == node.location
+
+    def test_deterministic_given_seed(self):
+        a = small_deployment(host_count=6, seed=33)
+        b = small_deployment(host_count=6, seed=33)
+        assert a.host_ids == b.host_ids
+        assert [c.code for c in a.host_cities()] == [c.code for c in b.host_cities()]
+
+    def test_too_few_hosts_rejected(self):
+        with pytest.raises(ValueError):
+            build_deployment(DeploymentConfig(host_count=2))
+
+    def test_too_many_hosts_rejected(self):
+        with pytest.raises(ValueError):
+            build_deployment(DeploymentConfig(host_count=500))
+
+
+class TestDatasetCollection:
+    def test_all_pairs_pinged(self, dataset):
+        n = len(dataset.host_ids)
+        assert len(dataset.pings) == n * (n - 1)
+
+    def test_all_pairs_traced(self, dataset):
+        n = len(dataset.host_ids)
+        assert len(dataset.traceroutes) == n * (n - 1)
+
+    def test_hosts_have_ground_truth(self, dataset):
+        for host_id in dataset.host_ids:
+            assert dataset.true_location(host_id) is not None
+
+    def test_routers_discovered(self, dataset):
+        assert len(dataset.routers) > 0
+        for record in dataset.routers.values():
+            assert not record.is_host
+            assert record.dns_name
+
+    def test_router_pings_derived_from_traceroutes(self, dataset):
+        assert dataset.router_pings
+        for (host_id, router_id), rtt in dataset.router_pings.items():
+            assert host_id in dataset.hosts
+            assert router_id in dataset.routers
+            assert rtt > 0
+
+    def test_min_rtt_symmetric_view(self, dataset):
+        a, b = dataset.host_ids[0], dataset.host_ids[1]
+        forward = dataset.ping(a, b).min_rtt_ms
+        backward = dataset.ping(b, a).min_rtt_ms
+        assert dataset.min_rtt_ms(a, b) == min(forward, backward)
+        assert dataset.min_rtt_ms(a, b) == dataset.min_rtt_ms(b, a)
+
+    def test_min_rtt_unknown_pair(self, dataset):
+        assert dataset.min_rtt_ms("host-unknown", dataset.host_ids[0]) is None
+
+    def test_whois_lookup_for_hosts(self, dataset):
+        found = sum(1 for h in dataset.host_ids if dataset.whois_lookup(h) is not None)
+        assert found == len(dataset.host_ids)
+
+    def test_leave_one_out_landmarks(self, dataset):
+        target = dataset.host_ids[0]
+        landmarks = dataset.landmark_ids_excluding(target)
+        assert target not in landmarks
+        assert len(landmarks) == len(dataset.host_ids) - 1
+
+    def test_routers_measured_from(self, dataset):
+        host = dataset.host_ids[0]
+        routers = dataset.routers_measured_from(host)
+        assert routers
+        assert all((host, r) in dataset.router_pings for r in routers)
+
+    def test_collect_without_traceroutes(self, deployment):
+        ds = collect_dataset(deployment, collect_traceroutes=False)
+        assert ds.pings
+        assert not ds.traceroutes
+        assert not ds.routers
+
+    def test_collect_subset_of_hosts(self, deployment):
+        subset = deployment.host_ids[:4]
+        ds = collect_dataset(deployment, host_ids=subset)
+        assert ds.host_ids == sorted(subset)
+        assert len(ds.pings) == 4 * 3
+
+    def test_restrict_landmarks_view(self, dataset):
+        keep = dataset.host_ids[:4]
+        view = dataset.restrict_landmarks(keep)
+        assert isinstance(view, MeasurementDataset)
+        for (src, dst) in view.pings:
+            assert src in keep or dst in keep
+        for (host_id, _), _ in view.router_pings.items():
+            assert host_id in keep
+
+    def test_rtt_exceeds_propagation_floor(self, dataset):
+        from repro.geometry import distance_km_to_min_rtt_ms
+
+        for (a, b) in list(dataset.pings)[:40]:
+            rtt = dataset.pings[(a, b)].min_rtt_ms
+            dist = dataset.true_location(a).distance_km(dataset.true_location(b))
+            assert rtt >= distance_km_to_min_rtt_ms(dist) - 1e-6

@@ -1,0 +1,132 @@
+"""Tests for the undns-style DNS parser and the synthetic WHOIS registry."""
+
+import pytest
+
+from repro.network import (
+    DnsLocationHint,
+    TopologyConfig,
+    UndnsParser,
+    WhoisRecord,
+    WhoisRegistry,
+    build_registry_from_topology,
+    build_topology,
+    city_by_code,
+)
+from repro.network.planetlab import small_deployment
+
+
+class TestUndnsParser:
+    @pytest.fixture(scope="class")
+    def parser(self):
+        return UndnsParser()
+
+    def test_parses_iata_code(self, parser):
+        hint = parser.parse("ge-1-2-0.cr1.ord2.isp1.net")
+        assert hint is not None
+        assert hint.city.code == "ORD"
+        assert hint.confidence >= 0.8
+
+    def test_parses_alias(self, parser):
+        hint = parser.parse("ae-3.r22.nycmny01.bb.example.net")
+        assert hint is not None
+        assert hint.city.code == "JFK"
+
+    def test_opaque_name_yields_nothing(self, parser):
+        assert parser.parse("te-0-1.agg3.isp2.net") is None
+
+    def test_empty_name_yields_nothing(self, parser):
+        assert parser.parse("") is None
+
+    def test_interface_tokens_not_mistaken_for_cities(self, parser):
+        # "ge"/"so"/"ae" prefixes and the provider domain must not match.
+        assert parser.parse("ge-0-0-0.core1.examplenet.net") is None
+
+    def test_domain_labels_ignored(self, parser):
+        # 'bos.example.net' -- the 'example'/'net' labels are domain, 'bos' is a hint.
+        hint = parser.parse("xe-1-1-1.cr2.bos1.example.net")
+        assert hint is not None
+        assert hint.city.code == "BOS"
+
+    def test_tokens_strips_digits_and_interfaces(self, parser):
+        tokens = parser.tokens("ge-1-2-0.cr1.ord2.isp1.net")
+        assert "ord" in tokens
+        assert "cr" not in tokens
+
+    def test_location_property(self, parser):
+        hint = parser.parse("ge-1-2-0.cr1.sea1.isp1.net")
+        assert isinstance(hint, DnsLocationHint)
+        assert hint.location.distance_km(city_by_code("SEA").location) < 1.0
+
+    def test_parse_many_filters_unparseable(self, parser):
+        names = ["ge-1-2-0.cr1.ord2.isp1.net", "te-0-1.agg3.isp2.net"]
+        hints = parser.parse_many(names)
+        assert set(hints) == {"ge-1-2-0.cr1.ord2.isp1.net"}
+
+    def test_min_confidence_threshold(self):
+        strict = UndnsParser(min_confidence=0.95)
+        assert strict.parse("ae-3.r22.nycmny01.bb.example.net") is None
+
+    def test_synthetic_topology_names_are_mostly_parseable(self):
+        topo = build_topology(TopologyConfig(seed=2, num_providers=3, pops_per_provider=20))
+        parser = UndnsParser()
+        parsed = 0
+        correct = 0
+        for router in topo.routers():
+            hint = parser.parse(router.dns_name)
+            if hint is None:
+                continue
+            parsed += 1
+            if hint.city.code == router.city.code:
+                correct += 1
+        assert parsed >= len(topo.routers()) * 0.5
+        assert correct >= parsed * 0.8
+
+
+class TestWhoisRegistry:
+    def test_lookup_longest_prefix(self):
+        registry = WhoisRegistry(
+            [
+                WhoisRecord("10", "org-a", city_by_code("ORD"), "60601", True),
+                WhoisRecord("10.1", "org-b", city_by_code("BOS"), "02108", True),
+            ]
+        )
+        assert registry.lookup("10.1.2.3").organization == "org-b"
+        assert registry.lookup("10.2.2.3").organization == "org-a"
+
+    def test_lookup_miss(self):
+        registry = WhoisRegistry()
+        assert registry.lookup("192.0.2.1") is None
+
+    def test_add_replaces_existing(self):
+        registry = WhoisRegistry()
+        registry.add(WhoisRecord("10.0", "first", city_by_code("ORD"), "60601", True))
+        registry.add(WhoisRecord("10.0", "second", city_by_code("BOS"), "02108", True))
+        assert len(registry) == 1
+        assert registry.lookup("10.0.0.1").organization == "second"
+
+    def test_record_location(self):
+        record = WhoisRecord("10.0", "org", city_by_code("SEA"), "98101", True)
+        assert record.location.distance_km(city_by_code("SEA").location) < 1.0
+
+    def test_registry_from_topology_covers_all_hosts(self):
+        deployment = small_deployment(host_count=8, seed=4)
+        registry = deployment.whois
+        for host_id in deployment.host_ids:
+            node = deployment.topology.node(host_id)
+            assert registry.lookup(node.ip_address) is not None
+
+    def test_inaccurate_fraction_zero_is_always_accurate(self):
+        deployment = small_deployment(host_count=8, seed=4)
+        registry = build_registry_from_topology(
+            deployment.topology, seed=1, inaccurate_fraction=0.0
+        )
+        for host_id in deployment.host_ids:
+            node = deployment.topology.node(host_id)
+            record = registry.lookup(node.ip_address)
+            assert record.accurate
+            assert record.city.code == node.city.code
+
+    def test_inaccurate_fraction_validated(self):
+        deployment = small_deployment(host_count=8, seed=4)
+        with pytest.raises(ValueError):
+            build_registry_from_topology(deployment.topology, inaccurate_fraction=1.5)

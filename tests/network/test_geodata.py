@@ -1,0 +1,124 @@
+"""Tests for the geographic ground-truth catalogue."""
+
+import pytest
+
+from repro.geometry import GeoPoint
+from repro.network import (
+    EUROPEAN_CITIES,
+    OCEAN_REGIONS,
+    UNINHABITED_REGIONS,
+    US_CITIES,
+    WORLD_CITIES,
+    cities_in_bbox,
+    city_by_code,
+    city_by_name,
+    nearest_city,
+)
+
+
+class TestCatalogue:
+    def test_catalogue_is_large_enough(self):
+        assert len(WORLD_CITIES) >= 100
+
+    def test_city_codes_are_unique(self):
+        codes = [c.code for c in WORLD_CITIES]
+        assert len(codes) == len(set(codes))
+
+    def test_city_names_are_unique(self):
+        names = [c.name for c in WORLD_CITIES]
+        assert len(names) == len(set(names))
+
+    def test_subsets_are_part_of_world(self):
+        world_codes = {c.code for c in WORLD_CITIES}
+        assert all(c.code in world_codes for c in US_CITIES)
+        assert all(c.code in world_codes for c in EUROPEAN_CITIES)
+
+    def test_all_coordinates_valid(self):
+        for city in WORLD_CITIES:
+            assert -90 <= city.location.lat <= 90
+            assert -180 <= city.location.lon <= 180
+
+    def test_populations_positive(self):
+        assert all(c.population > 0 for c in WORLD_CITIES)
+
+    def test_postal_codes_present(self):
+        assert all(c.postal_code for c in WORLD_CITIES)
+
+    def test_us_cities_are_in_north_america(self):
+        for city in US_CITIES:
+            assert city.country in ("US", "CA")
+            assert city.location.lon < -50
+
+    def test_european_cities_are_in_europe(self):
+        for city in EUROPEAN_CITIES:
+            assert -15 <= city.location.lon <= 45
+            assert 35 <= city.location.lat <= 72
+
+    def test_known_city_coordinates(self):
+        chicago = city_by_code("ORD")
+        assert chicago.name == "Chicago"
+        assert chicago.location.distance_km(GeoPoint(41.8781, -87.6298)) < 1.0
+
+
+class TestLookups:
+    def test_city_by_code_case_insensitive(self):
+        assert city_by_code("ord").name == "Chicago"
+
+    def test_city_by_code_unknown(self):
+        with pytest.raises(KeyError):
+            city_by_code("ZZZ")
+
+    def test_city_by_name_case_insensitive(self):
+        assert city_by_name("boston").code == "BOS"
+
+    def test_city_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            city_by_name("Atlantis")
+
+    def test_nearest_city(self):
+        # A point just outside Ithaca should resolve to Ithaca.
+        assert nearest_city(GeoPoint(42.5, -76.5)).code == "ITH"
+
+    def test_nearest_city_with_candidates(self):
+        pool = [city_by_code("LAX"), city_by_code("JFK")]
+        assert nearest_city(GeoPoint(42.5, -76.5), pool).code == "JFK"
+
+    def test_nearest_city_empty_pool(self):
+        with pytest.raises(ValueError):
+            nearest_city(GeoPoint(0, 0), [])
+
+    def test_cities_in_bbox(self):
+        northeast = cities_in_bbox(39.0, 46.0, -80.0, -69.0)
+        codes = {c.code for c in northeast}
+        assert "JFK" in codes
+        assert "BOS" in codes
+        assert "LAX" not in codes
+
+
+class TestRegions:
+    def test_ocean_regions_have_valid_rings(self):
+        for region in OCEAN_REGIONS:
+            assert len(region.ring) >= 3
+            assert region.kind == "ocean"
+
+    def test_uninhabited_regions_have_valid_rings(self):
+        for region in UNINHABITED_REGIONS:
+            assert len(region.ring) >= 3
+            assert region.kind == "uninhabited"
+
+    def test_region_names_unique(self):
+        names = [r.name for r in OCEAN_REGIONS + UNINHABITED_REGIONS]
+        assert len(names) == len(set(names))
+
+    def test_no_catalogue_city_inside_an_ocean(self):
+        """Sanity: the negative-constraint polygons must not swallow any city."""
+        from repro.geometry import polygon_from_geopoints, projection_for_points
+
+        for region in OCEAN_REGIONS:
+            projection = projection_for_points(list(region.ring))
+            polygon = polygon_from_geopoints(list(region.ring), projection)
+            for city in WORLD_CITIES:
+                planar = projection.forward(city.location)
+                assert not polygon.contains_point(planar, include_boundary=False), (
+                    f"{city.name} falls inside ocean region {region.name}"
+                )

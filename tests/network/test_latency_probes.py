@@ -1,0 +1,160 @@
+"""Tests for the delay model and the ping/traceroute probers."""
+
+import random
+
+import pytest
+
+from repro.geometry import distance_km_to_min_rtt_ms
+from repro.network import (
+    LatencyConfig,
+    LatencyModel,
+    Prober,
+    TopologyConfig,
+    build_topology,
+    city_by_code,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    topo = build_topology(TopologyConfig(seed=5, num_providers=3, pops_per_provider=16))
+    rng = random.Random(1)
+    for code in ("ITH", "SEA", "ATL", "DEN", "BOS", "LHR"):
+        topo.attach_host(f"host-{code.lower()}", city_by_code(code), rng)
+    model = LatencyModel(topo, LatencyConfig(seed=9))
+    prober = Prober(topo, model, probe_count=10)
+    return topo, model, prober
+
+
+class TestLatencyModel:
+    def test_heights_are_nonnegative_and_bounded(self, network):
+        topo, model, _ = network
+        cfg = model.config
+        for node_id, node in topo.nodes.items():
+            h = model.true_height_ms(node_id)
+            assert h >= 0
+            if node.is_host:
+                assert h <= cfg.max_host_height_ms
+            else:
+                assert h == pytest.approx(cfg.router_processing_ms)
+
+    def test_heights_deterministic(self, network):
+        topo, model, _ = network
+        again = LatencyModel(topo, LatencyConfig(seed=9))
+        for node_id in topo.nodes:
+            assert again.true_height_ms(node_id) == model.true_height_ms(node_id)
+
+    def test_minimum_rtt_above_propagation_floor(self, network):
+        topo, model, _ = network
+        hosts = [h.node_id for h in topo.hosts()]
+        for i in range(len(hosts) - 1):
+            a, b = hosts[i], hosts[i + 1]
+            direct = topo.node(a).location.distance_km(topo.node(b).location)
+            floor = distance_km_to_min_rtt_ms(direct)
+            assert model.minimum_rtt_ms(a, b) >= floor
+
+    def test_minimum_rtt_symmetric(self, network):
+        topo, model, _ = network
+        hosts = [h.node_id for h in topo.hosts()]
+        assert model.minimum_rtt_ms(hosts[0], hosts[1]) == pytest.approx(
+            model.minimum_rtt_ms(hosts[1], hosts[0])
+        )
+
+    def test_probe_rtt_at_least_minimum(self, network):
+        topo, model, _ = network
+        hosts = [h.node_id for h in topo.hosts()]
+        a, b = hosts[0], hosts[2]
+        floor = model.minimum_rtt_ms(a, b)
+        for i in range(20):
+            assert model.probe_rtt_ms(a, b, i) >= floor - 1e-6
+
+    def test_probes_deterministic_per_index(self, network):
+        topo, model, _ = network
+        hosts = [h.node_id for h in topo.hosts()]
+        a, b = hosts[1], hosts[3]
+        assert model.probe_rtt_ms(a, b, 4) == model.probe_rtt_ms(a, b, 4)
+        assert model.probe_rtt_ms(a, b, 4) != model.probe_rtt_ms(a, b, 5)
+
+    def test_probe_count_validation(self, network):
+        _, model, _ = network
+        hosts = [h.node_id for h in model.topology.hosts()]
+        with pytest.raises(ValueError):
+            model.probe_rtts_ms(hosts[0], hosts[1], 0)
+
+    def test_partial_path_rtt_monotone_in_hops(self, network):
+        topo, model, _ = network
+        hosts = [h.node_id for h in topo.hosts()]
+        a, b = hosts[0], hosts[4]
+        path = topo.route(a, b)
+        rtts = [model.partial_path_rtt_ms(a, b, i) for i in range(1, len(path))]
+        # Later hops are farther away, so minimum RTT grows (allow small noise).
+        for earlier, later in zip(rtts, rtts[1:]):
+            assert later >= earlier - 2.0
+
+    def test_partial_path_hop_validation(self, network):
+        topo, model, _ = network
+        hosts = [h.node_id for h in topo.hosts()]
+        with pytest.raises(ValueError):
+            model.partial_path_rtt_ms(hosts[0], hosts[1], 0)
+
+
+class TestProber:
+    def test_ping_collects_requested_probes(self, network):
+        _, _, prober = network
+        hosts = [h.node_id for h in prober.topology.hosts()]
+        result = prober.ping(hosts[0], hosts[1])
+        assert result.probe_count == 10
+        assert result.min_rtt_ms <= result.median_rtt_ms <= max(result.rtts_ms)
+        assert result.mean_rtt_ms > 0
+
+    def test_ping_to_self_rejected(self, network):
+        _, _, prober = network
+        hosts = [h.node_id for h in prober.topology.hosts()]
+        with pytest.raises(ValueError):
+            prober.ping(hosts[0], hosts[0])
+
+    def test_ping_matrix_covers_all_pairs(self, network):
+        _, _, prober = network
+        hosts = [h.node_id for h in prober.topology.hosts()][:4]
+        matrix = prober.ping_matrix(hosts)
+        assert len(matrix) == 4 * 3
+
+    def test_invalid_probe_count_rejected(self, network):
+        topo, model, _ = network
+        with pytest.raises(ValueError):
+            Prober(topo, model, probe_count=0)
+
+    def test_traceroute_reaches_destination(self, network):
+        _, _, prober = network
+        hosts = [h.node_id for h in prober.topology.hosts()]
+        trace = prober.traceroute(hosts[0], hosts[3])
+        assert trace.hop_count >= 2
+        assert trace.last_hop().node_id == hosts[3]
+
+    def test_traceroute_hops_match_route(self, network):
+        topo, _, prober = network
+        hosts = [h.node_id for h in topo.hosts()]
+        trace = prober.traceroute(hosts[1], hosts[2])
+        path = topo.route(hosts[1], hosts[2])
+        assert [h.node_id for h in trace.hops] == path[1:]
+
+    def test_traceroute_router_hops_exclude_destination(self, network):
+        _, _, prober = network
+        hosts = [h.node_id for h in prober.topology.hosts()]
+        trace = prober.traceroute(hosts[0], hosts[5])
+        router_ids = [h.node_id for h in trace.router_hops()]
+        assert hosts[5] not in router_ids
+
+    def test_traceroute_hop_rtts_have_probe_count(self, network):
+        _, _, prober = network
+        hosts = [h.node_id for h in prober.topology.hosts()]
+        trace = prober.traceroute(hosts[0], hosts[1], probe_count=4)
+        for hop in trace.hops:
+            assert len(hop.rtts_ms) == 4
+            assert hop.min_rtt_ms == min(hop.rtts_ms)
+
+    def test_traceroute_to_self_rejected(self, network):
+        _, _, prober = network
+        hosts = [h.node_id for h in prober.topology.hosts()]
+        with pytest.raises(ValueError):
+            prober.traceroute(hosts[0], hosts[0])

@@ -1,0 +1,162 @@
+"""Tests for the synthetic topology: structure, routing, host attachment."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.network import (
+    Link,
+    TopologyConfig,
+    US_CITIES,
+    build_topology,
+    city_by_code,
+)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return build_topology(TopologyConfig(seed=7, num_providers=3, pops_per_provider=20))
+
+
+class TestConstruction:
+    def test_summary_counts(self, topology):
+        summary = topology.summary()
+        assert summary["providers"] == 3
+        assert summary["routers"] == 60
+        assert summary["hosts"] == 0
+        assert summary["links"] > 0
+
+    def test_deterministic_for_seed(self):
+        cfg = TopologyConfig(seed=11, num_providers=2, pops_per_provider=10)
+        a = build_topology(cfg)
+        b = build_topology(cfg)
+        assert sorted(a.nodes) == sorted(b.nodes)
+        assert sorted(a.links) == sorted(b.links)
+
+    def test_different_seeds_differ(self):
+        a = build_topology(TopologyConfig(seed=1, num_providers=2, pops_per_provider=10))
+        b = build_topology(TopologyConfig(seed=2, num_providers=2, pops_per_provider=10))
+        assert sorted(a.nodes) != sorted(b.nodes)
+
+    def test_graph_is_connected(self, topology):
+        assert nx.is_connected(topology.graph)
+
+    def test_ip_addresses_unique(self, topology):
+        ips = [n.ip_address for n in topology.nodes.values()]
+        assert len(ips) == len(set(ips))
+
+    def test_routers_have_dns_names(self, topology):
+        for router in topology.routers():
+            assert router.dns_name
+            assert "." in router.dns_name
+
+    def test_empty_city_list_rejected(self):
+        with pytest.raises(ValueError):
+            build_topology(TopologyConfig(cities=()))
+
+    def test_link_distances_match_geography(self, topology):
+        for link in topology.links.values():
+            a = topology.node(link.node_a)
+            b = topology.node(link.node_b)
+            assert link.distance_km == pytest.approx(
+                a.location.distance_km(b.location), rel=1e-9
+            )
+
+
+class TestLinksAndGuards:
+    def test_duplicate_node_rejected(self, topology):
+        router = topology.routers()[0]
+        with pytest.raises(ValueError):
+            topology.add_node(router)
+
+    def test_self_link_rejected(self, topology):
+        router = topology.routers()[0]
+        with pytest.raises(ValueError):
+            topology.add_link(router.node_id, router.node_id, Link.BACKBONE)
+
+    def test_link_with_unknown_endpoint_rejected(self, topology):
+        with pytest.raises(KeyError):
+            topology.add_link("nonexistent", topology.routers()[0].node_id, Link.BACKBONE)
+
+    def test_peering_links_exist(self, topology):
+        kinds = {link.kind for link in topology.links.values()}
+        assert Link.PEERING in kinds
+        assert Link.BACKBONE in kinds
+
+
+class TestRouting:
+    def test_route_endpoints(self, topology):
+        routers = topology.routers()
+        path = topology.route(routers[0].node_id, routers[-1].node_id)
+        assert path[0] == routers[0].node_id
+        assert path[-1] == routers[-1].node_id
+
+    def test_route_is_cached_and_consistent(self, topology):
+        routers = topology.routers()
+        a, b = routers[0].node_id, routers[5].node_id
+        assert topology.route(a, b) == topology.route(a, b)
+
+    def test_reverse_route_is_reverse(self, topology):
+        routers = topology.routers()
+        a, b = routers[2].node_id, routers[9].node_id
+        assert topology.route(b, a) == list(reversed(topology.route(a, b)))
+
+    def test_path_distance_at_least_great_circle(self, topology):
+        routers = topology.routers()
+        for i in range(0, len(routers) - 1, 7):
+            a, b = routers[i], routers[i + 1]
+            direct = a.location.distance_km(b.location)
+            path_km = topology.path_distance_km(topology.route(a.node_id, b.node_id))
+            assert path_km >= direct - 1e-6
+
+    def test_route_inflation_at_least_one(self, topology):
+        routers = topology.routers()
+        assert topology.route_inflation(routers[0].node_id, routers[3].node_id) >= 1.0
+
+    def test_path_links_cover_path(self, topology):
+        routers = topology.routers()
+        path = topology.route(routers[0].node_id, routers[-1].node_id)
+        links = topology.path_links(path)
+        assert len(links) == len(path) - 1
+
+
+class TestHostAttachment:
+    def test_attach_host_creates_access_link(self):
+        topo = build_topology(TopologyConfig(seed=3, num_providers=2, pops_per_provider=12))
+        rng = random.Random(0)
+        host = topo.attach_host("host-test", city_by_code("ITH"), rng)
+        assert host.is_host
+        links = [l for l in topo.links.values() if "host-test" in l.endpoints()]
+        assert len(links) == 1
+        assert links[0].kind == Link.ACCESS
+
+    def test_attached_host_has_nearby_access_router(self):
+        """The access router is local (possibly newly created) to keep heights direction-free."""
+        topo = build_topology(TopologyConfig(seed=3, num_providers=2, pops_per_provider=12))
+        rng = random.Random(0)
+        for code in ("ITH", "HNL", "ANC", "LLA"):
+            host_id = f"host-{code.lower()}"
+            host = topo.attach_host(host_id, city_by_code(code), rng)
+            link = next(l for l in topo.links.values() if host_id in l.endpoints())
+            assert link.distance_km <= 100.0, f"{host_id} attached {link.distance_km:.0f} km away"
+
+    def test_duplicate_host_rejected(self):
+        topo = build_topology(TopologyConfig(seed=3, num_providers=2, pops_per_provider=12))
+        rng = random.Random(0)
+        topo.attach_host("host-x", US_CITIES[0], rng)
+        with pytest.raises(ValueError):
+            topo.attach_host("host-x", US_CITIES[1], rng)
+
+    def test_host_offset_is_bounded(self):
+        topo = build_topology(TopologyConfig(seed=3, num_providers=2, pops_per_provider=12))
+        rng = random.Random(5)
+        city = city_by_code("BOS")
+        host = topo.attach_host("host-bos-1", city, rng)
+        assert host.location.distance_km(city.location) <= topo.config.host_offset_km + 0.1
+
+    def test_node_by_ip(self):
+        topo = build_topology(TopologyConfig(seed=3, num_providers=2, pops_per_provider=12))
+        router = topo.routers()[0]
+        assert topo.node_by_ip(router.ip_address).node_id == router.node_id
+        assert topo.node_by_ip("203.0.113.99") is None
