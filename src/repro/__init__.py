@@ -24,6 +24,7 @@ Quickstart::
 """
 
 from .core import (
+    BatchLocalizer,
     LocationEstimate,
     Octant,
     OctantConfig,
@@ -48,6 +49,7 @@ __all__ = [
     "OctantConfig",
     "SolverConfig",
     "Octant",
+    "BatchLocalizer",
     "LocationEstimate",
     "Deployment",
     "DeploymentConfig",

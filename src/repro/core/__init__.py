@@ -1,9 +1,11 @@
 """Core Octant algorithms: constraints, calibration, heights, solver, facade."""
 
+from .batch import BatchLocalizer, BatchSharedState, failed_estimate, localize_many
 from .calibration import (
     CalibrationSample,
     CalibrationSet,
     LandmarkCalibration,
+    build_calibration_set,
     calibrate_landmark,
 )
 from .config import OctantConfig, SolverConfig
@@ -53,6 +55,11 @@ __all__ = [
     "LandmarkCalibration",
     "CalibrationSet",
     "calibrate_landmark",
+    "build_calibration_set",
+    "BatchLocalizer",
+    "BatchSharedState",
+    "failed_estimate",
+    "localize_many",
     "HeightModel",
     "estimate_landmark_heights",
     "estimate_target_height",

@@ -1,0 +1,370 @@
+"""Batch leave-one-out localization: shared state once, per-target views.
+
+The paper's entire evaluation is leave-one-out: every host becomes the target
+while all others serve as landmarks.  Driving that study through
+:meth:`Octant.localize` re-runs ``prepare()`` -- O(n^2) height estimation,
+per-landmark calibration, router localization -- for every target, because
+each target sees a *different* landmark set.  A full accuracy study is then
+effectively O(n^3) and caches one full :class:`PreparedLandmarks` per target.
+
+:class:`BatchLocalizer` restructures the computation around what actually
+changes between targets:
+
+1. **Full-cohort shared state, computed once.**  The pairwise min-RTT and
+   great-circle distance matrices (cached on the
+   :class:`~repro.network.dataset.MeasurementDataset` itself), the per-host
+   measured-pair degrees, the ground-truth location map, the DNS-derived
+   router positions (which depend only on DNS records, never on the landmark
+   set) and the router observation index.
+
+2. **Incremental per-target derivation.**  Each target's leave-one-out
+   :class:`PreparedLandmarks` is derived by *masking* the held-out host's
+   samples out of the shared state and re-running only the mask-sensitive
+   estimators (the height fix-point, pseudo-target heights, convex-hull
+   calibration, latency-only router positions), feeding them the precomputed
+   matrices.  The estimators are the same functions the sequential path
+   calls, applied to bit-identical inputs, so every derived estimate is
+   **identical** to ``Octant.localize(target)`` -- a property pinned by
+   ``tests/core/test_batch.py``.
+
+3. **Parallel fan-out.**  Independent targets are dispatched across a
+   ``concurrent.futures`` executor (threads, or forked processes where
+   available) and merged back in input order, so results are deterministic
+   regardless of completion order.
+
+Per-target failures (a target with fewer than 3 reachable landmarks, a host
+without ground truth) are recorded as failed estimates -- ``point=None`` with
+the reason under ``details["error"]`` -- instead of aborting the whole study.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..geometry import GeoPoint
+from ..network.dataset import MeasurementDataset
+from ..network.dns import UndnsParser
+from .calibration import CalibrationSet, build_calibration_set
+from .config import OctantConfig
+from .estimate import LocationEstimate
+from .heights import HeightModel, estimate_landmark_heights
+from .octant import Octant, PreparedLandmarks, pseudo_target_heights
+from .piecewise import RouterLocalizer, RouterPosition, build_router_observation_index
+
+__all__ = ["BatchLocalizer", "BatchSharedState", "failed_estimate", "localize_many"]
+
+
+def failed_estimate(target_id: str, method: str, error: BaseException | str) -> LocationEstimate:
+    """A recorded per-target failure: no point, no region, reason in details."""
+    return LocationEstimate(
+        target_id=target_id,
+        method=method,
+        point=None,
+        region=None,
+        details={"error": str(error)},
+    )
+
+
+@dataclass
+class BatchSharedState:
+    """Full-cohort state computed once and shared by every per-target view."""
+
+    locations: dict[str, GeoPoint]
+    #: Measured host pairs, keys ``(a, b)`` with ``a < b`` (dataset cache).
+    rtt_matrix: Mapping[tuple[str, str], float]
+    #: Number of measured pairs each host participates in.
+    pair_degree: Mapping[str, int]
+    #: DNS-derived router positions are landmark-set independent; one shared
+    #: cache avoids re-parsing every router's DNS name per target.
+    dns_cache: dict[str, RouterPosition | None] = field(default_factory=dict)
+    #: Router id -> sorted ``(host_id, raw_rtt)`` observations.
+    router_observations: dict[str, list[tuple[str, float]]] = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------------- #
+# Process-pool plumbing: the localizer is shipped to each worker once (via
+# the initializer) instead of being pickled with every submitted task.
+# --------------------------------------------------------------------------- #
+_WORKER_LOCALIZER: "BatchLocalizer | None" = None
+
+
+def _init_worker(localizer: "BatchLocalizer") -> None:
+    global _WORKER_LOCALIZER
+    _WORKER_LOCALIZER = localizer
+
+
+def _worker_localize(target_id: str, landmark_pool: tuple[str, ...] | None) -> LocationEstimate:
+    assert _WORKER_LOCALIZER is not None
+    return _WORKER_LOCALIZER.localize_one(target_id, landmark_pool)
+
+
+class BatchLocalizer:
+    """Leave-one-out localization of many targets with shared preparation.
+
+    Wraps (or builds) an :class:`Octant` and reuses its constraint
+    construction and solver end to end; only the per-target preparation is
+    replaced by the incremental derivation.  Results are identical to calling
+    ``octant.localize(target)`` per target.
+
+    ``max_workers`` controls the fan-out: ``None`` or ``1`` runs inline (no
+    executor), ``0`` or ``"auto"`` uses the CPU count, any other integer is
+    used as given.  ``executor_kind`` selects ``"thread"`` or ``"process"``
+    workers; ``"auto"`` picks processes when fork is available (the work is
+    CPU-bound pure Python) and threads otherwise.
+    """
+
+    def __init__(
+        self,
+        source: Octant | MeasurementDataset,
+        config: OctantConfig | None = None,
+        parser: UndnsParser | None = None,
+        max_workers: int | str | None = None,
+        executor_kind: str = "auto",
+    ):
+        if isinstance(source, Octant):
+            self.octant = source
+        else:
+            self.octant = Octant(source, config, parser)
+        self.dataset = self.octant.dataset
+        self.config = self.octant.config
+        self.parser = self.octant.parser
+        self.max_workers = max_workers
+        self.executor_kind = executor_kind
+        self._shared: BatchSharedState | None = None
+
+    # ------------------------------------------------------------------ #
+    # Shared state
+    # ------------------------------------------------------------------ #
+    def shared_state(self) -> BatchSharedState:
+        """Build (once) the full-cohort shared state."""
+        if self._shared is None:
+            dataset = self.dataset
+            locations = {
+                host_id: record.location
+                for host_id, record in sorted(dataset.hosts.items())
+                if record.location is not None
+            }
+            router_observations: dict[str, list[tuple[str, float]]] = {}
+            if self.config.use_piecewise:
+                router_observations = build_router_observation_index(dataset)
+            self._shared = BatchSharedState(
+                locations=locations,
+                rtt_matrix=dataset.pairwise_min_rtt(),
+                pair_degree=dataset.measured_pair_degree(),
+                router_observations=router_observations,
+            )
+        return self._shared
+
+    # ------------------------------------------------------------------ #
+    # Incremental per-target derivation
+    # ------------------------------------------------------------------ #
+    def prepare_for_target(
+        self, target_id: str, landmark_pool: Sequence[str] | None = None
+    ) -> PreparedLandmarks:
+        """Derive the target's leave-one-out state by masking shared state.
+
+        ``landmark_pool`` restricts the landmark population (the Figure 4
+        sweep); by default every other host is a landmark, the paper's
+        leave-one-out methodology.  Raises :class:`ValueError` when fewer
+        than 3 landmarks remain.
+        """
+        shared = self.shared_state()
+        dataset = self.dataset
+        pool = sorted(landmark_pool) if landmark_pool is not None else dataset.host_ids
+        key = tuple(lid for lid in pool if lid != target_id)
+        if len(key) < 3:
+            raise ValueError("localization needs at least 3 landmarks")
+
+        located = shared.locations
+        try:
+            locations = {lid: located[lid] for lid in key}
+        except KeyError as exc:
+            raise KeyError(f"no ground-truth location recorded for {exc.args[0]!r}")
+
+        if landmark_pool is None:
+            # Leave-one-out over the full cohort: pairs among the landmarks
+            # are the total measured pairs minus the held-out host's degree.
+            pair_count = len(shared.rtt_matrix) - shared.pair_degree.get(target_id, 0)
+        else:
+            members = set(key)
+            pair_count = sum(
+                1 for (a, b) in shared.rtt_matrix if a in members and b in members
+            )
+
+        heights: HeightModel | None = None
+        if self.config.use_heights and pair_count >= len(key):
+            # The full matrix plus the masked location map is the exclusion
+            # mask: pairs touching the held-out host are filtered inside the
+            # estimator (see heights._pairwise_excess_table).
+            heights = estimate_landmark_heights(
+                locations,
+                shared.rtt_matrix,
+                distance_km=dataset.cached_distance_km,
+            )
+
+        calibrations = CalibrationSet()
+        if self.config.use_calibration:
+            pseudo: dict[str, float] = {}
+            if heights is not None:
+                pseudo = pseudo_target_heights(
+                    key, locations, heights, dataset.cached_min_rtt_ms
+                )
+            calibrations = build_calibration_set(
+                key,
+                locations,
+                dataset.cached_min_rtt_ms,
+                heights=heights,
+                pseudo_heights=pseudo,
+                distance_km=dataset.cached_distance_km,
+                cutoff_percentile=self.config.calibration_cutoff_percentile,
+                sentinel_ms=self.config.calibration_sentinel_ms,
+                slack=self.config.calibration_slack,
+            )
+
+        router_positions: dict[str, RouterPosition] = {}
+        if self.config.use_piecewise:
+            localizer = RouterLocalizer(
+                dataset,
+                self.config,
+                calibrations,
+                heights,
+                self.parser,
+                dns_cache=shared.dns_cache,
+                router_observations=shared.router_observations,
+            )
+            router_positions = localizer.localize_routers(list(key))
+
+        return PreparedLandmarks(
+            landmark_ids=key,
+            locations=locations,
+            heights=heights,
+            calibrations=calibrations,
+            router_positions=router_positions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Localization
+    # ------------------------------------------------------------------ #
+    def localize_one(
+        self, target_id: str, landmark_pool: Sequence[str] | None = None
+    ) -> LocationEstimate:
+        """Localize one target via the incremental derivation, capturing failure.
+
+        Only the preparation step is failure-captured (too few reachable
+        landmarks, missing ground truth); an exception from the localization
+        itself would be an internal invariant violation and must surface, not
+        be recorded as an ordinary per-target failure.
+        """
+        try:
+            prepared = self.prepare_for_target(target_id, landmark_pool)
+        except (ValueError, KeyError) as exc:
+            return failed_estimate(target_id, "octant", exc)
+        return self.octant.localize(target_id, prepared=prepared)
+
+    def localize_all(
+        self,
+        target_ids: Sequence[str] | None = None,
+        landmark_pool: Sequence[str] | None = None,
+    ) -> dict[str, LocationEstimate]:
+        """Leave-one-out localization of every host (or the given targets).
+
+        Fan-out across workers when configured; the merge is ordered by the
+        input target list, so results are deterministic regardless of worker
+        scheduling.
+        """
+        targets = list(target_ids) if target_ids is not None else self.dataset.host_ids
+        pool = tuple(landmark_pool) if landmark_pool is not None else None
+        workers = self._resolve_workers(len(targets))
+        if workers <= 1:
+            return {t: self.localize_one(t, pool) for t in targets}
+
+        # Build the shared state before dispatch so every worker inherits it
+        # instead of redundantly recomputing the matrices.
+        self.shared_state()
+        executor = self._make_executor(workers)
+        try:
+            futures = [
+                executor.submit(self._dispatch, target, pool) for target in targets
+            ]
+            results = [future.result() for future in futures]
+        finally:
+            executor.shutdown()
+        return dict(zip(targets, results))
+
+    # ------------------------------------------------------------------ #
+    # Executor plumbing
+    # ------------------------------------------------------------------ #
+    def _resolve_workers(self, task_count: int) -> int:
+        workers = self.max_workers
+        if workers in (None, 1):
+            return 1
+        if workers in (0, "auto"):
+            workers = os.cpu_count() or 1
+        return max(1, min(int(workers), task_count))
+
+    def _make_executor(self, workers: int):
+        kind = self.executor_kind
+        if kind == "auto":
+            kind = "process" if hasattr(os, "fork") else "thread"
+        if kind == "process":
+            try:
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
+
+                context = multiprocessing.get_context(
+                    "fork" if hasattr(os, "fork") else None
+                )
+                self._dispatch = _worker_localize_proxy
+                return ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=context,
+                    initializer=_init_worker,
+                    initargs=(self,),
+                )
+            except (ImportError, OSError, ValueError):
+                pass  # fall through to threads
+        self._dispatch = self.localize_one
+        return ThreadPoolExecutor(max_workers=workers)
+
+    # Default dispatch (inline/threads); replaced per-executor in _make_executor.
+    def _dispatch(self, target_id, landmark_pool):  # pragma: no cover - rebound
+        return self.localize_one(target_id, landmark_pool)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Bound-method/dispatch state is executor-local, never shipped.
+        state.pop("_dispatch", None)
+        return state
+
+
+def _worker_localize_proxy(target_id: str, landmark_pool: tuple[str, ...] | None):
+    return _worker_localize(target_id, landmark_pool)
+
+
+def localize_many(
+    localizer: object,
+    target_ids: Sequence[str],
+    method: str = "unknown",
+    max_workers: int | str | None = None,
+) -> dict[str, LocationEstimate]:
+    """Localize many targets with any method, capturing per-target failures.
+
+    Octant localizers are routed through :class:`BatchLocalizer` (shared
+    preparation, optional ``max_workers`` fan-out); baseline methods fall
+    back to a plain loop.  Either way a target that cannot be localized
+    yields a failed estimate instead of aborting the study.
+    """
+    if isinstance(localizer, Octant):
+        return BatchLocalizer(localizer, max_workers=max_workers).localize_all(
+            target_ids
+        )
+    results: dict[str, LocationEstimate] = {}
+    for target in target_ids:
+        try:
+            results[target] = localizer.localize(target)  # type: ignore[attr-defined]
+        except (ValueError, KeyError) as exc:
+            results[target] = failed_estimate(target, method, exc)
+    return results

@@ -22,11 +22,18 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
-from ..geometry import Point2D, lower_hull, rtt_ms_to_max_distance_km, upper_hull
+from ..geometry import GeoPoint, Point2D, lower_hull, rtt_ms_to_max_distance_km, upper_hull
+from .heights import HeightModel
 
-__all__ = ["CalibrationSample", "LandmarkCalibration", "CalibrationSet", "calibrate_landmark"]
+__all__ = [
+    "CalibrationSample",
+    "LandmarkCalibration",
+    "CalibrationSet",
+    "calibrate_landmark",
+    "build_calibration_set",
+]
 
 
 @dataclass(frozen=True)
@@ -182,6 +189,62 @@ def calibrate_landmark(
         sample_count=len(points),
         slack=slack,
     )
+
+
+def build_calibration_set(
+    landmark_ids: Sequence[str],
+    locations: Mapping[str, GeoPoint],
+    rtt_ms: Callable[[str, str], float | None],
+    *,
+    heights: HeightModel | None = None,
+    pseudo_heights: Mapping[str, float] | None = None,
+    distance_km: Callable[[str, str], float] | None = None,
+    cutoff_percentile: float = 75.0,
+    sentinel_ms: float = 400.0,
+    slack: float = 0.0,
+) -> "CalibrationSet":
+    """Calibrate every landmark from inter-landmark observations.
+
+    ``rtt_ms`` and ``distance_km`` are measurement lookups, so callers can
+    inject either live dataset accessors or the precomputed full-cohort
+    matrices; the batch engine applies its leave-one-out mask by passing an
+    already-masked ``landmark_ids`` roster.  When ``heights`` /
+    ``pseudo_heights`` are given, each sample's latency is adjusted exactly
+    the way target measurements are adjusted at localization time (landmark
+    height plus the peer's pseudo-target height).
+
+    Landmarks with fewer than 3 usable samples are skipped, mirroring
+    :func:`calibrate_landmark`'s minimum.
+    """
+    pseudo = pseudo_heights or {}
+    calibrations = CalibrationSet()
+    for landmark in landmark_ids:
+        samples: list[CalibrationSample] = []
+        for peer in landmark_ids:
+            if peer == landmark:
+                continue
+            rtt = rtt_ms(landmark, peer)
+            if rtt is None:
+                continue
+            if heights is not None:
+                rtt = max(0.0, rtt - heights.height(landmark) - pseudo.get(peer, 0.0))
+            if distance_km is not None:
+                distance = distance_km(landmark, peer)
+            else:
+                distance = locations[landmark].distance_km(locations[peer])
+            samples.append(CalibrationSample(rtt, distance))
+        if len(samples) < 3:
+            continue
+        calibrations.add(
+            calibrate_landmark(
+                landmark,
+                samples,
+                cutoff_percentile=cutoff_percentile,
+                sentinel_ms=sentinel_ms,
+                slack=slack,
+            )
+        )
+    return calibrations
 
 
 class CalibrationSet:

@@ -23,11 +23,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from ..geometry import GeoPoint, distance_km_to_min_rtt_ms, geographic_midpoint
+from ..geometry.sphere import FIBER_SPEED_KM_PER_MS
 
 __all__ = [
     "HeightModel",
@@ -56,11 +57,46 @@ class HeightModel:
         return len(self.heights_ms)
 
 
+def _quantile_sorted(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of an already-sorted sequence.
+
+    Matches numpy's default ``linear`` method, including its two-sided lerp
+    (interpolating from the upper neighbour when the fractional rank is at or
+    above one half), so it can stand in for ``np.quantile`` on the height
+    estimation hot path without changing results.
+    """
+    n = len(values)
+    if n == 1:
+        return float(values[0])
+    position = q * (n - 1)
+    low = int(position)
+    if low >= n - 1:
+        return float(values[n - 1])
+    t = position - low
+    a = values[low]
+    b = values[low + 1]
+    if t == 0.0:
+        return float(a)
+    diff = b - a
+    if t >= 0.5:
+        return float(b - diff * (1.0 - t))
+    return float(a + diff * t)
+
+
 def _pairwise_excess_table(
     landmark_locations: Mapping[str, GeoPoint],
     pairwise_rtt_ms: Mapping[tuple[str, str], float],
+    distance_km: Callable[[str, str], float] | None = None,
 ) -> tuple[list[str], dict[tuple[str, str], float]]:
-    """Per-pair excess delay (RTT minus propagation), symmetric and deduplicated."""
+    """Per-pair excess delay (RTT minus propagation), symmetric and deduplicated.
+
+    ``distance_km`` optionally supplies precomputed great-circle distances
+    (e.g. the full-cohort matrix cached on the dataset); it must return values
+    identical to ``locations[a].distance_km(locations[b])``.  Pairs involving
+    hosts absent from ``landmark_locations`` are ignored, which is how a
+    leave-one-out exclusion mask is applied: pass the full pairwise matrix
+    together with the masked location map.
+    """
     landmark_ids = sorted(landmark_locations)
     index = set(landmark_ids)
     if len(landmark_ids) < 3:
@@ -81,7 +117,10 @@ def _pairwise_excess_table(
 
     excess: dict[tuple[str, str], float] = {}
     for (a, b), rtt in best.items():
-        distance = landmark_locations[a].distance_km(landmark_locations[b])
+        if distance_km is not None:
+            distance = distance_km(a, b)
+        else:
+            distance = landmark_locations[a].distance_km(landmark_locations[b])
         excess[(a, b)] = rtt - distance_km_to_min_rtt_ms(distance)
     return landmark_ids, excess
 
@@ -91,6 +130,7 @@ def estimate_landmark_heights(
     pairwise_rtt_ms: Mapping[tuple[str, str], float],
     quantile: float = 0.15,
     iterations: int = 10,
+    distance_km: Callable[[str, str], float] | None = None,
 ) -> HeightModel:
     """Estimate the per-landmark *minimum* excess delay (the paper's height).
 
@@ -111,7 +151,9 @@ def estimate_landmark_heights(
     """
     if not 0.0 <= quantile <= 0.5:
         raise ValueError(f"quantile must be in [0, 0.5], got {quantile!r}")
-    landmark_ids, excess = _pairwise_excess_table(landmark_locations, pairwise_rtt_ms)
+    landmark_ids, excess = _pairwise_excess_table(
+        landmark_locations, pairwise_rtt_ms, distance_km
+    )
 
     peers: dict[str, list[tuple[str, float]]] = {lid: [] for lid in landmark_ids}
     for (a, b), value in excess.items():
@@ -213,28 +255,51 @@ def estimate_target_height(
     rtts = np.asarray([usable[lid] for lid in landmark_ids])
     lm_heights = np.asarray([landmark_heights.height(lid) for lid in landmark_ids])
 
-    lat_arr = np.radians(np.asarray([loc.lat for loc in locations]))
-    lon_arr = np.radians(np.asarray([loc.lon for loc in locations]))
-
     # No position can make the target height exceed the smallest
     # height-corrected measurement: the height is an additive component of
     # every RTT the target participates in.
     height_ceiling = max(0.0, float(np.min(rtts - lm_heights)))
 
+    # Candidate-independent terms, hoisted out of the (heavily repeated)
+    # position evaluation: landmark coordinates in radians, their cosines,
+    # and the height-corrected measurements the propagation estimate is
+    # subtracted from.
+    lat_rad = [math.radians(loc.lat) for loc in locations]
+    lon_rad = [math.radians(loc.lon) for loc in locations]
+    cos_lat = [math.cos(lat) for lat in lat_rad]
+    corrected = (rtts - lm_heights).tolist()  # native floats for the hot loop
+    count = len(landmark_ids)
+    sin = math.sin
+    asin = math.asin
+    sqrt = math.sqrt
+
     def evaluate(lat_deg: float, lon_deg: float) -> tuple[float, float]:
         """Optimal height and RMS residual for a candidate position."""
         phi = math.radians(lat_deg)
         lam = math.radians(lon_deg)
-        # Vectorized haversine to every landmark.
-        dphi = lat_arr - phi
-        dlam = lon_arr - lam
-        a = np.sin(dphi / 2.0) ** 2 + math.cos(phi) * np.cos(lat_arr) * np.sin(dlam / 2.0) ** 2
-        distances = 2.0 * 6371.0088 * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
-        transmission = np.asarray([distance_km_to_min_rtt_ms(float(d)) for d in distances])
-        implied = rtts - lm_heights - transmission
-        height = float(np.quantile(implied, quantile))
+        cos_phi = math.cos(phi)
+        # Haversine to every landmark, then the implied target height after
+        # removing the landmark's height and the propagation floor
+        # (2 * distance / fiber speed, the scalar distance_km_to_min_rtt_ms).
+        implied_list = []
+        for i in range(count):
+            s1 = sin((lat_rad[i] - phi) / 2.0)
+            s2 = sin((lon_rad[i] - lam) / 2.0)
+            h = s1 * s1 + cos_phi * cos_lat[i] * (s2 * s2)
+            if h < 0.0:
+                h = 0.0
+            elif h > 1.0:
+                h = 1.0
+            distance = 2.0 * 6371.0088 * asin(sqrt(h))
+            implied_list.append(corrected[i] - 2.0 * distance / FIBER_SPEED_KM_PER_MS)
+        implied_list.sort()
+        height = _quantile_sorted(implied_list, quantile)
         height = min(max(0.0, height), height_ceiling)
-        residual = float(np.sqrt(np.mean((implied - height) ** 2)))
+        total = 0.0
+        for value in implied_list:
+            deviation = value - height
+            total += deviation * deviation
+        residual = sqrt(total / count)
         return height, residual
 
     candidates: list[tuple[float, float]] = [(loc.lat, loc.lon) for loc in locations]

@@ -17,8 +17,9 @@ only, so information about the target never leaks into its own localization.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..geometry import (
     GeoPoint,
@@ -28,16 +29,50 @@ from ..geometry import (
 )
 from ..network.dataset import MeasurementDataset
 from ..network.dns import UndnsParser
-from .calibration import CalibrationSample, CalibrationSet, calibrate_landmark
+from .calibration import CalibrationSet, build_calibration_set
 from .config import OctantConfig
-from .constraints import ConstraintSet, DistanceConstraint, latency_weight
+from .constraints import Constraint, ConstraintSet, DistanceConstraint, latency_weight
 from .estimate import LocationEstimate
 from .geo_constraints import geographic_constraints, whois_constraint
 from .heights import HeightModel, estimate_landmark_heights, estimate_target_height
 from .piecewise import RouterLocalizer, RouterPosition, secondary_constraints_for_target
 from .solver import WeightedRegionSolver
 
-__all__ = ["Octant", "PreparedLandmarks"]
+__all__ = ["Octant", "PreparedLandmarks", "pseudo_target_heights"]
+
+
+def pseudo_target_heights(
+    landmark_ids: Sequence[str],
+    locations: Mapping[str, GeoPoint],
+    heights: HeightModel,
+    rtt_ms: Callable[[str, str], float | None],
+) -> dict[str, float]:
+    """Estimate every landmark's height *as if it were a target*.
+
+    Calibration samples must be adjusted exactly the way target measurements
+    will be adjusted at localization time, otherwise the calibrated envelope
+    is systematically offset from the points it is later evaluated on.  A
+    target's height is estimated from its measurements alone (Section 2.2),
+    so for calibration each peer landmark is put through the same estimator,
+    ignoring its known position.
+
+    ``rtt_ms`` is a measurement lookup (live dataset accessor or the cached
+    full-cohort matrix); the batch engine applies its leave-one-out mask by
+    passing an already-masked ``landmark_ids`` roster.
+    """
+    pseudo: dict[str, float] = {}
+    for peer in landmark_ids:
+        rtts = {
+            lid: rtt
+            for lid in landmark_ids
+            if lid != peer and (rtt := rtt_ms(lid, peer)) is not None
+        }
+        if len(rtts) < 3:
+            pseudo[peer] = heights.height(peer)
+            continue
+        height, _ = estimate_target_height(rtts, locations, heights)
+        pseudo[peer] = height
+    return pseudo
 
 
 @dataclass
@@ -63,16 +98,24 @@ class Octant:
         self.dataset = dataset
         self.config = config or OctantConfig()
         self.parser = parser or UndnsParser()
-        self._prepared: dict[tuple[str, ...], PreparedLandmarks] = {}
+        # LRU over landmark sets: leave-one-out evaluation visits n distinct
+        # sets, and an unbounded mapping would retain one full
+        # PreparedLandmarks (heights, calibrations, router positions) per
+        # target.  Use repro.core.batch.BatchLocalizer for whole-cohort
+        # studies; this cache only amortizes repeated localizations against
+        # the same few landmark sets.
+        self._prepared: OrderedDict[tuple[str, ...], PreparedLandmarks] = OrderedDict()
+        self._geo_constraints: list[Constraint] | None = None
 
     # ------------------------------------------------------------------ #
     # Preparation: heights, calibration, router localization
     # ------------------------------------------------------------------ #
     def prepare(self, landmark_ids: Sequence[str]) -> PreparedLandmarks:
-        """Compute (and cache) all per-landmark state for a landmark set."""
+        """Compute (and cache, bounded LRU) per-landmark state for a landmark set."""
         key = tuple(sorted(landmark_ids))
         cached = self._prepared.get(key)
         if cached is not None:
+            self._prepared.move_to_end(key)
             return cached
 
         locations = {lid: self.dataset.true_location(lid) for lid in key}
@@ -94,6 +137,9 @@ class Octant:
             router_positions=router_positions,
         )
         self._prepared[key] = prepared
+        limit = max(1, self.config.prepared_cache_size)
+        while len(self._prepared) > limit:
+            self._prepared.popitem(last=False)
         return prepared
 
     def _estimate_heights(
@@ -115,29 +161,10 @@ class Octant:
         locations: Mapping[str, GeoPoint],
         heights: HeightModel,
     ) -> dict[str, float]:
-        """Estimate every landmark's height *as if it were a target*.
-
-        Calibration samples must be adjusted exactly the way target
-        measurements will be adjusted at localization time, otherwise the
-        calibrated envelope is systematically offset from the points it is
-        later evaluated on.  A target's height is estimated from its
-        measurements alone (Section 2.2), so for calibration each peer
-        landmark is put through the same estimator, ignoring its known
-        position.
-        """
-        pseudo: dict[str, float] = {}
-        for peer in landmark_ids:
-            rtts = {
-                lid: rtt
-                for lid in landmark_ids
-                if lid != peer and (rtt := self.dataset.min_rtt_ms(lid, peer)) is not None
-            }
-            if len(rtts) < 3:
-                pseudo[peer] = heights.height(peer)
-                continue
-            height, _ = estimate_target_height(rtts, locations, heights)
-            pseudo[peer] = height
-        return pseudo
+        """Per-landmark pseudo-target heights (see :func:`pseudo_target_heights`)."""
+        return pseudo_target_heights(
+            landmark_ids, locations, heights, self.dataset.min_rtt_ms
+        )
 
     def _calibrate(
         self,
@@ -145,38 +172,21 @@ class Octant:
         locations: Mapping[str, GeoPoint],
         heights: HeightModel | None,
     ) -> CalibrationSet:
-        calibrations = CalibrationSet()
         if not self.config.use_calibration:
-            return calibrations
+            return CalibrationSet()
         pseudo_heights: dict[str, float] = {}
         if heights is not None:
             pseudo_heights = self._pseudo_target_heights(landmark_ids, locations, heights)
-        for landmark in landmark_ids:
-            samples: list[CalibrationSample] = []
-            for peer in landmark_ids:
-                if peer == landmark:
-                    continue
-                rtt = self.dataset.min_rtt_ms(landmark, peer)
-                if rtt is None:
-                    continue
-                if heights is not None:
-                    rtt = max(
-                        0.0, rtt - heights.height(landmark) - pseudo_heights.get(peer, 0.0)
-                    )
-                distance = locations[landmark].distance_km(locations[peer])
-                samples.append(CalibrationSample(rtt, distance))
-            if len(samples) < 3:
-                continue
-            calibrations.add(
-                calibrate_landmark(
-                    landmark,
-                    samples,
-                    cutoff_percentile=self.config.calibration_cutoff_percentile,
-                    sentinel_ms=self.config.calibration_sentinel_ms,
-                    slack=self.config.calibration_slack,
-                )
-            )
-        return calibrations
+        return build_calibration_set(
+            landmark_ids,
+            locations,
+            self.dataset.min_rtt_ms,
+            heights=heights,
+            pseudo_heights=pseudo_heights,
+            cutoff_percentile=self.config.calibration_cutoff_percentile,
+            sentinel_ms=self.config.calibration_sentinel_ms,
+            slack=self.config.calibration_slack,
+        )
 
     # ------------------------------------------------------------------ #
     # Constraint construction
@@ -232,7 +242,11 @@ class Octant:
                 )
             )
 
-        constraints.extend(geographic_constraints(cfg))
+        if self._geo_constraints is None:
+            # Geographic constraints depend only on the configuration, never
+            # on the target; build them once per Octant instance.
+            self._geo_constraints = list(geographic_constraints(cfg))
+        constraints.extend(self._geo_constraints)
         constraints.add(whois_constraint(self.dataset, target_id, cfg))
 
         if cfg.use_piecewise and prepared.router_positions:
@@ -257,18 +271,29 @@ class Octant:
         self,
         target_id: str,
         landmark_ids: Sequence[str] | None = None,
+        prepared: PreparedLandmarks | None = None,
     ) -> LocationEstimate:
-        """Localize one target and return its estimate."""
+        """Localize one target and return its estimate.
+
+        ``prepared`` optionally injects per-landmark state derived elsewhere
+        (the batch engine's incremental leave-one-out derivation); it must
+        have been computed from a landmark set that excludes the target.
+        """
         started = time.perf_counter()
-        landmarks = (
-            list(landmark_ids)
-            if landmark_ids is not None
-            else self.dataset.landmark_ids_excluding(target_id)
-        )
-        landmarks = [lid for lid in landmarks if lid != target_id]
-        if len(landmarks) < 3:
-            raise ValueError("localization needs at least 3 landmarks")
-        prepared = self.prepare(landmarks)
+        if prepared is not None:
+            landmarks = [lid for lid in prepared.landmark_ids if lid != target_id]
+            if len(landmarks) < 3:
+                raise ValueError("localization needs at least 3 landmarks")
+        else:
+            landmarks = (
+                list(landmark_ids)
+                if landmark_ids is not None
+                else self.dataset.landmark_ids_excluding(target_id)
+            )
+            landmarks = [lid for lid in landmarks if lid != target_id]
+            if len(landmarks) < 3:
+                raise ValueError("localization needs at least 3 landmarks")
+            prepared = self.prepare(landmarks)
 
         target_height = 0.0
         if self.config.use_heights and prepared.heights is not None:
@@ -315,11 +340,27 @@ class Octant:
         )
 
     def localize_all(
-        self, target_ids: Sequence[str] | None = None
+        self,
+        target_ids: Sequence[str] | None = None,
+        max_workers: int | str | None = None,
+        executor_kind: str = "auto",
     ) -> dict[str, LocationEstimate]:
-        """Leave-one-out localization of every host (or the given targets)."""
-        targets = list(target_ids) if target_ids is not None else self.dataset.host_ids
-        return {target: self.localize(target) for target in targets}
+        """Leave-one-out localization of every host (or the given targets).
+
+        Runs through the batch engine: full-cohort shared state is computed
+        once, each target's leave-one-out view is derived incrementally, and
+        targets optionally fan out across workers (``max_workers``).  A
+        target that cannot be localized (fewer than 3 reachable landmarks,
+        missing ground truth) is recorded as a failed estimate --
+        ``point=None`` with the reason under ``details["error"]`` -- instead
+        of aborting the whole study.
+        """
+        from .batch import BatchLocalizer  # deferred: batch imports this module
+
+        localizer = BatchLocalizer(
+            self, max_workers=max_workers, executor_kind=executor_kind
+        )
+        return localizer.localize_all(target_ids)
 
     # ------------------------------------------------------------------ #
     # Helpers

@@ -43,7 +43,31 @@ from .config import OctantConfig
 from .constraints import Constraint, DistanceConstraint, latency_weight
 from .heights import HeightModel
 
-__all__ = ["RouterPosition", "RouterLocalizer", "secondary_constraints_for_target"]
+__all__ = [
+    "RouterPosition",
+    "RouterLocalizer",
+    "secondary_constraints_for_target",
+    "build_router_observation_index",
+]
+
+
+def build_router_observation_index(
+    dataset: MeasurementDataset,
+) -> dict[str, list[tuple[str, float]]]:
+    """Group landmark-to-router latency observations by router, built once.
+
+    Maps each router id to its ``(host_id, raw_min_rtt_ms)`` observations
+    sorted by host id.  The batch engine computes this index once for the
+    full cohort and shares it across every leave-one-out derivation; masking
+    a host is then a membership filter instead of an O(landmarks x routers)
+    re-scan of ``dataset.router_pings``.
+    """
+    index: dict[str, list[tuple[str, float]]] = {}
+    for (host_id, router_id), rtt in dataset.router_pings.items():
+        index.setdefault(router_id, []).append((host_id, rtt))
+    for observations in index.values():
+        observations.sort()
+    return index
 
 
 @dataclass(frozen=True)
@@ -70,25 +94,54 @@ class RouterLocalizer:
         calibrations: CalibrationSet,
         heights: HeightModel | None = None,
         parser: UndnsParser | None = None,
+        dns_cache: dict[str, RouterPosition | None] | None = None,
+        router_observations: Mapping[str, Sequence[tuple[str, float]]] | None = None,
     ):
+        """``dns_cache`` and ``router_observations`` are optional shared state.
+
+        A DNS-derived position depends only on the router's DNS record, never
+        on the landmark set, so a cache shared across leave-one-out
+        derivations returns identical positions without re-parsing.
+        ``router_observations`` is the index from
+        :func:`build_router_observation_index`; when present, latency
+        observations are read from it (filtered to the current landmark set)
+        instead of probing ``dataset.router_pings`` per landmark.
+        """
         self.dataset = dataset
         self.config = config
         self.calibrations = calibrations
         self.heights = heights
         self.parser = parser or UndnsParser()
+        self.dns_cache = dns_cache if dns_cache is not None else {}
+        self.router_observations = router_observations
 
     # ------------------------------------------------------------------ #
     # Router localization
     # ------------------------------------------------------------------ #
-    def localize_routers(self, landmark_ids: Sequence[str]) -> dict[str, RouterPosition]:
-        """Estimate a position for every router measurable from the landmarks."""
+    def localize_routers(
+        self, landmark_ids: Sequence[str]
+    ) -> dict[str, RouterPosition]:
+        """Estimate a position for every router measurable from the landmarks.
+
+        Leave-one-out masking is expressed through ``landmark_ids`` itself
+        (callers pass the already-masked roster): routers only measurable
+        from a masked-out host are dropped, and its observations do not
+        contribute to any latency-derived position.
+        """
         landmarks = set(landmark_ids)
         positions: dict[str, RouterPosition] = {}
-        router_ids = sorted(
-            {r for (h, r) in self.dataset.router_pings if h in landmarks}
-        )
+        if self.router_observations is not None:
+            router_ids = sorted(
+                router_id
+                for router_id, observations in self.router_observations.items()
+                if any(host in landmarks for host, _ in observations)
+            )
+        else:
+            router_ids = sorted(
+                {r for (h, r) in self.dataset.router_pings if h in landmarks}
+            )
         for router_id in router_ids:
-            position = self.localize_router(router_id, landmark_ids)
+            position = self._localize_router(router_id, landmark_ids, landmarks)
             if position is not None:
                 positions[router_id] = position
         return positions
@@ -97,38 +150,66 @@ class RouterLocalizer:
         self, router_id: str, landmark_ids: Sequence[str]
     ) -> RouterPosition | None:
         """Estimate one router's position from DNS hints and landmark latencies."""
+        return self._localize_router(router_id, landmark_ids, set(landmark_ids))
+
+    def _localize_router(
+        self, router_id: str, landmark_ids: Sequence[str], landmark_set: set[str]
+    ) -> RouterPosition | None:
         dns_position = self._dns_position(router_id)
         if dns_position is not None:
             return dns_position
-        return self._latency_position(router_id, landmark_ids)
+        return self._latency_position(router_id, landmark_ids, landmark_set)
 
     def _dns_position(self, router_id: str) -> RouterPosition | None:
+        cache = self.dns_cache
+        if router_id in cache:
+            return cache[router_id]
+        position: RouterPosition | None = None
         record = self.dataset.routers.get(router_id)
-        if record is None:
-            return None
-        hint = self.parser.parse(record.dns_name)
-        if hint is None or hint.confidence < self.config.router_hint_min_confidence:
-            return None
-        return RouterPosition(
-            router_id=router_id,
-            center=hint.location,
-            uncertainty_km=self.config.router_hint_radius_km,
-            confidence=hint.confidence,
-            source=RouterPosition.DNS,
-        )
+        if record is not None:
+            hint = self.parser.parse(record.dns_name)
+            if hint is not None and hint.confidence >= self.config.router_hint_min_confidence:
+                position = RouterPosition(
+                    router_id=router_id,
+                    center=hint.location,
+                    uncertainty_km=self.config.router_hint_radius_km,
+                    confidence=hint.confidence,
+                    source=RouterPosition.DNS,
+                )
+        cache[router_id] = position
+        return position
 
     def _latency_position(
-        self, router_id: str, landmark_ids: Sequence[str]
+        self,
+        router_id: str,
+        landmark_ids: Sequence[str],
+        landmark_set: set[str] | None = None,
     ) -> RouterPosition | None:
-        """Greedy intersection of the tightest calibrated disks around landmarks."""
+        """Greedy intersection of the tightest calibrated disks around landmarks.
+
+        The observation list is sorted by ``(rtt, landmark_id)`` before the
+        top entries are kept, so the result only depends on the landmark
+        *set*; reading observations from the shared index therefore yields
+        positions identical to probing the dataset landmark by landmark.
+        """
         observations: list[tuple[float, str]] = []
-        for landmark_id in landmark_ids:
-            rtt = self.dataset.router_min_rtt_ms(landmark_id, router_id)
-            if rtt is None:
-                continue
-            if self.heights is not None:
-                rtt = max(0.0, rtt - self.heights.height(landmark_id))
-            observations.append((rtt, landmark_id))
+        if self.router_observations is not None:
+            members = landmark_set if landmark_set is not None else set(landmark_ids)
+            for landmark_id, raw in self.router_observations.get(router_id, ()):
+                if landmark_id not in members:
+                    continue
+                rtt = raw
+                if self.heights is not None:
+                    rtt = max(0.0, rtt - self.heights.height(landmark_id))
+                observations.append((rtt, landmark_id))
+        else:
+            for landmark_id in landmark_ids:
+                rtt = self.dataset.router_min_rtt_ms(landmark_id, router_id)
+                if rtt is None:
+                    continue
+                if self.heights is not None:
+                    rtt = max(0.0, rtt - self.heights.height(landmark_id))
+                observations.append((rtt, landmark_id))
         if not observations:
             return None
         observations.sort()

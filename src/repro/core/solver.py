@@ -184,9 +184,22 @@ class WeightedRegionSolver:
         edge; a keyholed polygon keeps it as a single piece with identical
         area and containment behaviour.  Otherwise general subtraction is used.
         """
-        if not piece.bounding_box().intersects(exclusion.bounding_box()):
+        piece_box = piece.bounding_box()
+        exclusion_box = exclusion.bounding_box()
+        if not piece_box.intersects(exclusion_box):
             return [piece]
-        if all(piece.contains_point(v) for v in exclusion.vertices):
+        # The exclusion can only lie strictly inside the piece when its
+        # bounding box does (up to the boundary tolerance of contains_point);
+        # rejecting on boxes skips the per-vertex containment scan in the
+        # common partial-overlap case without changing the decision.
+        tol = 1e-6
+        if (
+            piece_box.min_x - tol <= exclusion_box.min_x
+            and piece_box.min_y - tol <= exclusion_box.min_y
+            and exclusion_box.max_x <= piece_box.max_x + tol
+            and exclusion_box.max_y <= piece_box.max_y + tol
+            and all(piece.contains_point(v) for v in exclusion.vertices)
+        ):
             return [piece.with_hole(exclusion)]
         return subtract_polygons(piece, exclusion)
 
@@ -261,7 +274,10 @@ def strict_intersection(
                     for p in subtract_polygons(part, constraint.exclusion)
                 ]
             next_pieces.extend(parts)
-        current = [p for p in next_pieces if p.area() >= min_piece_area_km2]
+        # Filter slivers in km^2, the same unit the weighted solver's
+        # _apply_constraint/_prune use, so the two solution strategies apply
+        # one consistent physical threshold.
+        current = [p for p in next_pieces if p.area_km2() >= min_piece_area_km2]
         if not current:
             return Region.empty(projection)
     return Region([RegionPiece(p, 1.0) for p in current], projection)

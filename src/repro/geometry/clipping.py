@@ -62,6 +62,84 @@ class ClippingError(RuntimeError):
 # --------------------------------------------------------------------------- #
 # Sutherland-Hodgman: clip an arbitrary subject against a *convex* clip
 # --------------------------------------------------------------------------- #
+def _ccw_coords(polygon: Polygon) -> tuple[tuple[float, float], ...]:
+    """Raw CCW-ordered coordinates, equal to ``polygon.ensure_ccw().vertices``.
+
+    Avoids constructing the reversed :class:`Polygon` copy on the hot path:
+    reversing preserves consecutive-vertex distinctness, so the reversed
+    copy's cleaned vertex list is exactly the reversed list.
+    """
+    coords = polygon.coords
+    if polygon.signed_area() > 0.0:
+        return coords
+    return tuple(reversed(coords))
+
+
+def _clip_pass(
+    points: list[tuple[float, float]],
+    ax: float,
+    ay: float,
+    bx: float,
+    by: float,
+) -> list[tuple[float, float]]:
+    """One Sutherland-Hodgman half-plane pass on raw coordinates.
+
+    Keeps the part of the (cyclic) vertex chain on the left of the directed
+    line ``(ax, ay) -> (bx, by)``.  The arithmetic mirrors ``_cross`` /
+    ``_line_intersection`` on :class:`Point2D` operand-for-operand, so the
+    output coordinates are bitwise identical to the boxed implementation.
+    """
+    ex = bx - ax
+    ey = by - ay
+    m = len(points)
+    sides = [ex * (y - ay) - ey * (x - ax) >= -EPSILON for x, y in points]
+    # Fast paths: a chain entirely inside the half-plane is returned as-is
+    # (the general loop below would copy it verbatim: every vertex is kept
+    # and no intersection is ever emitted); a chain entirely outside yields
+    # nothing (no vertex kept, no inside/outside transition to intersect).
+    if all(sides):
+        return points
+    if not any(sides):
+        return []
+    output: list[tuple[float, float]] = []
+    for j in range(m):
+        cx, cy = points[j]
+        cur_inside = sides[j]
+        prev_inside = sides[j - 1]
+        if cur_inside:
+            if not prev_inside:
+                px, py = points[j - 1]
+                rx = cx - px
+                ry = cy - py
+                denom = rx * ey - ry * ex
+                if not abs(denom) < 1e-15:
+                    t = ((ax - px) * ey - (ay - py) * ex) / denom
+                    output.append((px + rx * t, py + ry * t))
+            output.append((cx, cy))
+        elif prev_inside:
+            px, py = points[j - 1]
+            rx = cx - px
+            ry = cy - py
+            denom = rx * ey - ry * ex
+            if not abs(denom) < 1e-15:
+                t = ((ax - px) * ey - (ay - py) * ex) / denom
+                output.append((px + rx * t, py + ry * t))
+    return output
+
+
+def _polygon_from_coords(points: list[tuple[float, float]]) -> Polygon | None:
+    """Build the result polygon from raw coordinates, dropping slivers."""
+    if len(points) < 3:
+        return None
+    try:
+        result = Polygon([Point2D(x, y) for x, y in points])
+    except ValueError:
+        return None
+    if result.area() < _MIN_PIECE_AREA_KM2:
+        return None
+    return result
+
+
 def clip_convex(subject: Polygon, convex_clip: Polygon) -> Polygon | None:
     """Intersection of ``subject`` with a convex ``convex_clip`` polygon.
 
@@ -72,45 +150,18 @@ def clip_convex(subject: Polygon, convex_clip: Polygon) -> Polygon | None:
     affect area or containment under the even-odd rule used by
     :class:`~repro.geometry.polygon.Polygon`.
     """
-    clip = convex_clip.ensure_ccw()
-    output = subject.ensure_ccw().vertices
-    clip_verts = clip.vertices
-    n = len(clip_verts)
+    clip_coords = _ccw_coords(convex_clip)
+    output = list(_ccw_coords(subject))
+    n = len(clip_coords)
 
     for i in range(n):
         if len(output) < 3:
             return None
-        a = clip_verts[i]
-        b = clip_verts[(i + 1) % n]
-        edge = b - a
-        input_list = output
-        output = []
-        m = len(input_list)
-        for j in range(m):
-            current = input_list[j]
-            previous = input_list[(j - 1) % m]
-            cur_inside = _cross(edge, current - a) >= -EPSILON
-            prev_inside = _cross(edge, previous - a) >= -EPSILON
-            if cur_inside:
-                if not prev_inside:
-                    inter = _line_intersection(previous, current, a, b)
-                    if inter is not None:
-                        output.append(inter)
-                output.append(current)
-            elif prev_inside:
-                inter = _line_intersection(previous, current, a, b)
-                if inter is not None:
-                    output.append(inter)
+        ax, ay = clip_coords[i]
+        bx, by = clip_coords[(i + 1) % n]
+        output = _clip_pass(output, ax, ay, bx, by)
 
-    if len(output) < 3:
-        return None
-    try:
-        result = Polygon(output)
-    except ValueError:
-        return None
-    if result.area() < _MIN_PIECE_AREA_KM2:
-        return None
-    return result
+    return _polygon_from_coords(output)
 
 
 def clip_halfplane(subject: Polygon, a: Point2D, b: Point2D, keep_left: bool = True) -> Polygon | None:
@@ -124,34 +175,8 @@ def clip_halfplane(subject: Polygon, a: Point2D, b: Point2D, keep_left: bool = T
     """
     if not keep_left:
         a, b = b, a
-    edge = b - a
-    input_list = subject.ensure_ccw().vertices
-    output: list[Point2D] = []
-    m = len(input_list)
-    for j in range(m):
-        current = input_list[j]
-        previous = input_list[(j - 1) % m]
-        cur_inside = _cross(edge, current - a) >= -EPSILON
-        prev_inside = _cross(edge, previous - a) >= -EPSILON
-        if cur_inside:
-            if not prev_inside:
-                inter = _line_intersection(previous, current, a, b)
-                if inter is not None:
-                    output.append(inter)
-            output.append(current)
-        elif prev_inside:
-            inter = _line_intersection(previous, current, a, b)
-            if inter is not None:
-                output.append(inter)
-    if len(output) < 3:
-        return None
-    try:
-        result = Polygon(output)
-    except ValueError:
-        return None
-    if result.area() < _MIN_PIECE_AREA_KM2:
-        return None
-    return result
+    output = _clip_pass(list(_ccw_coords(subject)), a.x, a.y, b.x, b.y)
+    return _polygon_from_coords(output)
 
 
 def subtract_convex(subject: Polygon, convex_clip: Polygon) -> list[Polygon]:

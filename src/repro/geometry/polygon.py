@@ -19,6 +19,7 @@ import math
 from typing import Callable, Iterable, Sequence
 
 from .bbox import BoundingBox
+from .point import EPSILON as _EPSILON
 from .point import Point2D, cross
 
 __all__ = ["Polygon"]
@@ -36,7 +37,7 @@ class Polygon:
     orientation is needed.
     """
 
-    __slots__ = ("_vertices",)
+    __slots__ = ("_vertices", "_xy", "_bbox", "_signed_area", "_is_convex")
 
     def __init__(self, vertices: Sequence[Point2D] | Iterable[Point2D]):
         verts = _clean_vertices(list(vertices))
@@ -45,6 +46,15 @@ class Polygon:
                 f"a polygon requires at least 3 distinct vertices, got {len(verts)}"
             )
         self._vertices = verts
+        # Raw coordinate tuples for the allocation-free hot loops below.
+        # Polygons are immutable, so derived values (bounding box, signed
+        # area) are computed once and cached.
+        self._xy: tuple[tuple[float, float], ...] = tuple(
+            (v.x, v.y) for v in verts
+        )
+        self._bbox: BoundingBox | None = None
+        self._signed_area: float | None = None
+        self._is_convex: bool | None = None
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -53,6 +63,15 @@ class Polygon:
     def vertices(self) -> list[Point2D]:
         """The vertex list (copy) in boundary order."""
         return list(self._vertices)
+
+    @property
+    def coords(self) -> tuple[tuple[float, float], ...]:
+        """Vertex coordinates as raw ``(x, y)`` tuples, in boundary order.
+
+        Used by the clipping hot paths to avoid :class:`Point2D` boxing;
+        the tuple is the polygon's own cache, so callers must not mutate it.
+        """
+        return self._xy
 
     def __len__(self) -> int:
         return len(self._vertices)
@@ -70,17 +89,31 @@ class Polygon:
     # ------------------------------------------------------------------ #
     def signed_area(self) -> float:
         """Signed area via the shoelace formula (positive when CCW)."""
-        total = 0.0
-        n = len(self._vertices)
-        for i in range(n):
-            a = self._vertices[i]
-            b = self._vertices[(i + 1) % n]
-            total += a.x * b.y - b.x * a.y
-        return total / 2.0
+        if self._signed_area is None:
+            total = 0.0
+            xy = self._xy
+            n = len(xy)
+            for i in range(n):
+                ax, ay = xy[i]
+                bx, by = xy[(i + 1) % n]
+                total += ax * by - bx * ay
+            self._signed_area = total / 2.0
+        return self._signed_area
 
     def area(self) -> float:
         """Unsigned enclosed area."""
         return abs(self.signed_area())
+
+    def area_km2(self) -> float:
+        """Enclosed area in square kilometres.
+
+        Planar coordinates are produced by the kilometre-scaled projections in
+        :mod:`repro.geometry.projection`, so the shoelace area *is* the area
+        in km^2; this alias exists so callers filtering slivers by physical
+        size use one consistently-named unit (see
+        :func:`repro.core.solver.strict_intersection`).
+        """
+        return self.area()
 
     def perimeter(self) -> float:
         """Total boundary length."""
@@ -110,8 +143,10 @@ class Polygon:
         return Point2D(cx / (3.0 * a2), cy / (3.0 * a2))
 
     def bounding_box(self) -> BoundingBox:
-        """Axis-aligned bounding box of the vertices."""
-        return BoundingBox.from_points(self._vertices)
+        """Axis-aligned bounding box of the vertices (cached)."""
+        if self._bbox is None:
+            self._bbox = BoundingBox.from_points(self._vertices)
+        return self._bbox
 
     # ------------------------------------------------------------------ #
     # Orientation
@@ -129,14 +164,20 @@ class Polygon:
         return self if self.is_ccw() else self.reversed()
 
     def is_convex(self) -> bool:
-        """True when every interior angle turns the same way."""
-        n = len(self._vertices)
+        """True when every interior angle turns the same way (cached)."""
+        if self._is_convex is None:
+            self._is_convex = self._compute_is_convex()
+        return self._is_convex
+
+    def _compute_is_convex(self) -> bool:
+        xy = self._xy
+        n = len(xy)
         sign = 0
         for i in range(n):
-            a = self._vertices[i]
-            b = self._vertices[(i + 1) % n]
-            c = self._vertices[(i + 2) % n]
-            z = cross(b - a, c - b)
+            ax, ay = xy[i]
+            bx, by = xy[(i + 1) % n]
+            cx, cy = xy[(i + 2) % n]
+            z = (bx - ax) * (cy - by) - (by - ay) * (cx - bx)
             if abs(z) < 1e-12:
                 continue
             s = 1 if z > 0 else -1
@@ -155,17 +196,23 @@ class Polygon:
         The even-odd rule makes keyholed polygons (see :meth:`with_hole`)
         behave like true regions-with-holes for containment purposes.
         """
-        if not self.bounding_box().contains_point(p, tol=MERGE_TOLERANCE_KM):
+        box = self.bounding_box()
+        x, y = p.x, p.y
+        tol = MERGE_TOLERANCE_KM
+        if not (
+            box.min_x - tol <= x <= box.max_x + tol
+            and box.min_y - tol <= y <= box.max_y + tol
+        ):
             return False
         if self.point_on_boundary(p):
             return include_boundary
         inside = False
-        n = len(self._vertices)
-        x, y = p.x, p.y
+        xy = self._xy
+        n = len(xy)
         j = n - 1
         for i in range(n):
-            xi, yi = self._vertices[i].x, self._vertices[i].y
-            xj, yj = self._vertices[j].x, self._vertices[j].y
+            xi, yi = xy[i]
+            xj, yj = xy[j]
             if (yi > y) != (yj > y):
                 x_int = (xj - xi) * (y - yi) / (yj - yi) + xi
                 if x < x_int:
@@ -175,20 +222,46 @@ class Polygon:
 
     def point_on_boundary(self, p: Point2D, tol: float = MERGE_TOLERANCE_KM) -> bool:
         """True when ``p`` lies on (within ``tol`` of) the polygon boundary."""
-        from .point import point_segment_distance
-
-        for a, b in self.edges():
-            if point_segment_distance(p, a, b) <= tol:
-                return True
-        return False
+        return self._boundary_distance(p.x, p.y, stop_at=tol) <= tol
 
     def distance_to_point(self, p: Point2D) -> float:
         """Distance from ``p`` to the region: 0 inside, else boundary distance."""
-        from .point import point_segment_distance
-
         if self.contains_point(p):
             return 0.0
-        return min(point_segment_distance(p, a, b) for a, b in self.edges())
+        return self._boundary_distance(p.x, p.y)
+
+    def _boundary_distance(self, px: float, py: float, stop_at: float = -1.0) -> float:
+        """Minimum distance from ``(px, py)`` to any boundary segment.
+
+        Identical arithmetic to :func:`repro.geometry.point.point_segment_distance`
+        applied per edge, unrolled onto raw floats to keep this hot path free
+        of :class:`Point2D` allocations.  When ``stop_at`` is non-negative the
+        scan returns early once a distance at or below it is found (the
+        boundary-membership predicate does not need the exact minimum).
+        """
+        hypot = math.hypot
+        eps2 = _EPSILON * _EPSILON
+        xy = self._xy
+        n = len(xy)
+        best = math.inf
+        ax, ay = xy[n - 1]
+        for i in range(n):
+            bx, by = xy[i]
+            abx = bx - ax
+            aby = by - ay
+            ab_len2 = abx * abx + aby * aby
+            if ab_len2 < eps2:
+                d = hypot(px - ax, py - ay)
+            else:
+                t = ((px - ax) * abx + (py - ay) * aby) / ab_len2
+                t = max(0.0, min(1.0, t))
+                d = hypot(px - (ax + abx * t), py - (ay + aby * t))
+            if d < best:
+                best = d
+                if 0.0 <= stop_at and best <= stop_at:
+                    return best
+            ax, ay = bx, by
+        return best
 
     def max_distance_to_point(self, p: Point2D) -> float:
         """Largest distance from ``p`` to any vertex of the polygon."""
@@ -287,14 +360,19 @@ class Polygon:
         inner_verts = inner.vertices
 
         # Pick the bridge between the closest (outer vertex, inner vertex) pair
-        # to keep the slit short and avoid crossing the hole.
+        # to keep the slit short and avoid crossing the hole.  Compared on
+        # squared distance (same minimizer, no sqrt per pair).
         best = (0, 0)
-        best_dist = math.inf
+        best_dist2 = math.inf
+        inner_xy = [(v.x, v.y) for v in inner_verts]
         for i, ov in enumerate(outer_verts):
-            for j, iv in enumerate(inner_verts):
-                d = ov.distance_to(iv)
-                if d < best_dist:
-                    best_dist = d
+            ox, oy = ov.x, ov.y
+            for j, (ix, iy) in enumerate(inner_xy):
+                dx = ox - ix
+                dy = oy - iy
+                d2 = dx * dx + dy * dy
+                if d2 < best_dist2:
+                    best_dist2 = d2
                     best = (i, j)
         oi, ij = best
         outer_rot = outer_verts[oi:] + outer_verts[:oi]
@@ -335,10 +413,16 @@ def _clean_vertices(vertices: list[Point2D]) -> list[Point2D]:
     """Drop consecutive (nearly) duplicate vertices, including wrap-around."""
     if not vertices:
         return []
+    tol = MERGE_TOLERANCE_KM
     cleaned: list[Point2D] = [vertices[0]]
+    last = vertices[0]
     for v in vertices[1:]:
-        if not v.almost_equal(cleaned[-1], tol=MERGE_TOLERANCE_KM):
+        if not (abs(v.x - last.x) <= tol and abs(v.y - last.y) <= tol):
             cleaned.append(v)
-    while len(cleaned) > 1 and cleaned[-1].almost_equal(cleaned[0], tol=MERGE_TOLERANCE_KM):
+            last = v
+    first = cleaned[0]
+    while len(cleaned) > 1 and (
+        abs(cleaned[-1].x - first.x) <= tol and abs(cleaned[-1].y - first.y) <= tol
+    ):
         cleaned.pop()
     return cleaned

@@ -37,11 +37,11 @@ class RegionPiece:
 
     def area_km2(self) -> float:
         """Area of the piece in square kilometres."""
-        return self.polygon.area()
+        return self.polygon.area_km2()
 
     def weighted_area(self) -> float:
         """Area multiplied by the piece weight."""
-        return self.weight * self.polygon.area()
+        return self.weight * self.polygon.area_km2()
 
     def with_weight(self, weight: float) -> "RegionPiece":
         """The same polygon with a different weight."""

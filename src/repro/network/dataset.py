@@ -62,6 +62,19 @@ class MeasurementDataset:
     router_pings: dict[tuple[str, str], float] = field(default_factory=dict)
     whois: WhoisRegistry = field(default_factory=WhoisRegistry)
 
+    # Lazily-built full-cohort matrices shared by the batch localization
+    # engine (see repro.core.batch).  A dataset is treated as immutable once
+    # measurement collection finishes, so the caches are never invalidated.
+    _rtt_matrix: dict[tuple[str, str], float] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _distance_matrix: dict[tuple[str, str], float] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _rtt_degree: dict[str, int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
     # ------------------------------------------------------------------ #
     # Node accessors
     # ------------------------------------------------------------------ #
@@ -118,6 +131,76 @@ class MeasurementDataset:
     def routers_measured_from(self, host_id: str) -> list[str]:
         """Router ids for which ``host_id`` has a latency measurement."""
         return sorted(r for (h, r) in self.router_pings if h == host_id)
+
+    # ------------------------------------------------------------------ #
+    # Full-cohort shared matrices (batch localization)
+    # ------------------------------------------------------------------ #
+    def pairwise_min_rtt(self) -> Mapping[tuple[str, str], float]:
+        """Symmetric min-RTT matrix over all host pairs, built once.
+
+        Keys are ``(a, b)`` with ``a < b``; values equal
+        :meth:`min_rtt_ms` for the pair.  Unmeasured pairs are absent.
+        """
+        if self._rtt_matrix is None:
+            matrix: dict[tuple[str, str], float] = {}
+            ids = self.host_ids
+            for i, a in enumerate(ids):
+                for b in ids[i + 1 :]:
+                    rtt = self.min_rtt_ms(a, b)
+                    if rtt is not None:
+                        matrix[(a, b)] = rtt
+            self._rtt_matrix = matrix
+        return self._rtt_matrix
+
+    def cached_min_rtt_ms(self, a: str, b: str) -> float | None:
+        """Matrix-backed equivalent of :meth:`min_rtt_ms` for host pairs."""
+        if a == b:
+            return None
+        return self.pairwise_min_rtt().get((a, b) if a < b else (b, a))
+
+    def measured_pair_degree(self) -> Mapping[str, int]:
+        """Number of measured host pairs each host participates in.
+
+        Lets the batch engine decide in O(1) whether a leave-one-out landmark
+        set still has enough measured pairs for height estimation, instead of
+        re-enumerating the O(n^2) pairs per target.
+        """
+        if self._rtt_degree is None:
+            degree = {h: 0 for h in self.host_ids}
+            for a, b in self.pairwise_min_rtt():
+                degree[a] += 1
+                degree[b] += 1
+            self._rtt_degree = degree
+        return self._rtt_degree
+
+    def pairwise_distance_km(self) -> Mapping[tuple[str, str], float]:
+        """Great-circle distance matrix over located host pairs, built once.
+
+        Keys are ``(a, b)`` with ``a < b``.  Values are bitwise-identical to
+        ``true_location(a).distance_km(true_location(b))`` (the haversine is
+        symmetric down to IEEE rounding), so algorithms may substitute the
+        cached value for a direct computation without changing results.
+        """
+        if self._distance_matrix is None:
+            matrix: dict[tuple[str, str], float] = {}
+            located = [
+                (h, record.location)
+                for h, record in sorted(self.hosts.items())
+                if record.location is not None
+            ]
+            for i, (a, loc_a) in enumerate(located):
+                for b, loc_b in located[i + 1 :]:
+                    matrix[(a, b)] = loc_a.distance_km(loc_b)
+            self._distance_matrix = matrix
+        return self._distance_matrix
+
+    def cached_distance_km(self, a: str, b: str) -> float:
+        """Matrix-backed great-circle distance between two located hosts."""
+        key = (a, b) if a < b else (b, a)
+        cached = self.pairwise_distance_km().get(key)
+        if cached is not None:
+            return cached
+        return self.true_location(a).distance_km(self.true_location(b))
 
     # ------------------------------------------------------------------ #
     # Views for leave-one-out evaluation

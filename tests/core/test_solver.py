@@ -174,3 +174,36 @@ class TestStrictIntersection:
 
     def test_empty_input(self):
         assert strict_intersection([], PROJ).is_empty()
+
+
+class TestSliverFilteringUnits:
+    """Regression: strict_intersection must filter slivers in km^2 like the
+    weighted solver (it used to filter on planar Polygon.area() while the
+    weighted path filtered on RegionPiece.area_km2())."""
+
+    def test_polygon_area_km2_matches_planar_area(self):
+        disk = disk_at(0, 0, 300.0)
+        assert disk.area_km2() == disk.area()
+
+    def test_sliver_lens_dropped_consistently(self):
+        # Two disks whose overlap is a thin lens well under the threshold.
+        a = positive(disk_at(0, 0, 200.0))
+        b = positive(disk_at(90.0, 399.0, 200.0))
+        strict = strict_intersection([a, b], PROJ, min_piece_area_km2=500.0)
+        assert strict.is_empty()
+
+        solver = WeightedRegionSolver(
+            SolverConfig(min_piece_area_km2=500.0, max_pieces=64)
+        )
+        weighted = solver.solve([a, b], PROJ)
+        # The weighted solver drops the same lens; no surviving piece is
+        # smaller than the shared km^2 threshold.
+        assert all(p.area_km2() >= 500.0 for p in weighted.pieces)
+        assert weighted.heaviest_piece().weight < 2.0
+
+    def test_sliver_survives_below_threshold(self):
+        a = positive(disk_at(0, 0, 200.0))
+        b = positive(disk_at(90.0, 399.0, 200.0))
+        strict = strict_intersection([a, b], PROJ, min_piece_area_km2=1.0)
+        assert not strict.is_empty()
+        assert strict.area_km2() < 500.0

@@ -146,3 +146,42 @@ class TestAblation:
         assert names == set(configs)
         table = format_ablation_table(results)
         assert "configuration" in table
+
+
+class TestStudyRobustness:
+    def test_accuracy_study_records_octant_failures(self):
+        """A target with too few landmarks becomes a failed row, not a crash."""
+        tiny = collect_dataset(small_deployment(host_count=3, seed=13))
+        study = run_accuracy_study(
+            tiny, {"octant": lambda ds: Octant(ds)}, target_ids=tiny.host_ids
+        )
+        assert len(study.results) == len(tiny.host_ids)
+        assert all(r.error_miles == float("inf") for r in study.results)
+        assert all(not r.contains_truth for r in study.results)
+        assert all(
+            "error" in r.estimate.details for r in study.results
+        )
+
+    def test_accuracy_study_octant_matches_sequential(self, dataset):
+        """The batch-engine study reproduces the sequential estimates."""
+        study = run_accuracy_study(
+            dataset, {"octant": lambda ds: Octant(ds)}, target_ids=dataset.host_ids[:3]
+        )
+        octant = Octant(dataset)
+        for row in study.results:
+            expected = octant.localize(row.target_id)
+            assert row.error_miles == expected.error_miles(
+                dataset.true_location(row.target_id)
+            )
+            assert row.estimate.point == expected.point
+
+    def test_accuracy_study_baseline_failures_recorded(self, dataset):
+        class Flaky:
+            def localize(self, target_id):
+                raise ValueError("no landmarks reachable")
+
+        study = run_accuracy_study(
+            dataset, {"flaky": lambda ds: Flaky()}, target_ids=dataset.host_ids[:2]
+        )
+        assert len(study.results) == 2
+        assert all(r.error_miles == float("inf") for r in study.results)
