@@ -44,7 +44,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from ..geometry import GeoPoint
+from ..geometry import CircleCache, GeoPoint
 from ..network.dataset import MeasurementDataset
 from ..network.dns import UndnsParser
 from .calibration import CalibrationSet, build_calibration_set
@@ -82,6 +82,12 @@ class BatchSharedState:
     dns_cache: dict[str, RouterPosition | None] = field(default_factory=dict)
     #: Router id -> sorted ``(host_id, raw_rtt)`` observations.
     router_observations: dict[str, list[tuple[str, float]]] = field(default_factory=dict)
+    #: Geodesic circle boundaries keyed ``(lat, lon, radius_km, segments)``:
+    #: projection-independent, so one cohort-wide cache serves every target
+    #: (each re-projects the cached arrays in one vectorized operation).
+    #: Shared with the wrapped Octant so both engines warm the same entries;
+    #: process-pool workers inherit whatever was cached before the fork.
+    circle_cache: CircleCache = field(default_factory=CircleCache)
 
 
 # --------------------------------------------------------------------------- #
@@ -155,6 +161,7 @@ class BatchLocalizer:
                 rtt_matrix=dataset.pairwise_min_rtt(),
                 pair_degree=dataset.measured_pair_degree(),
                 router_observations=router_observations,
+                circle_cache=self.octant.circle_cache,
             )
         return self._shared
 
@@ -234,6 +241,7 @@ class BatchLocalizer:
                 self.parser,
                 dns_cache=shared.dns_cache,
                 router_observations=shared.router_observations,
+                circle_cache=shared.circle_cache,
             )
             router_positions = localizer.localize_routers(list(key))
 

@@ -44,6 +44,15 @@ class SolverConfig:
     #: which produces the same lattice of constraint intersections the paper
     #: describes while staying fast enough for the full evaluation.
     exact_complements: bool = False
+    #: Which solver engine runs the weighted accumulation.  ``"vector"`` (the
+    #: default) applies constraints through the NumPy flat-buffer kernel
+    #: (:mod:`repro.geometry.kernel`): batched Sutherland-Hodgman passes over
+    #: the whole piece population with a fully-inside/fully-outside prefilter.
+    #: ``"object"`` is the legacy per-``Polygon`` path.  Both engines produce
+    #: bit-identical estimates (pinned by ``tests/core/test_solver_engines``);
+    #: ``exact_complements`` runs on the object path regardless, which is the
+    #: only mode that needs general disjoint complements.
+    engine: str = "vector"
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from ..geometry import (
+    CircleCache,
     GeoPoint,
     Polygon,
     Projection,
@@ -120,6 +121,10 @@ class DistanceConstraint(Constraint):
     label: str = ""
     landmark_region: Region | None = None
     circle_segments: int = 48
+    #: Optional shared cache of geodesic circle boundaries (see
+    #: :class:`~repro.geometry.circles.CircleCache`); excluded from equality
+    #: because it is plumbing, not part of the constraint's meaning.
+    geometry_cache: CircleCache | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_km <= 0:
@@ -135,12 +140,20 @@ class DistanceConstraint(Constraint):
 
     def to_planar(self, projection: Projection) -> PlanarConstraint | None:
         outer = disk_polygon(
-            self.landmark_location, self.max_km, projection, self.circle_segments
+            self.landmark_location,
+            self.max_km,
+            projection,
+            self.circle_segments,
+            cache=self.geometry_cache,
         )
         inner: Polygon | None = None
         if self.min_km > 0:
             inner = disk_polygon(
-                self.landmark_location, self.min_km, projection, self.circle_segments
+                self.landmark_location,
+                self.min_km,
+                projection,
+                self.circle_segments,
+                cache=self.geometry_cache,
             )
 
         if self.landmark_region is not None and not self.landmark_region.is_empty():
@@ -158,7 +171,11 @@ class DistanceConstraint(Constraint):
                 else:
                     inner = erode_polygon(
                         disk_polygon(
-                            self.landmark_location, self.min_km, projection, self.circle_segments
+                            self.landmark_location,
+                            self.min_km,
+                            projection,
+                            self.circle_segments,
+                            cache=self.geometry_cache,
                         ),
                         uncertainty,
                     )
@@ -177,13 +194,20 @@ class DiskConstraint(Constraint):
     weight: float = 1.0
     label: str = "disk"
     circle_segments: int = 48
+    geometry_cache: CircleCache | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.radius_km <= 0:
             raise ValueError(f"radius_km must be positive, got {self.radius_km!r}")
 
     def to_planar(self, projection: Projection) -> PlanarConstraint | None:
-        disk = disk_polygon(self.center, self.radius_km, projection, self.circle_segments)
+        disk = disk_polygon(
+            self.center,
+            self.radius_km,
+            projection,
+            self.circle_segments,
+            cache=self.geometry_cache,
+        )
         if self.polarity is Polarity.POSITIVE:
             return PlanarConstraint(disk, None, self.weight, self.label)
         return PlanarConstraint(None, disk, self.weight, self.label)

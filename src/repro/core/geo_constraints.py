@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from ..geometry import CircleCache
 from ..network.dataset import MeasurementDataset
 from ..network.geodata import GeoRegion, OCEAN_REGIONS, UNINHABITED_REGIONS
 from .config import OctantConfig
@@ -78,6 +79,7 @@ def whois_constraint(
     dataset: MeasurementDataset,
     target_id: str,
     config: OctantConfig,
+    cache: "CircleCache | None" = None,
 ) -> Constraint | None:
     """A weak positive constraint around the WHOIS-registered city, if enabled.
 
@@ -98,4 +100,5 @@ def whois_constraint(
         weight=config.whois_weight,
         label=f"whois:{record.prefix}",
         circle_segments=config.solver.circle_segments,
+        geometry_cache=cache,
     )

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from ..geometry import (
+    CircleCache,
     GeoPoint,
     Projection,
     projection_for_points,
@@ -106,6 +107,10 @@ class Octant:
         # the same few landmark sets.
         self._prepared: OrderedDict[tuple[str, ...], PreparedLandmarks] = OrderedDict()
         self._geo_constraints: list[Constraint] | None = None
+        # Geodesic circle boundaries are projection-independent, so one
+        # cache serves every target this instance localizes; the batch
+        # engine shares it across the whole cohort (see BatchSharedState).
+        self.circle_cache = CircleCache()
 
     # ------------------------------------------------------------------ #
     # Preparation: heights, calibration, router localization
@@ -125,7 +130,12 @@ class Octant:
         router_positions: dict[str, RouterPosition] = {}
         if self.config.use_piecewise:
             localizer = RouterLocalizer(
-                self.dataset, self.config, calibrations, heights, self.parser
+                self.dataset,
+                self.config,
+                calibrations,
+                heights,
+                self.parser,
+                circle_cache=self.circle_cache,
             )
             router_positions = localizer.localize_routers(list(key))
 
@@ -239,6 +249,7 @@ class Octant:
                     min_km=max(0.0, min(min_km, max_km * 0.98)),
                     weight=weight,
                     circle_segments=cfg.solver.circle_segments,
+                    geometry_cache=self.circle_cache,
                 )
             )
 
@@ -247,7 +258,9 @@ class Octant:
             # on the target; build them once per Octant instance.
             self._geo_constraints = list(geographic_constraints(cfg))
         constraints.extend(self._geo_constraints)
-        constraints.add(whois_constraint(self.dataset, target_id, cfg))
+        constraints.add(
+            whois_constraint(self.dataset, target_id, cfg, cache=self.circle_cache)
+        )
 
         if cfg.use_piecewise and prepared.router_positions:
             constraints.extend(
@@ -260,6 +273,7 @@ class Octant:
                     cfg,
                     prepared.heights,
                     target_height_ms,
+                    geometry_cache=self.circle_cache,
                 )
             )
         return constraints
@@ -336,6 +350,9 @@ class Octant:
                 "landmark_count": len(landmarks),
                 "dropped_constraints": list(solver.diagnostics.dropped_constraints),
                 "max_weight": solver.diagnostics.max_weight,
+                "solver_engine": solver.diagnostics.engine,
+                "solver_seconds": solver.diagnostics.solve_seconds,
+                "kernel": solver.diagnostics.kernel_summary(),
             },
         )
 

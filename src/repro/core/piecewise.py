@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..geometry import (
+    CircleCache,
     GeoPoint,
     Polygon,
     Region,
@@ -96,6 +97,7 @@ class RouterLocalizer:
         parser: UndnsParser | None = None,
         dns_cache: dict[str, RouterPosition | None] | None = None,
         router_observations: Mapping[str, Sequence[tuple[str, float]]] | None = None,
+        circle_cache: CircleCache | None = None,
     ):
         """``dns_cache`` and ``router_observations`` are optional shared state.
 
@@ -114,6 +116,7 @@ class RouterLocalizer:
         self.parser = parser or UndnsParser()
         self.dns_cache = dns_cache if dns_cache is not None else {}
         self.router_observations = router_observations
+        self.circle_cache = circle_cache
 
     # ------------------------------------------------------------------ #
     # Router localization
@@ -232,7 +235,13 @@ class RouterLocalizer:
         projection = projection_for_points(centers)
         region: Polygon | None = None
         for center, radius in disks:
-            disk = disk_polygon(center, max(radius, 5.0), projection, segments=24)
+            disk = disk_polygon(
+                center,
+                max(radius, 5.0),
+                projection,
+                segments=24,
+                cache=self.circle_cache,
+            )
             if region is None:
                 region = disk
                 continue
@@ -274,6 +283,7 @@ def secondary_constraints_for_target(
     config: OctantConfig,
     heights: HeightModel | None = None,
     target_height_ms: float = 0.0,
+    geometry_cache: CircleCache | None = None,
 ) -> list[Constraint]:
     """Constraints on the target from routers close to it on the measured paths.
 
@@ -351,6 +361,7 @@ def secondary_constraints_for_target(
                 weight=weight,
                 label=f"piecewise:{landmark_id}->{router_id}",
                 circle_segments=config.solver.circle_segments,
+                geometry_cache=geometry_cache,
             )
         )
 

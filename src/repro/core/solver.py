@@ -19,11 +19,24 @@ threshold".
 Setting every weight to 1 and the selection threshold to "maximum weight only"
 recovers the strict intersection semantics, which is how the ablation compares
 weighted and unweighted solving.
+
+Two engines implement the accumulation (``SolverConfig.engine``):
+
+* ``"vector"`` (default) -- the NumPy flat-buffer kernel in
+  :mod:`repro.geometry.kernel`: the piece population lives in packed
+  coordinate arrays and every constraint is applied in batched vectorized
+  passes with a fully-inside/fully-outside prefilter.
+* ``"object"`` -- the original one-``Polygon``-at-a-time path, kept as the
+  executable specification the kernel is pinned against.
+
+Both engines produce bit-identical results on every estimate metric (point,
+area, piece count, weights); ``exact_complements`` mode always runs on the
+object path.
 """
 
 from __future__ import annotations
 
-import math
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -36,10 +49,16 @@ from ..geometry import (
     intersect_polygons,
     subtract_polygons,
 )
+from ..geometry.kernel import VectorSolverKernel, subtract_cautious
 from .config import SolverConfig
 from .constraints import PlanarConstraint
 
-__all__ = ["SolverDiagnostics", "WeightedRegionSolver", "strict_intersection"]
+__all__ = [
+    "SolverDiagnostics",
+    "WeightedRegionSolver",
+    "strict_intersection",
+    "universe_polygon",
+]
 
 
 @dataclass
@@ -53,6 +72,61 @@ class SolverDiagnostics:
     max_weight: float = 0.0
     selected_weight: float = 0.0
     dropped_constraints: list[str] = field(default_factory=list)
+
+    # ---- engine / kernel instrumentation ------------------------------- #
+    #: Which engine ran the solve (``"vector"`` or ``"object"``).
+    engine: str = "object"
+    #: Total wall time of the solve call.
+    solve_seconds: float = 0.0
+    #: Pieces resolved by the bounding-box rejection alone (no clipping).
+    prefilter_bbox: int = 0
+    #: Pieces classified fully-inside a constraint (clip skipped; includes
+    #: centre-distance hits, side-matrix hits and keyhole containments).
+    prefilter_inside: int = 0
+    #: Pieces classified fully-outside / fully-excluded (clip skipped).
+    prefilter_outside: int = 0
+    #: Pieces that actually went through batched clipping passes.
+    pieces_clipped: int = 0
+    #: Total vertex lanes processed by the batched clipper.
+    vertices_clipped: int = 0
+    #: Wall time per kernel phase; the phases (``inclusion``, ``exclusion``,
+    #: ``assemble``, ``select``) are disjoint, so their sum approximates the
+    #: solve time.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    def kernel_summary(self) -> dict[str, object]:
+        """Compact counters for ``EstimateResult.details`` reporting."""
+        return {
+            "engine": self.engine,
+            "prefilter_bbox": self.prefilter_bbox,
+            "prefilter_inside": self.prefilter_inside,
+            "prefilter_outside": self.prefilter_outside,
+            "pieces_clipped": self.pieces_clipped,
+            "vertices_clipped": self.vertices_clipped,
+            "phase_seconds": {k: round(v, 6) for k, v in self.phase_seconds.items()},
+        }
+
+
+def universe_polygon(
+    constraints: Sequence[PlanarConstraint], margin_km: float
+) -> Polygon | None:
+    """The initial zero-weight universe piece: the constraint extents plus margin.
+
+    Module-level so that both solver engines and :func:`strict_intersection`
+    share one implementation instead of reaching into solver internals.
+    """
+    boxes: list[BoundingBox] = []
+    for constraint in constraints:
+        if constraint.inclusion is not None:
+            boxes.append(constraint.inclusion.bounding_box())
+        elif constraint.exclusion is not None:
+            boxes.append(constraint.exclusion.bounding_box())
+    if not boxes:
+        return None
+    box = boxes[0]
+    for other in boxes[1:]:
+        box = box.union(other)
+    return Polygon.rectangle(box.expanded(margin_km))
 
 
 class WeightedRegionSolver:
@@ -76,15 +150,40 @@ class WeightedRegionSolver:
         ``universe`` bounds the search; when omitted it is the bounding box of
         all constraint geometry expanded by the configured margin.
         """
+        started = time.perf_counter()
         self.diagnostics = SolverDiagnostics()
         usable = [c for c in constraints if c is not None]
         if not usable:
             return Region.empty(projection)
 
-        base = universe or self._universe_polygon(usable)
+        base = universe or universe_polygon(usable, self.config.universe_margin_km)
         if base is None:
             return Region.empty(projection)
 
+        # Exact-complement mode needs general disjoint complements, which only
+        # the object path implements; everything else runs on the kernel.
+        use_vector = self.config.engine == "vector" and not self.config.exact_complements
+        if use_vector:
+            self.diagnostics.engine = "vector"
+            kernel = VectorSolverKernel(self.config, self.diagnostics)
+            region = kernel.solve(usable, projection, base)
+            self.diagnostics.solve_seconds = time.perf_counter() - started
+            return region
+
+        self.diagnostics.engine = "object"
+        region = self._solve_object(usable, projection, base)
+        self.diagnostics.solve_seconds = time.perf_counter() - started
+        return region
+
+    # ------------------------------------------------------------------ #
+    # Object engine (the executable specification)
+    # ------------------------------------------------------------------ #
+    def _solve_object(
+        self,
+        usable: list[PlanarConstraint],
+        projection: Projection,
+        base: Polygon,
+    ) -> Region:
         pieces: list[RegionPiece] = [RegionPiece(base, 0.0)]
         ordered = sorted(usable, key=lambda c: c.weight, reverse=True)
 
@@ -113,18 +212,8 @@ class WeightedRegionSolver:
     # Internals
     # ------------------------------------------------------------------ #
     def _universe_polygon(self, constraints: Sequence[PlanarConstraint]) -> Polygon | None:
-        boxes: list[BoundingBox] = []
-        for constraint in constraints:
-            if constraint.inclusion is not None:
-                boxes.append(constraint.inclusion.bounding_box())
-            elif constraint.exclusion is not None:
-                boxes.append(constraint.exclusion.bounding_box())
-        if not boxes:
-            return None
-        box = boxes[0]
-        for other in boxes[1:]:
-            box = box.union(other)
-        return Polygon.rectangle(box.expanded(self.config.universe_margin_km))
+        """Back-compat shim over :func:`universe_polygon`."""
+        return universe_polygon(constraints, self.config.universe_margin_km)
 
     def _apply_constraint(
         self, pieces: Sequence[RegionPiece], constraint: PlanarConstraint
@@ -167,7 +256,7 @@ class WeightedRegionSolver:
         satisfied: list[Polygon] = []
         unsatisfied: list[Polygon] = list(outside)
         for piece in inside:
-            kept = self._subtract_cautious(piece, exclusion)
+            kept = subtract_cautious(piece, exclusion)
             satisfied.extend(kept)
             if exact:
                 unsatisfied.extend(intersect_polygons(piece, exclusion))
@@ -177,31 +266,8 @@ class WeightedRegionSolver:
 
     @staticmethod
     def _subtract_cautious(piece: Polygon, exclusion: Polygon) -> list[Polygon]:
-        """Subtract ``exclusion`` from ``piece`` without fragmenting it.
-
-        When the exclusion lies strictly inside the piece, the classic wedge
-        decomposition would shatter the result into one piece per exclusion
-        edge; a keyholed polygon keeps it as a single piece with identical
-        area and containment behaviour.  Otherwise general subtraction is used.
-        """
-        piece_box = piece.bounding_box()
-        exclusion_box = exclusion.bounding_box()
-        if not piece_box.intersects(exclusion_box):
-            return [piece]
-        # The exclusion can only lie strictly inside the piece when its
-        # bounding box does (up to the boundary tolerance of contains_point);
-        # rejecting on boxes skips the per-vertex containment scan in the
-        # common partial-overlap case without changing the decision.
-        tol = 1e-6
-        if (
-            piece_box.min_x - tol <= exclusion_box.min_x
-            and piece_box.min_y - tol <= exclusion_box.min_y
-            and exclusion_box.max_x <= piece_box.max_x + tol
-            and exclusion_box.max_y <= piece_box.max_y + tol
-            and all(piece.contains_point(v) for v in exclusion.vertices)
-        ):
-            return [piece.with_hole(exclusion)]
-        return subtract_polygons(piece, exclusion)
+        """Back-compat shim over :func:`repro.geometry.kernel.subtract_cautious`."""
+        return subtract_cautious(piece, exclusion)
 
     def _prune(self, pieces: list[RegionPiece]) -> list[RegionPiece]:
         """Bound the piece population: drop slivers, keep the heaviest pieces."""
@@ -249,10 +315,9 @@ def strict_intersection(
     if not usable:
         return Region.empty(projection)
 
-    solver = WeightedRegionSolver(
-        SolverConfig(min_piece_area_km2=min_piece_area_km2, max_pieces=64)
+    base = universe or universe_polygon(
+        usable, SolverConfig().universe_margin_km
     )
-    base = universe or solver._universe_polygon(usable)
     if base is None:
         return Region.empty(projection)
 

@@ -12,6 +12,7 @@ from .bbox import BoundingBox
 from .bezier import KAPPA, BezierPath, CubicBezier
 from .circles import (
     DEFAULT_CIRCLE_SEGMENTS,
+    CircleCache,
     annulus_polygon,
     dilate_polygon,
     disk_bezier,
@@ -122,6 +123,7 @@ __all__ = [
     "projection_for_points",
     # disks and regions
     "DEFAULT_CIRCLE_SEGMENTS",
+    "CircleCache",
     "geodesic_circle_points",
     "disk_polygon",
     "disk_bezier",

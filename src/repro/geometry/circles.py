@@ -25,6 +25,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
 from .bezier import KAPPA, BezierPath, CubicBezier
 from .convexhull import convex_hull
 from .point import Point2D
@@ -34,6 +36,7 @@ from .sphere import GeoPoint
 
 __all__ = [
     "DEFAULT_CIRCLE_SEGMENTS",
+    "CircleCache",
     "geodesic_circle_points",
     "disk_polygon",
     "disk_bezier",
@@ -73,13 +76,72 @@ def geodesic_circle_points(
     return points
 
 
+class CircleCache:
+    """Cross-target cache of geodesic circle boundary points.
+
+    A circle's boundary on the sphere depends only on its centre, radius and
+    segment count -- never on the projection a particular localization works
+    in.  Batch studies therefore compute each boundary once per cohort,
+    keyed ``(lat, lon, radius_km, segments)``, and re-project the cached
+    coordinate arrays per target as one vectorized array operation
+    (:meth:`Projection.forward_array`).  Entries are bounded FIFO; values
+    are immutable and deterministic, so a shared instance is safe under
+    concurrent use (a racing insert or evict at worst recomputes or
+    re-evicts an entry) and pickles into process-pool workers with whatever
+    it has accumulated.
+    """
+
+    __slots__ = ("_entries", "capacity")
+
+    def __init__(self, capacity: int = 4096):
+        self._entries: dict[
+            tuple[float, float, float, int], tuple[np.ndarray, np.ndarray]
+        ] = {}
+        self.capacity = capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def boundary_arrays(
+        self, center: GeoPoint, radius_km: float, segments: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Latitude/longitude arrays of the circle boundary (cached)."""
+        key = (center.lat, center.lon, radius_km, segments)
+        cached = self._entries.get(key)
+        if cached is not None:
+            return cached
+        boundary = geodesic_circle_points(center, radius_km, segments)
+        lats = np.array([p.lat for p in boundary])
+        lons = np.array([p.lon for p in boundary])
+        while len(self._entries) >= self.capacity:
+            # Tolerate racing evictors: thread-pool workers share this cache
+            # and two of them may target the same oldest key.
+            try:
+                self._entries.pop(next(iter(self._entries)))
+            except (KeyError, StopIteration, RuntimeError):
+                break
+        self._entries[key] = (lats, lons)
+        return lats, lons
+
+
 def disk_polygon(
     center: GeoPoint,
     radius_km: float,
     projection: Projection,
     segments: int = DEFAULT_CIRCLE_SEGMENTS,
+    cache: CircleCache | None = None,
 ) -> Polygon:
-    """Planar polygon approximating the geodesic disk under ``projection``."""
+    """Planar polygon approximating the geodesic disk under ``projection``.
+
+    ``cache`` optionally supplies the geodesic boundary from a
+    :class:`CircleCache`; the cached path projects the whole boundary as one
+    array operation and produces a polygon bitwise-identical to the uncached
+    one (``forward_array`` matches ``forward`` point for point).
+    """
+    if cache is not None:
+        lats, lons = cache.boundary_arrays(center, radius_km, segments)
+        planar = projection.forward_array(lats, lons)
+        return Polygon([Point2D(x, y) for x, y in planar.tolist()]).ensure_ccw()
     boundary = geodesic_circle_points(center, radius_km, segments)
     return Polygon(projection.forward_many(boundary)).ensure_ccw()
 

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from .point import Point2D
 from .sphere import (
     EARTH_RADIUS_KM,
@@ -34,6 +36,34 @@ __all__ = [
     "EquirectangularProjection",
     "projection_for_points",
 ]
+
+
+def _probe_numpy_trig() -> bool:
+    """True when NumPy's array sin/cos are bitwise-identical to libm's.
+
+    Some NumPy builds dispatch double-precision trig to SIMD kernels (SVML)
+    that differ from the C library in the last ulp.  The vectorized
+    projection fast path requires exact agreement with ``math.sin``/``cos``
+    (scalar and batch callers must never diverge), so it is enabled only
+    when a spread of probe values round-trips identically; ulp-level
+    differences, when present, show up immediately on a sample this size.
+    """
+    probe = np.linspace(-2.0 * math.pi, 2.0 * math.pi, 257)
+    sins = np.sin(probe)
+    coss = np.cos(probe)
+    for value, s, c in zip(probe.tolist(), sins.tolist(), coss.tolist()):
+        if s != math.sin(value) or c != math.cos(value):
+            return False
+    # The fast path converts degrees with np.radians where the scalar path
+    # uses math.radians; their rounding must agree too.
+    degrees = np.linspace(-180.0, 180.0, 181)
+    for value, r in zip(degrees.tolist(), np.radians(degrees).tolist()):
+        if r != math.radians(value):
+            return False
+    return True
+
+
+_NUMPY_TRIG_MATCHES_LIBM = _probe_numpy_trig()
 
 
 class Projection:
@@ -57,6 +87,20 @@ class Projection:
     def forward_many(self, points: Iterable[GeoPoint]) -> list[Point2D]:
         """Project a sequence of geographic points."""
         return [self.forward(p) for p in points]
+
+    def forward_array(self, lats_deg: np.ndarray, lons_deg: np.ndarray) -> np.ndarray:
+        """Project coordinate arrays to an ``(n, 2)`` planar array.
+
+        The generic implementation loops over :meth:`forward`; projections
+        with a vectorized fast path override it.  Results are bitwise equal
+        to projecting point by point, so callers may mix the two freely.
+        """
+        out = np.empty((len(lats_deg), 2))
+        for i, (lat, lon) in enumerate(zip(lats_deg.tolist(), lons_deg.tolist())):
+            p = self.forward(GeoPoint(lat, lon))
+            out[i, 0] = p.x
+            out[i, 1] = p.y
+        return out
 
     def inverse_many(self, points: Iterable[Point2D]) -> list[GeoPoint]:
         """Un-project a sequence of planar points."""
@@ -123,6 +167,53 @@ class AzimuthalEquidistantProjection(Projection):
             self._cos_phi0 * sin_phi - self._sin_phi0 * cos_phi * math.cos(dlam)
         )
         return Point2D(x, y)
+
+    def forward_many(self, points: Iterable[GeoPoint]) -> list[Point2D]:
+        """Project a sequence of geographic points (vectorized)."""
+        pts = list(points)
+        if not pts:
+            return []
+        arr = self.forward_array(
+            np.array([p.lat for p in pts]), np.array([p.lon for p in pts])
+        )
+        return [Point2D(x, y) for x, y in arr.tolist()]
+
+    def forward_array(self, lats_deg: np.ndarray, lons_deg: np.ndarray) -> np.ndarray:
+        """Vectorized projection of coordinate arrays to ``(n, 2)`` planar km.
+
+        Every step runs as a NumPy array operation except the ``acos``,
+        which goes through ``math.acos`` per element: NumPy's ``arccos`` is
+        not bitwise-identical to the C library's, and this method guarantees
+        results equal to :meth:`forward` point for point (pinned by the
+        projection tests), so scalar and batch callers can never diverge.
+        On NumPy builds whose vectorized sin/cos are not libm-identical
+        either (SVML dispatch), the whole method falls back to the scalar
+        loop -- correctness over speed.
+        """
+        if not _NUMPY_TRIG_MATCHES_LIBM:
+            return Projection.forward_array(self, lats_deg, lons_deg)
+        phi = np.radians(np.asarray(lats_deg, dtype=float))
+        lam = np.radians(np.asarray(lons_deg, dtype=float))
+        dlam = lam - self._lambda0
+
+        sin_phi = np.sin(phi)
+        cos_phi = np.cos(phi)
+        cos_dlam = np.cos(dlam)
+        cos_c = self._sin_phi0 * sin_phi + self._cos_phi0 * cos_phi * cos_dlam
+        cos_c = np.minimum(1.0, np.maximum(-1.0, cos_c))
+        c = np.array([math.acos(v) for v in cos_c.tolist()])
+
+        small = c < 1e-12
+        with np.errstate(divide="ignore", invalid="ignore"):
+            k = c / np.sin(c)
+        x = EARTH_RADIUS_KM * k * cos_phi * np.sin(dlam)
+        y = EARTH_RADIUS_KM * k * (
+            self._cos_phi0 * sin_phi - self._sin_phi0 * cos_phi * cos_dlam
+        )
+        if small.any():
+            x = np.where(small, 0.0, x)
+            y = np.where(small, 0.0, y)
+        return np.column_stack([x, y])
 
     def inverse(self, point: Point2D) -> GeoPoint:
         """Map a planar point back to latitude/longitude."""

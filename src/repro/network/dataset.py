@@ -18,15 +18,99 @@ use information a real deployment would have.
 
 from __future__ import annotations
 
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
 
 from ..geometry import GeoPoint
 from .planetlab import Deployment
 from .probes import PingResult, TracerouteResult
 from .whois import WhoisRecord, WhoisRegistry
 
-__all__ = ["NodeRecord", "MeasurementDataset", "collect_dataset"]
+__all__ = ["NodeRecord", "MeasurementDataset", "PairMatrixView", "collect_dataset"]
+
+
+class PairMatrixView(MappingABC):
+    """Dict-compatible view over a symmetric pair matrix.
+
+    The canonical representation of the full-cohort pairwise data is an
+    index-mapped NumPy matrix (``np.nan`` marks unmeasured pairs) so that
+    height estimation and calibration can read contiguous rows; this view
+    keeps the historical ``{(a, b): value}`` mapping interface working on
+    top of it.  Keys are ``(a, b)`` tuples with ``a < b``; iteration order
+    matches the dict the view replaced (sorted ids, upper triangle).
+    """
+
+    __slots__ = ("_ids", "_index", "_matrix", "_pairs", "_values")
+
+    def __init__(self, ids: Sequence[str], index: Mapping[str, int], matrix: np.ndarray):
+        self._ids = list(ids)
+        self._index = index
+        self._matrix = matrix
+        self._pairs: list[tuple[str, str]] | None = None
+        self._values: list[float] | None = None
+
+    def _materialize(self) -> None:
+        """Build the key/value sequences once (sorted upper triangle).
+
+        Iteration and ``items()`` then run at plain-list speed instead of
+        paying per-pair index lookups and NaN checks -- the estimators that
+        walk every pair per target stay as fast as with the dict this view
+        replaced.
+        """
+        if self._pairs is not None:
+            return
+        ids = self._ids
+        n = len(ids)
+        pairs: list[tuple[str, str]] = []
+        values: list[float] = []
+        if n:
+            iu, ju = np.triu_indices(n, k=1)
+            upper = self._matrix[iu, ju]
+            keep = ~np.isnan(upper)
+            for i, j, value in zip(
+                iu[keep].tolist(), ju[keep].tolist(), upper[keep].tolist()
+            ):
+                pairs.append((ids[i], ids[j]))
+                values.append(value)
+        self._pairs = pairs
+        self._values = values
+
+    def __getitem__(self, key: tuple[str, str]) -> float:
+        a, b = key
+        i = self._index.get(a)
+        j = self._index.get(b)
+        if i is None or j is None:
+            raise KeyError(key)
+        value = self._matrix[i, j]
+        if np.isnan(value):
+            raise KeyError(key)
+        return float(value)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        self._materialize()
+        return iter(self._pairs)
+
+    def items(self):
+        """Pairwise items at list speed (same order and values as iteration)."""
+        self._materialize()
+        return list(zip(self._pairs, self._values))
+
+    def __len__(self) -> int:
+        self._materialize()
+        return len(self._pairs)
+
+    @property
+    def ids(self) -> list[str]:
+        """Row/column labels, in index order (copy)."""
+        return list(self._ids)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The backing ``(n, n)`` matrix (not a copy; treat as read-only)."""
+        return self._matrix
 
 
 @dataclass(frozen=True)
@@ -65,10 +149,19 @@ class MeasurementDataset:
     # Lazily-built full-cohort matrices shared by the batch localization
     # engine (see repro.core.batch).  A dataset is treated as immutable once
     # measurement collection finishes, so the caches are never invalidated.
-    _rtt_matrix: dict[tuple[str, str], float] | None = field(
+    # The canonical storage is index-mapped NumPy matrices (contiguous rows
+    # for the estimators); PairMatrixView keeps the historical dict
+    # interface working on top of them.
+    _rtt_view: "PairMatrixView | None" = field(
         default=None, init=False, repr=False, compare=False
     )
-    _distance_matrix: dict[tuple[str, str], float] | None = field(
+    _rtt_index: dict[str, int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _distance_view: "PairMatrixView | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _distance_index: dict[str, int] | None = field(
         default=None, init=False, repr=False, compare=False
     )
     _rtt_degree: dict[str, int] | None = field(
@@ -138,25 +231,51 @@ class MeasurementDataset:
     def pairwise_min_rtt(self) -> Mapping[tuple[str, str], float]:
         """Symmetric min-RTT matrix over all host pairs, built once.
 
-        Keys are ``(a, b)`` with ``a < b``; values equal
-        :meth:`min_rtt_ms` for the pair.  Unmeasured pairs are absent.
+        Returns a :class:`PairMatrixView` over the index-mapped NumPy matrix
+        (see :meth:`pairwise_min_rtt_matrix`): keys are ``(a, b)`` with
+        ``a < b``, values equal :meth:`min_rtt_ms` for the pair, unmeasured
+        pairs are absent -- exactly the dict this method used to return.
         """
-        if self._rtt_matrix is None:
-            matrix: dict[tuple[str, str], float] = {}
+        if self._rtt_view is None:
             ids = self.host_ids
+            index = {h: i for i, h in enumerate(ids)}
+            matrix = np.full((len(ids), len(ids)), np.nan)
             for i, a in enumerate(ids):
-                for b in ids[i + 1 :]:
-                    rtt = self.min_rtt_ms(a, b)
+                for j in range(i + 1, len(ids)):
+                    rtt = self.min_rtt_ms(a, ids[j])
                     if rtt is not None:
-                        matrix[(a, b)] = rtt
-            self._rtt_matrix = matrix
-        return self._rtt_matrix
+                        matrix[i, j] = rtt
+                        matrix[j, i] = rtt
+            self._rtt_index = index
+            self._rtt_view = PairMatrixView(ids, index, matrix)
+        return self._rtt_view
+
+    def pairwise_min_rtt_matrix(self) -> tuple[list[str], np.ndarray]:
+        """The min-RTT matrix as ``(ids, (n, n) array)`` for contiguous reads.
+
+        ``np.nan`` marks unmeasured pairs; row/column order is the sorted
+        host-id order.  The array is the live cache -- treat it as read-only.
+        """
+        view = self.pairwise_min_rtt()
+        return view.ids, view.matrix
 
     def cached_min_rtt_ms(self, a: str, b: str) -> float | None:
-        """Matrix-backed equivalent of :meth:`min_rtt_ms` for host pairs."""
+        """Matrix-backed equivalent of :meth:`min_rtt_ms` for host pairs.
+
+        A direct index lookup into the contiguous matrix -- no tuple hashing.
+        """
         if a == b:
             return None
-        return self.pairwise_min_rtt().get((a, b) if a < b else (b, a))
+        view = self.pairwise_min_rtt()
+        index = self._rtt_index
+        i = index.get(a)
+        j = index.get(b)
+        if i is None or j is None:
+            return None
+        value = view.matrix[i, j]
+        if np.isnan(value):
+            return None
+        return float(value)
 
     def measured_pair_degree(self) -> Mapping[str, int]:
         """Number of measured host pairs each host participates in.
@@ -166,11 +285,9 @@ class MeasurementDataset:
         re-enumerating the O(n^2) pairs per target.
         """
         if self._rtt_degree is None:
-            degree = {h: 0 for h in self.host_ids}
-            for a, b in self.pairwise_min_rtt():
-                degree[a] += 1
-                degree[b] += 1
-            self._rtt_degree = degree
+            ids, matrix = self.pairwise_min_rtt_matrix()
+            counts = np.count_nonzero(~np.isnan(matrix), axis=1)
+            self._rtt_degree = {h: int(c) for h, c in zip(ids, counts)}
         return self._rtt_degree
 
     def pairwise_distance_km(self) -> Mapping[tuple[str, str], float]:
@@ -181,25 +298,39 @@ class MeasurementDataset:
         symmetric down to IEEE rounding), so algorithms may substitute the
         cached value for a direct computation without changing results.
         """
-        if self._distance_matrix is None:
-            matrix: dict[tuple[str, str], float] = {}
+        if self._distance_view is None:
             located = [
                 (h, record.location)
                 for h, record in sorted(self.hosts.items())
                 if record.location is not None
             ]
-            for i, (a, loc_a) in enumerate(located):
-                for b, loc_b in located[i + 1 :]:
-                    matrix[(a, b)] = loc_a.distance_km(loc_b)
-            self._distance_matrix = matrix
-        return self._distance_matrix
+            ids = [h for h, _ in located]
+            index = {h: i for i, h in enumerate(ids)}
+            matrix = np.full((len(ids), len(ids)), np.nan)
+            for i, (_a, loc_a) in enumerate(located):
+                for j in range(i + 1, len(located)):
+                    d = loc_a.distance_km(located[j][1])
+                    matrix[i, j] = d
+                    matrix[j, i] = d
+            self._distance_index = index
+            self._distance_view = PairMatrixView(ids, index, matrix)
+        return self._distance_view
+
+    def pairwise_distance_matrix(self) -> tuple[list[str], np.ndarray]:
+        """The distance matrix as ``(ids, (n, n) array)`` for contiguous reads."""
+        view = self.pairwise_distance_km()
+        return view.ids, view.matrix
 
     def cached_distance_km(self, a: str, b: str) -> float:
         """Matrix-backed great-circle distance between two located hosts."""
-        key = (a, b) if a < b else (b, a)
-        cached = self.pairwise_distance_km().get(key)
-        if cached is not None:
-            return cached
+        view = self.pairwise_distance_km()
+        index = self._distance_index
+        i = index.get(a)
+        j = index.get(b)
+        if i is not None and j is not None and i != j:
+            value = view.matrix[i, j]
+            if not np.isnan(value):
+                return float(value)
         return self.true_location(a).distance_km(self.true_location(b))
 
     # ------------------------------------------------------------------ #

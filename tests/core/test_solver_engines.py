@@ -1,0 +1,404 @@
+"""Vector-vs-object solver engine equivalence.
+
+The vectorized flat-buffer kernel (``repro.geometry.kernel``) must be
+*bit-identical* to the object engine on everything an estimate exposes: the
+point estimate, region area, piece count and coordinates, the selected and
+maximum weights, and the solver diagnostics that feed reporting.  This suite
+pins that contract on randomized synthetic constraint systems (both
+polarities, annuli, keyholed exclusions) plus targeted edge cases for empty
+clips, degenerate slivers and the prefilter's classifications.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import PlanarConstraint, SolverConfig, WeightedRegionSolver
+from repro.core.solver import strict_intersection, universe_polygon
+from repro.geometry import (
+    AzimuthalEquidistantProjection,
+    GeoPoint,
+    Point2D,
+    Polygon,
+    disk_polygon,
+)
+from repro.geometry.kernel import PieceBuffer
+
+CENTER = GeoPoint(40.0, -95.0)
+PROJ = AzimuthalEquidistantProjection(CENTER)
+
+
+def disk_at(bearing_deg, distance_km, radius_km, segments=32):
+    centre = CENTER.destination(bearing_deg, distance_km) if distance_km > 0 else CENTER
+    return disk_polygon(centre, radius_km, PROJ, segments)
+
+
+def positive(polygon, weight=1.0, label="pos"):
+    return PlanarConstraint(polygon, None, weight, label)
+
+
+def negative(polygon, weight=1.0, label="neg"):
+    return PlanarConstraint(None, polygon, weight, label)
+
+
+def annulus(outer, inner, weight=1.0, label="annulus"):
+    return PlanarConstraint(outer, inner, weight, label)
+
+
+def solve_both(constraints, config_kwargs=None):
+    """Run the same constraint set through both engines."""
+    kwargs = dict(config_kwargs or {})
+    vector = WeightedRegionSolver(SolverConfig(engine="vector", **kwargs))
+    obj = WeightedRegionSolver(SolverConfig(engine="object", **kwargs))
+    region_v = vector.solve(constraints, PROJ)
+    region_o = obj.solve(constraints, PROJ)
+    return (vector, region_v), (obj, region_o)
+
+
+def assert_identical(constraints, config_kwargs=None):
+    """The full bit-identity contract between the two engines."""
+    (vector, region_v), (obj, region_o) = solve_both(constraints, config_kwargs)
+
+    # Estimate metrics: exact float equality, no tolerances.
+    assert region_v.area_km2() == region_o.area_km2()
+    assert len(region_v.pieces) == len(region_o.pieces)
+    pv = region_v.representative_point()
+    po = region_o.representative_point()
+    if po is None:
+        assert pv is None
+    else:
+        assert (pv.x, pv.y) == (po.x, po.y)
+    gv = region_v.point_estimate() if region_v else None
+    go = region_o.point_estimate() if region_o else None
+    if go is None:
+        assert gv is None
+    else:
+        assert (gv.lat, gv.lon) == (go.lat, go.lon)
+
+    # Piece-level identity: weights and every vertex coordinate, in order.
+    for piece_v, piece_o in zip(region_v.pieces, region_o.pieces):
+        assert piece_v.weight == piece_o.weight
+        assert piece_v.polygon.coords == piece_o.polygon.coords
+
+    # Diagnostics the reports consume.
+    dv, do = vector.diagnostics, obj.diagnostics
+    assert dv.constraints_applied == do.constraints_applied
+    assert dv.constraints_skipped == do.constraints_skipped
+    assert dv.dropped_constraints == do.dropped_constraints
+    assert dv.final_piece_count == do.final_piece_count
+    assert dv.max_weight == do.max_weight
+    assert dv.selected_weight == do.selected_weight
+    assert dv.max_pieces_seen == do.max_pieces_seen
+    assert dv.engine == "vector" and do.engine == "object"
+    return region_v, region_o
+
+
+# --------------------------------------------------------------------------- #
+# Randomized equivalence sweep
+# --------------------------------------------------------------------------- #
+def random_constraints(rng: random.Random):
+    """A seeded synthetic constraint system like a real localization's."""
+    constraints = []
+    count = rng.randint(3, 12)
+    for i in range(count):
+        bearing = rng.uniform(0.0, 360.0)
+        distance = rng.uniform(0.0, 1200.0)
+        outer_radius = rng.uniform(80.0, 1500.0)
+        weight = rng.choice([1.0, rng.uniform(0.02, 5.0)])
+        segments = rng.choice([16, 32])
+        kind = rng.random()
+        if kind < 0.45:
+            constraints.append(
+                positive(
+                    disk_at(bearing, distance, outer_radius, segments),
+                    weight,
+                    f"pos{i}",
+                )
+            )
+        elif kind < 0.65:
+            inner = rng.uniform(0.05, 0.9) * outer_radius
+            constraints.append(
+                annulus(
+                    disk_at(bearing, distance, outer_radius, segments),
+                    disk_at(bearing, distance, inner, segments),
+                    weight,
+                    f"ann{i}",
+                )
+            )
+        else:
+            radius = rng.uniform(30.0, 600.0)
+            constraints.append(
+                negative(disk_at(bearing, distance, radius, segments), weight, f"neg{i}")
+            )
+    return constraints
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_randomized_equivalence(seed):
+    rng = random.Random(1000 + seed)
+    constraints = random_constraints(rng)
+    assert_identical(constraints)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_randomized_equivalence_small_pieces(seed):
+    """Tight piece caps force heavy pruning interaction in both engines."""
+    rng = random.Random(2000 + seed)
+    constraints = random_constraints(rng)
+    assert_identical(constraints, {"max_pieces": 4})
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_randomized_equivalence_sliver_threshold(seed):
+    """A large sliver threshold exercises the area filter identically."""
+    rng = random.Random(3000 + seed)
+    constraints = random_constraints(rng)
+    assert_identical(constraints, {"min_piece_area_km2": 500.0})
+
+
+# --------------------------------------------------------------------------- #
+# Targeted cases
+# --------------------------------------------------------------------------- #
+class TestTargetedEquivalence:
+    def test_single_disk(self):
+        region_v, _ = assert_identical([positive(disk_at(0, 0, 300.0))])
+        assert region_v.contains_geopoint(CENTER)
+
+    def test_annulus_keyholes_identically(self):
+        """Outer disk + strictly interior exclusion: the keyhole path."""
+        constraints = [annulus(disk_at(0, 0, 600.0), disk_at(0, 0, 150.0))]
+        region_v, _ = assert_identical(constraints)
+        probe_hole = PROJ.forward(CENTER.destination(10.0, 30.0))
+        heavy = region_v.heaviest_piece()
+        assert not heavy.polygon.contains_point(probe_hole)
+
+    def test_exclusion_crossing_boundary(self):
+        """Exclusion partially overlapping pieces: the wedge-chain path."""
+        constraints = [
+            positive(disk_at(0, 0, 400.0)),
+            negative(disk_at(90.0, 380.0, 200.0)),
+        ]
+        assert_identical(constraints)
+
+    def test_empty_clip_disjoint_disks(self):
+        """Disjoint positives: one side always clips to nothing."""
+        constraints = [
+            positive(disk_at(0, 0, 200.0), weight=2.0),
+            positive(disk_at(90.0, 3000.0, 200.0), weight=1.0),
+        ]
+        assert_identical(constraints)
+
+    def test_total_exclusion_vanishes_piece(self):
+        """Exclusion covering everything: pieces vanish, constraint skipped."""
+        constraints = [
+            positive(disk_at(0, 0, 200.0), weight=2.0),
+            negative(disk_at(0, 0, 5000.0), weight=1.0),
+        ]
+        region_v, _ = assert_identical(constraints)
+        assert not region_v.is_empty()
+
+    def test_degenerate_sliver_lens(self):
+        """A nearly-tangent lens lands under the sliver threshold in both."""
+        constraints = [
+            positive(disk_at(0, 0, 200.0)),
+            positive(disk_at(90.0, 399.0, 200.0)),
+        ]
+        assert_identical(constraints, {"min_piece_area_km2": 500.0})
+
+    def test_non_convex_exclusion_falls_back(self):
+        """A non-convex exclusion rides the object fallback inside the kernel."""
+        ring = [
+            Point2D(-500.0, -500.0),
+            Point2D(500.0, -500.0),
+            Point2D(500.0, 500.0),
+            Point2D(0.0, 0.0),  # concave notch
+            Point2D(-500.0, 500.0),
+        ]
+        constraints = [
+            positive(disk_at(0, 0, 900.0)),
+            negative(Polygon(ring)),
+        ]
+        assert_identical(constraints)
+
+    def test_non_convex_inclusion_falls_back(self):
+        ring = [
+            Point2D(-800.0, -800.0),
+            Point2D(800.0, -800.0),
+            Point2D(800.0, 800.0),
+            Point2D(0.0, -100.0),  # deep concave notch
+            Point2D(-800.0, 800.0),
+        ]
+        constraints = [
+            positive(Polygon(ring)),
+            positive(disk_at(0, 0, 500.0)),
+        ]
+        assert_identical(constraints)
+
+    def test_no_constraints(self):
+        (v, region_v), (o, region_o) = solve_both([])
+        assert region_v.is_empty() and region_o.is_empty()
+
+    def test_weight_ordering_ties(self):
+        """Equal weights: processing order and pruning must stay stable."""
+        constraints = [
+            positive(disk_at(b, 150.0, 400.0), weight=1.0, label=f"tie{b}")
+            for b in (0.0, 72.0, 144.0, 216.0, 288.0)
+        ]
+        assert_identical(constraints, {"max_pieces": 6})
+
+
+# --------------------------------------------------------------------------- #
+# Prefilter classification
+# --------------------------------------------------------------------------- #
+class TestPrefilter:
+    def test_fully_inside_skips_clipper(self):
+        """A piece wholly inside a huge disk is classified, not clipped."""
+        solver = WeightedRegionSolver(SolverConfig(engine="vector"))
+        small = positive(disk_at(0, 0, 100.0), weight=2.0, label="small")
+        huge = positive(disk_at(0, 0, 5000.0), weight=1.0, label="huge")
+        solver.solve([small, huge], PROJ)
+        assert solver.diagnostics.prefilter_inside > 0
+
+    def test_fully_outside_disjoint_bbox(self):
+        """Disjoint geometry resolves by bounding boxes alone."""
+        solver = WeightedRegionSolver(SolverConfig(engine="vector"))
+        a = positive(disk_at(0, 0, 100.0), weight=2.0, label="a")
+        b = positive(disk_at(90.0, 8000.0, 100.0), weight=1.0, label="b")
+        solver.solve([a, b], PROJ)
+        assert solver.diagnostics.prefilter_bbox > 0
+
+    def test_fully_excluded_piece_vanishes(self):
+        """Pieces strictly inside an exclusion are dropped without clipping.
+
+        Several overlapping small disks build up enough pieces that the
+        batched wedge classifier (not the small-batch scalar fallback) sees
+        them, and every one of them lies inside the wipe exclusion.
+        """
+        solver = WeightedRegionSolver(SolverConfig(engine="vector"))
+        smalls = [
+            positive(disk_at(b, 60.0, 80.0), weight=2.0, label=f"small{b}")
+            for b in (0.0, 120.0, 240.0)
+        ]
+        wipe = negative(disk_at(0, 0, 3000.0), weight=1.0, label="wipe")
+        solver.solve(smalls + [wipe], PROJ)
+        assert solver.diagnostics.prefilter_outside > 0
+
+    def test_crossing_pieces_are_clipped(self):
+        constraints = [
+            positive(disk_at(b, 300.0, 400.0), label=f"c{b}")
+            for b in (0.0, 60.0, 120.0, 180.0, 240.0, 300.0)
+        ]
+        solver = WeightedRegionSolver(SolverConfig(engine="vector"))
+        solver.solve(constraints, PROJ)
+        # Plenty of overlapping boundaries: pieces must reach the clipper,
+        # and with enough of them at once the batched passes run too.
+        assert solver.diagnostics.pieces_clipped > 0
+        assert solver.diagnostics.vertices_clipped > 0
+
+    def test_phase_timings_recorded(self):
+        solver = WeightedRegionSolver(SolverConfig(engine="vector"))
+        solver.solve([positive(disk_at(0, 0, 300.0))], PROJ)
+        assert "inclusion" in solver.diagnostics.phase_seconds
+        assert solver.diagnostics.solve_seconds > 0.0
+        summary = solver.diagnostics.kernel_summary()
+        assert summary["engine"] == "vector"
+
+
+# --------------------------------------------------------------------------- #
+# Flat buffer unit behaviour
+# --------------------------------------------------------------------------- #
+class TestPieceBuffer:
+    def test_roundtrip_polygon(self):
+        disk = disk_at(0, 0, 250.0)
+        buffer = PieceBuffer.from_polygons([(disk, 1.5)])
+        assert len(buffer) == 1
+        assert buffer.polygon(0).coords == disk.coords
+        assert float(buffer.signed_areas[0]) == disk.signed_area()
+        assert float(buffer.weights[0]) == 1.5
+
+    def test_bboxes_match_polygon(self):
+        disk = disk_at(45.0, 200.0, 300.0)
+        buffer = PieceBuffer.from_polygons([(disk, 1.0)])
+        box = disk.bounding_box()
+        assert tuple(buffer.bboxes[0]) == (box.min_x, box.min_y, box.max_x, box.max_y)
+
+    def test_subset_preserves_order(self):
+        disks = [(disk_at(b, 100.0, 150.0), float(i)) for i, b in enumerate((0, 90, 180))]
+        buffer = PieceBuffer.from_polygons(disks)
+        sub = buffer.subset([2, 0])
+        assert [float(w) for w in sub.weights] == [2.0, 0.0]
+        assert sub.polygon(0).coords == disks[2][0].coords
+        assert sub.polygon(1).coords == disks[0][0].coords
+
+    def test_empty_buffer(self):
+        buffer = PieceBuffer.from_parts([], [])
+        assert len(buffer) == 0
+
+
+# --------------------------------------------------------------------------- #
+# Hoisted universe helper
+# --------------------------------------------------------------------------- #
+class TestUniversePolygon:
+    def test_matches_legacy_method(self):
+        constraints = [
+            positive(disk_at(0, 0, 300.0)),
+            negative(disk_at(90.0, 500.0, 200.0)),
+        ]
+        solver = WeightedRegionSolver()
+        hoisted = universe_polygon(constraints, solver.config.universe_margin_km)
+        legacy = solver._universe_polygon(constraints)
+        assert hoisted.coords == legacy.coords
+
+    def test_no_geometry_returns_none(self):
+        assert universe_polygon([], 500.0) is None
+
+    def test_strict_intersection_uses_helper(self):
+        constraints = [positive(disk_at(0, 0, 300.0))]
+        region = strict_intersection(constraints, PROJ)
+        assert not region.is_empty()
+        assert region.area_km2() == pytest.approx(
+            disk_at(0, 0, 300.0).area(), rel=0.05
+        )
+
+
+class TestChainRunnerOrientation:
+    def test_cw_part_short_circuit_matches_scalar(self):
+        """A CW-stored part must come back CCW-rebuilt, like clip_halfplane.
+
+        Regression: the chain runner's no-crossing short-circuit used to
+        keep the original (CW) vertex order and stale signed area, while the
+        scalar reference rebuilds the polygon CCW before the pass.
+        """
+        import numpy as np
+
+        from repro.geometry.clipping import clip_halfplane
+        from repro.geometry.kernel import _halfplane_chain_rows, _part_from_polygon
+
+        square_cw = Polygon(
+            [Point2D(0, 0), Point2D(0, 100), Point2D(100, 100), Point2D(100, 0)]
+        )
+        assert not square_cw.is_ccw()
+        part = _part_from_polygon(square_cw)
+        # An edge the whole square is inside: the pass short-circuits.
+        a, b = Point2D(-10.0, 1.0), Point2D(-10.0, 0.0)
+        seq = np.array([[a.x, a.y, b.x, b.y]])
+        (result,) = _halfplane_chain_rows([part], [seq])
+        scalar = clip_halfplane(square_cw, a, b, keep_left=True)
+        assert scalar is not None and result is not None
+        got = tuple(zip(result[0].tolist(), result[1].tolist()))
+        assert got == scalar.coords
+        assert result[2] == scalar.signed_area()
+
+    def test_cw_piece_through_solver_engines(self):
+        """End-to-end: a CW exclusion interacting with clipped pieces."""
+        cw_disk = disk_at(0, 0, 250.0).reversed()
+        assert not cw_disk.is_ccw()
+        constraints = [
+            positive(disk_at(0, 0, 400.0)),
+            PlanarConstraint(None, cw_disk, 1.0, "cw-exclusion"),
+            positive(disk_at(45.0, 200.0, 300.0), weight=0.5),
+        ]
+        assert_identical(constraints)

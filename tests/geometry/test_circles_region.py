@@ -249,3 +249,53 @@ class TestRegionProperties:
         estimate = region.point_estimate()
         assert estimate is not None
         assert region.contains_geopoint(estimate)
+
+
+class TestCircleCache:
+    def test_cached_disk_bitwise_identical(self):
+        from repro.geometry import CircleCache
+
+        proj = AzimuthalEquidistantProjection(DENVER)
+        cache = CircleCache()
+        plain = disk_polygon(DENVER, 400.0, proj, 32)
+        cached = disk_polygon(DENVER, 400.0, proj, 32, cache=cache)
+        assert cached.coords == plain.coords
+        assert cached.signed_area() == plain.signed_area()
+
+    def test_boundary_reused_across_projections(self):
+        from repro.geometry import CircleCache
+
+        cache = CircleCache()
+        lats1, lons1 = cache.boundary_arrays(DENVER, 250.0, 24)
+        assert len(cache) == 1
+        lats2, lons2 = cache.boundary_arrays(DENVER, 250.0, 24)
+        assert lats1 is lats2 and lons1 is lons2  # cache hit, same arrays
+        # A different projection reuses the same geodesic boundary.
+        proj_a = AzimuthalEquidistantProjection(DENVER)
+        proj_b = AzimuthalEquidistantProjection(GeoPoint(41.0, -100.0))
+        disk_a = disk_polygon(DENVER, 250.0, proj_a, 24, cache=cache)
+        disk_b = disk_polygon(DENVER, 250.0, proj_b, 24, cache=cache)
+        assert len(cache) == 1
+        assert disk_a.coords != disk_b.coords  # projections differ ...
+        assert disk_a.area() == pytest.approx(disk_b.area(), rel=0.01)  # ... shape not
+
+    def test_distinct_keys_distinct_entries(self):
+        from repro.geometry import CircleCache
+
+        cache = CircleCache()
+        cache.boundary_arrays(DENVER, 250.0, 24)
+        cache.boundary_arrays(DENVER, 300.0, 24)
+        cache.boundary_arrays(DENVER, 250.0, 32)
+        cache.boundary_arrays(GeoPoint(10.0, 10.0), 250.0, 24)
+        assert len(cache) == 4
+
+    def test_capacity_bound_evicts_fifo(self):
+        from repro.geometry import CircleCache
+
+        cache = CircleCache(capacity=3)
+        for radius in (100.0, 200.0, 300.0, 400.0):
+            cache.boundary_arrays(DENVER, radius, 16)
+        assert len(cache) == 3
+        # The oldest entry (100 km) was evicted; re-requesting recomputes.
+        lats, _ = cache.boundary_arrays(DENVER, 100.0, 16)
+        assert len(lats) == 16

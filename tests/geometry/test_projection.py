@@ -107,3 +107,59 @@ class TestProjectionForPoints:
     def test_single_point_center(self):
         proj = projection_for_points([LONDON])
         assert proj.center.distance_km(LONDON) < 1e-6
+
+
+class TestForwardArray:
+    """Vectorized projection must be bitwise equal to scalar forward()."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-80.0, max_value=80.0),
+                st.floats(min_value=-179.0, max_value=179.0),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_azimuthal_bitwise_equal(self, latlons):
+        import numpy as np
+
+        proj = AzimuthalEquidistantProjection(ITHACA)
+        lats = np.array([p[0] for p in latlons])
+        lons = np.array([p[1] for p in latlons])
+        arr = proj.forward_array(lats, lons)
+        for i, (lat, lon) in enumerate(latlons):
+            p = proj.forward(GeoPoint(lat, lon))
+            assert arr[i, 0] == p.x and arr[i, 1] == p.y
+
+    def test_forward_many_matches_forward(self):
+        proj = AzimuthalEquidistantProjection(ITHACA)
+        points = [CHICAGO, SEATTLE, LONDON, ITHACA, GeoPoint(0.0, 0.0)]
+        many = proj.forward_many(points)
+        for got, point in zip(many, points):
+            want = proj.forward(point)
+            assert got.x == want.x and got.y == want.y
+
+    def test_center_projects_to_exact_origin(self):
+        import numpy as np
+
+        proj = AzimuthalEquidistantProjection(ITHACA)
+        arr = proj.forward_array(np.array([ITHACA.lat]), np.array([ITHACA.lon]))
+        assert arr[0, 0] == 0.0 and arr[0, 1] == 0.0
+
+    def test_generic_projection_fallback(self):
+        import numpy as np
+
+        proj = EquirectangularProjection(ITHACA)
+        lats = np.array([CHICAGO.lat, SEATTLE.lat])
+        lons = np.array([CHICAGO.lon, SEATTLE.lon])
+        arr = proj.forward_array(lats, lons)
+        for i, point in enumerate((CHICAGO, SEATTLE)):
+            want = proj.forward(point)
+            assert arr[i, 0] == want.x and arr[i, 1] == want.y
+
+    def test_empty_forward_many(self):
+        proj = AzimuthalEquidistantProjection(ITHACA)
+        assert proj.forward_many([]) == []

@@ -142,3 +142,75 @@ class TestDatasetCollection:
             rtt = dataset.pings[(a, b)].min_rtt_ms
             dist = dataset.true_location(a).distance_km(dataset.true_location(b))
             assert rtt >= distance_km_to_min_rtt_ms(dist) - 1e-6
+
+
+class TestPairMatrixViews:
+    """The NumPy-backed pair matrices must be drop-in for the legacy dicts."""
+
+    def _legacy_rtt_dict(self, dataset):
+        legacy = {}
+        ids = dataset.host_ids
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                rtt = dataset.min_rtt_ms(a, b)
+                if rtt is not None:
+                    legacy[(a, b)] = rtt
+        return legacy
+
+    def test_rtt_view_matches_legacy_dict(self, dataset):
+        legacy = self._legacy_rtt_dict(dataset)
+        view = dataset.pairwise_min_rtt()
+        assert dict(view) == legacy
+        assert list(view) == list(legacy)  # same iteration order
+        assert len(view) == len(legacy)
+        for key, value in legacy.items():
+            assert view[key] == value
+
+    def test_rtt_view_missing_keys_raise(self, dataset):
+        view = dataset.pairwise_min_rtt()
+        with pytest.raises(KeyError):
+            view[("nope", "also-nope")]
+        a = dataset.host_ids[0]
+        assert view.get(("nope", a)) is None
+
+    def test_rtt_matrix_accessor(self, dataset):
+        ids, matrix = dataset.pairwise_min_rtt_matrix()
+        assert ids == dataset.host_ids
+        assert matrix.shape == (len(ids), len(ids))
+        # Symmetric with NaN diagonal.
+        import numpy as np
+
+        assert np.isnan(np.diag(matrix)).all()
+        finite = ~np.isnan(matrix)
+        assert (finite == finite.T).all()
+
+    def test_cached_min_rtt_matches_direct(self, dataset):
+        ids = dataset.host_ids
+        for a in ids[:4]:
+            for b in ids:
+                assert dataset.cached_min_rtt_ms(a, b) == dataset.min_rtt_ms(
+                    a, b
+                ) or (a == b and dataset.cached_min_rtt_ms(a, b) is None)
+
+    def test_degree_matches_pair_counts(self, dataset):
+        legacy = self._legacy_rtt_dict(dataset)
+        degree = dataset.measured_pair_degree()
+        expected = {h: 0 for h in dataset.host_ids}
+        for a, b in legacy:
+            expected[a] += 1
+            expected[b] += 1
+        assert dict(degree) == expected
+
+    def test_distance_view_matches_locations(self, dataset):
+        view = dataset.pairwise_distance_km()
+        for (a, b) in list(view)[:20]:
+            assert a < b
+            direct = dataset.true_location(a).distance_km(dataset.true_location(b))
+            assert view[(a, b)] == direct  # bitwise
+            assert dataset.cached_distance_km(a, b) == direct
+            assert dataset.cached_distance_km(b, a) == direct
+
+    def test_distance_fallback_for_unindexed(self, dataset):
+        # Self-distance is not in the matrix; the fallback computes it.
+        host = dataset.host_ids[0]
+        assert dataset.cached_distance_km(host, host) == 0.0
