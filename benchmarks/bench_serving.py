@@ -1,0 +1,196 @@
+"""Online serving: cold vs warm repeated-target latency and ingest throughput.
+
+The serving refactor's bet is that repeated-target requests are the common
+case for an interactive localization service, and that the staged pipeline's
+caches -- planar ``(projection, circle)`` constraint geometry plus the
+derived per-target ``PreparedLandmarks`` -- make those requests much cheaper
+than the batch per-target cost.  This benchmark measures:
+
+1. **Cold pass** -- every tracked target localized once through a freshly
+   started :class:`~repro.serving.LocalizationService` (empty caches).
+2. **Warm pass** -- the same targets requested again on the same service;
+   answers must be bit-identical and the tracked contract is warm latency
+   >= 2x faster than cold at the 30-host cohort (``OCTANT_BENCH_HOSTS=30``).
+3. **Ingest throughput** -- a stream of refreshed ping measurements absorbed
+   by the live dataset (incremental matrix extension + snapshot swap per
+   batch), reported as batches/sec and pings/sec.
+
+Results land in ``BENCH_serving.json`` (override with
+``OCTANT_SERVING_BENCH_JSON``) so CI can archive them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import LocalizationService
+from repro.network.probes import PingResult
+
+
+def _signature(estimate):
+    return (
+        None if estimate.point is None else (estimate.point.lat, estimate.point.lon),
+        estimate.constraints_used,
+        estimate.constraints_dropped,
+        None if estimate.region is None else estimate.region.area_km2(),
+    )
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_warm_vs_cold(dataset, target_ids):
+    """Warm repeated-target requests must beat cold ones at tracked size."""
+
+    async def run_passes():
+        async with LocalizationService(dataset, workers=1) as service:
+            cold: dict[str, object] = {}
+            started = time.perf_counter()
+            for target in target_ids:
+                cold[target] = await service.localize(target)
+            t_cold = time.perf_counter() - started
+
+            warm: dict[str, object] = {}
+            started = time.perf_counter()
+            for target in target_ids:
+                warm[target] = await service.localize(target)
+            t_warm = time.perf_counter() - started
+            return cold, warm, t_cold, t_warm, service.cache_stats()
+
+    cold, warm, t_cold, t_warm, stats = asyncio.run(run_passes())
+
+    per_target = len(target_ids) or 1
+    speedup = t_cold / t_warm if t_warm else float("inf")
+    print()
+    print("=" * 72)
+    print(
+        f"Serving warm vs cold -- {len(dataset.hosts)} hosts, "
+        f"{per_target} targets"
+    )
+    print("=" * 72)
+    print(
+        f"  cold pass: {t_cold:7.2f}s ({t_cold / per_target * 1000:7.1f} ms/target)"
+    )
+    print(
+        f"  warm pass: {t_warm:7.2f}s ({t_warm / per_target * 1000:7.1f} ms/target)"
+        f"  speedup {speedup:4.2f}x"
+    )
+    print(
+        "  planar cache: "
+        f"{stats['circle_cache']['planar_hits']} hits / "
+        f"{stats['circle_cache']['planar_misses']} misses; "
+        f"prepared: {stats['prepared_hits']} hits"
+    )
+
+    # The contract: identical estimates from the warm path.
+    for target in target_ids:
+        assert _signature(warm[target]) == _signature(cold[target])
+    assert stats["pipeline"]["planar_memo_hits"] >= per_target
+    assert stats["prepared_hits"] >= per_target
+
+    # Latency gate, tracked at the 30-host cohort; CI smoke sizes are noise.
+    if len(target_ids) >= 20:
+        assert speedup >= 2.0
+
+    payload = {
+        "hosts": len(dataset.hosts),
+        "targets": per_target,
+        "cold_s": round(t_cold, 4),
+        "warm_s": round(t_warm, 4),
+        "cold_ms_per_target": round(t_cold / per_target * 1000, 3),
+        "warm_ms_per_target": round(t_warm / per_target * 1000, 3),
+        "warm_speedup": round(speedup, 3),
+        "cache": stats,
+    }
+    _merge_json("warm_vs_cold", payload)
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_ingest_throughput(dataset):
+    """Sustained measurement ingest against a running service."""
+    from repro import MeasurementDataset
+
+    # Private live copy: ingest mutates the dataset, and the session-scoped
+    # fixture is shared with every other benchmark.
+    dataset = MeasurementDataset(
+        hosts=dict(dataset.hosts),
+        routers=dict(dataset.routers),
+        pings=dict(dataset.pings),
+        traceroutes=dict(dataset.traceroutes),
+        router_pings=dict(dataset.router_pings),
+        whois=dataset.whois,
+    )
+    hosts = dataset.host_ids
+    batches = int(os.environ.get("OCTANT_BENCH_INGEST_BATCHES", "12"))
+
+    def batch(i: int) -> list[PingResult]:
+        # Refreshed measurements between existing hosts: every batch touches
+        # a rotating pair set with slightly perturbed latencies.
+        out = []
+        for j in range(len(hosts) - 1):
+            a = hosts[(i + j) % len(hosts)]
+            b = hosts[(i + j + 1) % len(hosts)]
+            if a == b:
+                continue
+            base = dataset.min_rtt_ms(a, b) or 50.0
+            out.append(PingResult(src=a, dst=b, rtts_ms=(base + 0.01 * (i + 1),)))
+        return out
+
+    async def run_ingests():
+        async with LocalizationService(dataset, workers=1) as service:
+            # One request so the ingest path also pays snapshot swapping
+            # against warmed shared state, like production would.
+            await service.localize(hosts[0])
+            total_pings = 0
+            started = time.perf_counter()
+            for i in range(batches):
+                payload = batch(i)
+                total_pings += len(payload)
+                await service.ingest(pings=payload)
+            elapsed = time.perf_counter() - started
+            # The service must still answer after the ingest stream.
+            estimate = await service.localize(hosts[0])
+            return elapsed, total_pings, estimate
+
+    elapsed, total_pings, estimate = asyncio.run(run_ingests())
+    assert estimate.point is not None
+    batches_per_sec = batches / elapsed if elapsed else float("inf")
+    pings_per_sec = total_pings / elapsed if elapsed else float("inf")
+
+    print()
+    print("=" * 72)
+    print(f"Serving ingest throughput -- {len(hosts)} hosts, {batches} batches")
+    print("=" * 72)
+    print(
+        f"  {elapsed:6.2f}s total: {batches_per_sec:7.1f} batches/sec, "
+        f"{pings_per_sec:8.1f} pings/sec (incremental matrix extension "
+        "+ snapshot swap per batch)"
+    )
+
+    payload = {
+        "hosts": len(hosts),
+        "batches": batches,
+        "pings": total_pings,
+        "elapsed_s": round(elapsed, 4),
+        "batches_per_sec": round(batches_per_sec, 3),
+        "pings_per_sec": round(pings_per_sec, 3),
+    }
+    _merge_json("ingest_throughput", payload)
+
+
+def _merge_json(section: str, payload: dict) -> None:
+    """Merge one section into BENCH_serving.json (tests may run in any order)."""
+    out_path = Path(os.environ.get("OCTANT_SERVING_BENCH_JSON", "BENCH_serving.json"))
+    data: dict = {}
+    if out_path.exists():
+        try:
+            data = json.loads(out_path.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[section] = payload
+    out_path.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"  wrote: {out_path} [{section}]")

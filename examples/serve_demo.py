@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Online serving demo: start a service, query, ingest, query again.
+
+Builds a simulated deployment, withholds one host, and drives the
+:class:`repro.serving.LocalizationService` the way a deployment would:
+
+1. start the service over the live measurement dataset,
+2. localize a known host twice (the second request rides the warm caches),
+3. ask for the withheld host (the service refuses: no measurements),
+4. ingest the withheld host's measurements (incremental matrix extension +
+   copy-on-write snapshot swap),
+5. localize it, and dump the warm/cold and cache statistics.
+
+Run with::
+
+    python examples/serve_demo.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import LocalizationService, collect_dataset, small_deployment
+
+
+async def main() -> None:
+    print("Building a 13-host simulated deployment ...")
+    deployment = small_deployment(host_count=13, seed=7)
+    ids = sorted(deployment.host_ids)
+    serving_ids, held_out = ids[:-1], ids[-1]
+
+    # Collect the full study, but start the service with one host withheld --
+    # it plays the role of a brand-new target that shows up while serving.
+    full = collect_dataset(deployment)
+    dataset = collect_dataset(deployment, host_ids=serving_ids)
+    print(f"  serving {len(serving_ids)} hosts; withholding {held_out}")
+
+    async with LocalizationService(dataset, workers=2) as service:
+        target = serving_ids[0]
+        truth = full.true_location(target)
+
+        print(f"\nLocalizing {target} (cold) ...")
+        cold = await service.localize(target)
+        print(f"  point: {cold.point}, error {cold.error_miles(truth):.1f} miles")
+
+        print(f"Localizing {target} again (warm caches) ...")
+        warm = await service.localize(target)
+        print(f"  same answer: {warm.point == cold.point}")
+
+        print(f"\nAsking for the unknown host {held_out} ...")
+        unknown = await service.localize(held_out)
+        print(f"  refused: {unknown.details.get('error')}")
+
+        print(f"\nIngesting {held_out}'s measurements ...")
+        new_pings = [
+            ping
+            for (src, dst), ping in sorted(full.pings.items())
+            if held_out in (src, dst)
+        ]
+        touched = await service.ingest(hosts=[full.hosts[held_out]], pings=new_pings)
+        print(f"  touched {len(touched)} hosts; dataset is now version "
+              f"{service.cache_stats()['dataset_version']}")
+
+        print(f"Localizing {held_out} ...")
+        found = await service.localize(held_out)
+        new_truth = full.true_location(held_out)
+        print(f"  point: {found.point}, error {found.error_miles(new_truth):.1f} miles")
+
+        print("\nService statistics:")
+        for key, value in service.cache_stats().items():
+            print(f"  {key:18}: {value}")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -12,6 +12,8 @@ organized in four layers:
   calibration, heights, piecewise localization and the weighted solver.
 * :mod:`repro.baselines` / :mod:`repro.evalx` -- the systems the paper
   compares against and the harness that regenerates its figures and tables.
+* :mod:`repro.serving` -- the online front-end: an asyncio localization
+  service with snapshot-per-request semantics and measurement ingest.
 
 Quickstart::
 
@@ -25,6 +27,7 @@ Quickstart::
 
 from .core import (
     BatchLocalizer,
+    ConstraintPipeline,
     LocationEstimate,
     Octant,
     OctantConfig,
@@ -39,6 +42,7 @@ from .network import (
     collect_dataset,
     small_deployment,
 )
+from .serving import LocalizationService
 
 __version__ = "1.0.0"
 
@@ -50,6 +54,8 @@ __all__ = [
     "SolverConfig",
     "Octant",
     "BatchLocalizer",
+    "ConstraintPipeline",
+    "LocalizationService",
     "LocationEstimate",
     "Deployment",
     "DeploymentConfig",

@@ -1,0 +1,66 @@
+"""A minimal bounded LRU map shared by the geometry and pipeline caches.
+
+One implementation of the evict/touch mechanics so the circle cache, the
+batch engine's prepared cache and the pipeline's planarize memo cannot drift
+apart in eviction or race semantics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+__all__ = ["BoundedLRU"]
+
+V = TypeVar("V")
+
+
+class BoundedLRU(Generic[V]):
+    """Bounded mapping with least-recently-used eviction.
+
+    Safe for unlocked sharing between threads *when the stored values are
+    immutable and deterministic*: a racing insert or evict at worst
+    recomputes or re-evicts an entry (the ``move_to_end``/``popitem`` races
+    are tolerated), never yields a wrong value.  Callers needing atomic
+    get-or-compute semantics must lock around it themselves.  ``None`` is
+    not a storable value (``get`` uses it as the miss sentinel).
+    """
+
+    __slots__ = ("_entries", "capacity")
+
+    def __init__(self, capacity: int):
+        self._entries: OrderedDict[Hashable, V] = OrderedDict()
+        self.capacity = max(1, capacity)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> V | None:
+        """The value for ``key`` (marked most recently used), or ``None``."""
+        value = self._entries.get(key)
+        if value is not None:
+            try:
+                self._entries.move_to_end(key)
+            except (KeyError, RuntimeError):
+                pass  # racing evictor removed it; the value in hand stays valid
+        return value
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert ``key``, evicting least-recently-used entries over capacity.
+
+        Overwriting an existing key never evicts another entry.
+        """
+        entries = self._entries
+        if key in entries:
+            entries[key] = value
+            try:
+                entries.move_to_end(key)
+            except (KeyError, RuntimeError):
+                pass
+            return
+        while len(entries) >= self.capacity:
+            try:
+                entries.popitem(last=False)
+            except (KeyError, RuntimeError):
+                break  # racing evictor got there first
+        entries[key] = value

@@ -33,6 +33,7 @@ from .heights import (
     pairwise_excess_ms,
 )
 from .octant import Octant, PreparedLandmarks
+from .pipeline import ConstraintPipeline, PipelineStats
 from .piecewise import (
     RouterLocalizer,
     RouterPosition,
@@ -77,4 +78,6 @@ __all__ = [
     "LocationEstimate",
     "Octant",
     "PreparedLandmarks",
+    "ConstraintPipeline",
+    "PipelineStats",
 ]

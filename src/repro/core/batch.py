@@ -40,10 +40,12 @@ the reason under ``details["error"]`` -- instead of aborting the whole study.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from .._lru import BoundedLRU
 from ..geometry import CircleCache, GeoPoint
 from ..network.dataset import MeasurementDataset
 from ..network.dns import UndnsParser
@@ -57,14 +59,31 @@ from .piecewise import RouterLocalizer, RouterPosition, build_router_observation
 __all__ = ["BatchLocalizer", "BatchSharedState", "failed_estimate", "localize_many"]
 
 
-def failed_estimate(target_id: str, method: str, error: BaseException | str) -> LocationEstimate:
-    """A recorded per-target failure: no point, no region, reason in details."""
+def failed_estimate(
+    target_id: str,
+    method: str,
+    error: BaseException | str,
+    traceback: str | None = None,
+) -> LocationEstimate:
+    """A recorded per-target failure: no point, no region, reason in details.
+
+    ``details["error_type"]`` carries the exception class name so failure
+    modes can be aggregated without parsing messages; ``traceback`` accepts a
+    pre-formatted traceback string (the serving path captures it at the
+    executor boundary) stored under ``details["traceback"]`` -- failures stay
+    diagnosable from the estimate alone, without process logs.
+    """
+    details: dict[str, object] = {"error": str(error)}
+    if isinstance(error, BaseException):
+        details["error_type"] = type(error).__name__
+    if traceback:
+        details["traceback"] = traceback
     return LocationEstimate(
         target_id=target_id,
         method=method,
         point=None,
         region=None,
-        details={"error": str(error)},
+        details=details,
     )
 
 
@@ -88,6 +107,11 @@ class BatchSharedState:
     #: Shared with the wrapped Octant so both engines warm the same entries;
     #: process-pool workers inherit whatever was cached before the fork.
     circle_cache: CircleCache = field(default_factory=CircleCache)
+    #: The :attr:`MeasurementDataset.version` this state was built from;
+    #: :meth:`BatchLocalizer.shared_state` rebuilds when the live dataset
+    #: has ingested measurements past it (the circle cache is carried over:
+    #: its entries are content-addressed and never go stale).
+    dataset_version: int = 0
 
 
 # --------------------------------------------------------------------------- #
@@ -120,6 +144,14 @@ class BatchLocalizer:
     used as given.  ``executor_kind`` selects ``"thread"`` or ``"process"``
     workers; ``"auto"`` picks processes when fork is available (the work is
     CPU-bound pure Python) and threads otherwise.
+
+    ``prepared_cache_size`` (default 0: disabled) bounds an LRU of derived
+    per-target :class:`PreparedLandmarks`, keyed by
+    ``(dataset version, target, landmark pool)``.  Leave-one-out studies
+    visit every target once and gain nothing from it; the online serving
+    path hits the same targets repeatedly and skips re-derivation entirely
+    on a warm hit.  The derivation is deterministic, so a cached object is
+    the one a fresh call would return.
     """
 
     def __init__(
@@ -129,6 +161,7 @@ class BatchLocalizer:
         parser: UndnsParser | None = None,
         max_workers: int | str | None = None,
         executor_kind: str = "auto",
+        prepared_cache_size: int = 0,
     ):
         if isinstance(source, Octant):
             self.octant = source
@@ -139,14 +172,36 @@ class BatchLocalizer:
         self.parser = self.octant.parser
         self.max_workers = max_workers
         self.executor_kind = executor_kind
+        self.prepared_cache_size = prepared_cache_size
         self._shared: BatchSharedState | None = None
+        self._shared_lock = threading.Lock()
+        self._prepared_cache: BoundedLRU[PreparedLandmarks] = BoundedLRU(
+            max(1, prepared_cache_size)
+        )
+        self._prepared_lock = threading.Lock()
+        self.prepared_hits = 0
+        self.prepared_misses = 0
 
     # ------------------------------------------------------------------ #
     # Shared state
     # ------------------------------------------------------------------ #
     def shared_state(self) -> BatchSharedState:
-        """Build (once) the full-cohort shared state."""
-        if self._shared is None:
+        """Build (once per dataset version) the full-cohort shared state.
+
+        Thread-safe: the serving executor calls this concurrently from
+        request workers.  After a measurement ingest the state is rebuilt
+        against the new version; the circle cache is carried across rebuilds
+        because its entries are content-addressed (a circle at given
+        coordinates is the same circle whatever the measurements say).
+        """
+        version = self.dataset.version
+        shared = self._shared
+        if shared is not None and shared.dataset_version == version:
+            return shared
+        with self._shared_lock:
+            shared = self._shared
+            if shared is not None and shared.dataset_version == version:
+                return shared
             dataset = self.dataset
             locations = {
                 host_id: record.location
@@ -162,6 +217,7 @@ class BatchLocalizer:
                 pair_degree=dataset.measured_pair_degree(),
                 router_observations=router_observations,
                 circle_cache=self.octant.circle_cache,
+                dataset_version=version,
             )
         return self._shared
 
@@ -176,8 +232,34 @@ class BatchLocalizer:
         ``landmark_pool`` restricts the landmark population (the Figure 4
         sweep); by default every other host is a landmark, the paper's
         leave-one-out methodology.  Raises :class:`ValueError` when fewer
-        than 3 landmarks remain.
+        than 3 landmarks remain.  With ``prepared_cache_size`` enabled,
+        repeated requests for the same target at the same dataset version
+        return the cached derivation (bit-identical: the derivation is a
+        pure function of the masked shared state).
         """
+        if self.prepared_cache_size <= 0:
+            return self._derive_prepared(target_id, landmark_pool)
+        key = (
+            self.dataset.version,
+            target_id,
+            # Sorted, like the derivation itself: permuted pools are the
+            # same landmark set and must share one cache entry.
+            tuple(sorted(landmark_pool)) if landmark_pool is not None else None,
+        )
+        with self._prepared_lock:
+            cached = self._prepared_cache.get(key)
+            if cached is not None:
+                self.prepared_hits += 1
+                return cached
+            self.prepared_misses += 1
+        prepared = self._derive_prepared(target_id, landmark_pool)
+        with self._prepared_lock:
+            self._prepared_cache.put(key, prepared)
+        return prepared
+
+    def _derive_prepared(
+        self, target_id: str, landmark_pool: Sequence[str] | None = None
+    ) -> PreparedLandmarks:
         shared = self.shared_state()
         dataset = self.dataset
         pool = sorted(landmark_pool) if landmark_pool is not None else dataset.host_ids
@@ -343,9 +425,17 @@ class BatchLocalizer:
 
     def __getstate__(self):
         state = self.__dict__.copy()
-        # Bound-method/dispatch state is executor-local, never shipped.
+        # Bound-method/dispatch state is executor-local, never shipped, and
+        # locks are not picklable (workers recreate their own).
         state.pop("_dispatch", None)
+        state.pop("_shared_lock", None)
+        state.pop("_prepared_lock", None)
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._shared_lock = threading.Lock()
+        self._prepared_lock = threading.Lock()
 
 
 def _worker_localize_proxy(target_id: str, landmark_pool: tuple[str, ...] | None):

@@ -53,6 +53,12 @@ class SolverConfig:
     #: ``exact_complements`` runs on the object path regardless, which is the
     #: only mode that needs general disjoint complements.
     engine: str = "vector"
+    #: LRU capacity of the shared circle-geometry cache (applies to each of
+    #: its layers: geodesic boundaries, and planar ``(projection, circle)``
+    #: constraint polygons).  Bounds the memory an online service can pin in
+    #: geometry across an unbounded request stream; batch studies rarely
+    #: approach it.
+    circle_cache_size: int = 4096
 
 
 @dataclass(frozen=True)

@@ -221,13 +221,16 @@ class GeoRegionConstraint(Constraint):
     polarity: Polarity = Polarity.NEGATIVE
     weight: float = 1.0
     label: str = "region"
+    geometry_cache: CircleCache | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if len(self.ring) < 3:
             raise ValueError("a region constraint needs at least 3 boundary points")
 
     def to_planar(self, projection: Projection) -> PlanarConstraint | None:
-        polygon = polygon_from_geopoints(list(self.ring), projection).ensure_ccw()
+        polygon = polygon_from_geopoints(
+            list(self.ring), projection, cache=self.geometry_cache
+        ).ensure_ccw()
         if self.polarity is Polarity.POSITIVE:
             return PlanarConstraint(polygon, None, self.weight, self.label)
         return PlanarConstraint(None, polygon, self.weight, self.label)

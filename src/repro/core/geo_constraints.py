@@ -39,7 +39,10 @@ GEOGRAPHIC_CONSTRAINT_WEIGHT = 5.0
 
 
 def _region_constraints(
-    regions: Iterable[GeoRegion], weight: float, label_prefix: str
+    regions: Iterable[GeoRegion],
+    weight: float,
+    label_prefix: str,
+    cache: "CircleCache | None" = None,
 ) -> list[Constraint]:
     return [
         GeoRegionConstraint(
@@ -47,6 +50,7 @@ def _region_constraints(
             polarity=Polarity.NEGATIVE,
             weight=weight,
             label=f"{label_prefix}:{region.name}",
+            geometry_cache=cache,
         )
         for region in regions
     ]
@@ -55,24 +59,33 @@ def _region_constraints(
 def ocean_constraints(
     regions: Sequence[GeoRegion] = OCEAN_REGIONS,
     weight: float = GEOGRAPHIC_CONSTRAINT_WEIGHT,
+    cache: "CircleCache | None" = None,
 ) -> list[Constraint]:
     """Negative constraints excluding open-ocean regions."""
-    return _region_constraints(regions, weight, "ocean")
+    return _region_constraints(regions, weight, "ocean", cache)
 
 
 def uninhabited_constraints(
     regions: Sequence[GeoRegion] = UNINHABITED_REGIONS,
     weight: float = GEOGRAPHIC_CONSTRAINT_WEIGHT,
+    cache: "CircleCache | None" = None,
 ) -> list[Constraint]:
     """Negative constraints excluding large uninhabited land areas."""
-    return _region_constraints(regions, weight, "uninhabited")
+    return _region_constraints(regions, weight, "uninhabited", cache)
 
 
-def geographic_constraints(config: OctantConfig) -> list[Constraint]:
-    """All geographic negative constraints enabled by ``config``."""
+def geographic_constraints(
+    config: OctantConfig, cache: "CircleCache | None" = None
+) -> list[Constraint]:
+    """All geographic negative constraints enabled by ``config``.
+
+    ``cache`` lets the constraints memoize their projected rings in the
+    shared planar geometry cache (the rings are fixed data, so every
+    localization under the same projection re-uses one projection pass).
+    """
     if not config.use_geographic_constraints:
         return []
-    return ocean_constraints() + uninhabited_constraints()
+    return ocean_constraints(cache=cache) + uninhabited_constraints(cache=cache)
 
 
 def whois_constraint(

@@ -26,18 +26,16 @@ from ..geometry import (
     GeoPoint,
     Projection,
     projection_for_points,
-    rtt_ms_to_max_distance_km,
 )
 from ..network.dataset import MeasurementDataset
 from ..network.dns import UndnsParser
 from .calibration import CalibrationSet, build_calibration_set
 from .config import OctantConfig
-from .constraints import Constraint, ConstraintSet, DistanceConstraint, latency_weight
+from .constraints import ConstraintSet
 from .estimate import LocationEstimate
-from .geo_constraints import geographic_constraints, whois_constraint
 from .heights import HeightModel, estimate_landmark_heights, estimate_target_height
-from .piecewise import RouterLocalizer, RouterPosition, secondary_constraints_for_target
-from .solver import WeightedRegionSolver
+from .piecewise import RouterLocalizer, RouterPosition
+from .pipeline import ConstraintPipeline
 
 __all__ = ["Octant", "PreparedLandmarks", "pseudo_target_heights"]
 
@@ -95,6 +93,7 @@ class Octant:
         dataset: MeasurementDataset,
         config: OctantConfig | None = None,
         parser: UndnsParser | None = None,
+        circle_cache: CircleCache | None = None,
     ):
         self.dataset = dataset
         self.config = config or OctantConfig()
@@ -106,17 +105,42 @@ class Octant:
         # studies; this cache only amortizes repeated localizations against
         # the same few landmark sets.
         self._prepared: OrderedDict[tuple[str, ...], PreparedLandmarks] = OrderedDict()
-        self._geo_constraints: list[Constraint] | None = None
-        # Geodesic circle boundaries are projection-independent, so one
-        # cache serves every target this instance localizes; the batch
-        # engine shares it across the whole cohort (see BatchSharedState).
-        self.circle_cache = CircleCache()
+        self._dataset_version = dataset.version
+        # The staged pipeline owns the shared geometry cache and the
+        # target-independent constraint state; ``circle_cache`` lets callers
+        # (the serving layer, batch studies over dataset snapshots) keep one
+        # warm cache across many Octant instances.
+        self.pipeline = ConstraintPipeline(
+            dataset, self.config, self.parser, circle_cache
+        )
+        self.circle_cache = self.pipeline.circle_cache
 
     # ------------------------------------------------------------------ #
     # Preparation: heights, calibration, router localization
     # ------------------------------------------------------------------ #
+    def _sync_dataset_version(self) -> None:
+        """Drop prepared entries invalidated by measurement ingest.
+
+        Ingest touches a known set of hosts; a cached
+        :class:`PreparedLandmarks` only depends on measurements among its
+        own landmark set, so entries disjoint from the touched hosts stay
+        valid and are kept warm.  When the touched set is unknown (the
+        mutation log was truncated) everything is dropped.
+        """
+        version = self.dataset.version
+        if version == self._dataset_version:
+            return
+        touched = self.dataset.touched_since(self._dataset_version)
+        if touched is None:
+            self._prepared.clear()
+        else:
+            for key in [k for k in self._prepared if not touched.isdisjoint(k)]:
+                del self._prepared[key]
+        self._dataset_version = version
+
     def prepare(self, landmark_ids: Sequence[str]) -> PreparedLandmarks:
         """Compute (and cache, bounded LRU) per-landmark state for a landmark set."""
+        self._sync_dataset_version()
         key = tuple(sorted(landmark_ids))
         cached = self._prepared.get(key)
         if cached is not None:
@@ -207,76 +231,13 @@ class Octant:
         prepared: PreparedLandmarks,
         target_height_ms: float = 0.0,
     ) -> ConstraintSet:
-        """Assemble every constraint for one target under the configuration."""
-        cfg = self.config
-        constraints = ConstraintSet()
+        """Assemble every constraint for one target under the configuration.
 
-        margin = cfg.height_margin_ms if cfg.use_heights else 0.0
-        for landmark_id in prepared.landmark_ids:
-            rtt = self.dataset.min_rtt_ms(landmark_id, target_id)
-            if rtt is None:
-                continue
-            adjusted = rtt
-            if prepared.heights is not None:
-                adjusted = max(
-                    0.5, rtt - prepared.heights.height(landmark_id) - target_height_ms
-                )
-
-            calibration = prepared.calibrations.get(landmark_id)
-            if cfg.use_calibration and calibration is not None:
-                # Evaluate the positive bound a margin above and the negative
-                # bound a margin below the adjusted latency, so errors in the
-                # height estimates cannot turn a sound constraint unsound.
-                max_km = calibration.max_distance_km(adjusted + margin)
-                min_km = calibration.min_distance_km(max(0.0, adjusted - margin))
-                if not cfg.use_negative_constraints:
-                    min_km = 0.0
-            else:
-                max_km = rtt_ms_to_max_distance_km(adjusted + margin)
-                min_km = 0.0
-
-            weight = 1.0
-            if cfg.use_weights:
-                weight = latency_weight(
-                    adjusted, cfg.weight_decay_ms, cfg.min_constraint_weight
-                )
-            max_km = max(max_km, cfg.min_positive_bound_km)
-            constraints.add(
-                DistanceConstraint(
-                    landmark_id=landmark_id,
-                    landmark_location=prepared.locations[landmark_id],
-                    max_km=max_km,
-                    min_km=max(0.0, min(min_km, max_km * 0.98)),
-                    weight=weight,
-                    circle_segments=cfg.solver.circle_segments,
-                    geometry_cache=self.circle_cache,
-                )
-            )
-
-        if self._geo_constraints is None:
-            # Geographic constraints depend only on the configuration, never
-            # on the target; build them once per Octant instance.
-            self._geo_constraints = list(geographic_constraints(cfg))
-        constraints.extend(self._geo_constraints)
-        constraints.add(
-            whois_constraint(self.dataset, target_id, cfg, cache=self.circle_cache)
-        )
-
-        if cfg.use_piecewise and prepared.router_positions:
-            constraints.extend(
-                secondary_constraints_for_target(
-                    target_id,
-                    list(prepared.landmark_ids),
-                    self.dataset,
-                    prepared.router_positions,
-                    prepared.calibrations,
-                    cfg,
-                    prepared.heights,
-                    target_height_ms,
-                    geometry_cache=self.circle_cache,
-                )
-            )
-        return constraints
+        Delegates to the pipeline's assembly stage (kept as a method for
+        callers that drive the stages separately, such as the solver
+        benchmarks).
+        """
+        return self.pipeline.assemble(target_id, prepared, target_height_ms)
 
     # ------------------------------------------------------------------ #
     # Localization
@@ -321,16 +282,10 @@ class Octant:
                     target_rtts, prepared.locations, prepared.heights
                 )
 
-        constraints = self.build_constraints(target_id, prepared, target_height)
         projection = self._projection_for(prepared, target_id)
-        planar = [
-            c.to_planar(projection)
-            for c in constraints.sorted_by_weight()
-        ]
-        planar = [p for p in planar if p is not None]
-
-        solver = WeightedRegionSolver(self.config.solver)
-        region = solver.solve(planar, projection)
+        region, diagnostics = self.pipeline.run(
+            target_id, prepared, target_height, projection
+        )
 
         point = region.point_estimate() if not region.is_empty() else None
         if point is None:
@@ -342,17 +297,17 @@ class Octant:
             method="octant",
             point=point,
             region=region if not region.is_empty() else None,
-            constraints_used=solver.diagnostics.constraints_applied,
-            constraints_dropped=solver.diagnostics.constraints_skipped,
+            constraints_used=diagnostics.constraints_applied,
+            constraints_dropped=diagnostics.constraints_skipped,
             solve_time_s=elapsed,
             details={
                 "target_height_ms": target_height,
                 "landmark_count": len(landmarks),
-                "dropped_constraints": list(solver.diagnostics.dropped_constraints),
-                "max_weight": solver.diagnostics.max_weight,
-                "solver_engine": solver.diagnostics.engine,
-                "solver_seconds": solver.diagnostics.solve_seconds,
-                "kernel": solver.diagnostics.kernel_summary(),
+                "dropped_constraints": list(diagnostics.dropped_constraints),
+                "max_weight": diagnostics.max_weight,
+                "solver_engine": diagnostics.engine,
+                "solver_seconds": diagnostics.solve_seconds,
+                "kernel": diagnostics.kernel_summary(),
             },
         )
 

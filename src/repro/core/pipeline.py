@@ -1,0 +1,296 @@
+"""The staged constraint pipeline: assembly -> planarization -> solve.
+
+:class:`Octant.localize` used to run one monolithic flow; this module factors
+it into three explicit, independently reusable stages so the batch engine and
+the online serving front-end (:mod:`repro.serving`) drive exactly the same
+machinery:
+
+1. **Assembly** (:meth:`ConstraintPipeline.assemble`) -- turn the target's
+   measurements plus the prepared landmark state into a
+   :class:`~repro.core.constraints.ConstraintSet`.  The stage caches the
+   target-independent geographic constraints (they depend only on the
+   configuration).
+2. **Planarization** (:meth:`ConstraintPipeline.planarize`) -- realize every
+   constraint as planar polygons under the localization's projection.  The
+   expensive geometry (geodesic circle boundaries, projected disk and ring
+   polygons) is memoized in the shared
+   :class:`~repro.geometry.circles.CircleCache` keyed
+   ``(projection_key, circle_key)``, so a repeated-target request under the
+   same projection re-uses the clipped planar geometry instead of
+   re-projecting it.  Cache hits return the very polygons a miss would have
+   constructed, keeping cached and uncached runs bit-identical (pinned by
+   ``tests/core/test_solver_engines.py``).
+3. **Solve** (:meth:`ConstraintPipeline.solve`) -- the weighted accumulation
+   through :class:`~repro.core.solver.WeightedRegionSolver` (vector kernel by
+   default).
+
+Each stage records its wall time in :class:`PipelineStats`; the serving layer
+surfaces those together with the geometry-cache hit/miss counters as its
+warm/cold statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from .._lru import BoundedLRU
+from ..geometry import CircleCache, Projection, Region, rtt_ms_to_max_distance_km
+from ..network.dataset import MeasurementDataset
+from ..network.dns import UndnsParser
+from .config import OctantConfig
+from .constraints import Constraint, ConstraintSet, DistanceConstraint, PlanarConstraint, latency_weight
+from .geo_constraints import geographic_constraints, whois_constraint
+from .piecewise import secondary_constraints_for_target
+from .solver import SolverDiagnostics, WeightedRegionSolver
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .octant import PreparedLandmarks
+
+__all__ = ["ConstraintPipeline", "PipelineStats"]
+
+
+@dataclass
+class PipelineStats:
+    """Accumulated per-stage wall time and run counts for one pipeline."""
+
+    runs: int = 0
+    assemble_seconds: float = 0.0
+    planarize_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    constraints_assembled: int = 0
+    constraints_planarized: int = 0
+    planar_memo_hits: int = 0
+    planar_memo_misses: int = 0
+
+    def merge(self, other: "PipelineStats") -> None:
+        """Fold another pipeline's accumulated counters into this one.
+
+        The serving layer retires one pipeline per dataset snapshot; merging
+        keeps lifetime totals across swaps.
+        """
+        self.runs += other.runs
+        self.assemble_seconds += other.assemble_seconds
+        self.planarize_seconds += other.planarize_seconds
+        self.solve_seconds += other.solve_seconds
+        self.constraints_assembled += other.constraints_assembled
+        self.constraints_planarized += other.constraints_planarized
+        self.planar_memo_hits += other.planar_memo_hits
+        self.planar_memo_misses += other.planar_memo_misses
+
+    def snapshot(self) -> dict[str, float]:
+        """A flat dict view for reporting (serving stats, benchmarks)."""
+        return {
+            "runs": self.runs,
+            "assemble_seconds": round(self.assemble_seconds, 6),
+            "planarize_seconds": round(self.planarize_seconds, 6),
+            "solve_seconds": round(self.solve_seconds, 6),
+            "constraints_assembled": self.constraints_assembled,
+            "constraints_planarized": self.constraints_planarized,
+            "planar_memo_hits": self.planar_memo_hits,
+            "planar_memo_misses": self.planar_memo_misses,
+        }
+
+
+class ConstraintPipeline:
+    """Reusable staged localization pipeline over one dataset + configuration.
+
+    The pipeline is deliberately free of per-target state: everything a stage
+    needs arrives as arguments, and everything it caches
+    (:attr:`circle_cache`, the geographic constraint list) is either
+    content-addressed or target-independent.  One instance can therefore be
+    shared by the sequential facade, the batch engine's thread workers and
+    the serving executor concurrently.
+    """
+
+    def __init__(
+        self,
+        dataset: MeasurementDataset,
+        config: OctantConfig | None = None,
+        parser: UndnsParser | None = None,
+        circle_cache: CircleCache | None = None,
+    ):
+        self.dataset = dataset
+        self.config = config or OctantConfig()
+        self.parser = parser or UndnsParser()
+        # Geodesic boundaries and planar (projection, circle) polygons are
+        # projection/content addressed, so one cache serves every target this
+        # pipeline localizes; the batch engine and the serving layer share it
+        # across the whole cohort (see BatchSharedState / LocalizationService).
+        self.circle_cache = (
+            circle_cache
+            if circle_cache is not None
+            else CircleCache(capacity=self.config.solver.circle_cache_size)
+        )
+        self._geo_constraints: list[Constraint] | None = None
+        # Stage-2 memo: the fully realized planar constraint list keyed by
+        # (projection key, the ordered constraint descriptions themselves).
+        # Constraints are frozen dataclasses, so equal measurement state
+        # yields equal keys; a repeated-target request at the same dataset
+        # version therefore skips every to_planar call, not just the circle
+        # geometry underneath them.
+        self._planar_memo: BoundedLRU[list[PlanarConstraint]] = BoundedLRU(256)
+        self.stats = PipelineStats()
+
+    # ------------------------------------------------------------------ #
+    # Stage 1: constraint assembly
+    # ------------------------------------------------------------------ #
+    def assemble(
+        self,
+        target_id: str,
+        prepared: "PreparedLandmarks",
+        target_height_ms: float = 0.0,
+    ) -> ConstraintSet:
+        """Assemble every constraint for one target under the configuration."""
+        started = time.perf_counter()
+        cfg = self.config
+        constraints = ConstraintSet()
+
+        margin = cfg.height_margin_ms if cfg.use_heights else 0.0
+        for landmark_id in prepared.landmark_ids:
+            rtt = self.dataset.min_rtt_ms(landmark_id, target_id)
+            if rtt is None:
+                continue
+            adjusted = rtt
+            if prepared.heights is not None:
+                adjusted = max(
+                    0.5, rtt - prepared.heights.height(landmark_id) - target_height_ms
+                )
+
+            calibration = prepared.calibrations.get(landmark_id)
+            if cfg.use_calibration and calibration is not None:
+                # Evaluate the positive bound a margin above and the negative
+                # bound a margin below the adjusted latency, so errors in the
+                # height estimates cannot turn a sound constraint unsound.
+                max_km = calibration.max_distance_km(adjusted + margin)
+                min_km = calibration.min_distance_km(max(0.0, adjusted - margin))
+                if not cfg.use_negative_constraints:
+                    min_km = 0.0
+            else:
+                max_km = rtt_ms_to_max_distance_km(adjusted + margin)
+                min_km = 0.0
+
+            weight = 1.0
+            if cfg.use_weights:
+                weight = latency_weight(
+                    adjusted, cfg.weight_decay_ms, cfg.min_constraint_weight
+                )
+            max_km = max(max_km, cfg.min_positive_bound_km)
+            constraints.add(
+                DistanceConstraint(
+                    landmark_id=landmark_id,
+                    landmark_location=prepared.locations[landmark_id],
+                    max_km=max_km,
+                    min_km=max(0.0, min(min_km, max_km * 0.98)),
+                    weight=weight,
+                    circle_segments=cfg.solver.circle_segments,
+                    geometry_cache=self.circle_cache,
+                )
+            )
+
+        if self._geo_constraints is None:
+            # Geographic constraints depend only on the configuration, never
+            # on the target; build them once per pipeline instance.
+            self._geo_constraints = list(
+                geographic_constraints(cfg, cache=self.circle_cache)
+            )
+        constraints.extend(self._geo_constraints)
+        constraints.add(
+            whois_constraint(self.dataset, target_id, cfg, cache=self.circle_cache)
+        )
+
+        if cfg.use_piecewise and prepared.router_positions:
+            constraints.extend(
+                secondary_constraints_for_target(
+                    target_id,
+                    list(prepared.landmark_ids),
+                    self.dataset,
+                    prepared.router_positions,
+                    prepared.calibrations,
+                    cfg,
+                    prepared.heights,
+                    target_height_ms,
+                    geometry_cache=self.circle_cache,
+                )
+            )
+        self.stats.assemble_seconds += time.perf_counter() - started
+        self.stats.constraints_assembled += len(constraints)
+        return constraints
+
+    # ------------------------------------------------------------------ #
+    # Stage 2: projection planarization
+    # ------------------------------------------------------------------ #
+    def planarize(
+        self, constraints: ConstraintSet, projection: Projection
+    ) -> list[PlanarConstraint]:
+        """Realize the constraints as planar geometry, heaviest first.
+
+        Constraints that degenerate to nothing under the projection (an
+        erosion that comes out empty) are dropped, matching what the solver
+        would otherwise skip.  A memo hit returns the realized list built by
+        an earlier identical request (same projection, equal constraint
+        descriptions); the planar constraints are immutable, so the hit is
+        bit-identical to re-realizing them.
+        """
+        started = time.perf_counter()
+        ordered = constraints.sorted_by_weight()
+        key = self._memo_key(ordered, projection)
+        if key is not None:
+            cached = self._planar_memo.get(key)
+            if cached is not None:
+                self.stats.planar_memo_hits += 1
+                self.stats.planarize_seconds += time.perf_counter() - started
+                return list(cached)
+            self.stats.planar_memo_misses += 1
+        planar = [p for c in ordered if (p := c.to_planar(projection)) is not None]
+        if key is not None:
+            self._planar_memo.put(key, list(planar))
+        self.stats.planarize_seconds += time.perf_counter() - started
+        self.stats.constraints_planarized += len(planar)
+        return planar
+
+    @staticmethod
+    def _memo_key(
+        ordered: Sequence[Constraint], projection: Projection
+    ) -> tuple | None:
+        """Memo key for a realized constraint system, or ``None`` if unkeyable."""
+        projection_key = projection.cache_key()
+        if projection_key is None:
+            return None
+        key = (projection_key, tuple(ordered))
+        try:
+            hash(key)  # tuple() never raises; hashing the elements can
+        except TypeError:  # a custom unhashable constraint type
+            return None
+        return key
+
+    # ------------------------------------------------------------------ #
+    # Stage 3: kernel solve
+    # ------------------------------------------------------------------ #
+    def solve(
+        self, planar: Sequence[PlanarConstraint], projection: Projection
+    ) -> tuple[Region, SolverDiagnostics]:
+        """Run the weighted accumulation and return region + diagnostics."""
+        started = time.perf_counter()
+        solver = WeightedRegionSolver(self.config.solver)
+        region = solver.solve(planar, projection)
+        self.stats.solve_seconds += time.perf_counter() - started
+        return region, solver.diagnostics
+
+    # ------------------------------------------------------------------ #
+    # Full pipeline
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        target_id: str,
+        prepared: "PreparedLandmarks",
+        target_height_ms: float,
+        projection: Projection,
+    ) -> tuple[Region, SolverDiagnostics]:
+        """Assemble, planarize and solve one target's constraint system."""
+        constraints = self.assemble(target_id, prepared, target_height_ms)
+        planar = self.planarize(constraints, projection)
+        region, diagnostics = self.solve(planar, projection)
+        self.stats.runs += 1
+        return region, diagnostics

@@ -27,6 +27,8 @@ from typing import Sequence
 
 import numpy as np
 
+from .._lru import BoundedLRU
+
 from .bezier import KAPPA, BezierPath, CubicBezier
 from .convexhull import convex_hull
 from .point import Point2D
@@ -77,27 +79,59 @@ def geodesic_circle_points(
 
 
 class CircleCache:
-    """Cross-target cache of geodesic circle boundary points.
+    """Cross-target cache of circle geometry, geodesic and planar.
 
-    A circle's boundary on the sphere depends only on its centre, radius and
-    segment count -- never on the projection a particular localization works
-    in.  Batch studies therefore compute each boundary once per cohort,
-    keyed ``(lat, lon, radius_km, segments)``, and re-project the cached
-    coordinate arrays per target as one vectorized array operation
-    (:meth:`Projection.forward_array`).  Entries are bounded FIFO; values
-    are immutable and deterministic, so a shared instance is safe under
-    concurrent use (a racing insert or evict at worst recomputes or
-    re-evicts an entry) and pickles into process-pool workers with whatever
-    it has accumulated.
+    Two content-addressed layers, both bounded LRU:
+
+    * **Geodesic boundaries.**  A circle's boundary on the sphere depends
+      only on its centre, radius and segment count -- never on the
+      projection a particular localization works in.  Batch studies
+      therefore compute each boundary once per cohort, keyed
+      ``(lat, lon, radius_km, segments)``, and re-project the cached
+      coordinate arrays per target as one vectorized array operation
+      (:meth:`Projection.forward_array`).
+    * **Planar polygons.**  Repeated-target serving re-realizes the *same*
+      circles under the *same* projection on every request (the projection
+      is derived from the landmark set and the target, both stable between
+      requests).  :meth:`planar_disk` therefore memoizes the fully projected
+      constraint polygon keyed ``(projection_key, circle_key)``, where
+      ``projection_key`` comes from :meth:`Projection.cache_key`;
+      :meth:`planar_ring` does the same for fixed geographic rings (oceans,
+      uninhabited areas).  Entries are exactly the polygons the uncached
+      path would construct, so cache hits are bit-identical by construction
+      (polygons are immutable).
+
+    Because every entry is immutable and deterministic, a shared instance is
+    safe under concurrent use (the :class:`~repro._lru.BoundedLRU` layers
+    tolerate racing inserts/evicts; hit/miss counters may undercount under
+    races, which only affects reporting) and pickles into process-pool
+    workers with whatever it has accumulated.  ``capacity`` bounds each
+    layer independently so an online service cannot leak geometry without
+    bound (``SolverConfig.circle_cache_size`` is the usual source of the
+    bound).
     """
 
-    __slots__ = ("_entries", "capacity")
+    __slots__ = (
+        "_entries",
+        "_planar",
+        "boundary_hits",
+        "boundary_misses",
+        "planar_hits",
+        "planar_misses",
+    )
 
     def __init__(self, capacity: int = 4096):
-        self._entries: dict[
-            tuple[float, float, float, int], tuple[np.ndarray, np.ndarray]
-        ] = {}
-        self.capacity = capacity
+        self._entries: BoundedLRU[tuple[np.ndarray, np.ndarray]] = BoundedLRU(capacity)
+        self._planar: BoundedLRU[Polygon] = BoundedLRU(capacity)
+        self.boundary_hits = 0
+        self.boundary_misses = 0
+        self.planar_hits = 0
+        self.planar_misses = 0
+
+    @property
+    def capacity(self) -> int:
+        """The per-layer entry bound."""
+        return self._entries.capacity
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -105,23 +139,106 @@ class CircleCache:
     def boundary_arrays(
         self, center: GeoPoint, radius_km: float, segments: int
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Latitude/longitude arrays of the circle boundary (cached)."""
+        """Latitude/longitude arrays of the circle boundary (cached, LRU)."""
         key = (center.lat, center.lon, radius_km, segments)
         cached = self._entries.get(key)
         if cached is not None:
+            self.boundary_hits += 1
             return cached
+        self.boundary_misses += 1
         boundary = geodesic_circle_points(center, radius_km, segments)
         lats = np.array([p.lat for p in boundary])
         lons = np.array([p.lon for p in boundary])
-        while len(self._entries) >= self.capacity:
-            # Tolerate racing evictors: thread-pool workers share this cache
-            # and two of them may target the same oldest key.
-            try:
-                self._entries.pop(next(iter(self._entries)))
-            except (KeyError, StopIteration, RuntimeError):
-                break
-        self._entries[key] = (lats, lons)
+        self._entries.put(key, (lats, lons))
         return lats, lons
+
+    # ------------------------------------------------------------------ #
+    # Planar layer: (projection, circle) -> constraint polygon
+    # ------------------------------------------------------------------ #
+    def planar_disk(
+        self,
+        center: GeoPoint,
+        radius_km: float,
+        projection: Projection,
+        segments: int,
+    ) -> Polygon:
+        """The projected disk polygon, memoized per ``(projection, circle)``.
+
+        Falls back to an uncached build (still using the cached geodesic
+        boundary) when the projection does not expose a cache key.
+        """
+        projection_key = projection.cache_key()
+        if projection_key is None:
+            return self._project_disk(center, radius_km, projection, segments)
+        key = (projection_key, center.lat, center.lon, radius_km, segments)
+        cached = self._planar.get(key)
+        if cached is not None:
+            self.planar_hits += 1
+            return cached
+        self.planar_misses += 1
+        polygon = self._project_disk(center, radius_km, projection, segments)
+        self._planar.put(key, polygon)
+        return polygon
+
+    def planar_ring(
+        self, ring: tuple[GeoPoint, ...], projection: Projection
+    ) -> Polygon:
+        """A projected fixed geographic ring, memoized per ``(projection, ring)``.
+
+        The ring tuple itself is the circle key: geographic constraint rings
+        (oceans, uninhabited areas) are module-level constants, so hashing
+        the coordinates is cheap relative to re-projecting them.
+        """
+        projection_key = projection.cache_key()
+        if projection_key is None:
+            return polygon_from_geopoints(list(ring), projection)
+        key = (projection_key, ring)
+        cached = self._planar.get(key)
+        if cached is not None:
+            self.planar_hits += 1
+            return cached
+        self.planar_misses += 1
+        polygon = polygon_from_geopoints(list(ring), projection)
+        self._planar.put(key, polygon)
+        return polygon
+
+    def _project_disk(
+        self,
+        center: GeoPoint,
+        radius_km: float,
+        projection: Projection,
+        segments: int,
+    ) -> Polygon:
+        """Project the cached geodesic boundary in one array operation."""
+        lats, lons = self.boundary_arrays(center, radius_km, segments)
+        planar = projection.forward_array(lats, lons)
+        return Polygon([Point2D(x, y) for x, y in planar.tolist()]).ensure_ccw()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def planar_entries(self) -> int:
+        """Number of cached planar polygons (both disks and rings)."""
+        return len(self._planar)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters and sizes for cache-effectiveness reporting."""
+        return {
+            "boundary_entries": len(self._entries),
+            "planar_entries": len(self._planar),
+            "boundary_hits": self.boundary_hits,
+            "boundary_misses": self.boundary_misses,
+            "planar_hits": self.planar_hits,
+            "planar_misses": self.planar_misses,
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (entries are kept)."""
+        self.boundary_hits = 0
+        self.boundary_misses = 0
+        self.planar_hits = 0
+        self.planar_misses = 0
 
 
 def disk_polygon(
@@ -133,15 +250,15 @@ def disk_polygon(
 ) -> Polygon:
     """Planar polygon approximating the geodesic disk under ``projection``.
 
-    ``cache`` optionally supplies the geodesic boundary from a
-    :class:`CircleCache`; the cached path projects the whole boundary as one
-    array operation and produces a polygon bitwise-identical to the uncached
-    one (``forward_array`` matches ``forward`` point for point).
+    ``cache`` optionally supplies the geometry from a :class:`CircleCache`:
+    the geodesic boundary comes from the boundary layer and the fully
+    projected polygon is memoized per ``(projection, circle)`` in the planar
+    layer.  Both cached paths produce a polygon bitwise-identical to the
+    uncached one (``forward_array`` matches ``forward`` point for point, and
+    a planar hit returns the very polygon a miss would have built).
     """
     if cache is not None:
-        lats, lons = cache.boundary_arrays(center, radius_km, segments)
-        planar = projection.forward_array(lats, lons)
-        return Polygon([Point2D(x, y) for x, y in planar.tolist()]).ensure_ccw()
+        return cache.planar_disk(center, radius_km, projection, segments)
     boundary = geodesic_circle_points(center, radius_km, segments)
     return Polygon(projection.forward_many(boundary)).ensure_ccw()
 
@@ -272,8 +389,20 @@ def erode_polygon(polygon: Polygon, radius_km: float) -> Polygon | None:
     return polygon.scaled(factor, origin=centroid)
 
 
-def polygon_from_geopoints(points: Sequence[GeoPoint], projection: Projection) -> Polygon:
-    """Project a closed ring of geographic points into a planar polygon."""
+def polygon_from_geopoints(
+    points: Sequence[GeoPoint],
+    projection: Projection,
+    cache: CircleCache | None = None,
+) -> Polygon:
+    """Project a closed ring of geographic points into a planar polygon.
+
+    ``cache`` memoizes the projected ring per ``(projection, ring)`` in the
+    planar layer of a :class:`CircleCache` (rings used as constraints are
+    fixed module-level data, so repeated-target serving re-projects them
+    constantly).
+    """
     if len(points) < 3:
         raise ValueError("need at least three geographic points")
+    if cache is not None:
+        return cache.planar_ring(tuple(points), projection)
     return Polygon(projection.forward_many(points))

@@ -81,6 +81,19 @@ class Projection:
         """Map a planar point (km) back to geographic coordinates."""
         raise NotImplementedError
 
+    def cache_key(self) -> tuple | None:
+        """A hashable value identifying this projection's forward mapping.
+
+        Two projections with equal keys must project every point to bitwise
+        identical planar coordinates, which is what lets the planar geometry
+        cache (:class:`~repro.geometry.circles.CircleCache`) share clipped
+        constraint polygons across localizations keyed by
+        ``(projection_key, circle_key)``.  Returns ``None`` when the
+        projection cannot guarantee that (the safe default for custom
+        subclasses), in which case callers must skip the cache.
+        """
+        return None
+
     # ------------------------------------------------------------------ #
     # Batch helpers
     # ------------------------------------------------------------------ #
@@ -138,6 +151,10 @@ class AzimuthalEquidistantProjection(Projection):
     def center(self) -> GeoPoint:
         """The geographic point that maps to the planar origin."""
         return self._center
+
+    def cache_key(self) -> tuple:
+        """The forward mapping is fully determined by the centre coordinates."""
+        return ("aeqd", self._center.lat, self._center.lon)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"AzimuthalEquidistantProjection(center={self._center})"
@@ -256,6 +273,10 @@ class EquirectangularProjection(Projection):
     def center(self) -> GeoPoint:
         """The geographic point that maps to the planar origin."""
         return self._center
+
+    def cache_key(self) -> tuple:
+        """The forward mapping is fully determined by the centre coordinates."""
+        return ("eqc", self._center.lat, self._center.lon)
 
     def forward(self, point: GeoPoint) -> Point2D:
         """Project ``point``; the centre maps to ``(0, 0)``."""

@@ -147,11 +147,13 @@ class MeasurementDataset:
     whois: WhoisRegistry = field(default_factory=WhoisRegistry)
 
     # Lazily-built full-cohort matrices shared by the batch localization
-    # engine (see repro.core.batch).  A dataset is treated as immutable once
-    # measurement collection finishes, so the caches are never invalidated.
-    # The canonical storage is index-mapped NumPy matrices (contiguous rows
-    # for the estimators); PairMatrixView keeps the historical dict
-    # interface working on top of them.
+    # engine (see repro.core.batch).  The dataset is immutable between
+    # :meth:`ingest` calls; ingest extends the matrices incrementally (only
+    # rows of touched hosts are recomputed) and bumps :attr:`version` so
+    # derived caches can invalidate selectively.  The canonical storage is
+    # index-mapped NumPy matrices (contiguous rows for the estimators);
+    # PairMatrixView keeps the historical dict interface working on top of
+    # them.
     _rtt_view: "PairMatrixView | None" = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -167,6 +169,20 @@ class MeasurementDataset:
     _rtt_degree: dict[str, int] | None = field(
         default=None, init=False, repr=False, compare=False
     )
+
+    # Measurement-ingest state: a monotonically increasing version, a bounded
+    # log of which hosts each ingest touched (for selective cache
+    # invalidation downstream), snapshot bookkeeping for copy-on-write.
+    _version: int = field(default=0, init=False, repr=False, compare=False)
+    _frozen: bool = field(default=False, init=False, repr=False, compare=False)
+    _cow_pending: bool = field(default=False, init=False, repr=False, compare=False)
+    _touched_log: list[tuple[int, frozenset[str]]] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
+
+    #: How many ingest generations :meth:`touched_since` can answer about
+    #: before reporting "unknown" (callers then invalidate everything).
+    TOUCHED_LOG_LIMIT = 64
 
     # ------------------------------------------------------------------ #
     # Node accessors
@@ -332,6 +348,219 @@ class MeasurementDataset:
             if not np.isnan(value):
                 return float(value)
         return self.true_location(a).distance_km(self.true_location(b))
+
+    # ------------------------------------------------------------------ #
+    # Versioning, snapshots and incremental measurement ingest
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Monotonic measurement version; bumped by every :meth:`ingest`."""
+        return self._version
+
+    @property
+    def is_snapshot(self) -> bool:
+        """True for immutable snapshots returned by :meth:`snapshot`."""
+        return self._frozen
+
+    def touched_since(self, version: int) -> frozenset[str] | None:
+        """Host ids touched by ingests after ``version``.
+
+        Returns an empty set when nothing changed, or ``None`` when the
+        bounded mutation log no longer covers ``version`` (the caller must
+        then treat every derived cache entry as stale).  Touched hosts cover
+        everything an ingest can affect: new/updated host records, both
+        endpoints of new pings and traceroutes, and the observing host of
+        new router latency samples.
+        """
+        if version >= self._version:
+            return frozenset()
+        if not self._touched_log or self._touched_log[0][0] > version + 1:
+            return None
+        touched: set[str] = set()
+        for entry_version, hosts in self._touched_log:
+            if entry_version > version:
+                touched |= hosts
+        return frozenset(touched)
+
+    def snapshot(self) -> "MeasurementDataset":
+        """An immutable copy-on-write snapshot of the current measurements.
+
+        The snapshot shares every measurement container and every built
+        matrix cache with the live dataset -- O(1), no data copied.  The
+        *next* :meth:`ingest` on the live dataset replaces (rather than
+        mutates) the shared containers, so the snapshot keeps observing
+        exactly the data that existed when it was taken.  Snapshots refuse
+        :meth:`ingest` themselves.
+        """
+        snap = MeasurementDataset(
+            hosts=self.hosts,
+            routers=self.routers,
+            pings=self.pings,
+            traceroutes=self.traceroutes,
+            router_pings=self.router_pings,
+            whois=self.whois,
+        )
+        snap._rtt_view = self._rtt_view
+        snap._rtt_index = self._rtt_index
+        snap._distance_view = self._distance_view
+        snap._distance_index = self._distance_index
+        snap._rtt_degree = self._rtt_degree
+        snap._version = self._version
+        snap._frozen = True
+        self._cow_pending = True
+        return snap
+
+    def ingest(
+        self,
+        hosts: Iterable[NodeRecord] = (),
+        pings: Iterable[PingResult] = (),
+        traceroutes: Iterable[TracerouteResult] = (),
+        routers: Iterable[NodeRecord] = (),
+        router_pings: Mapping[tuple[str, str], float] | None = None,
+    ) -> frozenset[str]:
+        """Append new measurements and extend the cohort matrices in place.
+
+        This is the write path of the online service: a continuous stream of
+        new targets and refreshed measurements is absorbed without rebuilding
+        the full-cohort state.  Already-built pairwise matrices are extended
+        incrementally -- untouched entries are carried over by a block copy
+        and only the rows of touched hosts re-read the measurement store --
+        so an ingest costs O(touched x hosts) measurement reads instead of
+        O(hosts^2).  Router latency samples merge by minimum, matching
+        :func:`collect_dataset`.
+
+        Returns the set of touched host ids (also recorded in the bounded
+        mutation log that backs :meth:`touched_since`).  Raises
+        :class:`RuntimeError` on snapshots.
+        """
+        if self._frozen:
+            raise RuntimeError(
+                "cannot ingest into a snapshot; ingest on the live dataset"
+            )
+        if self._cow_pending:
+            # A snapshot shares the current containers: replace them with
+            # shallow copies so the snapshot keeps its view (copy-on-write).
+            self.hosts = dict(self.hosts)
+            self.routers = dict(self.routers)
+            self.pings = dict(self.pings)
+            self.traceroutes = dict(self.traceroutes)
+            self.router_pings = dict(self.router_pings)
+            self._cow_pending = False
+
+        touched: set[str] = set()
+        location_touched: set[str] = set()
+        router_replaced = False
+        for record in hosts:
+            existing = self.hosts.get(record.node_id)
+            if existing is None or existing.location != record.location:
+                location_touched.add(record.node_id)
+            self.hosts[record.node_id] = record
+            touched.add(record.node_id)
+        for record in routers:
+            existing = self.routers.get(record.node_id)
+            if existing is not None and existing != record:
+                # Router metadata (the DNS name feeding position hints) has
+                # no per-host scope, so a changed record cannot be expressed
+                # as a touched-host set; force full downstream invalidation.
+                router_replaced = True
+            self.routers[record.node_id] = record
+        for ping in pings:
+            self.pings[(ping.src, ping.dst)] = ping
+            touched.add(ping.src)
+            touched.add(ping.dst)
+        for trace in traceroutes:
+            self.traceroutes[(trace.src, trace.dst)] = trace
+            touched.add(trace.src)
+            touched.add(trace.dst)
+        for (host_id, router_id), rtt in (router_pings or {}).items():
+            current = self.router_pings.get((host_id, router_id))
+            if current is None or rtt < current:
+                self.router_pings[(host_id, router_id)] = rtt
+            touched.add(host_id)
+
+        frozen_touched = frozenset(touched)
+        self._extend_matrices(frozen_touched, frozenset(location_touched))
+        self._version += 1
+        if router_replaced:
+            # An empty log not covering the new version makes touched_since
+            # report "unknown" for every earlier version, which is the
+            # conservative full invalidation this mutation requires.
+            self._touched_log.clear()
+        else:
+            self._touched_log.append((self._version, frozen_touched))
+            del self._touched_log[: -self.TOUCHED_LOG_LIMIT]
+        return frozen_touched
+
+    def _extend_matrices(
+        self, touched: frozenset[str], location_touched: frozenset[str]
+    ) -> None:
+        """Extend the built pairwise matrices after an ingest.
+
+        New matrices are allocated (snapshots may still hold the old ones);
+        values between two untouched hosts are block-copied, and only
+        touched hosts' rows are recomputed from the measurement store --
+        yielding entries bit-identical to a from-scratch rebuild, since both
+        read the same :meth:`min_rtt_ms` / haversine values.  The distance
+        matrix depends only on host locations, so the common ping-only
+        ingest (``location_touched`` empty) leaves it untouched entirely.
+        """
+        if self._rtt_view is not None:
+            ids = self.host_ids
+            index = {h: i for i, h in enumerate(ids)}
+            matrix = np.full((len(ids), len(ids)), np.nan)
+            old_index = self._rtt_index or {}
+            carried = [h for h in ids if h in old_index]
+            if carried:
+                new_pos = [index[h] for h in carried]
+                old_pos = [old_index[h] for h in carried]
+                matrix[np.ix_(new_pos, new_pos)] = self._rtt_view.matrix[
+                    np.ix_(old_pos, old_pos)
+                ]
+            for host in sorted(touched):
+                i = index.get(host)
+                if i is None:
+                    continue
+                for j, other in enumerate(ids):
+                    if other == host:
+                        matrix[i, j] = np.nan
+                        continue
+                    rtt = self.min_rtt_ms(host, other)
+                    matrix[i, j] = matrix[j, i] = np.nan if rtt is None else rtt
+            self._rtt_index = index
+            self._rtt_view = PairMatrixView(ids, index, matrix)
+            self._rtt_degree = None
+
+        if self._distance_view is not None and location_touched:
+            located = [
+                (h, record.location)
+                for h, record in sorted(self.hosts.items())
+                if record.location is not None
+            ]
+            ids = [h for h, _ in located]
+            index = {h: i for i, h in enumerate(ids)}
+            matrix = np.full((len(ids), len(ids)), np.nan)
+            old_index = self._distance_index or {}
+            carried = [h for h in ids if h in old_index]
+            if carried:
+                new_pos = [index[h] for h in carried]
+                old_pos = [old_index[h] for h in carried]
+                matrix[np.ix_(new_pos, new_pos)] = self._distance_view.matrix[
+                    np.ix_(old_pos, old_pos)
+                ]
+            locations = dict(located)
+            for host in sorted(location_touched):
+                i = index.get(host)
+                if i is None:
+                    continue
+                loc = locations[host]
+                for j, other in enumerate(ids):
+                    if other == host:
+                        matrix[i, j] = np.nan
+                        continue
+                    d = loc.distance_km(locations[other])
+                    matrix[i, j] = matrix[j, i] = d
+            self._distance_index = index
+            self._distance_view = PairMatrixView(ids, index, matrix)
 
     # ------------------------------------------------------------------ #
     # Views for leave-one-out evaluation

@@ -1,0 +1,18 @@
+"""Online localization serving: the interactive front-end the paper implies.
+
+Octant's evaluation is an offline leave-one-out study, but the system it
+describes is interactive: measurements stream in, users ask "where is this
+host?" and expect an answer now.  This package provides that front-end as an
+asyncio service over the batch engine:
+
+* :class:`LocalizationService` -- a bounded-queue asyncio service that
+  bridges requests onto :class:`~repro.core.batch.BatchLocalizer` worker
+  threads, serves every request against the dataset snapshot current at
+  enqueue time, absorbs new measurements through
+  :meth:`LocalizationService.ingest`, and reports warm/cold latency plus
+  geometry/prepared cache statistics.
+"""
+
+from .service import LocalizationService, ServiceStats
+
+__all__ = ["LocalizationService", "ServiceStats"]

@@ -1,0 +1,454 @@
+"""Asyncio localization service over the staged constraint pipeline.
+
+The service turns the repo's offline machinery into an online system with
+three properties the offline path never needed:
+
+* **Bounded admission.**  Requests enter a bounded :class:`asyncio.Queue`;
+  when the queue is full, ``await localize(...)`` exerts backpressure
+  instead of growing memory without limit.
+* **Snapshot-per-request semantics.**  Every request is served against the
+  :meth:`~repro.network.dataset.MeasurementDataset.snapshot` that was
+  current when the request was *enqueued*.  A measurement ingest mid-flight
+  never changes the answer of an already-accepted request, and an old
+  snapshot keeps answering consistently until its last request drains.
+* **Warm-path reuse.**  All snapshots share one
+  :class:`~repro.geometry.circles.CircleCache`: planar constraint geometry
+  is keyed ``(projection, circle)``, which is content-addressed and
+  therefore survives ingests.  Each snapshot's
+  :class:`~repro.core.batch.BatchLocalizer` additionally memoizes derived
+  per-target :class:`~repro.core.octant.PreparedLandmarks`, so a repeated
+  target skips the derivation entirely.  Warm and cold request latencies
+  are tracked separately (``stats()``), which is the number
+  ``benchmarks/bench_serving.py`` gates on.
+
+The localization work itself is CPU-bound pure Python, so the executor
+threads provide *concurrency* (the event loop stays responsive, requests
+overlap with ingests) rather than parallel speedup; scale-out across
+processes is the batch engine's process pool or sharding, not this service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import traceback as traceback_module
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..core.batch import BatchLocalizer, failed_estimate
+from ..core.config import OctantConfig
+from ..core.estimate import LocationEstimate
+from ..core.octant import Octant
+from ..core.pipeline import PipelineStats
+from ..geometry import CircleCache
+from ..network.dataset import MeasurementDataset
+from ..network.dns import UndnsParser
+from ..network.probes import PingResult, TracerouteResult
+
+__all__ = ["LocalizationService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Counters the service accumulates over its lifetime."""
+
+    served: int = 0
+    failed: int = 0
+    ingests: int = 0
+    queue_high_water: int = 0
+    cold_requests: int = 0
+    warm_requests: int = 0
+    cold_seconds: float = 0.0
+    warm_seconds: float = 0.0
+    #: Prepared-landmark cache counters folded in from retired snapshot
+    #: localizers (the current localizer's live counters are added on read).
+    prepared_hits: int = 0
+    prepared_misses: int = 0
+
+    def mean_cold_ms(self) -> float:
+        """Mean latency of first-time (cold) requests, in milliseconds."""
+        return self.cold_seconds / self.cold_requests * 1000 if self.cold_requests else 0.0
+
+    def mean_warm_ms(self) -> float:
+        """Mean latency of repeated-target (warm) requests, in milliseconds."""
+        return self.warm_seconds / self.warm_requests * 1000 if self.warm_requests else 0.0
+
+
+@dataclass
+class _Request:
+    """One queued localization request, pinned to its enqueue-time snapshot."""
+
+    target_id: str
+    landmark_pool: tuple[str, ...] | None
+    localizer: BatchLocalizer
+    future: asyncio.Future
+    snapshot_version: int = 0
+    cold: bool = False
+    elapsed: float = field(default=0.0, compare=False)
+
+
+class LocalizationService:
+    """Serve ``localize(target)`` requests over a live measurement dataset.
+
+    Usage::
+
+        service = LocalizationService(dataset)
+        async with service:
+            estimate = await service.localize("host-sea")
+            await service.ingest(hosts=[record], pings=new_pings)
+            estimate2 = await service.localize("host-new")
+        print(service.cache_stats())
+
+    ``workers`` sizes both the executor thread pool and the number of queue
+    consumers; ``max_queue`` bounds admission; ``prepared_cache_size`` is
+    forwarded to each snapshot's :class:`BatchLocalizer` (the warm path).
+    """
+
+    def __init__(
+        self,
+        dataset: MeasurementDataset,
+        config: OctantConfig | None = None,
+        parser: UndnsParser | None = None,
+        *,
+        workers: int = 2,
+        max_queue: int = 256,
+        prepared_cache_size: int = 128,
+    ):
+        if dataset.is_snapshot:
+            raise ValueError("serve the live dataset, not a snapshot")
+        self._live = dataset
+        self.config = config or OctantConfig()
+        self.parser = parser
+        self.workers = max(1, workers)
+        self.max_queue = max_queue
+        self.prepared_cache_size = prepared_cache_size
+        #: One geometry cache for the service's whole lifetime: entries are
+        #: content-addressed, so they stay valid across snapshots/ingests.
+        self.circle_cache = CircleCache(capacity=self.config.solver.circle_cache_size)
+        self.stats = ServiceStats()
+        self._queue: asyncio.Queue[_Request] | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._workers: list[asyncio.Task] = []
+        self._closing = False
+        self._pending_puts = 0
+        self._current: BatchLocalizer | None = None
+        self._ingest_lock = threading.Lock()
+        # Warm/cold classification: targets seen at the current dataset
+        # version.  Reset when the version moves (every target is cold
+        # against a fresh snapshot), which also bounds the set by the host
+        # population instead of growing per ingest forever.
+        self._seen: set[str] = set()
+        self._seen_version = -1
+        # Stage timings of retired snapshot pipelines, folded on swap so
+        # cache_stats() reports the service lifetime, not just the current
+        # snapshot.
+        self._pipeline_totals = PipelineStats()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def started(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._queue is not None
+
+    async def start(self) -> None:
+        """Snapshot the dataset, warm the shared state and accept requests."""
+        if self.started:
+            raise RuntimeError("service already started")
+        loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="octant-serve"
+        )
+        fresh = await loop.run_in_executor(self._executor, self._build_localizer)
+        self._swap_localizer(fresh)
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._workers = [
+            loop.create_task(self._worker_loop()) for _ in range(self.workers)
+        ]
+
+    async def stop(self) -> None:
+        """Drain queued requests, then shut the workers and executor down."""
+        if not self.started:
+            return
+        self._closing = True  # reject new admissions while draining
+        try:
+            await self._queue.join()
+            for task in self._workers:
+                task.cancel()
+            await asyncio.gather(*self._workers, return_exceptions=True)
+            self._workers = []
+            # Callers blocked in queue.put can still slip requests in after
+            # the join (their items were never counted by it) -- and each
+            # get below may wake another blocked putter.  Keep draining,
+            # yielding to let woken putters land, until every admitted put
+            # has resolved; no caller is left awaiting a stranded future.
+            while self._pending_puts or not self._queue.empty():
+                try:
+                    stray = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    await asyncio.sleep(0)
+                    continue
+                if not stray.future.done():
+                    stray.future.set_result(
+                        failed_estimate(
+                            stray.target_id,
+                            "octant",
+                            RuntimeError("service stopped"),
+                        )
+                    )
+                self._queue.task_done()
+            self._queue = None
+            executor, self._executor = self._executor, None
+            # shutdown(wait=True) blocks on in-flight executor work (an
+            # ingest rebuild can take a while); do that waiting off-loop.
+            await asyncio.get_running_loop().run_in_executor(
+                None, executor.shutdown
+            )
+        finally:
+            self._closing = False
+
+    async def __aenter__(self) -> "LocalizationService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+    async def localize(
+        self,
+        target_id: str,
+        landmark_pool: Sequence[str] | None = None,
+        timeout: float | None = None,
+    ) -> LocationEstimate:
+        """Queue one localization and await its estimate.
+
+        The request is bound to the current dataset snapshot at enqueue
+        time; a concurrent :meth:`ingest` does not affect it.  A full queue
+        blocks admission (backpressure); ``timeout`` bounds the wait for
+        the *result* and raises :class:`asyncio.TimeoutError`.  Failures are
+        returned as failed estimates (``point=None``, reason/type/traceback
+        under ``details``), never raised.
+        """
+        if not self.started or self._closing:
+            raise RuntimeError("service not started; use 'async with service:'")
+        localizer = self._current
+        version = localizer.dataset.version
+        request = _Request(
+            target_id=target_id,
+            landmark_pool=tuple(landmark_pool) if landmark_pool is not None else None,
+            localizer=localizer,
+            future=asyncio.get_running_loop().create_future(),
+            snapshot_version=version,
+        )
+        if version != self._seen_version:
+            self._seen = set()
+            self._seen_version = version
+        # A target counts as warm only once an earlier request for it
+        # *completed successfully* (see _record); concurrent first-time
+        # requests all pay the cold cost and are reported as such.
+        request.cold = target_id not in self._seen
+        # Tracked so stop() can tell when every admitted-but-blocked put has
+        # landed and the queue can safely be torn down.
+        self._pending_puts += 1
+        try:
+            await self._queue.put(request)
+        finally:
+            self._pending_puts -= 1
+        self.stats.queue_high_water = max(
+            self.stats.queue_high_water, self._queue.qsize()
+        )
+        if timeout is not None:
+            return await asyncio.wait_for(request.future, timeout)
+        return await request.future
+
+    async def localize_many(
+        self, target_ids: Iterable[str]
+    ) -> dict[str, LocationEstimate]:
+        """Localize several targets concurrently against one snapshot."""
+        targets = list(target_ids)
+        estimates = await asyncio.gather(*(self.localize(t) for t in targets))
+        return dict(zip(targets, estimates))
+
+    async def _worker_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            request = await self._queue.get()
+            try:
+                try:
+                    estimate = await loop.run_in_executor(
+                        self._executor, self._localize_sync, request
+                    )
+                except asyncio.CancelledError:
+                    if not request.future.done():
+                        request.future.cancel()
+                    raise
+                except Exception as exc:  # noqa: BLE001 - keep the worker alive
+                    # _localize_sync captures request errors itself; this
+                    # covers the bridge (executor shut down mid-stop, or an
+                    # escape the capture missed).  The worker must survive,
+                    # or queued requests would never resolve.
+                    estimate = failed_estimate(
+                        request.target_id,
+                        "octant",
+                        exc,
+                        traceback=traceback_module.format_exc(),
+                    )
+                self._record(request, estimate)
+                if not request.future.done():
+                    request.future.set_result(estimate)
+            finally:
+                self._queue.task_done()
+
+    def _localize_sync(self, request: _Request) -> LocationEstimate:
+        """Executor-side request execution with full failure capture.
+
+        Serving must answer every request, so unlike the batch path --
+        where an exception past preparation is an invariant violation worth
+        crashing a study for -- any error is recorded on the estimate with
+        its type and traceback.
+        """
+        started = time.perf_counter()
+        try:
+            if request.target_id not in request.localizer.dataset.hosts:
+                # Without this guard an unknown target would "resolve" from
+                # the geographic priors alone -- an answer with no
+                # measurement behind it.  Ingesting a target's measurements
+                # must include its NodeRecord (location may be None).
+                raise KeyError(
+                    f"unknown target {request.target_id!r}: "
+                    "not in the served snapshot"
+                )
+            estimate = request.localizer.localize_one(
+                request.target_id, request.landmark_pool
+            )
+        except KeyError as exc:
+            estimate = failed_estimate(request.target_id, "octant", exc)
+        except Exception as exc:  # noqa: BLE001 - boundary of the service
+            estimate = failed_estimate(
+                request.target_id,
+                "octant",
+                exc,
+                traceback=traceback_module.format_exc(),
+            )
+        request.elapsed = time.perf_counter() - started
+        return estimate
+
+    def _record(self, request: _Request, estimate: LocationEstimate) -> None:
+        stats = self.stats
+        stats.served += 1
+        if estimate.point is None:
+            stats.failed += 1
+        elif request.snapshot_version == self._seen_version:
+            # Mark warm only on successful completion, so retries after a
+            # failure and concurrent first-timers stay classified cold.
+            self._seen.add(request.target_id)
+        if request.cold:
+            stats.cold_requests += 1
+            stats.cold_seconds += request.elapsed
+        else:
+            stats.warm_requests += 1
+            stats.warm_seconds += request.elapsed
+
+    # ------------------------------------------------------------------ #
+    # Ingest path
+    # ------------------------------------------------------------------ #
+    async def ingest(
+        self,
+        hosts: Iterable = (),
+        pings: Iterable[PingResult] = (),
+        traceroutes: Iterable[TracerouteResult] = (),
+        routers: Iterable = (),
+        router_pings: Mapping[tuple[str, str], float] | None = None,
+    ) -> frozenset[str]:
+        """Absorb new measurements and swap in a fresh snapshot.
+
+        The live dataset is extended incrementally
+        (:meth:`MeasurementDataset.ingest`), then a new snapshot localizer
+        becomes current for subsequent requests; requests already queued
+        keep their enqueue-time snapshot.  Returns the touched host ids.
+        """
+        if not self.started:
+            raise RuntimeError("service not started; use 'async with service:'")
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor,
+            self._ingest_sync,
+            dict(
+                hosts=list(hosts),
+                pings=list(pings),
+                traceroutes=list(traceroutes),
+                routers=list(routers),
+                router_pings=dict(router_pings or {}),
+            ),
+        )
+
+    def _ingest_sync(self, payload: dict) -> frozenset[str]:
+        with self._ingest_lock:
+            touched = self._live.ingest(**payload)
+            # Build before swapping so concurrent localize() calls always
+            # observe a usable localizer (the old snapshot until the swap,
+            # which is exactly the enqueue-time-snapshot contract).
+            self._swap_localizer(self._build_localizer())
+            self.stats.ingests += 1
+        return touched
+
+    # ------------------------------------------------------------------ #
+    # Snapshot localizer plumbing
+    # ------------------------------------------------------------------ #
+    def _build_localizer(self) -> BatchLocalizer:
+        snapshot = self._live.snapshot()
+        octant = Octant(snapshot, self.config, self.parser, circle_cache=self.circle_cache)
+        localizer = BatchLocalizer(
+            octant, prepared_cache_size=self.prepared_cache_size
+        )
+        # Warm the full-cohort shared state before the first request hits it.
+        localizer.shared_state()
+        return localizer
+
+    def _swap_localizer(self, fresh: BatchLocalizer) -> None:
+        """Make ``fresh`` current, folding the retired one's cache counters."""
+        retired = self._current
+        if retired is not None:
+            self.stats.prepared_hits += retired.prepared_hits
+            self.stats.prepared_misses += retired.prepared_misses
+            self._pipeline_totals.merge(retired.octant.pipeline.stats)
+        self._current = fresh
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def cache_stats(self) -> dict[str, object]:
+        """Warm/cold serving statistics plus every cache's hit/miss counters."""
+        stats = self.stats
+        current = self._current
+        prepared_hits = stats.prepared_hits
+        prepared_misses = stats.prepared_misses
+        pipeline_totals = PipelineStats()
+        pipeline_totals.merge(self._pipeline_totals)
+        if current is not None:
+            prepared_hits += current.prepared_hits
+            prepared_misses += current.prepared_misses
+            pipeline_totals.merge(current.octant.pipeline.stats)
+        pipeline = pipeline_totals.snapshot()
+        return {
+            "dataset_version": self._live.version,
+            "served": stats.served,
+            "failed": stats.failed,
+            "ingests": stats.ingests,
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "queue_high_water": stats.queue_high_water,
+            "cold_requests": stats.cold_requests,
+            "warm_requests": stats.warm_requests,
+            "mean_cold_ms": round(stats.mean_cold_ms(), 3),
+            "mean_warm_ms": round(stats.mean_warm_ms(), 3),
+            "prepared_hits": prepared_hits,
+            "prepared_misses": prepared_misses,
+            "circle_cache": self.circle_cache.stats(),
+            "pipeline": pipeline,
+        }

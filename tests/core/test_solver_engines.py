@@ -364,6 +364,134 @@ class TestUniversePolygon:
         )
 
 
+# --------------------------------------------------------------------------- #
+# Planar geometry cache: cached repeated-target solves are bit-identical
+# --------------------------------------------------------------------------- #
+def random_distance_constraints(rng: random.Random):
+    """Constraint *descriptions* (not yet planarized), like a localization's."""
+    from repro.core import DistanceConstraint
+
+    constraints = []
+    for i in range(rng.randint(4, 10)):
+        bearing = rng.uniform(0.0, 360.0)
+        distance = rng.uniform(0.0, 1200.0)
+        centre = CENTER.destination(bearing, distance) if distance > 0 else CENTER
+        outer = rng.uniform(120.0, 1500.0)
+        inner = rng.choice([0.0, rng.uniform(0.05, 0.9) * outer])
+        constraints.append(
+            DistanceConstraint(
+                landmark_id=f"lm{i}",
+                landmark_location=centre,
+                max_km=outer,
+                min_km=inner,
+                weight=rng.choice([1.0, rng.uniform(0.02, 5.0)]),
+                circle_segments=rng.choice([16, 32]),
+            )
+        )
+    return constraints
+
+
+class TestPlanarCacheEquivalence:
+    """A planar-cache hit must reproduce the uncached localization bitwise.
+
+    This is the serving warm path: the same target requested twice realizes
+    the same circles under the same projection, and the second request reads
+    every constraint polygon out of the (projection, circle) cache.
+    """
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_cache_hits_are_bit_identical(self, seed):
+        import dataclasses
+
+        from repro.geometry import CircleCache
+
+        rng = random.Random(4000 + seed)
+        constraints = random_distance_constraints(rng)
+        cache = CircleCache()
+
+        def planarize(with_cache):
+            realized = []
+            for c in constraints:
+                bound = dataclasses.replace(
+                    c, geometry_cache=cache if with_cache else None
+                )
+                p = bound.to_planar(PROJ)
+                if p is not None:
+                    realized.append(p)
+            return realized
+
+        uncached = planarize(False)
+        cold = planarize(True)
+        assert cache.planar_hits == 0 and cache.planar_misses > 0
+        warm = planarize(True)
+        assert cache.planar_hits > 0
+
+        # Identical planar geometry on every realization path.
+        for base, c, w in zip(uncached, cold, warm):
+            for attr in ("inclusion", "exclusion"):
+                pb, pc, pw = (getattr(x, attr) for x in (base, c, w))
+                if pb is None:
+                    assert pc is None and pw is None
+                else:
+                    assert pb.coords == pc.coords == pw.coords
+
+        # ... and identical solver output (both engines) from the warm pass.
+        for engine in ("vector", "object"):
+            solver_u = WeightedRegionSolver(SolverConfig(engine=engine))
+            solver_w = WeightedRegionSolver(SolverConfig(engine=engine))
+            region_u = solver_u.solve(uncached, PROJ)
+            region_w = solver_w.solve(warm, PROJ)
+            assert region_u.area_km2() == region_w.area_km2()
+            assert len(region_u.pieces) == len(region_w.pieces)
+            for piece_u, piece_w in zip(region_u.pieces, region_w.pieces):
+                assert piece_u.weight == piece_w.weight
+                assert piece_u.polygon.coords == piece_w.polygon.coords
+
+    def test_ring_cache_matches_uncached(self):
+        from repro.core import GeoRegionConstraint, Polarity
+        from repro.geometry import CircleCache
+
+        ring = tuple(
+            CENTER.destination(b, 2000.0) for b in (0.0, 60.0, 140.0, 200.0, 300.0)
+        )
+        plain = GeoRegionConstraint(ring=ring, polarity=Polarity.NEGATIVE)
+        cached = GeoRegionConstraint(
+            ring=ring, polarity=Polarity.NEGATIVE, geometry_cache=CircleCache()
+        )
+        base = plain.to_planar(PROJ).exclusion
+        first = cached.to_planar(PROJ).exclusion
+        second = cached.to_planar(PROJ).exclusion
+        assert base.coords == first.coords == second.coords
+        assert cached.geometry_cache.planar_hits == 1
+
+    def test_lru_cap_bounds_entries(self):
+        from repro.geometry import CircleCache, disk_polygon
+
+        cache = CircleCache(capacity=8)
+        for i in range(30):
+            disk_polygon(
+                CENTER.destination(float(i), 100.0 + i), 150.0, PROJ, 16, cache=cache
+            )
+        assert len(cache) <= 8
+        assert cache.planar_entries <= 8
+
+    def test_lru_keeps_recently_used(self):
+        from repro.geometry import CircleCache, disk_polygon
+
+        cache = CircleCache(capacity=4)
+        hot_center = CENTER
+        disk_polygon(hot_center, 100.0, PROJ, 16, cache=cache)
+        for i in range(10):
+            # Touch the hot entry between evicting strangers.
+            disk_polygon(hot_center, 100.0, PROJ, 16, cache=cache)
+            disk_polygon(
+                CENTER.destination(float(i * 17 + 1), 500.0), 90.0 + i, PROJ, 16, cache=cache
+            )
+        before = cache.planar_hits
+        disk_polygon(hot_center, 100.0, PROJ, 16, cache=cache)
+        assert cache.planar_hits == before + 1  # survived every eviction round
+
+
 class TestChainRunnerOrientation:
     def test_cw_part_short_circuit_matches_scalar(self):
         """A CW-stored part must come back CCW-rebuilt, like clip_halfplane.

@@ -1,0 +1,225 @@
+"""The asyncio localization service: correctness, snapshots, caches, errors.
+
+Serving must be an *online view* of the exact offline machinery: every
+estimate equals what a direct :class:`BatchLocalizer` over the same data
+produces, snapshots isolate in-flight requests from ingests, and the warm
+path is pure cache reuse (bit-identical answers, observable hit counters).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import BatchLocalizer, LocalizationService, Octant, collect_dataset
+from repro.network.planetlab import small_deployment
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return small_deployment(host_count=9, seed=11)
+
+
+@pytest.fixture(scope="module")
+def full_dataset(deployment):
+    return collect_dataset(deployment)
+
+
+@pytest.fixture()
+def live_dataset(deployment):
+    """A fresh 8-host live dataset (the ninth host arrives via ingest)."""
+    return collect_dataset(deployment, host_ids=sorted(deployment.host_ids)[:8])
+
+
+def ninth_host_payload(deployment, full_dataset):
+    ids = sorted(deployment.host_ids)
+    new_id, kept = ids[8], set(ids[:8])
+    pings = [
+        p
+        for (s, d), p in sorted(full_dataset.pings.items())
+        if new_id in (s, d) and (s in kept or d in kept)
+    ]
+    return full_dataset.hosts[new_id], pings
+
+
+def signature(estimate):
+    return (
+        None if estimate.point is None else (estimate.point.lat, estimate.point.lon),
+        estimate.constraints_used,
+        estimate.constraints_dropped,
+        None if estimate.region is None else estimate.region.area_km2(),
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestServiceAnswers:
+    def test_matches_direct_batch_localizer(self, live_dataset):
+        targets = live_dataset.host_ids[:3]
+        reference = BatchLocalizer(Octant(live_dataset.snapshot()))
+
+        async def main():
+            async with LocalizationService(live_dataset, workers=2) as service:
+                return await service.localize_many(targets)
+
+        served = run(main())
+        for target in targets:
+            assert signature(served[target]) == signature(
+                reference.localize_one(target)
+            )
+
+    def test_repeated_target_is_bit_identical_and_warm(self, live_dataset):
+        target = live_dataset.host_ids[0]
+
+        async def main():
+            async with LocalizationService(live_dataset, workers=1) as service:
+                cold = await service.localize(target)
+                warm = await service.localize(target)
+                return cold, warm, service.cache_stats()
+
+        cold, warm, stats = run(main())
+        assert signature(cold) == signature(warm)
+        assert stats["cold_requests"] == 1
+        assert stats["warm_requests"] == 1
+        assert stats["prepared_hits"] == 1
+        assert stats["pipeline"]["planar_memo_hits"] == 1
+
+    def test_unknown_target_returns_failed_estimate(self, live_dataset):
+        async def main():
+            async with LocalizationService(live_dataset) as service:
+                return await service.localize("host-does-not-exist")
+
+        estimate = run(main())
+        assert estimate.point is None
+        assert "error" in estimate.details
+        assert estimate.details["error_type"] == "KeyError"
+
+    def test_not_started_raises(self, live_dataset):
+        service = LocalizationService(live_dataset)
+        with pytest.raises(RuntimeError):
+            run(service.localize("host-x"))
+
+    def test_rejects_snapshot_dataset(self, live_dataset):
+        with pytest.raises(ValueError):
+            LocalizationService(live_dataset.snapshot())
+
+
+class TestServiceIngest:
+    def test_ingested_host_becomes_servable(
+        self, deployment, full_dataset, live_dataset
+    ):
+        record, pings = ninth_host_payload(deployment, full_dataset)
+
+        async def main():
+            async with LocalizationService(live_dataset, workers=2) as service:
+                missing = await service.localize(record.node_id)
+                touched = await service.ingest(hosts=[record], pings=pings)
+                found = await service.localize(record.node_id)
+                return missing, touched, found, service.cache_stats()
+
+        missing, touched, found, stats = run(main())
+        assert missing.point is None  # not in the pre-ingest snapshot
+        assert record.node_id in touched
+        assert found.point is not None
+        assert stats["ingests"] == 1
+        assert stats["dataset_version"] == 1
+
+    def test_requests_before_ingest_see_old_snapshot(
+        self, deployment, full_dataset, live_dataset
+    ):
+        """Answers must come from the snapshot current at enqueue time."""
+        record, pings = ninth_host_payload(deployment, full_dataset)
+        target = live_dataset.host_ids[0]
+        reference = BatchLocalizer(Octant(live_dataset.snapshot()))
+        want_old = signature(reference.localize_one(target))
+
+        async def main():
+            async with LocalizationService(live_dataset, workers=1) as service:
+                # Enqueue first, ingest immediately after: the request holds
+                # its enqueue-time localizer even if it runs post-ingest.
+                pending = asyncio.ensure_future(service.localize(target))
+                await service.ingest(hosts=[record], pings=pings)
+                old_answer = await pending
+                new_answer = await service.localize(target)
+                return old_answer, new_answer
+
+        old_answer, new_answer = run(main())
+        assert signature(old_answer) == want_old
+        # Post-ingest the landmark pool grew, so the answer may differ; it
+        # must at least still resolve.
+        assert new_answer.point is not None
+
+    def test_circle_cache_survives_ingest(
+        self, deployment, full_dataset, live_dataset
+    ):
+        record, pings = ninth_host_payload(deployment, full_dataset)
+        target = live_dataset.host_ids[0]
+
+        async def main():
+            async with LocalizationService(live_dataset, workers=1) as service:
+                await service.localize(target)
+                before = service.cache_stats()["circle_cache"]["planar_entries"]
+                await service.ingest(hosts=[record], pings=pings)
+                await service.localize(target)
+                after = service.cache_stats()["circle_cache"]
+                return before, after
+
+        before, after = run(main())
+        assert before > 0
+        # Entries were carried across the ingest and produced hits.
+        assert after["planar_entries"] >= before
+        assert after["planar_hits"] > 0
+
+
+class TestServiceConcurrency:
+    def test_many_concurrent_requests(self, live_dataset):
+        targets = live_dataset.host_ids
+
+        async def main():
+            async with LocalizationService(
+                live_dataset, workers=3, max_queue=4
+            ) as service:
+                first = await service.localize_many(targets)
+                second = await service.localize_many(targets)
+                return first, second, service.cache_stats()
+
+        first, second, stats = run(main())
+        assert len(second) == len(targets)
+        assert all(e.point is not None for e in second.values())
+        assert stats["served"] == len(targets) * 2
+        # A burst of unseen targets is all cold; only the completed first
+        # pass makes the second one warm.
+        assert stats["cold_requests"] == len(targets)
+        assert stats["warm_requests"] == len(targets)
+
+    def test_stop_resolves_blocked_putters(self, live_dataset):
+        """Requests stuck in queue admission must resolve during stop()."""
+        targets = live_dataset.host_ids
+
+        async def main():
+            service = LocalizationService(live_dataset, workers=1, max_queue=1)
+            await service.start()
+            pending = [
+                asyncio.ensure_future(service.localize(t)) for t in targets[:5]
+            ]
+            await asyncio.sleep(0)  # let them hit the queue / block in put
+            await service.stop()
+            return await asyncio.gather(*pending)
+
+        estimates = run(main())
+        assert len(estimates) == 5
+        for estimate in estimates:
+            # Either served before the drain or resolved as "service
+            # stopped" -- never a stranded future (gather would hang).
+            assert estimate.point is not None or "error" in estimate.details
+
+    def test_timeout_raises(self, live_dataset):
+        async def main():
+            async with LocalizationService(live_dataset, workers=1) as service:
+                await service.localize(live_dataset.host_ids[0], timeout=1e-9)
+
+        with pytest.raises(asyncio.TimeoutError):
+            run(main())
