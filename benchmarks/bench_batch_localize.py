@@ -24,6 +24,17 @@ import pytest
 from repro import BatchLocalizer, Octant, OctantConfig
 from repro.core.config import SolverConfig
 
+#: Bump when the shape of BENCH_batch.json changes.
+SCHEMA_VERSION = 1
+
+
+def _merge_json(section: str, payload: dict) -> None:
+    from conftest import merge_bench_json
+
+    merge_bench_json(
+        "OCTANT_BATCH_BENCH_JSON", "BENCH_batch.json", SCHEMA_VERSION, section, payload
+    )
+
 
 def _estimate_signature(estimate):
     return (
@@ -36,7 +47,7 @@ def _estimate_signature(estimate):
 
 
 def _engine_signature(estimate):
-    """Every pinned metric the two solver engines must agree on."""
+    """Every pinned metric the solver engines must agree on."""
     region = estimate.region
     return (
         None if estimate.point is None else (estimate.point.lat, estimate.point.lon),
@@ -78,6 +89,13 @@ def test_batch_localize_throughput(dataset, target_ids):
     batch_parallel = batch_workers_engine.localize_all(target_ids)
     t_batch_parallel = time.perf_counter() - started
 
+    # -- batch path through the fused cohort engine ----------------------- #
+    fused_config = OctantConfig(solver=SolverConfig(engine="fused"))
+    batch_fused_engine = BatchLocalizer(Octant(dataset, fused_config))
+    started = time.perf_counter()
+    batch_fused = batch_fused_engine.localize_all(target_ids)
+    t_batch_fused = time.perf_counter() - started
+
     per_target = len(target_ids) or 1
     speedup_serial = t_sequential / t_batch_serial if t_batch_serial else float("inf")
     speedup_parallel = (
@@ -105,12 +123,38 @@ def test_batch_localize_throughput(dataset, target_ids):
         f"({t_batch_parallel / per_target * 1000:6.0f} ms/target)  "
         f"speedup {speedup_parallel:4.2f}x"
     )
+    speedup_fused = t_sequential / t_batch_fused if t_batch_fused else float("inf")
+    print(
+        f"  batch, fused cohort engine    : {t_batch_fused:7.2f}s "
+        f"({t_batch_fused / per_target * 1000:6.0f} ms/target)  "
+        f"speedup {speedup_fused:4.2f}x"
+    )
 
-    # The contract: identical estimates on every path.
+    # The contract: identical estimates on every path (the fused cohort
+    # engine included -- its chunked solve_many must be indistinguishable).
     for target in target_ids:
         want = _estimate_signature(sequential[target])
         assert _estimate_signature(batch_serial[target]) == want
         assert _estimate_signature(batch_parallel[target]) == want
+        assert _estimate_signature(batch_fused[target]) == want
+
+    _merge_json(
+        "batch_localize",
+        {
+            "hosts": len(dataset.hosts),
+            "targets": per_target,
+            "workers": str(workers),
+            "sequential_ms_per_target": round(t_sequential / per_target * 1000, 3),
+            "batch_serial_ms_per_target": round(t_batch_serial / per_target * 1000, 3),
+            "batch_parallel_ms_per_target": round(
+                t_batch_parallel / per_target * 1000, 3
+            ),
+            "batch_fused_ms_per_target": round(t_batch_fused / per_target * 1000, 3),
+            "speedup_serial": round(speedup_serial, 3),
+            "speedup_parallel": round(speedup_parallel, 3),
+            "speedup_fused": round(speedup_fused, 3),
+        },
+    )
 
     # Throughput guard: the batch engine must never be meaningfully slower
     # than the thrashing single-target loop (it shares the solver; the win
@@ -146,15 +190,15 @@ def test_solver_engine_speedup(dataset, target_ids):
 
     # -- end-to-end identity under both engines -------------------------- #
     results = {}
-    for engine in ("vector", "object"):
+    for engine in ("vector", "object", "fused"):
         config = OctantConfig(solver=SolverConfig(engine=engine))
         results[engine] = BatchLocalizer(Octant(dataset, config)).localize_all(
             target_ids
         )
     for target in target_ids:
-        assert _engine_signature(results["vector"][target]) == _engine_signature(
-            results["object"][target]
-        )
+        want = _engine_signature(results["object"][target])
+        assert _engine_signature(results["vector"][target]) == want
+        assert _engine_signature(results["fused"][target]) == want
 
     # -- solver-only timing on identical constraint systems -------------- #
     octant = Octant(dataset)
@@ -229,6 +273,17 @@ def test_solver_engine_speedup(dataset, target_ids):
     print(f"  object engine : {object_ms:7.1f} ms/target solver time")
     print(f"  vector engine : {vector_ms:7.1f} ms/target solver time")
     print(f"  speedup       : {speedup:5.2f}x")
+
+    _merge_json(
+        "solver_engines",
+        {
+            "hosts": len(dataset.hosts),
+            "targets": per_target,
+            "object_ms_per_target": round(object_ms, 3),
+            "vector_ms_per_target": round(vector_ms, 3),
+            "vector_speedup": round(speedup, 3),
+        },
+    )
 
     # Speedup guard, enforced only where the solve dominates noise.  The
     # tracked number at OCTANT_BENCH_HOSTS=30 is >=3x.

@@ -22,10 +22,8 @@ Results land in ``BENCH_serving.json`` (override with
 from __future__ import annotations
 
 import asyncio
-import json
 import os
 import time
-from pathlib import Path
 
 import pytest
 
@@ -182,15 +180,76 @@ def test_serving_ingest_throughput(dataset):
     _merge_json("ingest_throughput", payload)
 
 
+#: Bump when the shape of BENCH_serving.json changes.
+SCHEMA_VERSION = 2
+
+
 def _merge_json(section: str, payload: dict) -> None:
-    """Merge one section into BENCH_serving.json (tests may run in any order)."""
-    out_path = Path(os.environ.get("OCTANT_SERVING_BENCH_JSON", "BENCH_serving.json"))
-    data: dict = {}
-    if out_path.exists():
-        try:
-            data = json.loads(out_path.read_text())
-        except (ValueError, OSError):
-            data = {}
-    data[section] = payload
-    out_path.write_text(json.dumps(data, indent=2) + "\n")
-    print(f"  wrote: {out_path} [{section}]")
+    from conftest import merge_bench_json
+
+    merge_bench_json("OCTANT_SERVING_BENCH_JSON", "BENCH_serving.json", SCHEMA_VERSION, section, payload)
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_fused_micro_batch(dataset, target_ids):
+    """Coalesced fused dispatches under a request burst: identity + stats.
+
+    A one-worker service under a full-cohort burst coalesces queued
+    requests into fused dispatches (up to ``SolverConfig.fuse_width``); the
+    answers must match the vector-engine service bit-for-bit and the
+    fuse-width histogram shows the amortization an operator would see.
+    """
+    from repro import OctantConfig
+    from repro.core.config import SolverConfig
+
+    fused_config = OctantConfig(solver=SolverConfig(engine="fused"))
+
+    async def burst(config):
+        async with LocalizationService(dataset, config, workers=1) as service:
+            started = time.perf_counter()
+            results = await service.localize_many(target_ids)
+            elapsed = time.perf_counter() - started
+            return results, elapsed, service.cache_stats()
+
+    vector_results, t_vector, _ = asyncio.run(burst(None))
+    fused_results, t_fused, stats = asyncio.run(burst(fused_config))
+
+    per_target = len(target_ids) or 1
+    fused = stats["fused"]
+    print()
+    print("=" * 72)
+    print(
+        f"Serving fused micro-batch -- {len(dataset.hosts)} hosts, "
+        f"{per_target} targets, one worker"
+    )
+    print("=" * 72)
+    print(
+        f"  vector burst: {t_vector:6.2f}s   fused burst: {t_fused:6.2f}s "
+        f"({t_vector / t_fused if t_fused else float('inf'):4.2f}x)"
+    )
+    print(
+        f"  dispatch widths: {fused['width_histogram']}  "
+        f"pooled passes: {fused['passes']} ({fused['rows_per_pass']} rows/pass)"
+    )
+
+    for target in target_ids:
+        assert _signature(fused_results[target]) == _signature(
+            vector_results[target]
+        )
+    # The burst outpaces the single worker, so coalescing must engage.
+    if per_target >= 4:
+        assert any(width > 1 for width in fused["width_histogram"])
+
+    _merge_json(
+        "fused_micro_batch",
+        {
+            "hosts": len(dataset.hosts),
+            "targets": per_target,
+            "vector_burst_s": round(t_vector, 4),
+            "fused_burst_s": round(t_fused, 4),
+            "burst_speedup": round(t_vector / t_fused, 3) if t_fused else None,
+            "width_histogram": fused["width_histogram"],
+            "fused_batches": fused["batches"],
+            "pooled_passes": fused["passes"],
+            "rows_per_pass": fused["rows_per_pass"],
+        },
+    )

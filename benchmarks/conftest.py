@@ -78,3 +78,29 @@ def accuracy_study(dataset, target_ids):
             dataset, default_method_factories(), target_ids=target_ids
         )
     return _STUDY_CACHE[key]
+
+
+def merge_bench_json(
+    env_var: str, default_name: str, schema: int, section: str, payload: dict
+) -> None:
+    """Merge one section into a repo-root benchmark JSON file.
+
+    Shared by every benchmark module that persists results: tests may run
+    in any order (or alone), so each writes its own section into the file,
+    stamping the module's schema version.  Corrupt or missing files start
+    fresh.
+    """
+    import json
+    from pathlib import Path
+
+    out_path = Path(os.environ.get(env_var, default_name))
+    data: dict = {}
+    if out_path.exists():
+        try:
+            data = json.loads(out_path.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data["schema"] = schema
+    data[section] = payload
+    out_path.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"  wrote: {out_path} [{section}]")

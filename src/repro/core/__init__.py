@@ -39,7 +39,12 @@ from .piecewise import (
     RouterPosition,
     secondary_constraints_for_target,
 )
-from .solver import SolverDiagnostics, WeightedRegionSolver, strict_intersection
+from .solver import (
+    SolverDiagnostics,
+    WeightedRegionSolver,
+    solve_systems,
+    strict_intersection,
+)
 
 __all__ = [
     "OctantConfig",
@@ -74,6 +79,7 @@ __all__ = [
     "secondary_constraints_for_target",
     "SolverDiagnostics",
     "WeightedRegionSolver",
+    "solve_systems",
     "strict_intersection",
     "LocationEstimate",
     "Octant",

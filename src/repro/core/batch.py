@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -129,6 +130,13 @@ def _init_worker(localizer: "BatchLocalizer") -> None:
 def _worker_localize(target_id: str, landmark_pool: tuple[str, ...] | None) -> LocationEstimate:
     assert _WORKER_LOCALIZER is not None
     return _WORKER_LOCALIZER.localize_one(target_id, landmark_pool)
+
+
+def _worker_solve_chunk(
+    target_ids: tuple[str, ...], landmark_pool: tuple[str, ...] | None
+) -> dict[str, LocationEstimate]:
+    assert _WORKER_LOCALIZER is not None
+    return _WORKER_LOCALIZER.solve_many(target_ids, landmark_pool)
 
 
 class BatchLocalizer:
@@ -354,6 +362,56 @@ class BatchLocalizer:
             return failed_estimate(target_id, "octant", exc)
         return self.octant.localize(target_id, prepared=prepared)
 
+    def solve_many(
+        self,
+        target_ids: Sequence[str],
+        landmark_pool: Sequence[str] | None = None,
+    ) -> dict[str, LocationEstimate]:
+        """Localize a cohort of targets through one fused solve.
+
+        Every target is presolved individually (leave-one-out derivation,
+        constraint assembly, planarization -- failures captured per target
+        exactly like :meth:`localize_one`), then the whole cohort's
+        weighted-region systems run through
+        :meth:`ConstraintPipeline.solve_many` in a single kernel invocation.
+        Under ``engine="fused"`` that is one lockstep run whose batched clip
+        passes span every target; other engines fall back to per-system
+        solves -- either way the estimates are identical to calling
+        :meth:`localize_one` per target.
+        """
+        targets = list(target_ids)
+        pool = tuple(landmark_pool) if landmark_pool is not None else None
+        estimates: dict[str, LocationEstimate] = {}
+        presolved = []
+        seen: set[str] = set()
+        for target in targets:
+            # Duplicates (a serving burst for one hot target) presolve once.
+            if target in seen:
+                continue
+            seen.add(target)
+            try:
+                prepared = self.prepare_for_target(target, pool)
+            except (ValueError, KeyError) as exc:
+                # Only the preparation step is failure-captured, exactly
+                # like localize_one: an exception from presolve (assembly /
+                # planarization) is an internal invariant violation and
+                # must surface, not become a quiet failed estimate.
+                estimates[target] = failed_estimate(target, "octant", exc)
+                continue
+            presolved.append(self.octant.presolve(target, prepared=prepared))
+        if presolved:
+            solve_started = time.perf_counter()
+            solved = self.octant.pipeline.solve_many(
+                [(p.planar, p.projection) for p in presolved]
+            )
+            solve_share = (time.perf_counter() - solve_started) / len(presolved)
+            self.octant.pipeline.stats.runs += len(presolved)
+            for p, (region, diagnostics) in zip(presolved, solved):
+                estimates[p.target_id] = self.octant.postsolve(
+                    p, region, diagnostics, solve_share=solve_share
+                )
+        return {t: estimates[t] for t in targets}
+
     def localize_all(
         self,
         target_ids: Sequence[str] | None = None,
@@ -363,11 +421,42 @@ class BatchLocalizer:
 
         Fan-out across workers when configured; the merge is ordered by the
         input target list, so results are deterministic regardless of worker
-        scheduling.
+        scheduling.  Under ``engine="fused"`` the cohort is cut into chunks
+        of ``SolverConfig.fuse_width`` targets, each chunk solved in one
+        fused kernel run (:meth:`solve_many`); the chunks -- not individual
+        targets -- fan out across the executor.
         """
         targets = list(target_ids) if target_ids is not None else self.dataset.host_ids
         pool = tuple(landmark_pool) if landmark_pool is not None else None
         workers = self._resolve_workers(len(targets))
+        solver_config = self.config.solver
+        fused = (
+            solver_config.engine == "fused" and not solver_config.exact_complements
+        )
+        if fused:
+            width = max(1, solver_config.fuse_width)
+            chunks = [
+                tuple(targets[i : i + width]) for i in range(0, len(targets), width)
+            ]
+            if workers <= 1 or len(chunks) == 1:
+                merged: dict[str, LocationEstimate] = {}
+                for chunk in chunks:
+                    merged.update(self.solve_many(chunk, pool))
+                return {t: merged[t] for t in targets}
+            self.shared_state()
+            executor = self._make_executor(workers)
+            try:
+                futures = [
+                    executor.submit(self._dispatch_chunk, chunk, pool)
+                    for chunk in chunks
+                ]
+                merged = {}
+                for future in futures:
+                    merged.update(future.result())
+            finally:
+                executor.shutdown()
+            return {t: merged[t] for t in targets}
+
         if workers <= 1:
             return {t: self.localize_one(t, pool) for t in targets}
 
@@ -408,6 +497,7 @@ class BatchLocalizer:
                     "fork" if hasattr(os, "fork") else None
                 )
                 self._dispatch = _worker_localize_proxy
+                self._dispatch_chunk = _worker_solve_chunk_proxy
                 return ProcessPoolExecutor(
                     max_workers=workers,
                     mp_context=context,
@@ -417,17 +507,22 @@ class BatchLocalizer:
             except (ImportError, OSError, ValueError):
                 pass  # fall through to threads
         self._dispatch = self.localize_one
+        self._dispatch_chunk = self.solve_many
         return ThreadPoolExecutor(max_workers=workers)
 
     # Default dispatch (inline/threads); replaced per-executor in _make_executor.
     def _dispatch(self, target_id, landmark_pool):  # pragma: no cover - rebound
         return self.localize_one(target_id, landmark_pool)
 
+    def _dispatch_chunk(self, target_ids, landmark_pool):  # pragma: no cover - rebound
+        return self.solve_many(target_ids, landmark_pool)
+
     def __getstate__(self):
         state = self.__dict__.copy()
         # Bound-method/dispatch state is executor-local, never shipped, and
         # locks are not picklable (workers recreate their own).
         state.pop("_dispatch", None)
+        state.pop("_dispatch_chunk", None)
         state.pop("_shared_lock", None)
         state.pop("_prepared_lock", None)
         return state
@@ -440,6 +535,12 @@ class BatchLocalizer:
 
 def _worker_localize_proxy(target_id: str, landmark_pool: tuple[str, ...] | None):
     return _worker_localize(target_id, landmark_pool)
+
+
+def _worker_solve_chunk_proxy(
+    target_ids: tuple[str, ...], landmark_pool: tuple[str, ...] | None
+):
+    return _worker_solve_chunk(target_ids, landmark_pool)
 
 
 def localize_many(

@@ -48,11 +48,22 @@ class SolverConfig:
     #: default) applies constraints through the NumPy flat-buffer kernel
     #: (:mod:`repro.geometry.kernel`): batched Sutherland-Hodgman passes over
     #: the whole piece population with a fully-inside/fully-outside prefilter.
-    #: ``"object"`` is the legacy per-``Polygon`` path.  Both engines produce
+    #: ``"fused"`` adds a *target* axis on top of it: cohort workloads (batch
+    #: leave-one-out studies, micro-batched serving) advance every target's
+    #: constraint sequence in lockstep and pool the batched clip passes of
+    #: all targets into single NumPy calls, amortizing per-call dispatch
+    #: across the cohort (single solves run as a cohort of one).
+    #: ``"object"`` is the legacy per-``Polygon`` path.  All engines produce
     #: bit-identical estimates (pinned by ``tests/core/test_solver_engines``);
     #: ``exact_complements`` runs on the object path regardless, which is the
     #: only mode that needs general disjoint complements.
     engine: str = "vector"
+    #: Cohort width of the fused engine: the batch evaluation engine chunks
+    #: leave-one-out cohorts into fused solves of this many targets (chunks
+    #: fan out across executor workers), and the serving layer coalesces up
+    #: to this many queued requests into one fused solve per executor
+    #: dispatch.  Ignored by the other engines.
+    fuse_width: int = 16
     #: LRU capacity of the shared circle-geometry cache (applies to each of
     #: its layers: geodesic boundaries, and planar ``(projection, circle)``
     #: constraint polygons).  Bounds the memory an online service can pin in

@@ -37,7 +37,7 @@ from .heights import HeightModel, estimate_landmark_heights, estimate_target_hei
 from .piecewise import RouterLocalizer, RouterPosition
 from .pipeline import ConstraintPipeline
 
-__all__ = ["Octant", "PreparedLandmarks", "pseudo_target_heights"]
+__all__ = ["Octant", "PreparedLandmarks", "PresolvedTarget", "pseudo_target_heights"]
 
 
 def pseudo_target_heights(
@@ -83,6 +83,30 @@ class PreparedLandmarks:
     heights: HeightModel | None
     calibrations: CalibrationSet
     router_positions: dict[str, RouterPosition]
+
+
+@dataclass
+class PresolvedTarget:
+    """Everything one target needs *before* the weighted-region solve.
+
+    :meth:`Octant.presolve` produces it (landmark resolution, target height,
+    projection, constraint assembly and planarization);
+    :meth:`Octant.postsolve` turns a solved region back into a
+    :class:`LocationEstimate`.  Splitting the solve out lets cohort drivers
+    (the batch engine's fused chunks, the serving micro-batches) presolve
+    many targets and run one fused solve over all of them.
+    """
+
+    target_id: str
+    landmarks: list[str]
+    prepared: PreparedLandmarks
+    target_height_ms: float
+    projection: Projection
+    planar: list
+    started: float
+    #: Wall time the presolve itself took; cohort drivers combine it with
+    #: each target's amortized solve share for an honest per-target timing.
+    presolve_seconds: float = 0.0
 
 
 class Octant:
@@ -254,6 +278,27 @@ class Octant:
         (the batch engine's incremental leave-one-out derivation); it must
         have been computed from a landmark set that excludes the target.
         """
+        presolved = self.presolve(target_id, landmark_ids, prepared)
+        region, diagnostics = self.pipeline.solve(
+            presolved.planar, presolved.projection
+        )
+        self.pipeline.stats.runs += 1
+        return self.postsolve(presolved, region, diagnostics)
+
+    def presolve(
+        self,
+        target_id: str,
+        landmark_ids: Sequence[str] | None = None,
+        prepared: PreparedLandmarks | None = None,
+    ) -> PresolvedTarget:
+        """Everything before the weighted-region solve for one target.
+
+        Landmark resolution/preparation, target height estimation,
+        projection choice, constraint assembly and planarization -- the
+        stages that are inherently per-target.  The returned
+        :class:`PresolvedTarget` feeds :meth:`ConstraintPipeline.solve` (or
+        a cohort-level ``solve_many``) and then :meth:`postsolve`.
+        """
         started = time.perf_counter()
         if prepared is not None:
             landmarks = [lid for lid in prepared.landmark_ids if lid != target_id]
@@ -283,17 +328,47 @@ class Octant:
                 )
 
         projection = self._projection_for(prepared, target_id)
-        region, diagnostics = self.pipeline.run(
-            target_id, prepared, target_height, projection
+        constraints = self.pipeline.assemble(target_id, prepared, target_height)
+        planar = self.pipeline.planarize(constraints, projection)
+        return PresolvedTarget(
+            target_id=target_id,
+            landmarks=landmarks,
+            prepared=prepared,
+            target_height_ms=target_height,
+            projection=projection,
+            planar=planar,
+            started=started,
+            presolve_seconds=time.perf_counter() - started,
         )
 
+    def postsolve(
+        self,
+        presolved: PresolvedTarget,
+        region,
+        diagnostics,
+        solve_share: float | None = None,
+    ) -> LocationEstimate:
+        """Wrap a solved region into the estimate :meth:`localize` returns.
+
+        ``solve_share`` is the cohort driver's amortized per-target solve
+        time: in a fused chunk the wall span since ``presolved.started``
+        covers every groupmate's presolve plus the pooled solve, so the
+        honest per-target figure is this target's own presolve time plus
+        its share of the pooled solve.  Without it (the sequential path)
+        the wall span is the per-target truth.
+        """
         point = region.point_estimate() if not region.is_empty() else None
         if point is None:
-            point = self._fallback_point(target_id, landmarks, prepared)
+            point = self._fallback_point(
+                presolved.target_id, presolved.landmarks, presolved.prepared
+            )
 
-        elapsed = time.perf_counter() - started
+        if solve_share is not None:
+            elapsed = presolved.presolve_seconds + solve_share
+        else:
+            elapsed = time.perf_counter() - presolved.started
         return LocationEstimate(
-            target_id=target_id,
+            target_id=presolved.target_id,
             method="octant",
             point=point,
             region=region if not region.is_empty() else None,
@@ -301,8 +376,8 @@ class Octant:
             constraints_dropped=diagnostics.constraints_skipped,
             solve_time_s=elapsed,
             details={
-                "target_height_ms": target_height,
-                "landmark_count": len(landmarks),
+                "target_height_ms": presolved.target_height_ms,
+                "landmark_count": len(presolved.landmarks),
                 "dropped_constraints": list(diagnostics.dropped_constraints),
                 "max_weight": diagnostics.max_weight,
                 "solver_engine": diagnostics.engine,

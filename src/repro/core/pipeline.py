@@ -43,7 +43,7 @@ from .config import OctantConfig
 from .constraints import Constraint, ConstraintSet, DistanceConstraint, PlanarConstraint, latency_weight
 from .geo_constraints import geographic_constraints, whois_constraint
 from .piecewise import secondary_constraints_for_target
-from .solver import SolverDiagnostics, WeightedRegionSolver
+from .solver import SolverDiagnostics, WeightedRegionSolver, solve_systems
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .octant import PreparedLandmarks
@@ -271,12 +271,35 @@ class ConstraintPipeline:
     def solve(
         self, planar: Sequence[PlanarConstraint], projection: Projection
     ) -> tuple[Region, SolverDiagnostics]:
-        """Run the weighted accumulation and return region + diagnostics."""
+        """Run the weighted accumulation and return region + diagnostics.
+
+        Dispatches on ``SolverConfig.engine`` (a ``"fused"`` engine solves a
+        single system as a cohort of one); cohort callers should prefer
+        :meth:`solve_many`, which amortizes the fused kernel's batched
+        passes across every system of the cohort.
+        """
         started = time.perf_counter()
         solver = WeightedRegionSolver(self.config.solver)
         region = solver.solve(planar, projection)
         self.stats.solve_seconds += time.perf_counter() - started
         return region, solver.diagnostics
+
+    def solve_many(
+        self,
+        systems: Sequence[tuple[Sequence[PlanarConstraint], Projection]],
+    ) -> list[tuple[Region, SolverDiagnostics]]:
+        """Solve a cohort of realized constraint systems.
+
+        Under ``engine="fused"`` the whole cohort advances in lockstep
+        through one :class:`~repro.geometry.kernel.FusedSolverKernel` run
+        (single NumPy passes clip every target's pieces at once); other
+        engines solve each system independently.  Results are bit-identical
+        to calling :meth:`solve` per system, in input order.
+        """
+        started = time.perf_counter()
+        results = solve_systems(self.config.solver, list(systems))
+        self.stats.solve_seconds += time.perf_counter() - started
+        return results
 
     # ------------------------------------------------------------------ #
     # Full pipeline

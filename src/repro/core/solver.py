@@ -49,13 +49,14 @@ from ..geometry import (
     intersect_polygons,
     subtract_polygons,
 )
-from ..geometry.kernel import VectorSolverKernel, subtract_cautious
+from ..geometry.kernel import FusedSolverKernel, VectorSolverKernel, subtract_cautious
 from .config import SolverConfig
 from .constraints import PlanarConstraint
 
 __all__ = [
     "SolverDiagnostics",
     "WeightedRegionSolver",
+    "solve_systems",
     "strict_intersection",
     "universe_polygon",
 ]
@@ -91,8 +92,23 @@ class SolverDiagnostics:
     vertices_clipped: int = 0
     #: Wall time per kernel phase; the phases (``inclusion``, ``exclusion``,
     #: ``assemble``, ``select``) are disjoint, so their sum approximates the
-    #: solve time.
+    #: solve time.  The fused engine books its shared lockstep span under
+    #: ``fused_step`` (an equal share per cohort member).
     phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    # ---- fused cohort instrumentation ---------------------------------- #
+    #: How many targets shared the fused cohort this solve ran in (0 when
+    #: the solve did not run fused).
+    fused_cohort_targets: int = 0
+    #: Pooled batched clip passes the cohort executed (cohort-level: every
+    #: member of one cohort reports the same number).
+    fused_pass_count: int = 0
+    #: Total rows (piece instances, summed over passes) the pooled passes
+    #: processed -- ``fused_rows_clipped / fused_pass_count`` is the
+    #: amortization operators watch (rows per pass).
+    fused_rows_clipped: int = 0
+    #: Mean number of targets active per lockstep step.
+    fused_targets_per_pass: float = 0.0
 
     def kernel_summary(self) -> dict[str, object]:
         """Compact counters for ``EstimateResult.details`` reporting."""
@@ -103,6 +119,15 @@ class SolverDiagnostics:
             "prefilter_outside": self.prefilter_outside,
             "pieces_clipped": self.pieces_clipped,
             "vertices_clipped": self.vertices_clipped,
+            "fused_cohort_targets": self.fused_cohort_targets,
+            "fused_pass_count": self.fused_pass_count,
+            "fused_rows_clipped": self.fused_rows_clipped,
+            "fused_rows_per_pass": round(
+                self.fused_rows_clipped / self.fused_pass_count, 3
+            )
+            if self.fused_pass_count
+            else 0.0,
+            "fused_targets_per_pass": round(self.fused_targets_per_pass, 3),
             "phase_seconds": {k: round(v, 6) for k, v in self.phase_seconds.items()},
         }
 
@@ -152,6 +177,15 @@ class WeightedRegionSolver:
         """
         started = time.perf_counter()
         self.diagnostics = SolverDiagnostics()
+        if self.config.engine == "fused" and not self.config.exact_complements:
+            # A single solve is a cohort of one; results are bit-identical
+            # to ``engine="vector"`` (the fused kernel drives the very same
+            # per-target machinery), so the engine can be flipped globally.
+            ((region, diagnostics),) = solve_systems(
+                self.config, [(constraints, projection, universe)]
+            )
+            self.diagnostics = diagnostics
+            return region
         usable = [c for c in constraints if c is not None]
         if not usable:
             return Region.empty(projection)
@@ -297,6 +331,63 @@ class WeightedRegionSolver:
             selected.append(piece)
             accumulated += piece.area_km2()
         return selected
+
+
+def solve_systems(
+    config: SolverConfig | None,
+    systems: Sequence[tuple],
+) -> list[tuple[Region, SolverDiagnostics]]:
+    """Solve many constraint systems, fused into one cohort when configured.
+
+    ``systems`` holds ``(constraints, projection)`` or
+    ``(constraints, projection, universe)`` per target.  With
+    ``engine="fused"`` (and not ``exact_complements``) every non-degenerate
+    system advances through one :class:`FusedSolverKernel` lockstep run --
+    the k-th constraint of every target applied in shared batched passes;
+    any other engine solves each system independently.  Returns one
+    ``(region, diagnostics)`` pair per system, in input order; results are
+    bit-identical to solving each system alone.
+    """
+    config = config or SolverConfig()
+    results: list[tuple[Region, SolverDiagnostics] | None] = [None] * len(systems)
+    use_fused = config.engine == "fused" and not config.exact_complements
+    fused_jobs: list[tuple[int, list, object, Polygon, SolverDiagnostics, float]] = []
+    for i, system in enumerate(systems):
+        constraints, projection = system[0], system[1]
+        universe = system[2] if len(system) > 2 else None
+        if not use_fused:
+            solver = WeightedRegionSolver(config)
+            region = solver.solve(constraints, projection, universe)
+            results[i] = (region, solver.diagnostics)
+            continue
+        started = time.perf_counter()
+        diagnostics = SolverDiagnostics(engine="fused")
+        usable = [c for c in constraints if c is not None]
+        base = (
+            universe or universe_polygon(usable, config.universe_margin_km)
+            if usable
+            else None
+        )
+        if base is None:
+            diagnostics.solve_seconds = time.perf_counter() - started
+            results[i] = (Region.empty(projection), diagnostics)
+            continue
+        fused_jobs.append((i, usable, projection, base, diagnostics, started))
+
+    if fused_jobs:
+        kernel = FusedSolverKernel(config)
+        regions = kernel.solve_many(
+            [(usable, projection, base, diagnostics)
+             for (_i, usable, projection, base, diagnostics, _t) in fused_jobs]
+        )
+        finished = time.perf_counter()
+        for (i, _u, _p, _b, diagnostics, started), region in zip(fused_jobs, regions):
+            # The cohort solve is one shared span; each member records the
+            # full wall time (amortized cost is what the benchmarks divide
+            # back out).
+            diagnostics.solve_seconds = finished - started
+            results[i] = (region, diagnostics)
+    return results  # type: ignore[return-value]
 
 
 def strict_intersection(

@@ -50,6 +50,8 @@ from .polygon import MERGE_TOLERANCE_KM, Polygon
 from .region import Region, RegionPiece
 
 __all__ = [
+    "CohortPieceBuffer",
+    "FusedSolverKernel",
     "PieceBuffer",
     "VectorSolverKernel",
     "subtract_cautious",
@@ -153,6 +155,43 @@ def _shoelace(points: Sequence[tuple[float, float]]) -> float:
     return total / 2.0
 
 
+def _bboxes_from_packed(
+    xs: np.ndarray, ys: np.ndarray, offsets: np.ndarray
+) -> np.ndarray:
+    """Per-piece bounding boxes of a packed coordinate layout.
+
+    ``reduceat`` over the piece offsets in the common case; zero-vertex
+    pieces (a target's region emptied mid-solve, which fused chunking can
+    hand back in) would run the indices off the packed arrays, so they get
+    an inverted box (+inf mins, -inf maxes) -- every bbox intersection test
+    rejects them -- and the rest reduce piece by piece.
+    """
+    counts = np.diff(offsets)
+    if len(counts) == 0:
+        return np.zeros((0, 4))
+    starts = offsets[:-1]
+    if len(xs) and bool((counts > 0).all()):
+        return np.column_stack(
+            [
+                np.minimum.reduceat(xs, starts),
+                np.minimum.reduceat(ys, starts),
+                np.maximum.reduceat(xs, starts),
+                np.maximum.reduceat(ys, starts),
+            ]
+        )
+    boxes = np.empty((len(counts), 4))
+    boxes[:, 0] = boxes[:, 1] = np.inf
+    boxes[:, 2] = boxes[:, 3] = -np.inf
+    for i in range(len(counts)):
+        lo, hi = int(starts[i]), int(offsets[i + 1])
+        if hi > lo:
+            boxes[i, 0] = xs[lo:hi].min()
+            boxes[i, 1] = ys[lo:hi].min()
+            boxes[i, 2] = xs[lo:hi].max()
+            boxes[i, 3] = ys[lo:hi].max()
+    return boxes
+
+
 # --------------------------------------------------------------------------- #
 # The flat buffer
 # --------------------------------------------------------------------------- #
@@ -166,7 +205,16 @@ class PieceBuffer:
     touch the coordinates.
     """
 
-    __slots__ = ("xs", "ys", "offsets", "weights", "signed_areas", "bboxes", "_padded")
+    __slots__ = (
+        "xs",
+        "ys",
+        "offsets",
+        "weights",
+        "signed_areas",
+        "bboxes",
+        "_padded",
+        "_parts",
+    )
 
     def __init__(
         self,
@@ -182,18 +230,8 @@ class PieceBuffer:
         self.weights = weights
         self.signed_areas = signed_areas
         self._padded: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
-        if len(offsets) > 1:
-            starts = offsets[:-1]
-            self.bboxes = np.column_stack(
-                [
-                    np.minimum.reduceat(xs, starts),
-                    np.minimum.reduceat(ys, starts),
-                    np.maximum.reduceat(xs, starts),
-                    np.maximum.reduceat(ys, starts),
-                ]
-            )
-        else:
-            self.bboxes = np.zeros((0, 4))
+        self._parts: list[_Part] | None = None
+        self.bboxes = _bboxes_from_packed(xs, ys, offsets)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -213,6 +251,34 @@ class PieceBuffer:
         ys = np.concatenate([p[1] for p in parts])
         signed = np.array([p[2] for p in parts])
         return cls(xs, ys, offsets, np.asarray(weights, dtype=float), signed)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        offsets: np.ndarray,
+        weights: np.ndarray,
+        signed_areas: np.ndarray,
+        bboxes: np.ndarray,
+    ) -> "PieceBuffer":
+        """Wrap prebuilt flat arrays without re-deriving the bboxes.
+
+        The fused cohort engine packs every target's post-constraint parts
+        into one pooled concatenation and hands each target its slice; the
+        per-piece boxes were already reduced pooled (bitwise the same
+        reductions this class would run itself).
+        """
+        buffer = cls.__new__(cls)
+        buffer.xs = xs
+        buffer.ys = ys
+        buffer.offsets = offsets
+        buffer.weights = weights
+        buffer.signed_areas = signed_areas
+        buffer.bboxes = bboxes
+        buffer._padded = None
+        buffer._parts = None
+        return buffer
 
     @classmethod
     def from_polygons(cls, pieces: Sequence[tuple[Polygon, float]]) -> "PieceBuffer":
@@ -244,6 +310,25 @@ class PieceBuffer:
         xs, ys = self.piece_coords(i)
         return xs, ys, float(self.signed_areas[i])
 
+    def parts(self) -> list[_Part]:
+        """Every piece as a part tuple, built once and cached.
+
+        The buffer is immutable, so the same tuple objects serve every
+        constraint application; callers use tuple *identity* against this
+        list to detect "the parts are exactly the buffer's pieces" (the
+        dominant fully-inside case) without touching array bases.
+        """
+        if self._parts is None:
+            offsets = self.offsets
+            xs = self.xs
+            ys = self.ys
+            signed = self.signed_areas.tolist()
+            self._parts = [
+                (xs[offsets[i] : offsets[i + 1]], ys[offsets[i] : offsets[i + 1]], signed[i])
+                for i in range(len(signed))
+            ]
+        return self._parts
+
     def polygon(self, i: int) -> Polygon:
         """Materialize piece ``i`` as a :class:`Polygon` (identical vertices)."""
         return _polygon_from_part(self.part(i))
@@ -261,8 +346,182 @@ class PieceBuffer:
         buffer and shared between the per-constraint batched stages.
         """
         if self._padded is None:
-            self._padded = _pad_parts([self.part(i) for i in range(len(self))])[:3]
+            counts = np.diff(self.offsets)
+            if len(counts) == 0 or len(self.xs) == 0:
+                width = 1
+                X = np.zeros((len(counts), width))
+                self._padded = (X, np.zeros_like(X), counts)
+            else:
+                # Vectorized gather from the packed arrays: lane j of piece
+                # i reads ``xs[offsets[i] + j]`` -- the very values the
+                # per-part copy loop would write, without per-piece Python.
+                width = max(int(counts.max()), 1)
+                lanes = _lanes(width)[None, :]
+                valid = lanes < counts[:, None]
+                pos = np.where(valid, self.offsets[:-1, None] + lanes, 0)
+                X = np.where(valid, self.xs[pos], 0.0)
+                Y = np.where(valid, self.ys[pos], 0.0)
+                self._padded = (X, Y, counts)
         return self._padded
+
+
+class CohortPieceBuffer:
+    """Segment-indexed stack of many targets' piece populations.
+
+    The fused cohort engine runs its prefilter passes over *every* target's
+    pieces at once; this buffer concatenates the per-target
+    :class:`PieceBuffer` flat arrays into one cohort-wide layout:
+
+    * ``xs``/``ys`` -- packed vertex coordinates, target-major then
+      piece-major (each target's packing is preserved verbatim).
+    * ``offsets`` -- per-piece vertex ranges rebased into the cohort arrays.
+    * ``segments`` -- target ``t`` owns pieces
+      ``segments[t]:segments[t + 1]``.
+    * ``piece_target`` -- per-piece owning target id (the broadcast index
+      for per-target constraint parameters).
+    * ``cursors`` -- snapshot of each target's constraint cursor at build
+      time (which constraint of its sequence the lockstep is applying).
+
+    Per-target decisions stay per-target: the cohort arrays only carry the
+    row-wise arithmetic, whose values are bitwise what each target's own
+    buffer would produce (concatenation never mixes rows).
+    """
+
+    __slots__ = (
+        "buffers",
+        "segments",
+        "piece_target",
+        "bboxes",
+        "cursors",
+        "_xs",
+        "_ys",
+        "_offsets",
+        "_weights",
+    )
+
+    def __init__(
+        self,
+        buffers: Sequence[PieceBuffer],
+        cursors: Sequence[int] | None = None,
+    ):
+        self.buffers = list(buffers)
+        counts = np.array([len(b) for b in self.buffers], dtype=np.int64)
+        self.segments = np.zeros(len(self.buffers) + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.segments[1:])
+        self.piece_target = np.repeat(np.arange(len(self.buffers)), counts)
+        if self.buffers and len(self.piece_target):
+            self.bboxes = np.vstack([b.bboxes for b in self.buffers])
+        else:
+            self.bboxes = np.zeros((0, 4))
+        self.cursors = (
+            np.asarray(cursors, dtype=np.int64)
+            if cursors is not None
+            else np.zeros(len(self.buffers), dtype=np.int64)
+        )
+        # The coordinate stack is built on first use: the per-step fused
+        # prefilters read only boxes/segments/ids, so a lockstep step that
+        # never touches vertices skips the cohort-wide concatenation.
+        self._xs: np.ndarray | None = None
+        self._ys: np.ndarray | None = None
+        self._offsets: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+
+    def _ensure_coords(self) -> None:
+        if self._xs is not None:
+            return
+        if self.buffers:
+            self._xs = np.concatenate([b.xs for b in self.buffers])
+            self._ys = np.concatenate([b.ys for b in self.buffers])
+            vertex_bases = np.zeros(len(self.buffers), dtype=np.int64)
+            np.cumsum(
+                [len(b.xs) for b in self.buffers[:-1]], out=vertex_bases[1:]
+            )
+            self._offsets = np.concatenate(
+                [b.offsets[:-1] + base for b, base in zip(self.buffers, vertex_bases)]
+                + [np.array([len(self._xs)], dtype=np.int64)]
+            )
+            self._weights = np.concatenate([b.weights for b in self.buffers])
+        else:
+            self._xs = np.zeros(0)
+            self._ys = np.zeros(0)
+            self._offsets = np.zeros(1, dtype=np.int64)
+            self._weights = np.zeros(0)
+
+    @property
+    def xs(self) -> np.ndarray:
+        self._ensure_coords()
+        return self._xs
+
+    @property
+    def ys(self) -> np.ndarray:
+        self._ensure_coords()
+        return self._ys
+
+    @property
+    def offsets(self) -> np.ndarray:
+        self._ensure_coords()
+        return self._offsets
+
+    @property
+    def weights(self) -> np.ndarray:
+        self._ensure_coords()
+        return self._weights
+
+    def __len__(self) -> int:
+        return len(self.piece_target)
+
+    def target_pieces(self, t: int) -> slice:
+        """The cohort piece range owned by target ``t``."""
+        return slice(int(self.segments[t]), int(self.segments[t + 1]))
+
+    def broadcast_pieces(self, values: np.ndarray) -> np.ndarray:
+        """Per-target values replicated to one entry per cohort piece."""
+        return np.asarray(values)[self.piece_target]
+
+    def broadcast_vertices(self, values: np.ndarray) -> np.ndarray:
+        """Per-target values replicated to one entry per packed vertex."""
+        vertex_counts = np.diff(self.offsets)
+        return np.repeat(np.asarray(values)[self.piece_target], vertex_counts)
+
+    def union_boxes(self) -> np.ndarray:
+        """Per-target union bounding box ``(T, 4)``.
+
+        Mirrors the per-target ``boxes[:, k].min()/max()`` reductions of the
+        vector engine's whole-population fast path; targets with no pieces
+        get an inverted box (+inf mins, -inf maxes).
+        """
+        T = len(self.buffers)
+        out = np.empty((T, 4))
+        out[:, 0] = out[:, 1] = np.inf
+        out[:, 2] = out[:, 3] = -np.inf
+        nonempty = np.nonzero(np.diff(self.segments) > 0)[0]
+        if len(nonempty):
+            starts = self.segments[nonempty]
+            out[nonempty, 0] = np.minimum.reduceat(self.bboxes[:, 0], starts)
+            out[nonempty, 1] = np.minimum.reduceat(self.bboxes[:, 1], starts)
+            out[nonempty, 2] = np.maximum.reduceat(self.bboxes[:, 2], starts)
+            out[nonempty, 3] = np.maximum.reduceat(self.bboxes[:, 3], starts)
+        return out
+
+    def piece_max(self, per_vertex: np.ndarray) -> np.ndarray:
+        """Per-piece maximum of a packed per-vertex metric.
+
+        ``reduceat`` over the piece offsets, hardened against zero-vertex
+        pieces (which get ``-inf``); the values per piece are bitwise what
+        ``np.maximum.reduceat`` on the owning target's own buffer yields.
+        """
+        n = len(self)
+        if n == 0:
+            return np.zeros(0)
+        counts = np.diff(self.offsets)
+        if len(per_vertex) and bool((counts > 0).all()):
+            return np.maximum.reduceat(per_vertex, self.offsets[:-1])
+        out = np.full(n, -np.inf)
+        for i in range(n):
+            lo, hi = int(self.offsets[i]), int(self.offsets[i + 1])
+            if hi > lo:
+                out[i] = per_vertex[lo:hi].max()
+        return out
 
 
 # --------------------------------------------------------------------------- #
@@ -339,42 +598,6 @@ def _signed_areas_rows(X: np.ndarray, Y: np.ndarray, counts: np.ndarray) -> np.n
     return np.cumsum(terms, axis=1)[:, -1] / 2.0
 
 
-def _clean_rows(
-    X: np.ndarray, Y: np.ndarray, counts: np.ndarray
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Apply ``Polygon`` vertex cleaning to every row.
-
-    The fast path detects rows with no adjacent near-duplicate pair
-    (including the wrap-around pair) -- for those, cleaning is the identity.
-    Rows with near-duplicates run the exact scalar replica.
-    """
-    R, V = X.shape
-    lanes = _lanes(V)[None, :]
-    valid = (lanes < counts[:, None]) & (counts[:, None] > 0)
-    prev_idx = np.where(lanes == 0, np.maximum(counts[:, None] - 1, 0), lanes - 1)
-    rows = _rows_col(R)
-    tol = MERGE_TOLERANCE_KM
-    dup = (
-        (np.abs(X - X[rows, prev_idx]) <= tol)
-        & (np.abs(Y - Y[rows, prev_idx]) <= tol)
-        & valid
-    )
-    dirty = dup.any(axis=1)
-    if dirty.any():
-        counts = counts.copy()
-        for r in np.nonzero(dirty)[0]:
-            c = int(counts[r])
-            pts = list(zip(X[r, :c].tolist(), Y[r, :c].tolist()))
-            cleaned = _clean_coords(pts)
-            counts[r] = len(cleaned)
-            X[r, :] = 0.0
-            Y[r, :] = 0.0
-            for j, (x, y) in enumerate(cleaned):
-                X[r, j] = x
-                Y[r, j] = y
-    return X, Y, counts
-
-
 def _clip_pass_rows(
     X: np.ndarray,
     Y: np.ndarray,
@@ -383,7 +606,8 @@ def _clip_pass_rows(
     ay,
     bx,
     by,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    return_changed: bool = False,
+):
     """One Sutherland-Hodgman half-plane pass over all rows at once.
 
     Mirrors ``clipping._clip_pass`` operand for operand: the sidedness test,
@@ -392,9 +616,13 @@ def _clip_pass_rows(
     coordinates are bitwise equal to the scalar pass on that row.  Edge
     endpoints may be scalars (one edge for every row) or per-row arrays.
 
-    Fast path: when no row crosses the edge line, every row is either kept
-    verbatim or emptied, so the input arrays are returned unchanged with
-    updated counts -- no scatter, no allocation.
+    Rows that never cross the edge line are kept verbatim or emptied
+    (identical to what the scatter would emit for them); only the crossing
+    subset pays the scatter assembly, so a pass touching few rows costs
+    little more than the sidedness test.  With ``return_changed`` the
+    per-row "vertex sequence changed" mask is appended to the result
+    (``None`` when no row crossed), letting callers skip rebuild work for
+    verbatim rows.
     """
     R, V = X.shape
     lanes = _lanes(V)[None, :]
@@ -422,24 +650,41 @@ def _clip_pass_rows(
     prev_sides[:, 0] = sides[_lanes(R), np.maximum(counts - 1, 0)]
     crossing = (sides != prev_sides) & valid
 
-    if not crossing.any():
+    cross_rows = crossing.any(axis=1)
+    row_in = (sides | ~valid).all(axis=1)
+    if not cross_rows.any():
         # Every row is entirely on one side: kept rows are returned verbatim
         # (the scalar pass emits the same sequence), outside rows empty.
-        row_in = (sides | ~valid).all(axis=1)
-        return X, Y, np.where(row_in, counts, 0)
+        result = (X, Y, np.where(row_in, counts, 0))
+        return (*result, None) if return_changed else result
 
-    emit_vert = sides & valid
-    ri, li = np.nonzero(crossing)
-    pi = np.where(li == 0, counts[ri] - 1, li - 1)
-    px = X[ri, pi]
-    py = Y[ri, pi]
-    cx = X[ri, li]
-    cy = Y[ri, li]
+    sub = np.nonzero(cross_rows)[0]
+    whole = len(sub) == R
+    if whole:
+        s_crossing = crossing
+        s_sides = sides
+        s_valid = valid
+        sX, sY = X, Y
+    else:
+        s_crossing = crossing[sub]
+        s_sides = sides[sub]
+        s_valid = valid[sub]
+        sX = X[sub]
+        sY = Y[sub]
+
+    emit_vert = s_sides & s_valid
+    ri, li = np.nonzero(s_crossing)
+    gi = ri if whole else sub[ri]
+    pi = np.where(li == 0, counts[gi] - 1, li - 1)
+    px = sX[ri, pi]
+    py = sY[ri, pi]
+    cx = sX[ri, li]
+    cy = sY[ri, li]
     if per_row:
-        e_x = (bx - ax)[ri]
-        e_y = (by - ay)[ri]
-        a_x = ax[ri]
-        a_y = ay[ri]
+        e_x = (bx - ax)[gi]
+        e_y = (by - ay)[gi]
+        a_x = ax[gi]
+        a_y = ay[gi]
     else:
         e_x = exv
         e_y = eyv
@@ -454,30 +699,52 @@ def _clip_pass_rows(
         ix = px + rx * t
         iy = py + ry * t
 
-    emit_inter = crossing
+    emit_inter = s_crossing
     if not ok.all():
-        emit_inter = crossing.copy()
+        emit_inter = s_crossing.copy()
         bad = ~ok
         emit_inter[ri[bad], li[bad]] = False
 
     per_lane = emit_inter.astype(np.int64) + emit_vert.astype(np.int64)
     ends = np.cumsum(per_lane, axis=1)
     starts = ends - per_lane
-    new_counts = ends[:, -1]
+    sub_counts = ends[:, -1]
 
-    width = max(int(new_counts.max()), 1)
-    newX = np.zeros((R, width))
-    newY = np.zeros_like(newX)
+    width = max(int(sub_counts.max()), 1)
+    if whole:
+        newX = np.zeros((R, width))
+        newY = np.zeros_like(newX)
+        new_counts = sub_counts
+    else:
+        # Crossing rows scatter into a zeroed block; the rest carry their
+        # verbatim lanes (bitwise what the scatter would re-emit for them).
+        if width <= V:
+            width = V
+            newX = X.copy()
+            newY = Y.copy()
+        else:
+            newX = np.zeros((R, width))
+            newY = np.zeros_like(newX)
+            newX[:, :V] = X
+            newY[:, :V] = Y
+        newX[sub, :] = 0.0
+        newY[sub, :] = 0.0
+        new_counts = np.where(row_in, counts, 0)
+        new_counts[sub] = sub_counts
     keep = ok
     if not keep.all():
         ri, li, ix, iy = ri[keep], li[keep], ix[keep], iy[keep]
+    gi_keep = ri if whole else sub[ri]
     pos = starts[ri, li]
-    newX[ri, pos] = ix
-    newY[ri, pos] = iy
+    newX[gi_keep, pos] = ix
+    newY[gi_keep, pos] = iy
     rv, lv = np.nonzero(emit_vert)
+    gv = rv if whole else sub[rv]
     pos = starts[rv, lv] + emit_inter[rv, lv]
-    newX[rv, pos] = X[rv, lv]
-    newY[rv, pos] = Y[rv, lv]
+    newX[gv, pos] = sX[rv, lv]
+    newY[gv, pos] = sY[rv, lv]
+    if return_changed:
+        return newX, newY, new_counts, cross_rows
     return newX, newY, new_counts
 
 
@@ -486,9 +753,10 @@ def _clean_and_measure_rows(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Fused vertex cleaning + shoelace measurement for every row.
 
-    Identical to ``_clean_rows`` followed by ``_signed_areas_rows`` (the two
-    share their lane/index bookkeeping, which is most of the cost on the
-    small matrices the solver sees); returns ``(X, Y, counts, signed)``.
+    Equivalent to per-row ``Polygon`` vertex cleaning followed by the
+    sequential shoelace; returns ``(X, Y, counts, signed)``.  Cleaning and
+    measurement share their lane/index bookkeeping, which is most of the
+    cost on the small matrices the solver sees.
     """
     R, V = X.shape
     if V == 0:
@@ -508,9 +776,28 @@ def _clean_and_measure_rows(
     PY[:, 0] = Y[row_ids, last]
     tol = MERGE_TOLERANCE_KM
     dup = (np.abs(X - PX) <= tol) & (np.abs(Y - PY) <= tol) & valid
-    if dup.any(axis=None):
-        X, Y, counts = _clean_rows(X, Y, counts)
-        return X, Y, counts, _signed_areas_rows(X, Y, counts)
+    dirty = dup.any(axis=1)
+    if dirty.any():
+        # Cleaning is per-row: only the rows with a near-duplicate pair run
+        # the exact scalar replica (bitwise what ``_clean_rows`` does to
+        # them); every clean row keeps the vectorized fast path below.  The
+        # cohort-pooled runners made the old all-rows slow path expensive:
+        # one dirty row anywhere used to drag the whole batch through full
+        # index gathers.
+        counts = counts.copy()
+        for r in np.nonzero(dirty)[0]:
+            c = int(counts[r])
+            pts = list(zip(X[r, :c].tolist(), Y[r, :c].tolist()))
+            cleaned = _clean_coords(pts)
+            counts[r] = len(cleaned)
+            X[r, :] = 0.0
+            Y[r, :] = 0.0
+            for j, (x, y) in enumerate(cleaned):
+                X[r, j] = x
+                Y[r, j] = y
+        counts_col = counts[:, None]
+        valid = (lanes < counts_col) & (counts_col > 0)
+        last = np.maximum(counts - 1, 0)
     NX = np.empty_like(X)
     NY = np.empty_like(Y)
     NX[:, :-1] = X[:, 1:]
@@ -562,6 +849,8 @@ def _clip_convex_rows(
             break
         if stats is not None:
             stats.vertices_clipped += int(counts.sum())
+            stats.clip_passes += 1
+            stats.rows_clipped += int((counts > 0).sum())
         X, Y, counts = _clip_pass_rows(
             X,
             Y,
@@ -571,6 +860,82 @@ def _clip_convex_rows(
             float(edges[e, 2]),
             float(edges[e, 3]),
         )
+    return _finalize_rows(X, Y, counts, counts >= 3)
+
+
+def _clip_convex_rows_multi(
+    parts: Sequence[_Part],
+    edge_seqs: Sequence[np.ndarray],
+    stats: "_StatsHook | None" = None,
+) -> list[_Part | None]:
+    """Batched ``clip_convex`` with one convex edge sequence *per row*.
+
+    The fused cohort engine pools pieces of many targets into one runner;
+    each row clips against its own target's (pre-filtered) CCW edge table.
+    Pass ``k`` applies edge ``k`` of every row whose sequence is that long,
+    through :func:`_clip_pass_rows` with per-row edge endpoints -- the
+    arithmetic per row is elementwise, hence bitwise equal to the scalar-edge
+    pass :func:`_clip_convex_rows` would run on that row alone.  Rows die at
+    <3 vertices exactly where the scalar loop returns ``None``; survivors go
+    through the shared scalar-exact finalization.
+    """
+    if not parts:
+        return []
+    X, Y, counts, signed = _pad_parts(parts)
+    X, Y = _reverse_rows(X, Y, counts, ~(signed > 0.0))
+    seq_lens = np.array([len(s) for s in edge_seqs], dtype=np.int64)
+    max_len = int(seq_lens.max()) if len(seq_lens) else 0
+    R = len(parts)
+    edge_arr = np.zeros((R, max(max_len, 1), 4))
+    for r, seq in enumerate(edge_seqs):
+        if len(seq):
+            edge_arr[r, : len(seq), :] = seq
+    for e in range(max_len):
+        counts = np.where(counts >= 3, counts, 0)
+        act = np.nonzero((counts > 0) & (e < seq_lens))[0]
+        if len(act) == 0:
+            if not counts.any():
+                break
+            continue
+        if stats is not None:
+            stats.vertices_clipped += int(counts[act].sum())
+            stats.clip_passes += 1
+            stats.rows_clipped += len(act)
+        nX, nY, nc, changed = _clip_pass_rows(
+            X[act],
+            Y[act],
+            counts[act],
+            edge_arr[act, e, 0],
+            edge_arr[act, e, 1],
+            edge_arr[act, e, 2],
+            edge_arr[act, e, 3],
+            return_changed=True,
+        )
+        counts[act] = nc
+        if changed is None:
+            # No row crossed: every active row was kept verbatim or
+            # emptied; the canonical coordinates are already right.
+            continue
+        rows = act[changed]
+        cX = nX[changed]
+        cY = nY[changed]
+        if cX.shape[1] > X.shape[1]:
+            growX = np.zeros((R, cX.shape[1]))
+            growY = np.zeros_like(growX)
+            growX[:, : X.shape[1]] = X
+            growY[:, : Y.shape[1]] = Y
+            X, Y = growX, growY
+        X[rows, :] = 0.0
+        Y[rows, :] = 0.0
+        X[rows, : cX.shape[1]] = cX
+        Y[rows, : cY.shape[1]] = cY
+        # Clipping shrinks the rows; narrowing the canonical width keeps
+        # later passes from dragging the opening padding through every op.
+        live_max = int(counts.max()) if counts.any() else 1
+        if live_max < X.shape[1] // 2:
+            X = np.ascontiguousarray(X[:, :live_max])
+            Y = np.ascontiguousarray(Y[:, :live_max])
+    counts = np.where(counts >= 3, counts, 0)
     return _finalize_rows(X, Y, counts, counts >= 3)
 
 
@@ -591,13 +956,25 @@ def _halfplane_chain_rows(
     """
     if not parts:
         return []
-    X, Y, counts, signed = _pad_parts(parts)
     seq_lens = np.array([len(s) for s in edge_seqs], dtype=np.int64)
     max_len = int(seq_lens.max())
     R = len(parts)
     edge_arr = np.zeros((R, max_len, 4))
     for r, seq in enumerate(edge_seqs):
         edge_arr[r, : len(seq), :] = seq
+    return _halfplane_chain_run(parts, edge_arr, seq_lens, stats)
+
+
+def _halfplane_chain_run(
+    parts: Sequence[_Part],
+    edge_arr: np.ndarray,
+    seq_lens: np.ndarray,
+    stats: "_StatsHook | None" = None,
+) -> list[_Part | None]:
+    """The pass loop of :func:`_halfplane_chain_rows` on a prebuilt edge array."""
+    max_len = edge_arr.shape[1]
+    R = len(parts)
+    X, Y, counts, signed = _pad_parts(parts)
     alive = counts >= 3
     for k in range(max_len):
         act = np.nonzero(alive & (k < seq_lens))[0]
@@ -609,9 +986,11 @@ def _halfplane_chain_rows(
         ss = signed[act]
         if stats is not None:
             stats.vertices_clipped += int(sc.sum())
+            stats.clip_passes += 1
+            stats.rows_clipped += len(act)
         flip = ~(ss > 0.0)
         sx, sy = _reverse_rows(sx, sy, sc, flip)
-        nX, nY, nc = _clip_pass_rows(
+        nX, nY, nc, changed = _clip_pass_rows(
             sx,
             sy,
             sc,
@@ -619,41 +998,52 @@ def _halfplane_chain_rows(
             edge_arr[act, k, 1],
             edge_arr[act, k, 2],
             edge_arr[act, k, 3],
+            return_changed=True,
         )
         nc = np.where(nc >= 3, nc, 0)
-        if nX is sx and not flip.any():
-            # Short-circuit pass: no row crossed the edge, so surviving rows
-            # kept their exact coordinate sequence.  The scalar path would
-            # rebuild the same polygon (cleaning an already-clean ring is the
-            # identity and re-measuring the same ring reproduces the same
-            # signed area bitwise), so their state is untouched; only rows
-            # the pass emptied need recording.  A flipped (CW-stored) row
-            # cannot take this path: the scalar clip_halfplane rebuilds it
-            # in CCW order, so the reversal must be written back below.
+        flip_any = bool(flip.any())
+        # Rows the pass kept verbatim (no crossing, CCW-stored) need no
+        # rebuild: the scalar path would reconstruct the same polygon
+        # (cleaning an already-clean ring is the identity and re-measuring
+        # the same ring reproduces the same signed area bitwise), so their
+        # canonical state stays untouched; only deaths are recorded.  A
+        # flipped (CW-stored) row always rebuilds: the scalar
+        # clip_halfplane re-emits it in CCW order.
+        need = flip | changed if changed is not None else flip
+        if changed is None and not flip_any:
             died = nc == 0
             if died.any():
                 dead_rows = act[died]
                 counts[dead_rows] = 0
                 alive[dead_rows] = False
             continue
-        nX, nY, nc, ns = _clean_and_measure_rows(nX, nY, nc)
-        good = (nc >= 3) & ~(np.abs(ns) < MIN_SLIVER_AREA_KM2)
-        nc = np.where(good, nc, 0)
-        # Write the active subset back, growing the canonical width if the
+        kept_died = ~need & (nc == 0)
+        if kept_died.any():
+            dead_rows = act[kept_died]
+            counts[dead_rows] = 0
+            alive[dead_rows] = False
+        idx = np.nonzero(need)[0]
+        if len(idx) == 0:
+            continue
+        cX, cY, cc, cs = _clean_and_measure_rows(nX[idx], nY[idx], nc[idx])
+        good = (cc >= 3) & ~(np.abs(cs) < MIN_SLIVER_AREA_KM2)
+        cc = np.where(good, cc, 0)
+        rows = act[idx]
+        # Write the rebuilt subset back, growing the canonical width if the
         # pass emitted more vertices than any prior row held.
-        if nX.shape[1] > X.shape[1]:
-            growX = np.zeros((R, nX.shape[1]))
+        if cX.shape[1] > X.shape[1]:
+            growX = np.zeros((R, cX.shape[1]))
             growY = np.zeros_like(growX)
             growX[:, : X.shape[1]] = X
             growY[:, : Y.shape[1]] = Y
             X, Y = growX, growY
-        X[act, :] = 0.0
-        Y[act, :] = 0.0
-        X[act, : nX.shape[1]] = nX
-        Y[act, : nY.shape[1]] = nY
-        counts[act] = nc
-        signed[act] = ns
-        alive[act] = good
+        X[rows, :] = 0.0
+        Y[rows, :] = 0.0
+        X[rows, : cX.shape[1]] = cX
+        Y[rows, : cY.shape[1]] = cY
+        counts[rows] = cc
+        signed[rows] = cs
+        alive[rows] = good
         # Clipping shrinks wedge slices fast; narrowing the canonical arrays
         # to the surviving maximum keeps later passes from dragging the
         # original (possibly huge keyholed) width through every operation.
@@ -752,6 +1142,77 @@ def _contain_all_queries(
     return result
 
 
+def _contain_all_queries_rows(
+    parts: Sequence[_Part],
+    X: np.ndarray,
+    Y: np.ndarray,
+    counts: np.ndarray,
+    boxes: np.ndarray,
+    QX: np.ndarray,
+    QY: np.ndarray,
+    q_valid: np.ndarray,
+) -> np.ndarray:
+    """:func:`_contain_all_queries` with one query set *per row*.
+
+    The fused cohort engine pools keyhole candidates of many targets; each
+    row's queries are its own target's exclusion vertices, padded to the
+    cohort-wide maximum (``q_valid`` masks the padding).  Every parity and
+    box expression is elementwise per (part, query), hence bitwise equal to
+    the per-target tensor; the exact scalar fallback runs per part exactly
+    like the original.
+    """
+    P, V = X.shape
+    lanes = _lanes(V)[None, :]
+    valid = lanes < counts[:, None]
+    tol = MERGE_TOLERANCE_KM
+
+    in_box = (
+        (boxes[:, 0][:, None] - tol <= QX)
+        & (QX <= boxes[:, 2][:, None] + tol)
+        & (boxes[:, 1][:, None] - tol <= QY)
+        & (QY <= boxes[:, 3][:, None] + tol)
+    )
+
+    rowsP = _rows_col(P)
+    prev_idx = np.where(lanes == 0, np.maximum(counts[:, None] - 1, 0), lanes - 1)
+    PX = X[rowsP, prev_idx]
+    PY = Y[rowsP, prev_idx]
+    vy = Y[:, None, :]
+    vyj = PY[:, None, :]
+    vx = X[:, None, :]
+    vxj = PX[:, None, :]
+    py = QY[:, :, None]
+    px = QX[:, :, None]
+    crosses = ((vy > py) != (vyj > py)) & valid[:, None, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        x_int = (vxj - vx) * (py - vy) / (vyj - vy) + vx
+    hits = crosses & (px < x_int)
+    parity = (hits.sum(axis=2) % 2).astype(bool)
+
+    decided_true = (in_box & parity) | ~q_valid
+    result = np.empty(P, dtype=bool)
+    all_true = decided_true.all(axis=1)
+    for p in range(P):
+        if all_true[p]:
+            result[p] = True
+            continue
+        polygon = None
+        ok = True
+        for q in range(QX.shape[1]):
+            if not q_valid[p, q] or decided_true[p, q]:
+                continue
+            if not in_box[p, q]:
+                ok = False
+                break
+            if polygon is None:
+                polygon = _polygon_from_part(parts[p])
+            if not polygon.contains_point(Point2D(float(QX[p, q]), float(QY[p, q]))):
+                ok = False
+                break
+        result[p] = ok
+    return result
+
+
 # --------------------------------------------------------------------------- #
 # Keyhole construction (vectorized bridge search)
 # --------------------------------------------------------------------------- #
@@ -793,6 +1254,99 @@ def _keyhole_bridges(
         bridges[k] = divmod(int(flat_idx[pos]), ni)
     return bridges
 
+
+
+def _keyhole_bridges_rows(
+    X: np.ndarray,
+    Y: np.ndarray,
+    counts: np.ndarray,
+    wanted: np.ndarray,
+    INX: np.ndarray,
+    INY: np.ndarray,
+    ni_rows: np.ndarray,
+) -> list[tuple[int, int] | None]:
+    """:func:`_keyhole_bridges` with one inner ring *per row*.
+
+    ``INX``/``INY`` hold each row's clockwise inner-ring coordinates padded
+    to the cohort maximum; ``ni_rows`` the real lengths.  Padding lanes are
+    +inf and never win the argmin, and because padding only appends entries
+    after each real (outer, inner) run, the row-major first-minimum
+    tie-break order over the real pairs is exactly the unpadded scan's.
+    """
+    bridges: list[tuple[int, int] | None] = [None] * len(counts)
+    rows = np.nonzero(wanted)[0]
+    if len(rows) == 0:
+        return bridges
+    wX = X[rows]
+    wY = Y[rows]
+    wc = counts[rows]
+    width = max(int(wc.max()), 1)
+    wX = wX[:, :width]
+    wY = wY[:, :width]
+    valid = _lanes(width)[None, :] < wc[:, None]
+    inx = INX[rows]
+    iny = INY[rows]
+    ni_pad = inx.shape[1]
+    inner_valid = _lanes(ni_pad)[None, :] < ni_rows[rows][:, None]
+    dox = wX[:, :, None] - inx[:, None, :]
+    doy = wY[:, :, None] - iny[:, None, :]
+    d2 = dox * dox + doy * doy
+    d2 = np.where(valid[:, :, None] & inner_valid[:, None, :], d2, np.inf)
+    flat_idx = d2.reshape(len(rows), -1).argmin(axis=1)
+    for pos, k in enumerate(rows.tolist()):
+        bridges[k] = divmod(int(flat_idx[pos]), ni_pad)
+    return bridges
+
+
+def _with_hole_batch_rows(
+    kX: np.ndarray,
+    kY: np.ndarray,
+    kcounts: np.ndarray,
+    rows: np.ndarray,
+    bridges: Sequence[tuple[int, int] | None],
+    INX: np.ndarray,
+    INY: np.ndarray,
+    ni_rows: np.ndarray,
+) -> list[_Part]:
+    """:func:`_with_hole_batch` with one inner ring *per row*.
+
+    The ring-combination gather runs with per-row inner lengths (modulus by
+    the row's own ``ni``); every emitted coordinate is the same gather the
+    per-target batch performs, and the shared clean + sequential-shoelace
+    finalization is row-independent.
+    """
+    P = len(rows)
+    counts_r = kcounts[rows]
+    ni_r = ni_rows[rows]
+    widths = counts_r + ni_r + 2
+    W = int(widths.max())
+    lanes = _lanes(W)[None, :]
+    cnt = counts_r[:, None]
+    ni_col = ni_r[:, None]
+    oi = np.array([bridges[r][0] for r in rows])[:, None]
+    ij = np.array([bridges[r][1] for r in rows])[:, None]
+
+    outer_zone = lanes <= cnt
+    outer_src = (oi + lanes) % cnt
+    inner_src = (ij + (lanes - cnt - 1)) % ni_col
+    rowsP = _rows_col(P)
+    gx_outer = kX[rows][rowsP, outer_src]
+    gy_outer = kY[rows][rowsP, outer_src]
+    inx = INX[rows]
+    iny = INY[rows]
+    gx_inner = inx[rowsP, inner_src]
+    gy_inner = iny[rowsP, inner_src]
+    comb_x = np.where(outer_zone, gx_outer, gx_inner)
+    comb_y = np.where(outer_zone, gy_outer, gy_inner)
+
+    comb_x, comb_y, widths, signed = _clean_and_measure_rows(comb_x, comb_y, widths)
+    out: list[_Part] = []
+    for k in range(P):
+        w = int(widths[k])
+        if w < 3:
+            raise ValueError("keyholed polygon degenerated below a triangle")
+        out.append((comb_x[k, :w].copy(), comb_y[k, :w].copy(), float(signed[k])))
+    return out
 
 
 def _with_hole_batch(
@@ -945,6 +1499,7 @@ class _ConstraintGeometry:
         "exc_rev_y",
         "exc_wedge_sides",
         "exc_edges",
+        "exc_swapped",
     )
 
     def __init__(self, constraint) -> None:
@@ -980,6 +1535,7 @@ class _ConstraintGeometry:
         self.exc_rev_y = None
         self.exc_wedge_sides = None
         self.exc_edges = None
+        self.exc_swapped = None
 
     def ensure_inclusion_tables(self) -> None:
         """Edge table and centre-distance anchor for the convex inclusion."""
@@ -1022,6 +1578,10 @@ class _ConstraintGeometry:
         nxt = np.roll(ccw, -1, axis=0)
         # keep_left=True edge rows (a -> b) for the wedge inner clips.
         self.exc_edges = np.column_stack([ccw, nxt])
+        # Endpoint-swapped rows (b -> a): the wedge's first clip keeps the
+        # *outside* of edge i, which clip_halfplane realizes by swapping the
+        # endpoints; precomputed once so chain assembly is a row copy.
+        self.exc_swapped = self.exc_edges[:, [2, 3, 0, 1]]
         # Swapped-edge coefficients for the wedge's first (outside) clip:
         # clip_halfplane(keep_left=False) swaps the endpoints, so the
         # sidedness expression is  (ax-bx)*(y-by) - (ay-by)*(x-bx).
@@ -1044,10 +1604,120 @@ def _ccw_coords_array(polygon: Polygon) -> np.ndarray:
 class _StatsHook:
     """Mutable counters the batched primitives report into."""
 
-    __slots__ = ("vertices_clipped",)
+    __slots__ = ("vertices_clipped", "clip_passes", "rows_clipped")
 
     def __init__(self) -> None:
         self.vertices_clipped = 0
+        #: Number of batched half-plane passes executed.
+        self.clip_passes = 0
+        #: Total rows (piece instances) processed across those passes.
+        self.rows_clipped = 0
+
+
+class _InclusionPre:
+    """Cohort-precomputed prefilter inputs for one target (fused path).
+
+    Each field is the slice of a cohort-wide array belonging to one target;
+    every expression producing them is an elementwise map over that target's
+    own rows, so the values are bitwise what the per-target code computes.
+    """
+
+    __slots__ = ("disjoint", "union_box", "max_d2")
+
+    def __init__(
+        self,
+        disjoint: np.ndarray,
+        union_box: tuple,
+        max_d2: np.ndarray | None = None,
+    ) -> None:
+        self.disjoint = disjoint
+        self.union_box = union_box
+        #: Optional precomputed per-piece centre-distance metric; ``None``
+        #: lets the classifier compute it lazily (most targets resolve on
+        #: the union fast path and never need it).
+        self.max_d2 = max_d2
+
+
+class _InclusionPlan:
+    """Outcome of the convex-inclusion prefilter classification.
+
+    ``out`` holds the per-piece results decided by the prefilters; pieces in
+    ``still`` need the actual clipper (their CCW ``parts`` against the
+    filtered ``edges`` rows).
+    """
+
+    __slots__ = ("out", "still", "parts", "edges", "still_verts")
+
+    def __init__(
+        self,
+        out: list,
+        still: list | tuple = (),
+        parts: list | tuple = (),
+        edges: np.ndarray | None = None,
+        still_verts: int = 0,
+    ) -> None:
+        self.out = out
+        self.still = list(still)
+        self.parts = list(parts)
+        self.edges = edges
+        self.still_verts = still_verts
+
+
+class _ExclusionPlan:
+    """Outcome of the exclusion classification for one constraint.
+
+    ``results[fi]`` is the kept parts for flat part ``fi`` (``None`` while
+    pending); parts whose wedge chains are still to run are recorded in the
+    ``chain_*`` lists so a pooled runner (vector: this target's, fused: the
+    whole cohort's) can execute them and distribute back.
+    """
+
+    __slots__ = (
+        "n_pieces",
+        "owners",
+        "results",
+        "chain_parts",
+        "chain_seqs",
+        "chain_owner",
+    )
+
+    def __init__(self, n_pieces: int) -> None:
+        self.n_pieces = n_pieces
+        self.owners: list[int] = []
+        self.results: list[list | None] = []
+        self.chain_parts: list[_Part] = []
+        self.chain_seqs: list[np.ndarray] = []
+        self.chain_owner: list[int] = []
+
+
+def _distribute_chained(plan: _ExclusionPlan, chained: Sequence) -> None:
+    """Fold pooled wedge-chain results back into the plan's result slots."""
+    for fi, piece in zip(plan.chain_owner, chained):
+        if piece is not None:
+            plan.results[fi].append(piece)
+
+
+def _parts_are_buffer(flat: list, buffer: "PieceBuffer") -> bool:
+    """True when the flat parts are exactly the buffer's own pieces.
+
+    Tuple identity against the buffer's cached :meth:`PieceBuffer.parts`
+    (the dominant case: every piece passed the inclusion fully-inside and
+    unreversed), with the coordinate-base check as fallback for part tuples
+    rebuilt around the buffer's own slices.
+    """
+    bparts = buffer._parts
+    if bparts is not None and all(a is b for a, b in zip(flat, bparts)):
+        return True
+    return all(p[0].base is buffer.xs for p in flat)
+
+
+def _assemble_exclusion(plan: _ExclusionPlan) -> list[list]:
+    """Regroup per-part results under their owning piece (scalar replica)."""
+    out: list[list] = [[] for _ in range(plan.n_pieces)]
+    for fi, kept in enumerate(plan.results):
+        if kept:
+            out[plan.owners[fi]].extend(kept)
+    return out
 
 
 # --------------------------------------------------------------------------- #
@@ -1086,34 +1756,53 @@ class VectorSolverKernel:
             )
             geometry = _ConstraintGeometry(constraint)
             parts, weights = self._apply_constraint(buffer, geometry)
-            if not parts:
-                diag.constraints_skipped += 1
-                diag.dropped_constraints.append(geometry.label)
-                self._record_assemble(started, sub_before)
-                continue
-            if parts is _UNCHANGED:
-                # The constraint produced no satisfied parts and every
-                # original piece survived: the population is exactly the
-                # current buffer, so skip the rebuild (pruning is a no-op on
-                # an already-pruned population).
-                pass
-            else:
-                # Prune on the raw part lists before building the buffer, so
-                # each constraint pays for exactly one buffer construction.
-                max_pieces = self.config.max_pieces
-                if len(parts) > max_pieces:
-                    ranked = sorted(
-                        range(len(parts)),
-                        key=lambda i: (weights[i], abs(parts[i][2])),
-                        reverse=True,
-                    )[:max_pieces]
-                    parts = [parts[i] for i in ranked]
-                    weights = [weights[i] for i in ranked]
-                buffer = PieceBuffer.from_parts(parts, weights)
+            new_buffer = self._integrate_parts(buffer, geometry, parts, weights)
             self._record_assemble(started, sub_before)
-            diag.constraints_applied += 1
-            diag.max_pieces_seen = max(diag.max_pieces_seen, len(buffer))
+            if new_buffer is not None:
+                buffer = new_buffer
+        return self._finalize(buffer, projection)
 
+    def _integrate_parts(
+        self,
+        buffer: PieceBuffer,
+        geometry: _ConstraintGeometry,
+        parts: list,
+        weights: list,
+    ) -> PieceBuffer | None:
+        """Prune + rebuild bookkeeping after one constraint's split.
+
+        Returns the population to carry forward (the same buffer object on
+        the ``_UNCHANGED`` fast path), or ``None`` when the constraint wiped
+        out every piece and is skipped.  Shared with the fused driver so the
+        diagnostics counters and pruning decisions have one implementation.
+        """
+        diag = self.diagnostics
+        if not parts:
+            diag.constraints_skipped += 1
+            diag.dropped_constraints.append(geometry.label)
+            return None
+        if parts is not _UNCHANGED:
+            # Prune on the raw part lists before building the buffer, so
+            # each constraint pays for exactly one buffer construction.
+            # (The _UNCHANGED sentinel keeps the current buffer: pruning is
+            # a no-op on an already-pruned population.)
+            max_pieces = self.config.max_pieces
+            if len(parts) > max_pieces:
+                ranked = sorted(
+                    range(len(parts)),
+                    key=lambda i: (weights[i], abs(parts[i][2])),
+                    reverse=True,
+                )[:max_pieces]
+                parts = [parts[i] for i in ranked]
+                weights = [weights[i] for i in ranked]
+            buffer = PieceBuffer.from_parts(parts, weights)
+        diag.constraints_applied += 1
+        diag.max_pieces_seen = max(diag.max_pieces_seen, len(buffer))
+        return buffer
+
+    def _finalize(self, buffer: PieceBuffer, projection) -> Region:
+        """Selection + diagnostics stamping shared by both drivers."""
+        diag = self.diagnostics
         started = time.perf_counter()
         selected = self._select(buffer)
         pieces = [
@@ -1165,7 +1854,7 @@ class VectorSolverKernel:
                 diag.phase_seconds.get("inclusion", 0.0) + time.perf_counter() - started
             )
         else:
-            inside_parts = [[buffer.part(i)] for i in range(n)]
+            inside_parts = [[p] for p in buffer.parts()]
 
         if geometry.exclusion is not None:
             started = time.perf_counter()
@@ -1176,6 +1865,22 @@ class VectorSolverKernel:
         else:
             satisfied = inside_parts
 
+        return self._assemble_split(buffer, geometry, satisfied)
+
+    def _assemble_split(
+        self,
+        buffer: PieceBuffer,
+        geometry: _ConstraintGeometry,
+        satisfied: list[list],
+    ) -> tuple[list, list]:
+        """Weighted parts + fallbacks from one constraint's satisfied sides.
+
+        Shared by the vector and fused drivers: satisfied parts gain the
+        constraint weight, originals remain as the unsatisfied fallback,
+        slivers are dropped, and a constraint that satisfied nothing while
+        every original survives returns the ``_UNCHANGED`` sentinel.
+        """
+        n = len(buffer)
         min_area = self.config.min_piece_area_km2
         if n > 0 and not any(satisfied) and bool((buffer.areas >= min_area).all()):
             # Nothing was satisfied and every original survives the sliver
@@ -1183,17 +1888,19 @@ class VectorSolverKernel:
             return _UNCHANGED, _UNCHANGED
         parts: list = []
         weights: list[float] = []
+        bparts = buffer.parts()
+        buffer_weights = buffer.weights.tolist()
         for i in range(n):
-            gained = float(buffer.weights[i]) + geometry.weight
+            gained = buffer_weights[i] + geometry.weight
             for part in satisfied[i]:
                 if abs(part[2]) >= min_area:
                     parts.append(part)
                     weights.append(gained)
             # Non-exact mode: the unsatisfied side keeps the original piece.
-            original = buffer.part(i)
+            original = bparts[i]
             if abs(original[2]) >= min_area:
                 parts.append(original)
-                weights.append(float(buffer.weights[i]))
+                weights.append(buffer_weights[i])
         return parts, weights
 
     # ------------------------------------------------------------------ #
@@ -1202,38 +1909,76 @@ class VectorSolverKernel:
     def _inclusion_step(
         self, buffer: PieceBuffer, geometry: _ConstraintGeometry
     ) -> list[list]:
-        n = len(buffer)
         inclusion = geometry.inclusion
         assert inclusion is not None
-        diag = self.diagnostics
 
         if not geometry.inc_convex:
             # Non-convex inclusion: Greiner-Hormann territory; run the exact
             # object-path boolean per piece.
             out: list[list] = []
-            for i in range(n):
+            for i in range(len(buffer)):
                 polys = intersect_polygons(buffer.polygon(i), inclusion)
                 out.append([_part_from_polygon(p) for p in polys])
             return out
 
+        plan = self._inclusion_classify(buffer, geometry)
+        if not plan.still:
+            return plan.out
+        if (
+            len(plan.still) < _MIN_BATCH_ROWS
+            and plan.still_verts < _MIN_BATCH_VERTICES
+        ):
+            # Too few (and small enough) pieces to amortize batched passes:
+            # run the scalar reference clipper (bit-identical by construction).
+            for piece in plan.still:
+                clipped = clip_convex(buffer.polygon(piece), inclusion)
+                if clipped is not None:
+                    plan.out[piece] = [_part_from_polygon(clipped)]
+            return plan.out
+        results = _clip_convex_rows(plan.parts, plan.edges, self._hook)
+        for piece, result in zip(plan.still, results):
+            if result is not None:
+                plan.out[piece] = [result]
+        return plan.out
+
+    def _inclusion_classify(
+        self,
+        buffer: PieceBuffer,
+        geometry: _ConstraintGeometry,
+        pre: "_InclusionPre | None" = None,
+    ) -> "_InclusionPlan":
+        """Prefilter classification of every piece against a convex inclusion.
+
+        Shared by the per-target vector path and the fused cohort path: the
+        decisions (bbox rejection, whole-population fast path, centre
+        distance, side matrix) are identical line for line; ``pre``
+        optionally injects the cohort-computed row arrays (bitwise equal to
+        the per-target expressions below, since every one of them is an
+        elementwise map over this target's own rows).
+        """
+        n = len(buffer)
+        diag = self.diagnostics
         bbox = geometry.inc_bbox
         boxes = buffer.bboxes
 
         # Replica of BoundingBox.intersects(piece_box, clip_box).  Runs
         # before any table construction so constraints whose geometry misses
         # every piece stay as cheap as the box comparisons.
-        disjoint = (
-            (boxes[:, 2] < bbox.min_x)
-            | (bbox.max_x < boxes[:, 0])
-            | (boxes[:, 3] < bbox.min_y)
-            | (bbox.max_y < boxes[:, 1])
-        )
+        if pre is not None:
+            disjoint = pre.disjoint
+        else:
+            disjoint = (
+                (boxes[:, 2] < bbox.min_x)
+                | (bbox.max_x < boxes[:, 0])
+                | (boxes[:, 3] < bbox.min_y)
+                | (bbox.max_y < boxes[:, 1])
+            )
         diag.prefilter_bbox += int(disjoint.sum())
 
-        out = [[] for _ in range(n)]
+        out: list[list] = [[] for _ in range(n)]
         candidates = np.nonzero(~disjoint)[0]
         if len(candidates) == 0:
-            return out
+            return _InclusionPlan(out)
         geometry.ensure_inclusion_tables()
 
         # Whole-population fast path: when every corner of the union
@@ -1244,10 +1989,13 @@ class VectorSolverKernel:
         # piece can be bbox-disjoint in that situation, so the earlier
         # rejection never fired.)
         cx, cy = geometry.inc_center
-        ux0 = float(boxes[:, 0].min())
-        uy0 = float(boxes[:, 1].min())
-        ux1 = float(boxes[:, 2].max())
-        uy1 = float(boxes[:, 3].max())
+        if pre is not None:
+            ux0, uy0, ux1, uy1 = pre.union_box
+        else:
+            ux0 = float(boxes[:, 0].min())
+            uy0 = float(boxes[:, 1].min())
+            ux1 = float(boxes[:, 2].max())
+            uy1 = float(boxes[:, 3].max())
         far = max(
             (ux0 - cx) * (ux0 - cx),
             (ux1 - cx) * (ux1 - cx),
@@ -1257,28 +2005,31 @@ class VectorSolverKernel:
         )
         if far <= geometry.inc_apothem2:
             diag.prefilter_inside += n
-            return [[_ccw_part(buffer.part(i))] for i in range(n)]
+            return _InclusionPlan([[_ccw_part(p)] for p in buffer.parts()])
 
         # Centre-distance prefilter: every vertex within the (shaved)
         # apothem of the clip centroid is strictly inside every clip edge,
         # so the clipper would return the piece unchanged.
-        cx, cy = geometry.inc_center
-        dx = buffer.xs - cx
-        dy = buffer.ys - cy
-        d2 = dx * dx + dy * dy
-        starts = buffer.offsets[:-1]
-        max_d2 = np.maximum.reduceat(d2, starts)
+        if pre is not None and pre.max_d2 is not None:
+            max_d2 = pre.max_d2
+        else:
+            dx = buffer.xs - cx
+            dy = buffer.ys - cy
+            d2 = dx * dx + dy * dy
+            starts = buffer.offsets[:-1]
+            max_d2 = np.maximum.reduceat(d2, starts)
         center_inside = max_d2[candidates] <= geometry.inc_apothem2
 
+        bparts = buffer.parts()
         undecided: list[int] = []
         for idx, piece in enumerate(candidates):
             if center_inside[idx]:
-                out[piece] = [_ccw_part(buffer.part(piece))]
+                out[piece] = [_ccw_part(bparts[piece])]
                 diag.prefilter_inside += 1
             else:
                 undecided.append(int(piece))
         if not undecided:
-            return out
+            return _InclusionPlan(out)
 
         # Exact side-matrix classification on the remaining pieces: the
         # sidedness expression matches the clipper's first pass bitwise, so
@@ -1288,7 +2039,7 @@ class VectorSolverKernel:
         edges = geometry.inc_edges
         ex = edges[:, 2] - edges[:, 0]
         ey = edges[:, 3] - edges[:, 1]
-        parts_u = [buffer.part(i) for i in undecided]
+        parts_u = [bparts[i] for i in undecided]
         X, Y, counts, _signed = _pad_parts(parts_u)
         valid = _lanes(X.shape[1])[None, None, :] < counts[:, None, None]
         cross = ex[None, :, None] * (Y[:, None, :] - edges[:, 1][None, :, None]) - ey[
@@ -1305,7 +2056,7 @@ class VectorSolverKernel:
         still_rows: list[int] = []
         for idx, piece in enumerate(undecided):
             if all_inside[idx]:
-                out[piece] = [_ccw_part(buffer.part(piece))]
+                out[piece] = [_ccw_part(bparts[piece])]
                 diag.prefilter_inside += 1
             elif any_edge_out[idx]:
                 diag.prefilter_outside += 1
@@ -1313,20 +2064,12 @@ class VectorSolverKernel:
                 still.append(piece)
                 still_rows.append(idx)
         if not still:
-            return out
+            return _InclusionPlan(out)
 
         diag.pieces_clipped += len(still)
         still_verts = int(
             sum(buffer.offsets[i + 1] - buffer.offsets[i] for i in still)
         )
-        if len(still) < _MIN_BATCH_ROWS and still_verts < _MIN_BATCH_VERTICES:
-            # Too few (and small enough) pieces to amortize batched passes:
-            # run the scalar reference clipper (bit-identical by construction).
-            for piece in still:
-                clipped = clip_convex(buffer.polygon(piece), inclusion)
-                if clipped is not None:
-                    out[piece] = [_part_from_polygon(clipped)]
-            return out
 
         # Edge filtering: an edge every remaining vertex is inside (with the
         # float-safety margin) clips nothing for any piece -- intermediate
@@ -1336,12 +2079,10 @@ class VectorSolverKernel:
         near = (cross[still_rows] < (-EPSILON + _PREFILTER_MARGIN)) & valid[still_rows]
         needed = near.any(axis=(0, 2))
 
-        parts = [_ccw_part(buffer.part(i)) for i in still]
-        results = _clip_convex_rows(parts, geometry.inc_edges[needed], self._hook)
-        for piece, result in zip(still, results):
-            if result is not None:
-                out[piece] = [result]
-        return out
+        parts = [_ccw_part(bparts[i]) for i in still]
+        return _InclusionPlan(
+            out, still, parts, geometry.inc_edges[needed], still_verts
+        )
 
     # ------------------------------------------------------------------ #
     # Exclusion: cautious subtraction with vectorized shortcuts
@@ -1359,41 +2100,72 @@ class VectorSolverKernel:
         a convex exclusion is wedge-subtracted (all wedges of all parts in
         one batched chain run), anything else rides the object fallback.
         """
+        plan = self._exclusion_classify(inside_parts, geometry, buffer)
+        if plan.chain_parts:
+            chained = _halfplane_chain_rows(
+                plan.chain_parts, plan.chain_seqs, self._hook
+            )
+            _distribute_chained(plan, chained)
+        return _assemble_exclusion(plan)
+
+    def _exclusion_classify(
+        self,
+        inside_parts: list[list],
+        geometry: _ConstraintGeometry,
+        buffer: PieceBuffer | None = None,
+    ) -> _ExclusionPlan:
+        """Classify every part against the exclusion; defer wedge chains.
+
+        Everything except the wedge-chain run happens here (bbox keeps,
+        keyhole containment + batch keyholing, object fallbacks, the
+        small-batch scalar path); parts that need the chain runner are
+        recorded on the returned plan.  This is the per-target vector path;
+        the fused cohort engine runs the same decision tree over stacked
+        cohort rows in ``FusedSolverKernel._fused_exclusion`` (kept as a
+        deliberate mirror -- every expression there must match this one).
+        """
         exclusion = geometry.exclusion
         assert exclusion is not None
         bbox = geometry.exc_bbox
         diag = self.diagnostics
         tol = 1e-6
 
+        plan = _ExclusionPlan(len(inside_parts))
         flat: list[_Part] = []
-        owners: list[int] = []
+        owners = plan.owners
         for pi, parts in enumerate(inside_parts):
             for part in parts:
                 flat.append(part)
                 owners.append(pi)
         if not flat:
-            return [[] for _ in inside_parts]
+            return plan
 
         # Pad once; every stage below (bbox classification, containment,
         # wedge sidedness) reads the same row arrays.  In the dominant case
         # -- every piece passed the inclusion fully-inside, so the parts are
         # the buffer's own coordinate slices, unreversed -- the buffer's
-        # cached padded rows are reused outright.
+        # cached padded rows *and* cached bounding boxes are reused outright
+        # (the padded-row min/max over valid lanes reduces the same vertex
+        # set, so the cached values are bitwise equal).
         if (
             buffer is not None
             and len(flat) == len(buffer)
-            and all(p[0].base is buffer.xs for p in flat)
+            and _parts_are_buffer(flat, buffer)
         ):
             X, Y, counts = buffer.padded()
+            minx = buffer.bboxes[:, 0]
+            miny = buffer.bboxes[:, 1]
+            maxx = buffer.bboxes[:, 2]
+            maxy = buffer.bboxes[:, 3]
         else:
             X, Y, counts, _signed = _pad_parts(flat)
-        lanes = _lanes(X.shape[1])[None, :]
-        valid = lanes < counts[:, None]
-        inf = np.inf
-        minx = np.where(valid, X, inf).min(axis=1)
-        miny = np.where(valid, Y, inf).min(axis=1)
-        maxx = np.where(valid, X, -inf).max(axis=1)
-        maxy = np.where(valid, Y, -inf).max(axis=1)
+            lanes = _lanes(X.shape[1])[None, :]
+            valid = lanes < counts[:, None]
+            inf = np.inf
+            minx = np.where(valid, X, inf).min(axis=1)
+            miny = np.where(valid, Y, inf).min(axis=1)
+            maxx = np.where(valid, X, -inf).max(axis=1)
+            maxy = np.where(valid, Y, -inf).max(axis=1)
         # Replica of piece_box.intersects(exclusion_box).
         disjoint = (
             (maxx < bbox.min_x)
@@ -1411,7 +2183,8 @@ class VectorSolverKernel:
             & (bbox.max_y <= maxy + tol)
         )
 
-        results: list[list | None] = [None] * len(flat)
+        plan.results = [None] * len(flat)
+        results = plan.results
         keyhole_idx: list[int] = []
         subtract_idx: list[int] = []
         for fi, part in enumerate(flat):
@@ -1489,17 +2262,12 @@ class VectorSolverKernel:
                     polys = subtract_convex(_polygon_from_part(flat[fi]), exclusion)
                     results[fi] = [_part_from_polygon(p) for p in polys]
             else:
-                self._subtract_convex_batch(
-                    flat, subtract_idx, X, Y, counts, geometry, results
+                self._collect_wedge_chains(
+                    flat, subtract_idx, X, Y, counts, geometry, plan
                 )
+        return plan
 
-        out: list[list] = [[] for _ in inside_parts]
-        for fi, kept in enumerate(results):
-            if kept:
-                out[owners[fi]].extend(kept)
-        return out
-
-    def _subtract_convex_batch(
+    def _collect_wedge_chains(
         self,
         flat: list[_Part],
         subtract_idx: list[int],
@@ -1507,7 +2275,7 @@ class VectorSolverKernel:
         flatY: np.ndarray,
         flat_counts: np.ndarray,
         geometry: _ConstraintGeometry,
-        results: list[list | None],
+        plan: _ExclusionPlan,
     ) -> None:
         """Batched ``subtract_convex`` over many parts at once.
 
@@ -1543,9 +2311,7 @@ class VectorSolverKernel:
         ] * (X[:, None, :] - edges[:, 0][None, :, None])
         keep_needed = ((side_k < (-EPSILON + _PREFILTER_MARGIN)) & valid).any(axis=2)
 
-        chain_parts: list[_Part] = []
-        chain_seqs: list[np.ndarray] = []
-        chain_owner: list[int] = []
+        results = plan.results
         for k, fi in enumerate(subtract_idx):
             wedges = np.nonzero(nontrivial[k])[0]
             if len(wedges) == 0:
@@ -1561,16 +2327,10 @@ class VectorSolverKernel:
                     [edges[i, 2], edges[i, 3], edges[i, 0], edges[i, 1]]
                 )[None, :]
                 inner = inner_needed[inner_needed < i]
-                chain_parts.append(flat[fi])
-                chain_seqs.append(np.concatenate([swapped, edges[inner]], axis=0))
-                chain_owner.append(fi)
+                plan.chain_parts.append(flat[fi])
+                plan.chain_seqs.append(np.concatenate([swapped, edges[inner]], axis=0))
+                plan.chain_owner.append(fi)
             results[fi] = []
-        if not chain_parts:
-            return
-        chained = _halfplane_chain_rows(chain_parts, chain_seqs, self._hook)
-        for fi, piece in zip(chain_owner, chained):
-            if piece is not None:
-                results[fi].append(piece)
 
     # ------------------------------------------------------------------ #
     # Selection (stable scalar sort over cached metrics)
@@ -1596,6 +2356,753 @@ class VectorSolverKernel:
             selected.append(i)
             accumulated += areas[i]
         return selected
+
+
+def _bucket_rows(lengths: Sequence[int], floor: int = 16) -> list[list[int]]:
+    """Partition row indices into vertex-count buckets for pooled runners.
+
+    Pooled padded matrices are as wide as their widest row; one keyholed
+    100-vertex piece would make *every* row pay 100 lanes of padded
+    arithmetic.  Sorting rows by length and cutting a new bucket whenever a
+    row exceeds twice the bucket's opening width keeps the padding waste
+    bounded while preserving large pooled batches.  Per-row results are
+    row-independent, so the partition cannot change any output.
+    """
+    order = sorted(range(len(lengths)), key=lambda i: lengths[i])
+    buckets: list[list[int]] = []
+    current: list[int] = []
+    limit = 0
+    for idx in order:
+        n = lengths[idx]
+        if current and n > limit:
+            buckets.append(current)
+            current = []
+        if not current:
+            limit = max(n, floor) * 2
+        current.append(idx)
+    if current:
+        buckets.append(current)
+    return buckets
+
+
+# --------------------------------------------------------------------------- #
+# The fused cohort kernel
+# --------------------------------------------------------------------------- #
+class _FusedTargetState:
+    """One target's solver state inside a fused cohort run."""
+
+    __slots__ = (
+        "kernel",
+        "buffer",
+        "ordered",
+        "cursor",
+        "projection",
+        "geometry",
+        "inside_parts",
+        "satisfied",
+        "plan",
+    )
+
+    def __init__(self, kernel, buffer, ordered, projection) -> None:
+        self.kernel: VectorSolverKernel = kernel
+        self.buffer: PieceBuffer = buffer
+        self.ordered = ordered
+        self.cursor = 0
+        self.projection = projection
+        self.geometry: _ConstraintGeometry | None = None
+        self.inside_parts: list[list] | None = None
+        self.satisfied: list[list] | None = None
+        self.plan = None
+
+
+class FusedSolverKernel:
+    """Lockstep multi-target weighted accumulation over one cohort.
+
+    Batch evaluation and high-traffic serving are cohort-shaped: many
+    targets solve structurally identical weighted-region systems, and after
+    the PR 2 vectorization each target still pays NumPy *dispatch* per clip
+    pass -- on the tiny matrices the solver sees, dispatch dominates
+    arithmetic.  This kernel adds the missing *target* axis: every target's
+    constraint sequence (ordered by weight, exactly like the vector engine)
+    advances in lockstep, and the k-th constraint of every active target is
+    applied in shared batched passes:
+
+    * the bbox / centre-distance prefilters run once over a
+      :class:`CohortPieceBuffer` stacking all targets' pieces, with
+      per-row constraint parameters (boxes, centres) broadcast by target id;
+    * the surviving pieces of *all* targets clip through a single
+      :func:`_clip_convex_rows_multi` call with per-row edge tables;
+    * the wedge chains of *all* targets' convex subtractions pool into one
+      :func:`_halfplane_chain_rows` run.
+
+    Per-target decision logic is not duplicated: classification, part
+    assembly, pruning and selection are the very
+    :class:`VectorSolverKernel` methods, driven per target.  Bit-identity
+    with ``engine="vector"`` follows because every pooled primitive is
+    row-independent (elementwise arithmetic, per-row scans, scatter by row;
+    padding width and cross-row short-circuits never change a row's
+    values), so concatenating targets' rows into one call cannot change any
+    row's output -- pinned by the cohort equivalence suite in
+    ``tests/core/test_solver_engines.py``.
+    """
+
+    def __init__(self, config) -> None:
+        self.config = config
+        #: Pooled pass counters for the whole cohort run.
+        self._hook = _StatsHook()
+        self._steps = 0
+        self._step_targets = 0
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def solve_many(self, systems: Sequence[tuple]) -> list[Region]:
+        """Solve many systems in lockstep.
+
+        ``systems`` holds ``(constraints, projection, base, diagnostics)``
+        per target; returns one :class:`Region` per system, in order.  The
+        diagnostics objects receive the same counters the vector engine
+        records plus the cohort-level fused pass counters.
+        """
+        states: list[_FusedTargetState] = []
+        for constraints, projection, base, diagnostics in systems:
+            diagnostics.engine = "fused"
+            kernel = VectorSolverKernel(self.config, diagnostics)
+            buffer = PieceBuffer.from_polygons([(base, 0.0)])
+            ordered = sorted(constraints, key=lambda c: c.weight, reverse=True)
+            states.append(_FusedTargetState(kernel, buffer, ordered, projection))
+
+        while True:
+            active = [s for s in states if s.cursor < len(s.ordered)]
+            if not active:
+                break
+            self._apply_step(active)
+            for s in active:
+                s.cursor += 1
+
+        mean_targets = self._step_targets / self._steps if self._steps else 0.0
+        regions: list[Region] = []
+        for s in states:
+            diag = s.kernel.diagnostics
+            diag.fused_cohort_targets = len(states)
+            diag.fused_pass_count = self._hook.clip_passes
+            diag.fused_rows_clipped = self._hook.rows_clipped
+            diag.fused_targets_per_pass = mean_targets
+            regions.append(s.kernel._finalize(s.buffer, s.projection))
+        return regions
+
+    # ------------------------------------------------------------------ #
+    # One lockstep step: the k-th constraint of every active target
+    # ------------------------------------------------------------------ #
+    def _apply_step(self, active: list[_FusedTargetState]) -> None:
+        started = time.perf_counter()
+        self._steps += 1
+        self._step_targets += len(active)
+        for s in active:
+            s.geometry = _ConstraintGeometry(s.ordered[s.cursor])
+
+        # ---- inclusion stage ------------------------------------------ #
+        fusable: list[_FusedTargetState] = []
+        for s in active:
+            geometry = s.geometry
+            if geometry.inclusion is None:
+                s.inside_parts = [[p] for p in s.buffer.parts()]
+            elif not geometry.inc_convex:
+                # Greiner-Hormann territory: the per-target object fallback,
+                # exactly like the vector engine.
+                s.inside_parts = s.kernel._inclusion_step(s.buffer, geometry)
+            else:
+                fusable.append(s)
+        if fusable:
+            self._fused_inclusion(fusable)
+
+        # ---- exclusion stage ------------------------------------------ #
+        excluding: list[_FusedTargetState] = []
+        for s in active:
+            if s.geometry.exclusion is None:
+                s.satisfied = s.inside_parts
+            else:
+                excluding.append(s)
+        if excluding:
+            self._fused_exclusion(excluding)
+
+        # ---- per-target assembly and pruning, pooled rebuild ---------- #
+        # Mirrors VectorSolverKernel._integrate_parts decision for decision,
+        # but the per-target ``PieceBuffer.from_parts`` constructions pool
+        # into one cohort concatenation + one set of bbox reductions.
+        rebuilds: list[tuple[_FusedTargetState, list, list]] = []
+        max_pieces = self.config.max_pieces
+        for s in active:
+            parts, weights = s.kernel._assemble_split(
+                s.buffer, s.geometry, s.satisfied
+            )
+            diag = s.kernel.diagnostics
+            if not parts:
+                diag.constraints_skipped += 1
+                diag.dropped_constraints.append(s.geometry.label)
+            elif parts is _UNCHANGED:
+                diag.constraints_applied += 1
+                diag.max_pieces_seen = max(diag.max_pieces_seen, len(s.buffer))
+            else:
+                if len(parts) > max_pieces:
+                    ranked = sorted(
+                        range(len(parts)),
+                        key=lambda i: (weights[i], abs(parts[i][2])),
+                        reverse=True,
+                    )[:max_pieces]
+                    parts = [parts[i] for i in ranked]
+                    weights = [weights[i] for i in ranked]
+                rebuilds.append((s, parts, weights))
+                diag.constraints_applied += 1
+                diag.max_pieces_seen = max(diag.max_pieces_seen, len(parts))
+            s.geometry = None
+            s.inside_parts = None
+            s.satisfied = None
+            s.plan = None
+        if rebuilds:
+            self._rebuild_buffers(rebuilds)
+
+        # The cohort step is one shared span; book each target an equal
+        # share so per-target phase sums remain meaningful.
+        share = (time.perf_counter() - started) / len(active)
+        for s in active:
+            diag = s.kernel.diagnostics
+            diag.phase_seconds["fused_step"] = (
+                diag.phase_seconds.get("fused_step", 0.0) + share
+            )
+
+    def _rebuild_buffers(
+        self, rebuilds: list[tuple[_FusedTargetState, list, list]]
+    ) -> None:
+        """Pooled post-constraint buffer rebuild for many targets.
+
+        One concatenation packs every target's surviving parts; the
+        per-piece bounding boxes reduce over the pooled arrays (the same
+        per-piece spans the per-target constructor reduces, so the values
+        are bitwise equal); each target receives its slice views.
+        """
+        all_parts: list[_Part] = []
+        for _s, parts, _w in rebuilds:
+            all_parts.extend(parts)
+        counts = np.array([len(p[0]) for p in all_parts], dtype=np.int64)
+        offsets = np.zeros(len(all_parts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        xs = np.concatenate([p[0] for p in all_parts])
+        ys = np.concatenate([p[1] for p in all_parts])
+        signed = np.array([p[2] for p in all_parts])
+        bboxes = _bboxes_from_packed(xs, ys, offsets)
+        piece_pos = 0
+        for s, parts, weights in rebuilds:
+            n = len(parts)
+            lo = int(offsets[piece_pos])
+            hi = int(offsets[piece_pos + n])
+            s.buffer = PieceBuffer.from_arrays(
+                xs[lo:hi],
+                ys[lo:hi],
+                offsets[piece_pos : piece_pos + n + 1] - lo,
+                np.asarray(weights, dtype=float),
+                signed[piece_pos : piece_pos + n],
+                bboxes[piece_pos : piece_pos + n],
+            )
+            piece_pos += n
+
+    # ------------------------------------------------------------------ #
+    # Fused inclusion: cohort prefilters + pooled convex clip
+    # ------------------------------------------------------------------ #
+    def _fused_inclusion(self, group: list[_FusedTargetState]) -> None:
+        cohort = CohortPieceBuffer(
+            [s.buffer for s in group], [s.cursor for s in group]
+        )
+        boxes = cohort.bboxes
+        if len(cohort):
+            binfo = np.array(
+                [
+                    [
+                        s.geometry.inc_bbox.min_x,
+                        s.geometry.inc_bbox.min_y,
+                        s.geometry.inc_bbox.max_x,
+                        s.geometry.inc_bbox.max_y,
+                    ]
+                    for s in group
+                ]
+            )
+            row_box = binfo[cohort.piece_target]
+            # Replica of the per-target bbox rejection, one pass for the
+            # whole cohort (same comparisons, per-row constraint bounds).
+            disjoint = (
+                (boxes[:, 2] < row_box[:, 0])
+                | (row_box[:, 2] < boxes[:, 0])
+                | (boxes[:, 3] < row_box[:, 1])
+                | (row_box[:, 3] < boxes[:, 1])
+            )
+        else:
+            disjoint = np.zeros(0, dtype=bool)
+        union = cohort.union_boxes()
+
+        pooled_parts: list[_Part] = []
+        pooled_seqs: list[np.ndarray] = []
+        owner: list[tuple[_InclusionPlan, int]] = []
+        for t, s in enumerate(group):
+            pieces = cohort.target_pieces(t)
+            pre = _InclusionPre(
+                disjoint[pieces],
+                tuple(float(v) for v in union[t]),
+                None,
+            )
+            plan = s.kernel._inclusion_classify(s.buffer, s.geometry, pre)
+            s.plan = plan
+            for j, part in enumerate(plan.parts):
+                pooled_parts.append(part)
+                pooled_seqs.append(plan.edges)
+                owner.append((plan, j))
+        if pooled_parts:
+            lengths = [len(p[0]) for p in pooled_parts]
+            for bucket in _bucket_rows(lengths):
+                results = _clip_convex_rows_multi(
+                    [pooled_parts[i] for i in bucket],
+                    [pooled_seqs[i] for i in bucket],
+                    self._hook,
+                )
+                for i, result in zip(bucket, results):
+                    if result is not None:
+                        plan, j = owner[i]
+                        plan.out[plan.still[j]] = [result]
+        for s in group:
+            s.inside_parts = s.plan.out
+            s.plan = None
+
+    # ------------------------------------------------------------------ #
+    # Fused exclusion: cohort-pooled classification + pooled wedge chains
+    # ------------------------------------------------------------------ #
+    def _fused_exclusion(self, group: list[_FusedTargetState]) -> None:
+        """``subtract_cautious`` for every part of every target at once.
+
+        Mirrors :meth:`VectorSolverKernel._exclusion_classify` decision for
+        decision, but every tensor stage -- bbox/keyhole classification,
+        keyhole containment, bridge search, batched keyholing, wedge
+        sidedness -- runs once over the stacked cohort rows with per-row
+        constraint parameters gathered by target id, and every wedge chain
+        of every target pools into a single runner call.
+        """
+        simple: list[_FusedTargetState] = []
+        for s in group:
+            if s.geometry.exc_convex:
+                simple.append(s)
+            else:
+                # Non-convex exclusion (Greiner-Hormann territory): the
+                # whole per-target path, exactly like the vector engine.
+                s.satisfied = s.kernel._exclusion_step(
+                    s.inside_parts, s.geometry, s.buffer
+                )
+        if not simple:
+            return
+
+        tol = 1e-6
+        plans: list[_ExclusionPlan] = []
+        flats: list[list[_Part]] = []
+        blocks: list[tuple[np.ndarray, np.ndarray, np.ndarray] | None] = []
+        for s in simple:
+            plan = _ExclusionPlan(len(s.inside_parts))
+            flat: list[_Part] = []
+            owners = plan.owners
+            for pi, parts in enumerate(s.inside_parts):
+                for part in parts:
+                    flat.append(part)
+                    owners.append(pi)
+            plan.results = [None] * len(flat)
+            buffer = s.buffer
+            if not flat:
+                blocks.append(None)
+            elif len(flat) == len(buffer) and _parts_are_buffer(flat, buffer):
+                blocks.append(buffer.padded())
+            else:
+                # Raw part lists are padded straight into the cohort matrix
+                # below (no intermediate per-target padding).
+                blocks.append(flat)
+            plans.append(plan)
+            flats.append(flat)
+
+        sizes = [0 if b is None else (len(b[2]) if isinstance(b, tuple) else len(b)) for b in blocks]
+        total = sum(sizes)
+        if total == 0:
+            for s, plan in zip(simple, plans):
+                s.satisfied = _assemble_exclusion(plan)
+            return
+        width = 1
+        for block in blocks:
+            if block is None:
+                continue
+            if isinstance(block, tuple):
+                width = max(width, block[0].shape[1])
+            else:
+                width = max(width, max(len(p[0]) for p in block))
+        X = np.zeros((total, width))
+        Y = np.zeros_like(X)
+        counts = np.zeros(total, dtype=np.int64)
+        row_target = np.zeros(total, dtype=np.int64)
+        starts: list[int] = []
+        pos = 0
+        for t, block in enumerate(blocks):
+            starts.append(pos)
+            if block is None:
+                continue
+            if isinstance(block, tuple):
+                bX, bY, bc = block
+                n = len(bc)
+                X[pos : pos + n, : bX.shape[1]] = bX
+                Y[pos : pos + n, : bY.shape[1]] = bY
+                counts[pos : pos + n] = bc
+            else:
+                n = len(block)
+                for r, (pxs, pys, _signed) in enumerate(block):
+                    X[pos + r, : len(pxs)] = pxs
+                    Y[pos + r, : len(pys)] = pys
+                    counts[pos + r] = len(pxs)
+            row_target[pos : pos + n] = t
+            pos += n
+
+        # Cohort bbox classification: the per-row min/max reduce the same
+        # vertex sets the per-target path reduces (exact min/max, so the
+        # values are bitwise equal), and the comparisons replicate
+        # piece_box.intersects(exclusion_box) plus the keyhole precondition.
+        lanes = _lanes(width)[None, :]
+        valid = lanes < counts[:, None]
+        inf = np.inf
+        minx = np.where(valid, X, inf).min(axis=1)
+        miny = np.where(valid, Y, inf).min(axis=1)
+        maxx = np.where(valid, X, -inf).max(axis=1)
+        maxy = np.where(valid, Y, -inf).max(axis=1)
+        binfo = np.array(
+            [
+                [
+                    s.geometry.exc_bbox.min_x,
+                    s.geometry.exc_bbox.min_y,
+                    s.geometry.exc_bbox.max_x,
+                    s.geometry.exc_bbox.max_y,
+                ]
+                for s in simple
+            ]
+        )
+        rb = binfo[row_target]
+        disjoint = (
+            (maxx < rb[:, 0])
+            | (rb[:, 2] < minx)
+            | (maxy < rb[:, 1])
+            | (rb[:, 3] < miny)
+        )
+        keyhole_able = (
+            ~disjoint
+            & (minx - tol <= rb[:, 0])
+            & (miny - tol <= rb[:, 1])
+            & (rb[:, 2] <= maxx + tol)
+            & (rb[:, 3] <= maxy + tol)
+        )
+
+        diags = [s.kernel.diagnostics for s in simple]
+        row_target_l = row_target.tolist()
+        disjoint_l = disjoint.tolist()
+        keyhole_l = keyhole_able.tolist()
+        keyhole_rows: list[int] = []
+        subtract_rows: list[int] = []
+        for row in range(total):
+            t = row_target_l[row]
+            if disjoint_l[row]:
+                plans[t].results[row - starts[t]] = [flats[t][row - starts[t]]]
+                diags[t].prefilter_bbox += 1
+            elif keyhole_l[row]:
+                keyhole_rows.append(row)
+            else:
+                subtract_rows.append(row)
+
+        if keyhole_rows:
+            subtract_more = self._fused_keyhole(
+                simple, plans, flats, diags,
+                X, Y, counts, np.column_stack([minx, miny, maxx, maxy]),
+                row_target, starts, keyhole_rows,
+            )
+            subtract_rows.extend(subtract_more)
+            subtract_rows.sort()
+
+        if subtract_rows:
+            specs = self._fused_wedges(
+                simple, plans, flats, diags,
+                X, Y, counts, row_target, starts, subtract_rows,
+            )
+            if specs:
+                # Bucket chain rows by part width so one big keyholed ring
+                # does not widen every wedge's padded lanes.
+                lengths = [len(spec[0][0]) for spec in specs]
+                for bucket in _bucket_rows(lengths):
+                    bucket_specs = [specs[i] for i in bucket]
+                    seq_lens = np.array(
+                        [1 + len(spec[5]) for spec in bucket_specs], dtype=np.int64
+                    )
+                    edge_arr = np.zeros((len(bucket_specs), int(seq_lens.max()), 4))
+                    for r, (_part, _plan, _fi, t, i, inner) in enumerate(
+                        bucket_specs
+                    ):
+                        geometry = simple[t].geometry
+                        edge_arr[r, 0, :] = geometry.exc_swapped[i]
+                        if inner:
+                            edge_arr[r, 1 : 1 + len(inner), :] = geometry.exc_edges[
+                                inner
+                            ]
+                    chained = _halfplane_chain_run(
+                        [spec[0] for spec in bucket_specs],
+                        edge_arr,
+                        seq_lens,
+                        self._hook,
+                    )
+                    for spec, piece in zip(bucket_specs, chained):
+                        if piece is not None:
+                            spec[1].results[spec[2]].append(piece)
+        for s, plan in zip(simple, plans):
+            s.satisfied = _assemble_exclusion(plan)
+
+    def _fused_keyhole(
+        self,
+        simple: list[_FusedTargetState],
+        plans: list[_ExclusionPlan],
+        flats: list[list[_Part]],
+        diags: list,
+        X: np.ndarray,
+        Y: np.ndarray,
+        counts: np.ndarray,
+        boxes: np.ndarray,
+        row_target: np.ndarray,
+        starts: list[int],
+        keyhole_rows: list[int],
+    ) -> list[int]:
+        """Pooled keyhole stage; returns rows that fall through to wedges."""
+        kro = np.asarray(keyhole_rows)
+        rt = row_target[kro]
+        involved = sorted(set(rt.tolist()))
+        for t in involved:
+            simple[t].geometry.ensure_keyhole_tables()
+        T = len(simple)
+        q_max = max(len(simple[t].geometry.exc_coords) for t in involved)
+        TQX = np.zeros((T, q_max))
+        TQY = np.zeros((T, q_max))
+        t_qn = np.zeros(T, dtype=np.int64)
+        TINX = np.zeros((T, q_max))
+        TINY = np.zeros((T, q_max))
+        t_ni = np.zeros(T, dtype=np.int64)
+        for t in involved:
+            geometry = simple[t].geometry
+            qn = len(geometry.exc_coords)
+            TQX[t, :qn] = geometry.exc_coords[:, 0]
+            TQY[t, :qn] = geometry.exc_coords[:, 1]
+            t_qn[t] = qn
+            ni = len(geometry.exc_rev_x)
+            TINX[t, :ni] = geometry.exc_rev_x
+            TINY[t, :ni] = geometry.exc_rev_y
+            t_ni[t] = ni
+
+        kcounts = counts[kro]
+        narrow = max(int(kcounts.max()), 1)
+        kX = X[kro][:, :narrow]
+        kY = Y[kro][:, :narrow]
+        parts_k = [flats[t][row - starts[t]] for t, row in zip(rt.tolist(), keyhole_rows)]
+        q_valid = _lanes(q_max)[None, :] < t_qn[rt][:, None]
+        k_boxes = boxes[kro]
+        QXr = TQX[rt]
+        QYr = TQY[rt]
+        INXr = TINX[rt]
+        INYr = TINY[rt]
+        nir = t_ni[rt]
+        # Bucket the (part, query, vertex) tensors by row width: one wide
+        # keyholed piece must not widen every candidate's padded lanes.
+        contained = np.empty(len(kro), dtype=bool)
+        bridges: list[tuple[int, int] | None] = [None] * len(kro)
+        for bucket in _bucket_rows([int(c) for c in kcounts]):
+            idx = np.asarray(bucket)
+            bw = max(int(kcounts[idx].max()), 1)
+            bX = kX[idx][:, :bw]
+            bY = kY[idx][:, :bw]
+            contained[idx] = _contain_all_queries_rows(
+                [parts_k[i] for i in bucket],
+                bX,
+                bY,
+                kcounts[idx],
+                k_boxes[idx],
+                QXr[idx],
+                QYr[idx],
+                q_valid[idx],
+            )
+            b_bridges = _keyhole_bridges_rows(
+                bX, bY, kcounts[idx], contained[idx], INXr[idx], INYr[idx], nir[idx]
+            )
+            for pos, i in enumerate(bucket):
+                bridges[i] = b_bridges[pos]
+        batch_rows: list[int] = []
+        fall_through: list[int] = []
+        for k, row in enumerate(keyhole_rows):
+            t = int(rt[k])
+            if contained[k]:
+                diags[t].prefilter_inside += 1
+                if parts_k[k][2] > 0.0:
+                    batch_rows.append(k)
+                else:
+                    # CW-stored ring: the bridge scan order depends on
+                    # orientation, so this (rare) part goes scalar.
+                    geometry = simple[t].geometry
+                    plans[t].results[row - starts[t]] = [
+                        _with_hole_part(
+                            parts_k[k], geometry.exc_rev_x, geometry.exc_rev_y
+                        )
+                    ]
+            else:
+                fall_through.append(row)
+        if batch_rows:
+            keyholed = _with_hole_batch_rows(
+                kX,
+                kY,
+                kcounts,
+                np.asarray(batch_rows),
+                bridges,
+                INXr,
+                INYr,
+                nir,
+            )
+            for k, part in zip(batch_rows, keyholed):
+                t = int(rt[k])
+                row = keyhole_rows[k]
+                plans[t].results[row - starts[t]] = [part]
+        return fall_through
+
+    def _fused_wedges(
+        self,
+        simple: list[_FusedTargetState],
+        plans: list[_ExclusionPlan],
+        flats: list[list[_Part]],
+        diags: list,
+        X: np.ndarray,
+        Y: np.ndarray,
+        counts: np.ndarray,
+        row_target: np.ndarray,
+        starts: list[int],
+        subtract_rows: list[int],
+    ) -> list[tuple]:
+        """Pooled wedge classification.
+
+        Returns one chain spec ``(part, plan, fi, target, wedge, inner)``
+        per surviving (part, wedge) pair; the caller buckets them by part
+        width and runs pooled chain calls."""
+        sro = np.asarray(subtract_rows)
+        rt = row_target[sro]
+        involved = sorted(set(rt.tolist()))
+        for t in involved:
+            simple[t].geometry.ensure_wedge_tables()
+        T = len(simple)
+        w_max = max(simple[t].geometry.exc_edges.shape[0] for t in involved)
+        TEX = np.zeros((T, w_max))
+        TEY = np.zeros((T, w_max))
+        TRBX = np.zeros((T, w_max))
+        TRBY = np.zeros((T, w_max))
+        TKEX = np.zeros((T, w_max))
+        TKEY = np.zeros((T, w_max))
+        TKAX = np.zeros((T, w_max))
+        TKAY = np.zeros((T, w_max))
+        t_wn = np.zeros(T, dtype=np.int64)
+        for t in involved:
+            geometry = simple[t].geometry
+            ex, ey, rbx, rby = geometry.exc_wedge_sides
+            wn = len(ex)
+            TEX[t, :wn] = ex
+            TEY[t, :wn] = ey
+            TRBX[t, :wn] = rbx
+            TRBY[t, :wn] = rby
+            edges = geometry.exc_edges
+            TKEX[t, :wn] = edges[:, 2] - edges[:, 0]
+            TKEY[t, :wn] = edges[:, 3] - edges[:, 1]
+            TKAX[t, :wn] = edges[:, 0]
+            TKAY[t, :wn] = edges[:, 1]
+            t_wn[t] = wn
+
+        sc = counts[sro]
+        narrow = max(int(sc.max()), 1)
+        sX = X[sro][:, :narrow]
+        sY = Y[sro][:, :narrow]
+        lane_valid = _lanes(narrow)[None, :] < sc[:, None]
+        wedge_valid = _lanes(w_max)[None, :] < t_wn[rt][:, None]
+        # The swapped-endpoint sidedness of the wedge's outside clip and the
+        # keep-left sidedness of its inner clips, with per-row wedge tables;
+        # both expressions mirror the per-target tensors operand for operand.
+        side = TEX[rt][:, :, None] * (sY[:, None, :] - TRBY[rt][:, :, None]) - TEY[
+            rt
+        ][:, :, None] * (sX[:, None, :] - TRBX[rt][:, :, None])
+        nontrivial = (
+            ((side >= -EPSILON) & lane_valid[:, None, :]).any(axis=2) & wedge_valid
+        )
+        side_k = TKEX[rt][:, :, None] * (sY[:, None, :] - TKAY[rt][:, :, None]) - TKEY[
+            rt
+        ][:, :, None] * (sX[:, None, :] - TKAX[rt][:, :, None])
+        keep_needed = (
+            ((side_k < (-EPSILON + _PREFILTER_MARGIN)) & lane_valid[:, None, :]).any(
+                axis=2
+            )
+            & wedge_valid
+        )
+        # Wedge-kill prefilter: wedge i's chain clips the part to the inside
+        # of edges 0..i-1.  When every part vertex lies strictly outside
+        # edge j (with the float-safety margin), so does every point of the
+        # part's convex hull -- hence every chain intermediate, whose
+        # vertices are part vertices or points on part edges -- and the
+        # inside(edge_j) clip provably empties the chain.  Any wedge with an
+        # earlier all-out edge therefore contributes nothing and is skipped
+        # before a single pass runs (the scalar decomposition runs it and
+        # gets None; the output set is identical).
+        all_out = (
+            ((side_k < -(EPSILON + _PREFILTER_MARGIN)) | ~lane_valid[:, None, :]).all(
+                axis=2
+            )
+            & wedge_valid
+        )
+        prior_out = np.cumsum(all_out, axis=1) - all_out
+        nontrivial = nontrivial & ~(prior_out > 0)
+
+        # One pooled nonzero per matrix; rows come out grouped and wedge
+        # indices ascending within each row, exactly the per-part scans.
+        nz_rows = np.nonzero(nontrivial)[0].tolist()
+        nz_wedges = np.nonzero(nontrivial)[1].tolist()
+        kn_rows = np.nonzero(keep_needed)[0].tolist()
+        kn_wedges = np.nonzero(keep_needed)[1].tolist()
+        rt_l = rt.tolist()
+        ni = 0
+        kk = 0
+        n_nz = len(nz_rows)
+        n_kn = len(kn_rows)
+        specs: list[tuple[_Part, _ExclusionPlan, int, int, int, list[int]]] = []
+        for k, row in enumerate(subtract_rows):
+            t = rt_l[k]
+            fi = row - starts[t]
+            plan = plans[t]
+            wedges: list[int] = []
+            while ni < n_nz and nz_rows[ni] == k:
+                wedges.append(nz_wedges[ni])
+                ni += 1
+            keeps: list[int] = []
+            while kk < n_kn and kn_rows[kk] == k:
+                keeps.append(kn_wedges[kk])
+                kk += 1
+            if not wedges:
+                # Every wedge clips to nothing: the part lies within the
+                # exclusion and vanishes.
+                diags[t].prefilter_outside += 1
+                plan.results[fi] = []
+                continue
+            diags[t].pieces_clipped += 1
+            part = flats[t][fi]
+            p = 0
+            n_keeps = len(keeps)
+            for i in wedges:
+                # keeps is ascending, wedges is ascending: advance a pointer
+                # instead of refiltering inner_needed per wedge.
+                while p < n_keeps and keeps[p] < i:
+                    p += 1
+                specs.append((part, plan, fi, t, i, keeps[:p]))
+            plan.results[fi] = []
+        return specs
 
 
 # --------------------------------------------------------------------------- #

@@ -66,6 +66,15 @@ class ServiceStats:
     #: localizers (the current localizer's live counters are added on read).
     prepared_hits: int = 0
     prepared_misses: int = 0
+    #: Micro-batching (fused engine): executor dispatches that solved more
+    #: than one request, and the dispatch-width histogram {width: count}
+    #: (width 1 entries included so the coalescing rate is visible).
+    fused_batches: int = 0
+    fuse_width_histogram: dict[int, int] = field(default_factory=dict)
+    #: Cohort-level fused kernel counters, accumulated once per fused
+    #: dispatch (targets/rows/passes of the pooled clip passes).
+    fused_passes: int = 0
+    fused_rows: int = 0
 
     def mean_cold_ms(self) -> float:
         """Mean latency of first-time (cold) requests, in milliseconds."""
@@ -135,6 +144,9 @@ class LocalizationService:
         self._pending_puts = 0
         self._current: BatchLocalizer | None = None
         self._ingest_lock = threading.Lock()
+        # Fused stats (histogram, pass counters) are mutated from executor
+        # threads; with workers > 1 those dispatches run concurrently.
+        self._stats_lock = threading.Lock()
         # Warm/cold classification: targets seen at the current dataset
         # version.  Reset when the version moves (every target is cold
         # against a fresh snapshot), which also bounds the set by the host
@@ -275,35 +287,141 @@ class LocalizationService:
         estimates = await asyncio.gather(*(self.localize(t) for t in targets))
         return dict(zip(targets, estimates))
 
+    def _fuse_width(self) -> int:
+        """How many queued requests one executor dispatch may coalesce."""
+        solver = self.config.solver
+        if solver.engine != "fused" or solver.exact_complements:
+            return 1
+        return max(1, solver.fuse_width)
+
     async def _worker_loop(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            request = await self._queue.get()
+            batch = [await self._queue.get()]
+            # Micro-batching: under the fused engine, drain whatever is
+            # already queued (up to fuse_width) into one executor dispatch;
+            # the fused kernel solves the whole batch in shared passes.
+            # Requests keep their enqueue-time snapshots -- the batch is
+            # regrouped by localizer inside _localize_batch_sync.
+            width = self._fuse_width()
+            while len(batch) < width:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
             try:
                 try:
-                    estimate = await loop.run_in_executor(
-                        self._executor, self._localize_sync, request
+                    estimates = await loop.run_in_executor(
+                        self._executor, self._localize_batch_sync, batch
                     )
                 except asyncio.CancelledError:
-                    if not request.future.done():
-                        request.future.cancel()
+                    for request in batch:
+                        if not request.future.done():
+                            request.future.cancel()
                     raise
                 except Exception as exc:  # noqa: BLE001 - keep the worker alive
-                    # _localize_sync captures request errors itself; this
-                    # covers the bridge (executor shut down mid-stop, or an
-                    # escape the capture missed).  The worker must survive,
-                    # or queued requests would never resolve.
-                    estimate = failed_estimate(
+                    # _localize_batch_sync captures request errors itself;
+                    # this covers the bridge (executor shut down mid-stop, or
+                    # an escape the capture missed).  The worker must
+                    # survive, or queued requests would never resolve.
+                    estimates = [
+                        failed_estimate(
+                            request.target_id,
+                            "octant",
+                            exc,
+                            traceback=traceback_module.format_exc(),
+                        )
+                        for request in batch
+                    ]
+                for request, estimate in zip(batch, estimates):
+                    self._record(request, estimate)
+                    if not request.future.done():
+                        request.future.set_result(estimate)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
+
+    def _localize_batch_sync(self, batch: list[_Request]) -> list[LocationEstimate]:
+        """Executor-side execution of one (possibly coalesced) dispatch.
+
+        Single requests ride the existing per-request path.  Coalesced
+        requests group by ``(localizer, landmark pool)`` -- snapshot
+        semantics are per-request, so a batch spanning an ingest solves each
+        group against its own enqueue-time snapshot -- and each group runs
+        one fused :meth:`BatchLocalizer.solve_many`.  Estimates come back in
+        request order; failures (unknown target, solver errors) are captured
+        per request exactly like the single path.
+        """
+        with self._stats_lock:
+            histogram = self.stats.fuse_width_histogram
+            histogram[len(batch)] = histogram.get(len(batch), 0) + 1
+        if len(batch) == 1:
+            return [self._localize_sync(batch[0])]
+        with self._stats_lock:
+            self.stats.fused_batches += 1
+        started = time.perf_counter()
+        groups: dict[tuple[int, tuple[str, ...] | None], list[_Request]] = {}
+        for request in batch:
+            groups.setdefault(
+                (id(request.localizer), request.landmark_pool), []
+            ).append(request)
+        results: dict[int, LocationEstimate] = {}
+        for (_key, pool), requests in groups.items():
+            localizer = requests[0].localizer
+            known: list[_Request] = []
+            for request in requests:
+                if request.target_id in localizer.dataset.hosts:
+                    known.append(request)
+                else:
+                    # Same refusal as the single-request path: an unknown
+                    # target would "resolve" from geographic priors alone.
+                    results[id(request)] = failed_estimate(
                         request.target_id,
                         "octant",
-                        exc,
-                        traceback=traceback_module.format_exc(),
+                        KeyError(
+                            f"unknown target {request.target_id!r}: "
+                            "not in the served snapshot"
+                        ),
                     )
-                self._record(request, estimate)
-                if not request.future.done():
-                    request.future.set_result(estimate)
-            finally:
-                self._queue.task_done()
+            if not known:
+                continue
+            try:
+                solved = localizer.solve_many(
+                    [request.target_id for request in known], pool
+                )
+                # Any successful groupmate carries the cohort-level
+                # counters; a failed estimate's details hold no kernel dict.
+                kernel = next(
+                    (
+                        k
+                        for e in solved.values()
+                        if isinstance(k := e.details.get("kernel"), dict)
+                    ),
+                    None,
+                )
+                if isinstance(kernel, dict):
+                    with self._stats_lock:
+                        self.stats.fused_passes += int(
+                            kernel.get("fused_pass_count", 0) or 0
+                        )
+                        self.stats.fused_rows += int(
+                            kernel.get("fused_rows_clipped", 0) or 0
+                        )
+                for request in known:
+                    results[id(request)] = solved[request.target_id]
+            except Exception:  # noqa: BLE001 - boundary of the service
+                # One target's unexpected failure must not fail its
+                # groupmates: retry each request individually through the
+                # single path, which captures its own error with type and
+                # traceback -- exactly what an uncoalesced dispatch does.
+                for request in known:
+                    results[id(request)] = self._localize_sync(request)
+        # The dispatch is one shared span; report the amortized share as
+        # each request's latency (what the warm/cold means aggregate).
+        share = (time.perf_counter() - started) / len(batch)
+        for request in batch:
+            request.elapsed = share
+        return [results[id(request)] for request in batch]
 
     def _localize_sync(self, request: _Request) -> LocationEstimate:
         """Executor-side request execution with full failure capture.
@@ -451,4 +569,25 @@ class LocalizationService:
             "prepared_misses": prepared_misses,
             "circle_cache": self.circle_cache.stats(),
             "pipeline": pipeline,
+            "fused": self._fused_stats_snapshot(),
+        }
+
+    def _fused_stats_snapshot(self) -> dict[str, object]:
+        """Fused micro-batch counters, read under the same lock that the
+        executor-side dispatches mutate them under (a concurrent width-bucket
+        insert would otherwise break the histogram iteration)."""
+        stats = self.stats
+        with self._stats_lock:
+            histogram = dict(sorted(stats.fuse_width_histogram.items()))
+            batches = stats.fused_batches
+            passes = stats.fused_passes
+            rows = stats.fused_rows
+        return {
+            "engine": self.config.solver.engine,
+            "fuse_width": self._fuse_width(),
+            "batches": batches,
+            "width_histogram": histogram,
+            "passes": passes,
+            "rows": rows,
+            "rows_per_pass": round(rows / passes, 3) if passes else 0.0,
         }

@@ -530,3 +530,261 @@ class TestChainRunnerOrientation:
             positive(disk_at(45.0, 200.0, 300.0), weight=0.5),
         ]
         assert_identical(constraints)
+
+
+# --------------------------------------------------------------------------- #
+# Fused cohort engine: lockstep multi-target solves are bit-identical
+# --------------------------------------------------------------------------- #
+def solve_cohort_both(cohort, config_kwargs=None):
+    """Solve a cohort fused (one lockstep run) and per-target vector."""
+    from repro.core.solver import solve_systems
+
+    kwargs = dict(config_kwargs or {})
+    fused = solve_systems(
+        SolverConfig(engine="fused", **kwargs), [(c, PROJ) for c in cohort]
+    )
+    vector = []
+    for constraints in cohort:
+        solver = WeightedRegionSolver(SolverConfig(engine="vector", **kwargs))
+        region = solver.solve(constraints, PROJ)
+        vector.append((region, solver.diagnostics))
+    return fused, vector
+
+
+def assert_cohort_identical(cohort, config_kwargs=None):
+    fused, vector = solve_cohort_both(cohort, config_kwargs)
+    assert len(fused) == len(vector) == len(cohort)
+    for (region_f, diag_f), (region_v, diag_v) in zip(fused, vector):
+        assert region_f.area_km2() == region_v.area_km2()
+        assert len(region_f.pieces) == len(region_v.pieces)
+        pf = region_f.representative_point()
+        pv = region_v.representative_point()
+        if pv is None:
+            assert pf is None
+        else:
+            assert (pf.x, pf.y) == (pv.x, pv.y)
+        gf = region_f.point_estimate() if region_f else None
+        gv = region_v.point_estimate() if region_v else None
+        if gv is None:
+            assert gf is None
+        else:
+            assert (gf.lat, gf.lon) == (gv.lat, gv.lon)
+        for piece_f, piece_v in zip(region_f.pieces, region_v.pieces):
+            assert piece_f.weight == piece_v.weight
+            assert piece_f.polygon.coords == piece_v.polygon.coords
+        assert diag_f.constraints_applied == diag_v.constraints_applied
+        assert diag_f.constraints_skipped == diag_v.constraints_skipped
+        assert diag_f.dropped_constraints == diag_v.dropped_constraints
+        assert diag_f.final_piece_count == diag_v.final_piece_count
+        assert diag_f.max_weight == diag_v.max_weight
+        assert diag_f.selected_weight == diag_v.selected_weight
+        assert diag_f.max_pieces_seen == diag_v.max_pieces_seen
+        assert diag_f.engine == "fused" and diag_v.engine == "vector"
+    return fused, vector
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_randomized_cohort_equivalence(seed):
+    """Uneven cohorts (including singletons) solve bit-identically fused."""
+    rng = random.Random(5000 + seed)
+    cohort_size = rng.choice([1, 2, 3, 5, 8])
+    cohort = [random_constraints(rng) for _ in range(cohort_size)]
+    assert_cohort_identical(cohort)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_randomized_cohort_equivalence_pruned(seed):
+    """Tight piece caps: pruning interleaves with the lockstep identically."""
+    rng = random.Random(6000 + seed)
+    cohort = [random_constraints(rng) for _ in range(rng.randint(2, 5))]
+    assert_cohort_identical(cohort, {"max_pieces": 4})
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_randomized_cohort_equivalence_slivers(seed):
+    rng = random.Random(6500 + seed)
+    cohort = [random_constraints(rng) for _ in range(rng.randint(2, 5))]
+    assert_cohort_identical(cohort, {"min_piece_area_km2": 500.0})
+
+
+class TestFusedEngine:
+    def test_single_solve_dispatches_fused(self):
+        """engine='fused' through WeightedRegionSolver is a cohort of one."""
+        solver_f = WeightedRegionSolver(SolverConfig(engine="fused"))
+        solver_v = WeightedRegionSolver(SolverConfig(engine="vector"))
+        constraints = [
+            positive(disk_at(0, 0, 400.0)),
+            annulus(disk_at(30.0, 100.0, 500.0), disk_at(30.0, 100.0, 120.0)),
+            negative(disk_at(90.0, 380.0, 150.0)),
+        ]
+        region_f = solver_f.solve(constraints, PROJ)
+        region_v = solver_v.solve(constraints, PROJ)
+        assert solver_f.diagnostics.engine == "fused"
+        assert region_f.area_km2() == region_v.area_km2()
+        for piece_f, piece_v in zip(region_f.pieces, region_v.pieces):
+            assert piece_f.weight == piece_v.weight
+            assert piece_f.polygon.coords == piece_v.polygon.coords
+
+    def test_exact_complements_falls_back_to_object(self):
+        solver = WeightedRegionSolver(
+            SolverConfig(engine="fused", exact_complements=True)
+        )
+        solver.solve([positive(disk_at(0, 0, 300.0))], PROJ)
+        assert solver.diagnostics.engine == "object"
+
+    def test_fused_counters_surface_in_kernel_summary(self):
+        """Cohort instrumentation: passes, rows, targets per pass."""
+        rng = random.Random(7777)
+        cohort = [random_constraints(rng) for _ in range(4)]
+        fused, _ = solve_cohort_both(cohort)
+        diag = fused[0][1]
+        assert diag.fused_cohort_targets == 4
+        assert diag.fused_pass_count > 0
+        assert diag.fused_rows_clipped > 0
+        assert diag.fused_targets_per_pass > 0
+        summary = diag.kernel_summary()
+        assert summary["engine"] == "fused"
+        assert summary["fused_cohort_targets"] == 4
+        assert summary["fused_pass_count"] == diag.fused_pass_count
+        assert summary["fused_rows_per_pass"] > 0
+        # Vector solves report zeroed fused counters under the same schema.
+        solver = WeightedRegionSolver(SolverConfig(engine="vector"))
+        solver.solve(cohort[0], PROJ)
+        vector_summary = solver.diagnostics.kernel_summary()
+        assert vector_summary["fused_cohort_targets"] == 0
+        assert vector_summary["fused_pass_count"] == 0
+
+    def test_empty_and_nonempty_systems_mix(self):
+        """Degenerate systems (no constraints) coexist with real ones."""
+        from repro.core.solver import solve_systems
+
+        cohort = [[], [positive(disk_at(0, 0, 300.0))], []]
+        results = solve_systems(
+            SolverConfig(engine="fused"), [(c, PROJ) for c in cohort]
+        )
+        assert results[0][0].is_empty()
+        assert results[2][0].is_empty()
+        assert not results[1][0].is_empty()
+        reference = WeightedRegionSolver(SolverConfig(engine="vector")).solve(
+            cohort[1], PROJ
+        )
+        assert results[1][0].area_km2() == reference.area_km2()
+
+
+# --------------------------------------------------------------------------- #
+# CohortPieceBuffer: segment-indexed stacking
+# --------------------------------------------------------------------------- #
+class TestCohortPieceBuffer:
+    def _buffers(self):
+        disks = [
+            [(disk_at(0, 0, 200.0), 1.0), (disk_at(90.0, 300.0, 150.0), 2.0)],
+            [(disk_at(180.0, 500.0, 250.0), 0.5)],
+        ]
+        return [PieceBuffer.from_polygons(d) for d in disks]
+
+    def test_stacks_preserve_per_target_layout(self):
+        import numpy as np
+
+        from repro.geometry.kernel import CohortPieceBuffer
+
+        buffers = self._buffers()
+        cohort = CohortPieceBuffer(buffers, cursors=[3, 7])
+        assert len(cohort) == 3
+        assert cohort.piece_target.tolist() == [0, 0, 1]
+        assert cohort.cursors.tolist() == [3, 7]
+        assert cohort.target_pieces(0) == slice(0, 2)
+        assert cohort.target_pieces(1) == slice(2, 3)
+        # Coordinates and boxes are the per-target arrays, verbatim.
+        assert np.array_equal(
+            cohort.xs, np.concatenate([buffers[0].xs, buffers[1].xs])
+        )
+        assert np.array_equal(
+            cohort.bboxes, np.vstack([buffers[0].bboxes, buffers[1].bboxes])
+        )
+        # Rebased offsets delimit the same pieces.
+        for t, buffer in enumerate(buffers):
+            pieces = cohort.target_pieces(t)
+            for local, cohort_piece in enumerate(range(pieces.start, pieces.stop)):
+                lo = cohort.offsets[cohort_piece]
+                hi = cohort.offsets[cohort_piece + 1]
+                assert np.array_equal(
+                    cohort.xs[lo:hi], buffer.xs[buffer.offsets[local]:buffer.offsets[local + 1]]
+                )
+
+    def test_broadcasts_and_reductions(self):
+        import numpy as np
+
+        from repro.geometry.kernel import CohortPieceBuffer
+
+        buffers = self._buffers()
+        cohort = CohortPieceBuffer(buffers)
+        per_target = np.array([10.0, 20.0])
+        assert cohort.broadcast_pieces(per_target).tolist() == [10.0, 10.0, 20.0]
+        per_vertex = cohort.broadcast_vertices(per_target)
+        assert len(per_vertex) == len(cohort.xs)
+        assert per_vertex[0] == 10.0 and per_vertex[-1] == 20.0
+        union = cohort.union_boxes()
+        for t, buffer in enumerate(buffers):
+            assert union[t, 0] == buffer.bboxes[:, 0].min()
+            assert union[t, 3] == buffer.bboxes[:, 3].max()
+        max_x = cohort.piece_max(cohort.xs)
+        assert max_x.tolist() == cohort.bboxes[:, 2].tolist()
+
+    def test_empty_cohort_and_empty_target(self):
+        from repro.geometry.kernel import CohortPieceBuffer
+
+        empty = CohortPieceBuffer([])
+        assert len(empty) == 0
+        assert empty.union_boxes().shape == (0, 4)
+        mixed = CohortPieceBuffer(
+            [PieceBuffer.from_parts([], []), self._buffers()[0]]
+        )
+        assert len(mixed) == 2
+        assert mixed.target_pieces(0) == slice(0, 0)
+        union = mixed.union_boxes()
+        assert union[0, 0] == float("inf")  # inverted box: never intersects
+
+
+# --------------------------------------------------------------------------- #
+# PieceBuffer hardening: empty buffers and zero-vertex pieces
+# --------------------------------------------------------------------------- #
+class TestPieceBufferHardening:
+    def test_empty_buffer_padded_and_subset(self):
+        buffer = PieceBuffer.from_parts([], [])
+        X, Y, counts = buffer.padded()
+        assert X.shape[0] == 0 and len(counts) == 0
+        sub = buffer.subset([])
+        assert len(sub) == 0
+        assert buffer.parts() == []
+
+    def test_zero_vertex_piece_gets_inverted_bbox(self):
+        import numpy as np
+
+        zero = (np.zeros(0), np.zeros(0), 0.0)
+        tri = (
+            np.array([0.0, 10.0, 10.0]),
+            np.array([0.0, 0.0, 10.0]),
+            50.0,
+        )
+        buffer = PieceBuffer.from_parts([tri, zero], [1.0, 2.0])
+        assert len(buffer) == 2
+        # The empty piece's box rejects every intersection test.
+        assert buffer.bboxes[1, 0] == float("inf")
+        assert buffer.bboxes[1, 2] == float("-inf")
+        # The real piece's box is exact.
+        assert buffer.bboxes[0].tolist() == [0.0, 0.0, 10.0, 10.0]
+        X, Y, counts = buffer.padded()
+        assert counts.tolist() == [3, 0]
+        sub = buffer.subset([1, 0])
+        assert len(sub) == 2
+        assert sub.bboxes[0, 0] == float("inf")
+
+    def test_all_zero_vertex_pieces(self):
+        import numpy as np
+
+        zero = (np.zeros(0), np.zeros(0), 0.0)
+        buffer = PieceBuffer.from_parts([zero, zero], [1.0, 1.0])
+        assert len(buffer) == 2
+        assert (buffer.bboxes[:, 0] == float("inf")).all()
+        X, Y, counts = buffer.padded()
+        assert counts.tolist() == [0, 0]

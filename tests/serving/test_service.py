@@ -223,3 +223,126 @@ class TestServiceConcurrency:
 
         with pytest.raises(asyncio.TimeoutError):
             run(main())
+
+
+class TestServiceMicroBatching:
+    """Fused-engine request coalescing: correctness and snapshot semantics."""
+
+    @pytest.fixture()
+    def fused_config(self):
+        from repro import OctantConfig
+        from repro.core.config import SolverConfig
+
+        return OctantConfig(solver=SolverConfig(engine="fused", fuse_width=4))
+
+    def test_coalesced_requests_are_per_request_correct(
+        self, live_dataset, fused_config
+    ):
+        """A burst through one worker coalesces, answers stay per-request."""
+        reference = BatchLocalizer(Octant(live_dataset.snapshot()))
+        targets = live_dataset.host_ids
+
+        async def main():
+            async with LocalizationService(
+                live_dataset, fused_config, workers=1
+            ) as service:
+                results = await service.localize_many(targets)
+                return results, service.cache_stats()
+
+        results, stats = run(main())
+        for target in targets:
+            assert signature(results[target]) == signature(
+                reference.localize_one(target)
+            )
+        fused = stats["fused"]
+        assert fused["engine"] == "fused"
+        assert fused["fuse_width"] == 4
+        # The burst outpaces the single worker, so at least one dispatch
+        # coalesced multiple requests and the pooled pass counters moved.
+        assert any(width > 1 for width in fused["width_histogram"])
+        assert fused["batches"] >= 1
+        assert fused["passes"] > 0 and fused["rows"] > 0
+
+    def test_vector_engine_never_coalesces(self, live_dataset):
+        async def main():
+            async with LocalizationService(live_dataset, workers=1) as service:
+                await service.localize_many(live_dataset.host_ids[:4])
+                return service.cache_stats()
+
+        stats = run(main())
+        assert stats["fused"]["fuse_width"] == 1
+        assert all(w == 1 for w in stats["fused"]["width_histogram"])
+        assert stats["fused"]["batches"] == 0
+
+    def test_unknown_target_in_batch_fails_alone(self, live_dataset, fused_config):
+        targets = list(live_dataset.host_ids[:3]) + ["host-bogus"]
+
+        async def main():
+            async with LocalizationService(
+                live_dataset, fused_config, workers=1
+            ) as service:
+                return await service.localize_many(targets)
+
+        results = run(main())
+        assert results["host-bogus"].point is None
+        assert results["host-bogus"].details["error_type"] == "KeyError"
+        for target in targets[:3]:
+            assert results[target].point is not None
+
+    def test_mixed_snapshot_batch_preserves_enqueue_snapshots(
+        self, deployment, full_dataset, live_dataset, fused_config
+    ):
+        """One dispatch spanning an ingest answers each request from its own
+        enqueue-time snapshot (the batch regroups by localizer)."""
+        import asyncio as aio
+
+        from repro.serving.service import _Request
+
+        record, pings = ninth_host_payload(deployment, full_dataset)
+        new_id = record.node_id
+        known = live_dataset.host_ids[0]
+
+        async def main():
+            async with LocalizationService(
+                live_dataset, fused_config, workers=1
+            ) as service:
+                old_localizer = service._current
+                await service.ingest(hosts=[record], pings=pings)
+                new_localizer = service._current
+                assert old_localizer is not new_localizer
+                loop = aio.get_running_loop()
+                batch = [
+                    _Request(new_id, None, old_localizer, loop.create_future(), 0),
+                    _Request(new_id, None, new_localizer, loop.create_future(), 1),
+                    _Request(known, None, old_localizer, loop.create_future(), 0),
+                ]
+                estimates = await loop.run_in_executor(
+                    service._executor, service._localize_batch_sync, batch
+                )
+                return estimates
+
+        old_answer, new_answer, known_answer = run(main())
+        # The pre-ingest snapshot does not know the ninth host ...
+        assert old_answer.point is None
+        assert old_answer.details["error_type"] == "KeyError"
+        # ... the post-ingest snapshot resolves it ...
+        assert new_answer.point is not None
+        # ... and a target known to both answers from its own snapshot.
+        assert known_answer.point is not None
+
+    def test_repeated_target_within_batch(self, live_dataset, fused_config):
+        """Duplicate targets in one coalesced dispatch each get an answer."""
+        target = live_dataset.host_ids[0]
+
+        async def main():
+            async with LocalizationService(
+                live_dataset, fused_config, workers=1
+            ) as service:
+                return await asyncio.gather(
+                    *(service.localize(target) for _ in range(4))
+                )
+
+        estimates = run(main())
+        first = signature(estimates[0])
+        assert all(signature(e) == first for e in estimates)
+        assert estimates[0].point is not None
