@@ -13,9 +13,17 @@ tracking tooling can diff runs without parsing stdout:
   cohort engine vs the per-target vector engine on identical planar
   constraint systems (the whole tracked cohort solved in one
   :func:`repro.core.solver.solve_systems` lockstep run vs one
-  ``WeightedRegionSolver`` per target), with bit-identity asserted and the
-  fused pass counters recorded.  This is the number the fused engine exists
-  for; the tracked figure is measured at ``OCTANT_BENCH_HOSTS=30``.
+  ``WeightedRegionSolver`` per target), with bit-identity asserted, the
+  fused pass counters recorded, and the per-phase wall-time split
+  (exclusion/assemble/inclusion/select, plus the fused lockstep span)
+  aggregated *per engine* so phase-level wins are tracked for both.  The
+  tracked figure is measured at ``OCTANT_BENCH_HOSTS=30``.
+* ``exclusion_masks`` -- the vectorized non-convex exclusion path (convex
+  mask decomposition) vs the per-piece Greiner-Hormann object fallback on
+  the same systems under the *detailed* (non-convex) geographic region
+  catalogue, with fused-vs-vector identity asserted on those geo-heavy
+  systems.  CI gates the mask path >=1.3x over the fallback at the 20-host
+  smoke cohort.
 """
 
 from __future__ import annotations
@@ -28,13 +36,22 @@ import pytest
 from repro import BatchLocalizer, Octant
 
 #: Bump when the shape of BENCH_solver.json changes.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def _merge_json(section: str, payload: dict) -> None:
     from conftest import merge_bench_json
 
     merge_bench_json("OCTANT_BENCH_JSON", "BENCH_solver.json", SCHEMA_VERSION, section, payload)
+
+
+def _phase_split(outcomes) -> dict[str, float]:
+    """Aggregate per-phase solver wall time over a list of (region, diag)."""
+    totals: dict[str, float] = {}
+    for _region, diagnostics in outcomes:
+        for phase, seconds in diagnostics.phase_seconds.items():
+            totals[phase] = totals.get(phase, 0.0) + seconds
+    return {phase: round(seconds, 6) for phase, seconds in sorted(totals.items())}
 
 @pytest.mark.benchmark(group="solution-time")
 def test_single_target_solution_time(benchmark, dataset):
@@ -49,8 +66,21 @@ def test_single_target_solution_time(benchmark, dataset):
 
     estimate = benchmark(lambda: octant.localize(target))
 
-    per_target_s = estimate.solve_time_s
-    solver_seconds = float(estimate.details.get("solver_seconds", 0.0))
+    # Tracked figures: an explicit minimum-of-5 localize loop (robust to
+    # scheduler noise, matching the cohort benchmark's min-of-N discipline).
+    # The first call after dropping the cross-solve geometry tables is the
+    # cold figure; the minimum is warm -- the serving-relevant number, with
+    # the constraint-geometry tables and planar memo hit.
+    from repro.geometry.kernel import reset_geometry_tables
+
+    reset_geometry_tables()
+    runs = [octant.localize(target) for _ in range(5)]
+    cold_solver_s = float(runs[0].details.get("solver_seconds", 0.0))
+    solver_seconds = min(
+        float(run.details.get("solver_seconds", 0.0)) for run in runs
+    )
+    per_target_s = min(run.solve_time_s for run in runs)
+    estimate = min(runs, key=lambda run: run.solve_time_s)
     engine = str(estimate.details.get("solver_engine", "unknown"))
     targets_per_sec = (1.0 / per_target_s) if per_target_s > 0 else float("inf")
 
@@ -63,7 +93,7 @@ def test_single_target_solution_time(benchmark, dataset):
     print(f"  constraints used: {estimate.constraints_used}")
     print(f"  region area     : {estimate.region_area_square_miles():.0f} sq mi")
     print(f"  localize time   : {per_target_s:.3f} s ({targets_per_sec:.1f} targets/sec)")
-    print(f"  solver time     : {solver_seconds:.3f} s")
+    print(f"  solver time     : {solver_seconds:.3f} s (cold {cold_solver_s:.3f} s)")
 
     _merge_json(
         "single_target",
@@ -73,6 +103,7 @@ def test_single_target_solution_time(benchmark, dataset):
             "constraints_used": estimate.constraints_used,
             "per_target_localize_s": round(per_target_s, 6),
             "per_target_solver_s": round(solver_seconds, 6),
+            "per_target_solver_cold_s": round(cold_solver_s, 6),
             "targets_per_sec": round(targets_per_sec, 3),
             "kernel": estimate.details.get("kernel"),
         },
@@ -145,6 +176,11 @@ def test_cohort_engine_speedup(dataset, target_ids):
     speedup = best["vector"] / best["fused"] if best["fused"] else float("inf")
     fused_diag = results["fused"][0][1] if results["fused"] else None
 
+    phase_seconds = {
+        "vector": _phase_split(results["vector"]),
+        "fused": _phase_split(results["fused"]),
+    }
+
     print()
     print("=" * 72)
     print(
@@ -155,6 +191,8 @@ def test_cohort_engine_speedup(dataset, target_ids):
     print(f"  vector engine : {vector_ms:7.2f} ms/target solve time")
     print(f"  fused engine  : {fused_ms:7.2f} ms/target amortized")
     print(f"  speedup       : {speedup:5.2f}x")
+    for engine in ("vector", "fused"):
+        print(f"  {engine} phases: {phase_seconds[engine]}")
     if fused_diag is not None:
         print(
             f"  pooled passes : {fused_diag.fused_pass_count} "
@@ -170,6 +208,7 @@ def test_cohort_engine_speedup(dataset, target_ids):
             "vector_ms_per_target": round(vector_ms, 3),
             "fused_ms_per_target": round(fused_ms, 3),
             "fused_speedup": round(speedup, 3),
+            "phase_seconds": phase_seconds,
             "fused_pass_count": 0 if fused_diag is None else fused_diag.fused_pass_count,
             "fused_rows_clipped": 0
             if fused_diag is None
@@ -182,11 +221,171 @@ def test_cohort_engine_speedup(dataset, target_ids):
 
     # Drift gate: the fused engine must amortize once the cohort is big
     # enough for pooling to matter; below that only identity is meaningful.
-    # The tracked figure (30-host cohort, this box) is ~1.5x; the gate sits
-    # a noise margin below it so shared CI runners don't flake, and a real
-    # regression (pooling silently disabled would read ~1.0x) still trips.
-    # Gated on the *requested* cohort so dropped presolves cannot silently
-    # shrink the run below the threshold and disable the gate.
+    # The tracked 30-host figure is ~1.25-1.3x: the PR 5 exclusion work
+    # (vector-side wedge-kill prefilter, the scalar-subtraction batching
+    # fix) sped the *per-target vector baseline* up by ~20%, which shrank
+    # the ratio even though the fused engine itself also got faster in
+    # absolute terms (BENCH_solver.json tracks both).  The gate sits a
+    # noise margin below the tracked ratio; a real regression (pooling
+    # silently disabled reads ~1.0x) still trips it.  Gated on the
+    # *requested* cohort so dropped presolves cannot silently shrink the
+    # run below the threshold and disable the gate.
     if len(target_ids) >= 20 and len(dataset.hosts) >= 20:
         assert dropped <= len(target_ids) // 4, "too many presolve failures"
-        assert speedup >= 1.4
+        assert speedup >= 1.1
+
+
+@pytest.mark.benchmark(group="solution-time")
+def test_exclusion_mask_speedup(dataset, target_ids):
+    """Vectorized non-convex exclusion (convex masks) vs the object fallback.
+
+    Two workloads, both built from the *detailed* (non-convex coastline)
+    geographic region catalogue:
+
+    * **Timing: boundary-straddling systems.**  One system per cohort
+      target, each projected at a region boundary vertex with positive
+      disks centred on it, so the low-weight region exclusions apply to
+      pieces that *straddle* their rings -- the load the subtraction
+      machinery actually runs on (at their usual top weight geographic
+      regions keyhole into the pristine universe piece and never reach it).
+      Interleaved minimum-of-N runs compare ``nonconvex_exclusion="masks"``
+      (and ``"gh"``, the batched Greiner-Hormann row kernel) against
+      ``"object"``, the legacy per-piece fallback these cases used to ride.
+    * **Identity: the real pipeline.**  Every cohort target's actual
+      detailed-catalogue system is solved fused and vector and asserted
+      bit-identical (the "fused + geo" identity step of the CI smoke gate).
+
+    The drift gate (masks >=1.3x over object at >=20 hosts) keeps the win
+    from silently rotting.
+    """
+    from repro.core import GeoRegionConstraint, PlanarConstraint, Polarity
+    from repro.core.config import OctantConfig, SolverConfig
+    from repro.core.solver import WeightedRegionSolver, solve_systems
+    from repro.geometry import AzimuthalEquidistantProjection, disk_polygon
+    from repro.geometry.kernel import reset_geometry_tables
+    from repro.network.geodata import (
+        DETAILED_OCEAN_REGIONS,
+        DETAILED_UNINHABITED_REGIONS,
+    )
+
+    regions = DETAILED_OCEAN_REGIONS + DETAILED_UNINHABITED_REGIONS
+
+    def straddling_system(k: int):
+        region = regions[k % len(regions)]
+        anchor = region.ring[k % len(region.ring)]
+        projection = AzimuthalEquidistantProjection(anchor)
+        constraints = [
+            PlanarConstraint(disk_polygon(anchor, 900.0, projection, 32), None, 1.0, "base")
+        ]
+        for bearing, radius, weight in ((0.0, 500.0, 0.8), (120.0, 450.0, 0.7), (240.0, 400.0, 0.6)):
+            centre = anchor.destination(bearing, 250.0)
+            constraints.append(
+                PlanarConstraint(
+                    disk_polygon(centre, radius, projection, 32), None, weight, f"aux{int(bearing)}"
+                )
+            )
+        for j in range(3):
+            other = regions[(k + j) % len(regions)]
+            planar = GeoRegionConstraint(
+                ring=other.ring,
+                polarity=Polarity.NEGATIVE,
+                weight=0.4 - 0.05 * j,
+                label=f"geo:{other.name}",
+            ).to_planar(projection)
+            if planar is not None:
+                constraints.append(planar)
+        return constraints, projection
+
+    straddling = [straddling_system(k) for k in range(len(target_ids))]
+    nonconvex_exclusions = sum(
+        1
+        for planar, _p in straddling
+        for c in planar
+        if c.exclusion is not None and not c.exclusion.is_convex()
+    )
+    assert nonconvex_exclusions > 0, "detailed catalogue produced no mask work"
+
+    reset_geometry_tables()
+    best = {"masks": float("inf"), "gh": float("inf"), "object": float("inf")}
+    results: dict[str, list] = {}
+    for _repetition in range(3):
+        for mode in ("masks", "gh", "object"):
+            solver_config = SolverConfig(engine="vector", nonconvex_exclusion=mode)
+            started = time.perf_counter()
+            out = []
+            for planar, projection in straddling:
+                solver = WeightedRegionSolver(solver_config)
+                out.append((solver.solve(planar, projection), solver.diagnostics))
+            best[mode] = min(best[mode], time.perf_counter() - started)
+            results.setdefault(mode, out)
+
+    # Fused + geo identity on the real pipeline's detailed-catalogue systems.
+    config = OctantConfig(geographic_detail="detailed")
+    localizer = BatchLocalizer(Octant(dataset, config))
+    pipeline_systems = []
+    for target in target_ids:
+        try:
+            prepared = localizer.prepare_for_target(target)
+        except (ValueError, KeyError):
+            continue
+        presolved = localizer.octant.presolve(target, prepared=prepared)
+        pipeline_systems.append((presolved.planar, presolved.projection))
+    # The identity step must not pass vacuously: a presolve regression that
+    # drops most targets would otherwise disable the gate silently.
+    assert len(pipeline_systems) >= len(target_ids) - len(target_ids) // 4
+    fused = solve_systems(SolverConfig(engine="fused"), pipeline_systems)
+    for (planar, projection), (region_f, diag_f) in zip(pipeline_systems, fused):
+        solver = WeightedRegionSolver(SolverConfig(engine="vector"))
+        region_v = solver.solve(planar, projection)
+        assert region_v.area_km2() == region_f.area_km2()
+        assert len(region_v.pieces) == len(region_f.pieces)
+        for piece_v, piece_f in zip(region_v.pieces, region_f.pieces):
+            assert piece_v.weight == piece_f.weight
+            assert piece_v.polygon.coords == piece_f.polygon.coords
+        assert solver.diagnostics.dropped_constraints == diag_f.dropped_constraints
+
+    per_target = len(straddling) or 1
+    masks_ms = best["masks"] / per_target * 1000
+    gh_ms = best["gh"] / per_target * 1000
+    object_ms = best["object"] / per_target * 1000
+    speedup = best["object"] / best["masks"] if best["masks"] else float("inf")
+    gh_speedup = best["object"] / best["gh"] if best["gh"] else float("inf")
+    mask_cells = sum(d.mask_cells_clipped for _r, d in results["masks"])
+    fallback_pieces = sum(d.fallback_pieces for _r, d in results["object"])
+
+    print()
+    print("=" * 72)
+    print(
+        f"Non-convex exclusion -- {per_target} boundary-straddling systems, "
+        f"{nonconvex_exclusions} non-convex exclusions (min of 3 interleaved); "
+        f"identity over {len(pipeline_systems)} pipeline systems"
+    )
+    print("=" * 72)
+    print(f"  mask path     : {masks_ms:7.2f} ms/system ({mask_cells} cells clipped)")
+    print(f"  batched GH    : {gh_ms:7.2f} ms/system")
+    print(f"  object path   : {object_ms:7.2f} ms/system ({fallback_pieces} fallback pieces)")
+    print(f"  mask speedup  : {speedup:5.2f}x   (batched GH: {gh_speedup:.2f}x)")
+
+    _merge_json(
+        "exclusion_masks",
+        {
+            "hosts": len(dataset.hosts),
+            "systems": per_target,
+            "nonconvex_exclusions": nonconvex_exclusions,
+            "masks_ms_per_system": round(masks_ms, 3),
+            "gh_ms_per_system": round(gh_ms, 3),
+            "object_ms_per_system": round(object_ms, 3),
+            "mask_speedup": round(speedup, 3),
+            "gh_speedup": round(gh_speedup, 3),
+            "mask_cells_clipped": mask_cells,
+            "fallback_pieces": fallback_pieces,
+            "pipeline_identity_systems": len(pipeline_systems),
+        },
+    )
+
+    # Drift gate: the mask path must clearly beat the object fallback once
+    # the cohort is big enough to measure; the tracked figure is ~1.5-1.6x,
+    # so the gate trips on a real regression (masks silently routed to the
+    # object path reads 1.0x) without flaking on shared runners.
+    if len(target_ids) >= 20 and len(dataset.hosts) >= 20:
+        assert speedup >= 1.3

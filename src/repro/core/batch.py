@@ -107,6 +107,14 @@ class BatchSharedState:
     #: (each re-projects the cached arrays in one vectorized operation).
     #: Shared with the wrapped Octant so both engines warm the same entries;
     #: process-pool workers inherit whatever was cached before the fork.
+    #: The planar layer additionally pre-realizes the convex mask cells of
+    #: non-convex geographic rings on first projection (see
+    #: ``CircleCache.planar_ring``), and because the planar polygons it
+    #: hands out are identity-stable, the kernel's cross-solve
+    #: constraint-geometry tables (``repro.geometry.kernel``) stay warm
+    #: across every solve that shares this state -- including across
+    #: snapshot rebuilds, whose unchanged constraints re-realize the very
+    #: same polygon objects.
     circle_cache: CircleCache = field(default_factory=CircleCache)
     #: The :attr:`MeasurementDataset.version` this state was built from;
     #: :meth:`BatchLocalizer.shared_state` rebuilds when the live dataset

@@ -70,6 +70,36 @@ class SolverConfig:
     #: geometry across an unbounded request stream; batch studies rarely
     #: approach it.
     circle_cache_size: int = 4096
+    #: How non-convex exclusions are subtracted.  ``"masks"`` (default)
+    #: folds the pre-realized convex mask cells of the exclusion (ear-clip +
+    #: convex-merge decomposition) through the vectorized convex machinery,
+    #: falling back to the batched Greiner-Hormann row kernel for rings the
+    #: decomposition cannot cover (self-intersecting projections).  ``"gh"``
+    #: always uses the batched Greiner-Hormann row kernel (vectorized
+    #: intersection classification, per-piece traversal).  ``"object"`` is
+    #: the legacy per-piece scalar fallback, kept as the drift-gate baseline
+    #: (``benchmarks/bench_solution_time.py::test_exclusion_mask_speedup``).
+    #: Both solver engines honour the mode identically: ``"masks"`` is a
+    #: shared semantics change (the mask fold fragments differently than
+    #: general clipping), while ``"gh"`` and ``"object"`` are bit-identical
+    #: to each other -- all pinned by the engine-equivalence suites.
+    nonconvex_exclusion: str = "masks"
+
+    def __post_init__(self) -> None:
+        if self.nonconvex_exclusion not in ("masks", "gh", "object"):
+            raise ValueError(
+                f"unknown nonconvex_exclusion {self.nonconvex_exclusion!r}; "
+                "expected 'masks', 'gh' or 'object'"
+            )
+    #: LRU capacity of the cross-solve constraint-geometry table cache
+    #: (:func:`repro.geometry.kernel.geometry_for_constraint`): derived edge
+    #: tables, keyhole rings, wedge coefficients and mask cells keyed by
+    #: realized constraint identity, so repeated solves of the same realized
+    #: system (the serving warm path, interleaved benchmark repetitions)
+    #: skip rebuilding them.  ``0`` disables the cache.  Invalidation is
+    #: structural: changed measurements realize *new* polygon objects, which
+    #: miss and age stale entries out.
+    geometry_table_cache_size: int = 512
 
 
 @dataclass(frozen=True)
@@ -133,6 +163,12 @@ class OctantConfig:
     # ---- geographic constraints (Section 2.5) --------------------------- #
     #: Subtract oceans and uninhabited areas from the estimate.
     use_geographic_constraints: bool = True
+    #: Fidelity of the geographic region catalogue: ``"coarse"`` uses the
+    #: original convex rings; ``"detailed"`` uses the higher-fidelity
+    #: non-convex coastline rings (``repro.network.geodata``), which exclude
+    #: strictly more open water/desert while staying sound, and ride the
+    #: solver's vectorized convex-mask exclusion path.
+    geographic_detail: str = "coarse"
     #: Add a weak positive constraint around the WHOIS-registered city.
     use_whois: bool = False
     #: Radius (km) of the WHOIS positive constraint.

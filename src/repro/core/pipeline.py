@@ -63,6 +63,11 @@ class PipelineStats:
     constraints_planarized: int = 0
     planar_memo_hits: int = 0
     planar_memo_misses: int = 0
+    #: Cross-solve constraint-geometry table cache traffic of this
+    #: pipeline's solves (see ``repro.geometry.kernel``); repeated-target
+    #: serving should be hit-dominated once warm.
+    geometry_table_hits: int = 0
+    geometry_table_misses: int = 0
 
     def merge(self, other: "PipelineStats") -> None:
         """Fold another pipeline's accumulated counters into this one.
@@ -78,6 +83,8 @@ class PipelineStats:
         self.constraints_planarized += other.constraints_planarized
         self.planar_memo_hits += other.planar_memo_hits
         self.planar_memo_misses += other.planar_memo_misses
+        self.geometry_table_hits += other.geometry_table_hits
+        self.geometry_table_misses += other.geometry_table_misses
 
     def snapshot(self) -> dict[str, float]:
         """A flat dict view for reporting (serving stats, benchmarks)."""
@@ -90,6 +97,8 @@ class PipelineStats:
             "constraints_planarized": self.constraints_planarized,
             "planar_memo_hits": self.planar_memo_hits,
             "planar_memo_misses": self.planar_memo_misses,
+            "geometry_table_hits": self.geometry_table_hits,
+            "geometry_table_misses": self.geometry_table_misses,
         }
 
 
@@ -282,6 +291,8 @@ class ConstraintPipeline:
         solver = WeightedRegionSolver(self.config.solver)
         region = solver.solve(planar, projection)
         self.stats.solve_seconds += time.perf_counter() - started
+        self.stats.geometry_table_hits += solver.diagnostics.geometry_table_hits
+        self.stats.geometry_table_misses += solver.diagnostics.geometry_table_misses
         return region, solver.diagnostics
 
     def solve_many(
@@ -299,6 +310,9 @@ class ConstraintPipeline:
         started = time.perf_counter()
         results = solve_systems(self.config.solver, list(systems))
         self.stats.solve_seconds += time.perf_counter() - started
+        for _region, diagnostics in results:
+            self.stats.geometry_table_hits += diagnostics.geometry_table_hits
+            self.stats.geometry_table_misses += diagnostics.geometry_table_misses
         return results
 
     # ------------------------------------------------------------------ #

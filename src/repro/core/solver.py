@@ -90,6 +90,17 @@ class SolverDiagnostics:
     pieces_clipped: int = 0
     #: Total vertex lanes processed by the batched clipper.
     vertices_clipped: int = 0
+    #: Pieces that left the vectorized framework for a per-piece object
+    #: boolean (Greiner-Hormann territory: non-convex inclusions, exclusion
+    #: rings the convex-mask decomposition cannot cover), and their total
+    #: vertex count -- the residual the mask path exists to shrink.
+    fallback_pieces: int = 0
+    fallback_vertices: int = 0
+    #: Convex mask cells applied while folding non-convex exclusions.
+    mask_cells_clipped: int = 0
+    #: Cross-solve constraint-geometry table cache hits/misses (this solve).
+    geometry_table_hits: int = 0
+    geometry_table_misses: int = 0
     #: Wall time per kernel phase; the phases (``inclusion``, ``exclusion``,
     #: ``assemble``, ``select``) are disjoint, so their sum approximates the
     #: solve time.  The fused engine books its shared lockstep span under
@@ -119,6 +130,11 @@ class SolverDiagnostics:
             "prefilter_outside": self.prefilter_outside,
             "pieces_clipped": self.pieces_clipped,
             "vertices_clipped": self.vertices_clipped,
+            "fallback_pieces": self.fallback_pieces,
+            "fallback_vertices": self.fallback_vertices,
+            "mask_cells_clipped": self.mask_cells_clipped,
+            "geometry_table_hits": self.geometry_table_hits,
+            "geometry_table_misses": self.geometry_table_misses,
             "fused_cohort_targets": self.fused_cohort_targets,
             "fused_pass_count": self.fused_pass_count,
             "fused_rows_clipped": self.fused_rows_clipped,
@@ -289,8 +305,9 @@ class WeightedRegionSolver:
 
         satisfied: list[Polygon] = []
         unsatisfied: list[Polygon] = list(outside)
+        use_masks = self.config.nonconvex_exclusion == "masks"
         for piece in inside:
-            kept = subtract_cautious(piece, exclusion)
+            kept = subtract_cautious(piece, exclusion, use_masks)
             satisfied.extend(kept)
             if exact:
                 unsatisfied.extend(intersect_polygons(piece, exclusion))

@@ -1,0 +1,275 @@
+"""Convex decomposition of simple polygons (the geographic mask layer).
+
+Octant's negative geographic constraints -- oceans, uninhabited regions --
+are arbitrary rings that may project to *non-convex* planar polygons.  The
+solver's fast paths (batched Sutherland-Hodgman passes, the wedge
+decomposition of convex subtraction) all require a convex operand, so a
+non-convex exclusion used to fall back to per-piece Greiner-Hormann
+clipping, the single most expensive residual in the solve.
+
+This module turns a non-convex exclusion into a *mask*: an exact partition
+of the polygon into convex cells.  Subtracting the polygon is then the fold
+of subtracting each convex cell in sequence --
+
+    piece \\ (C1 | C2 | ... | Ck)  ==  ((piece \\ C1) \\ C2) ... \\ Ck
+
+-- and every step rides the already-vectorized convex machinery.  The
+decomposition is:
+
+1. **Ear clipping** on the CCW ring (triangles use only original vertices,
+   so the partition introduces no new coordinates and its union is exactly
+   the polygon).
+2. **Greedy convex merge** (Hertel-Mehlhorn flavoured): adjacent cells
+   sharing a diagonal merge whenever the union stays convex, keeping the
+   cell count near the number of reflex vertices instead of ``n - 2``
+   triangles.
+
+The decomposition is a deterministic pure function of the vertex
+coordinates; both solver engines call the same function, so the mask fold
+is one shared semantics (pinned by the engine-equivalence suites).  Rings
+that are not simple (a projected ring that self-intersects, e.g. across
+the antimeridian) make ear clipping fail; :func:`convex_decompose` detects
+this -- no ear available, or the partition's area not matching the ring's
+-- and returns ``None`` so callers keep the exact Greiner-Hormann path for
+them.
+"""
+
+from __future__ import annotations
+
+from .._lru import BoundedLRU
+from .polygon import Polygon
+
+__all__ = ["convex_decompose", "convex_cells_for", "mask_cache_stats"]
+
+#: Relative tolerance on "partition area == polygon area"; a mismatch means
+#: the ring was not simple (ear clipping silently mis-partitions bowties).
+_AREA_RTOL = 1e-9
+
+#: Cross products with magnitude below this are treated as collinear when
+#: classifying reflex vertices and checking merged-cell convexity.  Matches
+#: ``Polygon._compute_is_convex``'s collinearity threshold.
+_COLLINEAR_EPS = 1e-12
+
+
+def _cross(ox: float, oy: float, ax: float, ay: float, bx: float, by: float) -> float:
+    return (ax - ox) * (by - oy) - (ay - oy) * (bx - ox)
+
+
+def _point_in_triangle(
+    px: float, py: float,
+    ax: float, ay: float,
+    bx: float, by: float,
+    cx: float, cy: float,
+) -> bool:
+    """Strict interior-or-boundary test for a CCW triangle."""
+    d1 = _cross(ax, ay, bx, by, px, py)
+    d2 = _cross(bx, by, cx, cy, px, py)
+    d3 = _cross(cx, cy, ax, ay, px, py)
+    return d1 >= -_COLLINEAR_EPS and d2 >= -_COLLINEAR_EPS and d3 >= -_COLLINEAR_EPS
+
+
+def _ear_clip(coords: list[tuple[float, float]]) -> list[list[int]] | None:
+    """Triangulate a simple CCW ring into index triangles, or ``None``.
+
+    Classic O(n^2) ear clipping over vertex indices.  Failing to find an
+    ear on a non-degenerate remainder means the ring is not simple (or is
+    numerically degenerate); the caller treats that as "not decomposable".
+    """
+    n = len(coords)
+    indices = list(range(n))
+    triangles: list[list[int]] = []
+    guard = 0
+    while len(indices) > 3:
+        guard += 1
+        if guard > 4 * n:
+            return None
+        clipped = False
+        m = len(indices)
+        for k in range(m):
+            i_prev = indices[(k - 1) % m]
+            i_cur = indices[k]
+            i_next = indices[(k + 1) % m]
+            ax, ay = coords[i_prev]
+            bx, by = coords[i_cur]
+            cx, cy = coords[i_next]
+            turn = _cross(ax, ay, bx, by, cx, cy)
+            if turn <= _COLLINEAR_EPS:
+                if abs(turn) <= _COLLINEAR_EPS:
+                    # Collinear vertex: drop it without emitting a sliver
+                    # triangle (the boundary is unchanged).
+                    indices.pop(k)
+                    clipped = True
+                    break
+                continue  # reflex vertex, not an ear
+            contains_other = False
+            for j in indices:
+                if j in (i_prev, i_cur, i_next):
+                    continue
+                px, py = coords[j]
+                if _point_in_triangle(px, py, ax, ay, bx, by, cx, cy):
+                    contains_other = True
+                    break
+            if contains_other:
+                continue
+            triangles.append([i_prev, i_cur, i_next])
+            indices.pop(k)
+            clipped = True
+            break
+        if not clipped:
+            return None
+    if len(indices) == 3:
+        ax, ay = coords[indices[0]]
+        bx, by = coords[indices[1]]
+        cx, cy = coords[indices[2]]
+        if _cross(ax, ay, bx, by, cx, cy) > _COLLINEAR_EPS:
+            triangles.append(list(indices))
+    return triangles if triangles else None
+
+
+def _cell_is_convex(cell: list[int], coords: list[tuple[float, float]]) -> bool:
+    n = len(cell)
+    for i in range(n):
+        ax, ay = coords[cell[i]]
+        bx, by = coords[cell[(i + 1) % n]]
+        cx, cy = coords[cell[(i + 2) % n]]
+        if _cross(ax, ay, bx, by, cx, cy) < -_COLLINEAR_EPS:
+            return False
+    return True
+
+
+def _merge_cells(
+    cells: list[list[int]], coords: list[tuple[float, float]]
+) -> list[list[int]]:
+    """Greedily merge cells across shared diagonals while the union is convex.
+
+    Two CCW cells sharing directed edge ``(a, b)`` / ``(b, a)`` merge into
+    the ring "cell A from ``b`` around to ``a``, then cell B's interior path
+    from ``a`` forward to ``b``".  Deterministic: candidate diagonals are
+    visited in sorted order and the edge index is rebuilt after every merge,
+    so the same input always produces the same cells (the mask fold's order
+    is part of the solver's shared semantics).
+    """
+    pool: list[list[int] | None] = [list(cell) for cell in cells]
+    changed = True
+    while changed:
+        changed = False
+        edge_owner: dict[tuple[int, int], int] = {}
+        for cid, cell in enumerate(pool):
+            if cell is None:
+                continue
+            n = len(cell)
+            for i in range(n):
+                edge_owner[(cell[i], cell[(i + 1) % n])] = cid
+        for (a, b) in sorted(edge_owner):
+            cid = edge_owner[(a, b)]
+            other = edge_owner.get((b, a))
+            if other is None or other == cid:
+                continue
+            cell_a = pool[cid]
+            cell_b = pool[other]
+            if cell_a is None or cell_b is None:
+                continue
+            na, nb = len(cell_a), len(cell_b)
+            ia = cell_a.index(a)
+            if cell_a[(ia + 1) % na] != b:
+                continue
+            ib = cell_b.index(b)
+            if cell_b[(ib + 1) % nb] != a:
+                continue
+            # A's full cycle starting at b (ends at a), then B's vertices
+            # strictly between a and b walking forward.
+            path_a = [cell_a[(ia + 1 + k) % na] for k in range(na)]
+            interior_b = [cell_b[(ib + 2 + k) % nb] for k in range(nb - 2)]
+            merged = path_a + interior_b
+            if len(set(merged)) != len(merged):
+                continue
+            if not _cell_is_convex(merged, coords):
+                continue
+            pool[cid] = merged
+            pool[other] = None
+            changed = True
+            break  # the edge index is stale; rebuild and rescan
+    return [cell for cell in pool if cell is not None]
+
+
+def convex_decompose(polygon: Polygon) -> list[Polygon] | None:
+    """Exact partition of ``polygon`` into convex cells, or ``None``.
+
+    The cells use only the polygon's own vertices (ear clipping + convex
+    merge), are CCW oriented, and their areas sum to the polygon's area
+    (checked; a mismatch -- the signature of a non-simple ring -- returns
+    ``None``).  A convex input returns ``[polygon]`` unchanged.
+    """
+    if polygon.is_convex():
+        return [polygon]
+    ccw = polygon.ensure_ccw()
+    coords = list(ccw.coords)
+    triangles = _ear_clip(coords)
+    if triangles is None:
+        return None
+    cells = _merge_cells(triangles, coords)
+    polygons: list[Polygon] = []
+    total = 0.0
+    from .point import Point2D
+
+    for cell in cells:
+        pts = [Point2D(*coords[i]) for i in cell]
+        try:
+            cell_polygon = Polygon(pts)
+        except ValueError:
+            continue  # degenerate sliver cell: contributes no area
+        total += cell_polygon.area()
+        polygons.append(cell_polygon)
+    if not polygons:
+        return None
+    area = ccw.area()
+    if area <= 0.0 or abs(total - area) > _AREA_RTOL * max(area, 1.0):
+        # Partition does not reproduce the ring's area: the ring was not
+        # simple (bowtie / antimeridian fold) and the "cells" are garbage.
+        return None
+    return polygons
+
+
+# --------------------------------------------------------------------------- #
+# Cross-solve memo
+# --------------------------------------------------------------------------- #
+#: Decompositions keyed by polygon identity.  Entries hold the polygon
+#: itself, which keeps the id from being recycled while the entry lives; a
+#: lookup re-verifies identity so a recycled id can never alias.  Planar
+#: constraint polygons come out of the content-addressed ``CircleCache``,
+#: so the same geographic ring under the same projection is the same object
+#: across solves, requests and snapshots -- one decomposition serves all.
+_MASK_MEMO: BoundedLRU[tuple[Polygon, list[Polygon] | None]] = BoundedLRU(256)
+_MASK_HITS = 0
+_MASK_MISSES = 0
+
+
+def convex_cells_for(polygon: Polygon) -> list[Polygon] | None:
+    """Memoized :func:`convex_decompose` (identity-keyed, LRU-bounded)."""
+    global _MASK_HITS, _MASK_MISSES
+    key = id(polygon)
+    entry = _MASK_MEMO.get(key)
+    if entry is not None and entry[0] is polygon:
+        _MASK_HITS += 1
+        return entry[1]
+    _MASK_MISSES += 1
+    cells = convex_decompose(polygon)
+    _MASK_MEMO.put(key, (polygon, cells))
+    return cells
+
+
+def mask_cache_stats() -> dict[str, int]:
+    """Hit/miss counters and size of the decomposition memo."""
+    return {
+        "entries": len(_MASK_MEMO),
+        "hits": _MASK_HITS,
+        "misses": _MASK_MISSES,
+    }
+
+
+def reset_mask_cache() -> None:
+    """Drop every memoized decomposition and zero the counters."""
+    global _MASK_MEMO, _MASK_HITS, _MASK_MISSES
+    _MASK_MEMO = BoundedLRU(_MASK_MEMO.capacity)
+    _MASK_HITS = 0
+    _MASK_MISSES = 0

@@ -36,15 +36,19 @@ from typing import Sequence
 
 import numpy as np
 
+from .._lru import BoundedLRU
 from .clipping import (
     _MIN_PIECE_AREA_KM2 as MIN_SLIVER_AREA_KM2,
 )
 from .clipping import (
+    _no_crossing_difference,
     clip_convex,
     intersect_polygons,
     subtract_convex,
     subtract_polygons,
+    subtract_polygons_with_hits,
 )
+from .decompose import convex_cells_for, mask_cache_stats, reset_mask_cache
 from .point import EPSILON, Point2D
 from .polygon import MERGE_TOLERANCE_KM, Polygon
 from .region import Region, RegionPiece
@@ -54,6 +58,9 @@ __all__ = [
     "FusedSolverKernel",
     "PieceBuffer",
     "VectorSolverKernel",
+    "geometry_for_constraint",
+    "geometry_table_stats",
+    "reset_geometry_tables",
     "subtract_cautious",
 ]
 
@@ -86,6 +93,12 @@ _Part = tuple[np.ndarray, np.ndarray, float]
 _MIN_BATCH_ROWS = 3
 _MIN_BATCH_VERTICES = 150
 
+#: The scalar wedge decomposition of convex subtraction runs O(edges^2)
+#: half-plane passes (wedge ``i`` re-clips against edges ``0..i-1``), while
+#: the batched chain runner pays O(edges) passes; past this many exclusion
+#: edges the batch wins even for a single small part.
+_MAX_SCALAR_WEDGE_EDGES = 8
+
 #: Sentinel returned by ``_apply_constraint`` when the constraint left the
 #: piece population exactly as it was (no satisfied parts, no sliver drops):
 #: the caller keeps the current buffer instead of rebuilding it.
@@ -95,15 +108,22 @@ _UNCHANGED: list = ["<unchanged>"]
 # --------------------------------------------------------------------------- #
 # Scalar helpers shared with the object path
 # --------------------------------------------------------------------------- #
-def subtract_cautious(piece: Polygon, exclusion: Polygon) -> list[Polygon]:
+def subtract_cautious(
+    piece: Polygon, exclusion: Polygon, use_masks: bool = True
+) -> list[Polygon]:
     """Subtract ``exclusion`` from ``piece`` without fragmenting it.
 
     When the exclusion lies strictly inside the piece, the classic wedge
     decomposition would shatter the result into one piece per exclusion
     edge; a keyholed polygon keeps it as a single piece with identical
-    area and containment behaviour.  Otherwise general subtraction is used.
-    (Hoisted from ``WeightedRegionSolver`` so both solver engines share one
-    implementation.)
+    area and containment behaviour.  A *non-convex* exclusion that
+    decomposes into convex mask cells (``use_masks``, the default) is
+    subtracted as the fold of cautious subtractions of its cells --
+    ``piece \\ (C1 | ... | Ck) == ((piece \\ C1) \\ C2) ... \\ Ck`` -- so the
+    whole operation stays on the robust convex machinery; only rings the
+    decomposition cannot cover (self-intersecting projections) ride general
+    Greiner-Hormann subtraction.  This function is the scalar reference
+    both solver engines replicate (hoisted from ``WeightedRegionSolver``).
     """
     piece_box = piece.bounding_box()
     exclusion_box = exclusion.bounding_box()
@@ -122,6 +142,19 @@ def subtract_cautious(piece: Polygon, exclusion: Polygon) -> list[Polygon]:
         and all(piece.contains_point(v) for v in exclusion.vertices)
     ):
         return [piece.with_hole(exclusion)]
+    if use_masks and not exclusion.is_convex():
+        cells = convex_cells_for(exclusion)
+        if cells is not None:
+            parts = [piece]
+            for cell in cells:
+                parts = [
+                    kept
+                    for part in parts
+                    for kept in subtract_cautious(part, cell, use_masks)
+                ]
+                if not parts:
+                    break
+            return parts
     return subtract_polygons(piece, exclusion)
 
 
@@ -1479,8 +1512,27 @@ def _with_hole_part(
 # --------------------------------------------------------------------------- #
 # Per-constraint precomputation
 # --------------------------------------------------------------------------- #
+class _CellConstraint:
+    """Constraint shim wrapping one convex mask cell as a pure exclusion."""
+
+    __slots__ = ("inclusion", "exclusion", "weight", "label")
+
+    def __init__(self, exclusion: Polygon, label: str) -> None:
+        self.inclusion = None
+        self.exclusion = exclusion
+        self.weight = 0.0
+        self.label = label
+
+
 class _ConstraintGeometry:
-    """Everything the kernel precomputes once per planar constraint."""
+    """Everything the kernel precomputes once per planar constraint.
+
+    Instances may be shared across solves (and solver threads) through the
+    cross-solve table cache (:func:`geometry_for_constraint`): every lazy
+    ``ensure_*`` method derives pure functions of the immutable constraint
+    polygons and publishes its guard field *last*, so a racing reader either
+    sees the complete tables or rebuilds identical values.
+    """
 
     __slots__ = (
         "weight",
@@ -1500,6 +1552,8 @@ class _ConstraintGeometry:
         "exc_wedge_sides",
         "exc_edges",
         "exc_swapped",
+        "exc_cells",
+        "exc_gh_ccw",
     )
 
     def __init__(self, constraint) -> None:
@@ -1536,6 +1590,8 @@ class _ConstraintGeometry:
         self.exc_wedge_sides = None
         self.exc_edges = None
         self.exc_swapped = None
+        self.exc_cells = None
+        self.exc_gh_ccw = None
 
     def ensure_inclusion_tables(self) -> None:
         """Edge table and centre-distance anchor for the convex inclusion."""
@@ -1544,7 +1600,7 @@ class _ConstraintGeometry:
         inc = self.inclusion
         coords = _ccw_coords_array(inc)
         nxt = np.roll(coords, -1, axis=0)
-        self.inc_edges = np.column_stack([coords, nxt])
+        edges = np.column_stack([coords, nxt])
         # Centre-distance prefilter anchor: the centroid is interior for
         # convex polygons; the apothem is its minimum distance to any
         # edge line, shaved for float safety.
@@ -1558,17 +1614,19 @@ class _ConstraintGeometry:
             dists = np.where(lengths > 0, cross_c / lengths, np.inf)
         apothem = max(float(dists.min()) - _APOTHEM_SHAVE_KM, 0.0)
         self.inc_apothem2 = apothem * apothem
+        # Guard field last: shared instances may race (see class docstring).
+        self.inc_edges = edges
 
     def ensure_keyhole_tables(self) -> None:
         """Query points and clockwise ring for keyhole containment/bridging."""
         if self.exc_coords is not None:
             return
         exc = self.exclusion
-        self.exc_coords = np.asarray(exc.coords)
         ccw = _ccw_coords_array(exc)
         rev = ccw[::-1]
         self.exc_rev_x = np.ascontiguousarray(rev[:, 0])
         self.exc_rev_y = np.ascontiguousarray(rev[:, 1])
+        self.exc_coords = np.asarray(exc.coords)
 
     def ensure_wedge_tables(self) -> None:
         """Edge tables for the batched wedge decomposition."""
@@ -1577,11 +1635,11 @@ class _ConstraintGeometry:
         ccw = _ccw_coords_array(self.exclusion)
         nxt = np.roll(ccw, -1, axis=0)
         # keep_left=True edge rows (a -> b) for the wedge inner clips.
-        self.exc_edges = np.column_stack([ccw, nxt])
+        edges = np.column_stack([ccw, nxt])
         # Endpoint-swapped rows (b -> a): the wedge's first clip keeps the
         # *outside* of edge i, which clip_halfplane realizes by swapping the
         # endpoints; precomputed once so chain assembly is a row copy.
-        self.exc_swapped = self.exc_edges[:, [2, 3, 0, 1]]
+        self.exc_swapped = edges[:, [2, 3, 0, 1]]
         # Swapped-edge coefficients for the wedge's first (outside) clip:
         # clip_halfplane(keep_left=False) swaps the endpoints, so the
         # sidedness expression is  (ax-bx)*(y-by) - (ay-by)*(x-bx).
@@ -1591,6 +1649,38 @@ class _ConstraintGeometry:
             nxt[:, 0],  # reference point bx
             nxt[:, 1],  # by
         )
+        self.exc_edges = edges
+
+    def ensure_mask_tables(self) -> "tuple[_ConstraintGeometry, ...] | None":
+        """Convex mask cells of a non-convex exclusion, as cell geometries.
+
+        Returns ``None`` when the exclusion ring is not decomposable (a
+        self-intersecting projection): callers keep the Greiner-Hormann path
+        for those.  The decomposition comes from the shared id-keyed memo
+        (:func:`repro.geometry.decompose.convex_cells_for`) -- the very same
+        cells the scalar reference :func:`subtract_cautious` folds over --
+        and the per-cell geometries (bboxes, wedge tables) are cached here,
+        hence across solves whenever this geometry object is table-cached.
+        """
+        cells = self.exc_cells
+        if cells is None:
+            polygons = convex_cells_for(self.exclusion)
+            if not polygons:
+                cells = ()
+            else:
+                cells = tuple(
+                    _ConstraintGeometry(
+                        _CellConstraint(polygon, f"{self.label}#cell{i}")
+                    )
+                    for i, polygon in enumerate(polygons)
+                )
+            self.exc_cells = cells
+        return cells or None
+
+    def ensure_gh_tables(self) -> None:
+        """CCW clip-ring coordinates for the batched Greiner-Hormann pass."""
+        if self.exc_gh_ccw is None:
+            self.exc_gh_ccw = _ccw_coords_array(self.exclusion)
 
 
 def _ccw_coords_array(polygon: Polygon) -> np.ndarray:
@@ -1599,6 +1689,106 @@ def _ccw_coords_array(polygon: Polygon) -> np.ndarray:
     if polygon.signed_area() > 0.0:
         return coords
     return np.ascontiguousarray(coords[::-1])
+
+
+# --------------------------------------------------------------------------- #
+# Cross-solve constraint-geometry table cache
+# --------------------------------------------------------------------------- #
+#: Geometry tables keyed by realized constraint identity.  The key is the
+#: *identity* of the constraint's planar polygons (plus weight and label,
+#: which ``_ConstraintGeometry`` bakes in): the planarize memo and the
+#: ``CircleCache`` hand repeated-target solves the very same polygon
+#: objects, so the serving warm path and ``BatchLocalizer`` re-solves hit
+#: here and skip rebuilding every derived table (edge arrays, keyhole
+#: rings, wedge coefficients, mask cells).  Entries hold the polygons they
+#: key on, so an id can never be recycled while its entry lives; lookups
+#: still re-verify identity, making aliasing impossible.  Invalidation is
+#: structural: an ingest that changes a constraint produces *new* polygon
+#: objects (the content-addressed circle cache only returns identical
+#: objects for identical geometry), which miss here and age the stale
+#: entry out of the LRU -- a version stamp would add nothing.
+_GEOMETRY_TABLES: BoundedLRU[_ConstraintGeometry] | None = None
+_GEOMETRY_TABLE_HITS = 0
+_GEOMETRY_TABLE_MISSES = 0
+
+
+def _geometry_table_cache(capacity: int) -> BoundedLRU[_ConstraintGeometry]:
+    global _GEOMETRY_TABLES
+    cache = _GEOMETRY_TABLES
+    if cache is None:
+        cache = BoundedLRU(capacity)
+        _GEOMETRY_TABLES = cache
+    elif capacity > cache.capacity:
+        # Configs only ever grow the shared bound; shrinking mid-flight
+        # would evict another pipeline's warm entries.
+        cache.capacity = capacity
+    return cache
+
+
+def geometry_for_constraint(
+    constraint, config, diagnostics=None
+) -> _ConstraintGeometry:
+    """The constraint's geometry tables, cached across solves.
+
+    Bounded by ``SolverConfig.geometry_table_cache_size`` (``0`` disables
+    caching and always builds fresh tables).  A hit returns the shared
+    ``_ConstraintGeometry`` whose lazily-built tables are pure functions of
+    the constraint polygons -- bit-identical to rebuilding, with the build
+    cost paid once per realized constraint instead of once per solve.
+    """
+    global _GEOMETRY_TABLE_HITS, _GEOMETRY_TABLE_MISSES
+    capacity = int(getattr(config, "geometry_table_cache_size", 0) or 0)
+    if capacity <= 0:
+        return _ConstraintGeometry(constraint)
+    cache = _geometry_table_cache(capacity)
+    key = (
+        id(constraint.inclusion),
+        id(constraint.exclusion),
+        constraint.weight,
+        constraint.label,
+    )
+    cached = cache.get(key)
+    if (
+        cached is not None
+        and cached.inclusion is constraint.inclusion
+        and cached.exclusion is constraint.exclusion
+    ):
+        _GEOMETRY_TABLE_HITS += 1
+        if diagnostics is not None:
+            diagnostics.geometry_table_hits += 1
+        return cached
+    _GEOMETRY_TABLE_MISSES += 1
+    if diagnostics is not None:
+        diagnostics.geometry_table_misses += 1
+    geometry = _ConstraintGeometry(constraint)
+    cache.put(key, geometry)
+    return geometry
+
+
+def geometry_table_stats() -> dict[str, object]:
+    """Global table-cache and mask-memo counters (serving ``cache_stats``)."""
+    cache = _GEOMETRY_TABLES
+    return {
+        "entries": 0 if cache is None else len(cache),
+        "capacity": 0 if cache is None else cache.capacity,
+        "hits": _GEOMETRY_TABLE_HITS,
+        "misses": _GEOMETRY_TABLE_MISSES,
+        "mask_memo": mask_cache_stats(),
+    }
+
+
+def reset_geometry_tables() -> None:
+    """Drop every cached geometry table (tests and cold benchmarks).
+
+    Also drops the decomposition memo: callers use this as the full
+    cold-state reset for the exclusion subsystem, and a warm mask memo
+    would silently exclude the ear-clip + merge cost from "cold" figures.
+    """
+    global _GEOMETRY_TABLES, _GEOMETRY_TABLE_HITS, _GEOMETRY_TABLE_MISSES
+    _GEOMETRY_TABLES = None
+    _GEOMETRY_TABLE_HITS = 0
+    _GEOMETRY_TABLE_MISSES = 0
+    reset_mask_cache()
 
 
 class _StatsHook:
@@ -1679,6 +1869,8 @@ class _ExclusionPlan:
         "chain_parts",
         "chain_seqs",
         "chain_owner",
+        "mask_parts",
+        "mask_owner",
     )
 
     def __init__(self, n_pieces: int) -> None:
@@ -1688,6 +1880,10 @@ class _ExclusionPlan:
         self.chain_parts: list[_Part] = []
         self.chain_seqs: list[np.ndarray] = []
         self.chain_owner: list[int] = []
+        #: Parts whose non-convex exclusion is applied as a convex-cell mask
+        #: fold (run after classification so the cell applications batch).
+        self.mask_parts: list[_Part] = []
+        self.mask_owner: list[int] = []
 
 
 def _distribute_chained(plan: _ExclusionPlan, chained: Sequence) -> None:
@@ -1754,7 +1950,7 @@ class VectorSolverKernel:
             sub_before = diag.phase_seconds.get("inclusion", 0.0) + diag.phase_seconds.get(
                 "exclusion", 0.0
             )
-            geometry = _ConstraintGeometry(constraint)
+            geometry = geometry_for_constraint(constraint, self.config, diag)
             parts, weights = self._apply_constraint(buffer, geometry)
             new_buffer = self._integrate_parts(buffer, geometry, parts, weights)
             self._record_assemble(started, sub_before)
@@ -1915,8 +2111,13 @@ class VectorSolverKernel:
         if not geometry.inc_convex:
             # Non-convex inclusion: Greiner-Hormann territory; run the exact
             # object-path boolean per piece.
+            diag = self.diagnostics
             out: list[list] = []
             for i in range(len(buffer)):
+                diag.fallback_pieces += 1
+                diag.fallback_vertices += int(
+                    buffer.offsets[i + 1] - buffer.offsets[i]
+                )
                 polys = intersect_polygons(buffer.polygon(i), inclusion)
                 out.append([_part_from_polygon(p) for p in polys])
             return out
@@ -2106,7 +2307,28 @@ class VectorSolverKernel:
                 plan.chain_parts, plan.chain_seqs, self._hook
             )
             _distribute_chained(plan, chained)
+        if plan.mask_parts:
+            self._run_masked(plan, geometry)
         return _assemble_exclusion(plan)
+
+    def _run_masked(self, plan: _ExclusionPlan, geometry: _ConstraintGeometry) -> None:
+        """Fold the non-convex exclusion's convex mask cells over the parts.
+
+        Replicates the scalar reference exactly: per part,
+        ``subtract_cautious`` folds ``subtract_cautious(part, cell)`` over
+        the decomposition's cells in order.  Running the fold cell-major
+        (every part against cell 1, then every survivor against cell 2, ...)
+        performs the same per-part operation sequence while letting each
+        cell application ride the batched bbox/keyhole/wedge machinery
+        across all parts at once.
+        """
+        cells = geometry.exc_cells
+        self.diagnostics.mask_cells_clipped += len(cells)
+        current: list[list] = [[part] for part in plan.mask_parts]
+        for cell in cells:
+            current = self._exclusion_step(current, cell)
+        for fi, kept in zip(plan.mask_owner, current):
+            plan.results[fi] = kept
 
     def _exclusion_classify(
         self,
@@ -2246,17 +2468,45 @@ class VectorSolverKernel:
 
         if subtract_idx:
             if not geometry.exc_convex:
-                # General subtraction (Greiner-Hormann): object fallback.
-                for fi in subtract_idx:
-                    polys = subtract_polygons(_polygon_from_part(flat[fi]), exclusion)
-                    results[fi] = [_part_from_polygon(p) for p in polys]
-            elif len(subtract_idx) < _MIN_BATCH_ROWS and (
-                int(counts[subtract_idx].sum()) < _MIN_BATCH_VERTICES
+                mode = getattr(self.config, "nonconvex_exclusion", "masks")
+                cells = (
+                    geometry.ensure_mask_tables() if mode == "masks" else None
+                )
+                if cells is not None:
+                    # Non-convex exclusion with a convex-cell mask: defer
+                    # the parts so the cell fold runs batched across all of
+                    # them (see _run_masked).
+                    for fi in subtract_idx:
+                        plan.mask_parts.append(flat[fi])
+                        plan.mask_owner.append(fi)
+                elif mode == "object":
+                    # Legacy per-piece scalar fallback, kept as the
+                    # drift-gate baseline the batched paths are measured
+                    # against.
+                    for fi in subtract_idx:
+                        diag.fallback_pieces += 1
+                        diag.fallback_vertices += int(counts[fi])
+                        polys = subtract_polygons(
+                            _polygon_from_part(flat[fi]), exclusion
+                        )
+                        results[fi] = [_part_from_polygon(p) for p in polys]
+                else:
+                    # General subtraction (Greiner-Hormann): batched
+                    # intersection classification, per-piece traversal.
+                    self._gh_subtract_rows(
+                        flat, subtract_idx, X, Y, counts, geometry, plan
+                    )
+            elif (
+                len(subtract_idx) < _MIN_BATCH_ROWS
+                and int(counts[subtract_idx].sum()) < _MIN_BATCH_VERTICES
+                and len(exclusion) <= _MAX_SCALAR_WEDGE_EDGES
             ):
                 # Too few parts to amortize the wedge tensors -- and small
                 # enough that the scalar per-vertex loops win.  Big keyholed
-                # rings batch even alone: a scalar wedge decomposition on a
-                # multi-hundred-vertex ring costs milliseconds.
+                # rings batch even alone (a scalar wedge decomposition on a
+                # multi-hundred-vertex ring costs milliseconds), and so do
+                # many-edged exclusions: the scalar decomposition runs
+                # O(edges^2) half-plane passes, the batch O(edges).
                 diag.pieces_clipped += len(subtract_idx)
                 for fi in subtract_idx:
                     polys = subtract_convex(_polygon_from_part(flat[fi]), exclusion)
@@ -2266,6 +2516,104 @@ class VectorSolverKernel:
                     flat, subtract_idx, X, Y, counts, geometry, plan
                 )
         return plan
+
+    def _gh_subtract_rows(
+        self,
+        flat: list[_Part],
+        subtract_idx: list[int],
+        flatX: np.ndarray,
+        flatY: np.ndarray,
+        flat_counts: np.ndarray,
+        geometry: _ConstraintGeometry,
+        plan: _ExclusionPlan,
+    ) -> None:
+        """Batched Greiner-Hormann subtraction over many parts at once.
+
+        The O(subject_edges x clip_edges) intersection scan -- the dominant
+        cost of ``subtract_polygons`` on the small rings the solver sees --
+        runs as one (part, lane, clip-edge) tensor mirroring
+        ``segment_intersection`` operand for operand (same ``EPSILON`` gate,
+        same in-range predicate, same clamping).  Per part the classification
+        then routes exactly like the scalar ``_greiner_hormann`` difference:
+
+        * a degenerate hit anywhere -> the full scalar path (its
+          perturb-and-retry loop re-detects the degeneracy identically);
+        * no hits -> the scalar no-crossing containment classification;
+        * clean hits -> ring assembly and traversal from the precomputed
+          intersections (:func:`subtract_polygons_with_hits`), inserted in
+          the scalar scan's (subject edge, clip edge) order so the linked
+          rings are node-for-node identical.
+        """
+        diag = self.diagnostics
+        exclusion = geometry.exclusion
+        geometry.ensure_gh_tables()
+        clip = geometry.exc_gh_ccw
+        results = plan.results
+        idx = np.asarray(subtract_idx)
+        counts = flat_counts[idx]
+        narrow = max(int(counts.max()), 1)
+        X = flatX[idx][:, :narrow]
+        Y = flatY[idx][:, :narrow]
+        signed = np.array([flat[fi][2] for fi in subtract_idx])
+        # The scalar path scans subject.ensure_ccw().vertices; reversal
+        # preserves the cleaned vertex list, so flipping the stored rows
+        # reproduces those coordinates bitwise.
+        X, Y = _reverse_rows(X, Y, counts, ~(signed > 0.0))
+        R, V = X.shape
+        lanes = _lanes(V)[None, :]
+        valid = lanes < counts[:, None]
+        rows = _rows_col(R)
+        next_idx = np.where(lanes == counts[:, None] - 1, 0, lanes + 1)
+        next_idx = np.where(valid, next_idx, 0)
+        rx = X[rows, next_idx] - X
+        ry = Y[rows, next_idx] - Y
+        q1x = clip[:, 0]
+        q1y = clip[:, 1]
+        q2x = np.roll(clip[:, 0], -1)
+        q2y = np.roll(clip[:, 1], -1)
+        sx = (q2x - q1x)[None, None, :]
+        sy = (q2y - q1y)[None, None, :]
+        denom = rx[:, :, None] * sy - ry[:, :, None] * sx
+        qpx = q1x[None, None, :] - X[:, :, None]
+        qpy = q1y[None, None, :] - Y[:, :, None]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            alpha = (qpx * sy - qpy * sx) / denom
+            beta = (qpx * ry[:, :, None] - qpy * rx[:, :, None]) / denom
+        hit = (
+            (np.abs(denom) >= EPSILON)
+            & (alpha > -EPSILON)
+            & (alpha < 1.0 + EPSILON)
+            & (beta > -EPSILON)
+            & (beta < 1.0 + EPSILON)
+            & valid[:, :, None]
+        )
+        alpha_c = np.minimum(1.0, np.maximum(0.0, alpha))
+        beta_c = np.minimum(1.0, np.maximum(0.0, beta))
+        dtol = 1e-7
+        degenerate = hit & (
+            (alpha_c < dtol)
+            | (alpha_c > 1.0 - dtol)
+            | (beta_c < dtol)
+            | (beta_c > 1.0 - dtol)
+        )
+        hit_any = hit.any(axis=(1, 2))
+        degenerate_any = degenerate.any(axis=(1, 2))
+        for k, fi in enumerate(subtract_idx):
+            diag.fallback_pieces += 1
+            diag.fallback_vertices += int(counts[k])
+            subject = _polygon_from_part(flat[fi])
+            if degenerate_any[k]:
+                polys = subtract_polygons(subject, exclusion)
+            elif not hit_any[k]:
+                polys = _no_crossing_difference(subject, exclusion)
+            else:
+                ii, jj = np.nonzero(hit[k])
+                hits = [
+                    (int(i), int(j), float(alpha_c[k, i, j]), float(beta_c[k, i, j]))
+                    for i, j in zip(ii.tolist(), jj.tolist())
+                ]
+                polys = subtract_polygons_with_hits(subject, exclusion, hits)
+            results[fi] = [_part_from_polygon(p) for p in polys]
 
     def _collect_wedge_chains(
         self,
@@ -2310,6 +2658,17 @@ class VectorSolverKernel:
             None, :, None
         ] * (X[:, None, :] - edges[:, 0][None, :, None])
         keep_needed = ((side_k < (-EPSILON + _PREFILTER_MARGIN)) & valid).any(axis=2)
+
+        # Wedge-kill prefilter (same argument as the fused engine's): wedge
+        # i's chain clips the part to the inside of edges 0..i-1.  When every
+        # part vertex lies strictly outside edge j (with the float-safety
+        # margin), so does every chain intermediate -- convex combinations of
+        # the part's vertices -- and the inside(edge_j) clip provably empties
+        # the chain, so any wedge after an all-out edge is skipped before a
+        # single pass runs (the scalar decomposition runs it and gets None).
+        all_out = ((side_k < -(EPSILON + _PREFILTER_MARGIN)) | ~valid).all(axis=2)
+        prior_out = np.cumsum(all_out, axis=1) - all_out
+        nontrivial = nontrivial & ~(prior_out > 0)
 
         results = plan.results
         for k, fi in enumerate(subtract_idx):
@@ -2499,7 +2858,9 @@ class FusedSolverKernel:
         self._steps += 1
         self._step_targets += len(active)
         for s in active:
-            s.geometry = _ConstraintGeometry(s.ordered[s.cursor])
+            s.geometry = geometry_for_constraint(
+                s.ordered[s.cursor], self.config, s.kernel.diagnostics
+            )
 
         # ---- inclusion stage ------------------------------------------ #
         fusable: list[_FusedTargetState] = []

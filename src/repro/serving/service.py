@@ -43,6 +43,7 @@ from ..core.estimate import LocationEstimate
 from ..core.octant import Octant
 from ..core.pipeline import PipelineStats
 from ..geometry import CircleCache
+from ..geometry.kernel import geometry_table_stats
 from ..network.dataset import MeasurementDataset
 from ..network.dns import UndnsParser
 from ..network.probes import PingResult, TracerouteResult
@@ -568,6 +569,10 @@ class LocalizationService:
             "prepared_hits": prepared_hits,
             "prepared_misses": prepared_misses,
             "circle_cache": self.circle_cache.stats(),
+            # Process-wide cross-solve geometry tables (edge/keyhole/wedge
+            # arrays + convex mask cells keyed by realized constraint
+            # identity); the serving warm path should be hit-dominated.
+            "geometry_tables": geometry_table_stats(),
             "pipeline": pipeline,
             "fused": self._fused_stats_snapshot(),
         }

@@ -1,0 +1,464 @@
+"""Vectorized non-convex exclusion: masks, batched GH, geometry tables.
+
+Non-convex negative constraints (the paper's ocean/uninhabited regions,
+Section 2.5) used to ride a per-piece Greiner-Hormann object fallback.  They
+are now applied as a fold of pre-realized convex mask cells -- one shared
+semantics implemented by the scalar reference (``subtract_cautious``) and
+replicated bit-identically by both vectorized engines -- with a batched
+Greiner-Hormann row kernel for rings the decomposition cannot cover.  This
+suite pins:
+
+* vector-vs-object bit identity on randomized non-convex-heavy systems
+  (masks on), including disconnected and antimeridian-crossing regions;
+* the same identity with masks disabled (the batched GH classification
+  against the scalar GH loop);
+* fused-vs-vector cohort identity on non-convex-heavy cohorts (including a
+  cohort of one and fuse-width-boundary chunking through the batch engine);
+* the cross-solve ``_ConstraintGeometry`` table cache: warm hits are
+  bit-identical, a measurement ingest can never serve stale geometry, and
+  the new kernel counters surface through ``kernel_summary``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import PlanarConstraint, SolverConfig, WeightedRegionSolver
+from repro.core.solver import solve_systems
+from repro.geometry import (
+    AzimuthalEquidistantProjection,
+    GeoPoint,
+    Point2D,
+    Polygon,
+    disk_polygon,
+)
+from repro.geometry.kernel import (
+    geometry_table_stats,
+    reset_geometry_tables,
+    subtract_cautious,
+)
+
+CENTER = GeoPoint(40.0, -95.0)
+PROJ = AzimuthalEquidistantProjection(CENTER)
+
+
+def disk_at(bearing_deg, distance_km, radius_km, segments=32):
+    centre = CENTER.destination(bearing_deg, distance_km) if distance_km > 0 else CENTER
+    return disk_polygon(centre, radius_km, PROJ, segments)
+
+
+def positive(polygon, weight=1.0, label="pos"):
+    return PlanarConstraint(polygon, None, weight, label)
+
+
+def negative(polygon, weight=1.0, label="neg"):
+    return PlanarConstraint(None, polygon, weight, label)
+
+
+def nonconvex_ring(rng: random.Random, cx: float, cy: float, scale: float) -> Polygon:
+    """A jittered radial star: simple, almost surely non-convex."""
+    n = rng.randint(5, 14)
+    points = []
+    for i in range(n):
+        angle = 2.0 * math.pi * i / n
+        radius = scale * (0.35 + rng.random())
+        points.append(Point2D(cx + radius * math.cos(angle), cy + radius * math.sin(angle)))
+    return Polygon(points)
+
+
+def random_nonconvex_system(rng: random.Random) -> list[PlanarConstraint]:
+    """A constraint system whose exclusions are dominated by non-convex rings."""
+    constraints = [positive(disk_at(0, 0, 900.0), 1.0, "base")]
+    for i in range(rng.randint(1, 4)):
+        ring = nonconvex_ring(
+            rng, rng.uniform(-600, 600), rng.uniform(-600, 600), rng.uniform(100, 500)
+        )
+        constraints.append(negative(ring, rng.uniform(0.2, 3.0), f"neg{i}"))
+    for i in range(rng.randint(1, 3)):
+        constraints.append(
+            positive(
+                disk_at(rng.uniform(0, 360), rng.uniform(0, 700), rng.uniform(100, 800)),
+                rng.uniform(0.2, 2.0),
+                f"pos{i}",
+            )
+        )
+    return constraints
+
+
+def assert_engines_identical(constraints, config_kwargs=None):
+    """Vector vs object bit identity on every estimate metric."""
+    kwargs = dict(config_kwargs or {})
+    vector = WeightedRegionSolver(SolverConfig(engine="vector", **kwargs))
+    obj = WeightedRegionSolver(SolverConfig(engine="object", **kwargs))
+    region_v = vector.solve(constraints, PROJ)
+    region_o = obj.solve(constraints, PROJ)
+    assert region_v.area_km2() == region_o.area_km2()
+    assert len(region_v.pieces) == len(region_o.pieces)
+    for piece_v, piece_o in zip(region_v.pieces, region_o.pieces):
+        assert piece_v.weight == piece_o.weight
+        assert piece_v.polygon.coords == piece_o.polygon.coords
+    dv, do = vector.diagnostics, obj.diagnostics
+    assert dv.constraints_applied == do.constraints_applied
+    assert dv.dropped_constraints == do.dropped_constraints
+    assert dv.max_weight == do.max_weight
+    assert dv.selected_weight == do.selected_weight
+    return vector, region_v
+
+
+def assert_cohort_identical(cohort, config_kwargs=None):
+    """Fused lockstep vs per-target vector bit identity."""
+    kwargs = dict(config_kwargs or {})
+    fused = solve_systems(
+        SolverConfig(engine="fused", **kwargs), [(c, PROJ) for c in cohort]
+    )
+    for constraints, (region_f, diag_f) in zip(cohort, fused):
+        solver = WeightedRegionSolver(SolverConfig(engine="vector", **kwargs))
+        region_v = solver.solve(constraints, PROJ)
+        assert region_f.area_km2() == region_v.area_km2()
+        assert len(region_f.pieces) == len(region_v.pieces)
+        for piece_f, piece_v in zip(region_f.pieces, region_v.pieces):
+            assert piece_f.weight == piece_v.weight
+            assert piece_f.polygon.coords == piece_v.polygon.coords
+        assert diag_f.constraints_applied == solver.diagnostics.constraints_applied
+        assert diag_f.dropped_constraints == solver.diagnostics.dropped_constraints
+
+
+# --------------------------------------------------------------------------- #
+# Mask-fold equivalence (non-convex-heavy systems)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(12))
+def test_masked_nonconvex_equivalence(seed):
+    rng = random.Random(9000 + seed)
+    solver, _region = assert_engines_identical(random_nonconvex_system(rng))
+    assert solver.diagnostics.engine == "vector"
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_masked_nonconvex_equivalence_pruned(seed):
+    rng = random.Random(9100 + seed)
+    assert_engines_identical(random_nonconvex_system(rng), {"max_pieces": 4})
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_masked_nonconvex_equivalence_slivers(seed):
+    rng = random.Random(9200 + seed)
+    assert_engines_identical(
+        random_nonconvex_system(rng), {"min_piece_area_km2": 500.0}
+    )
+
+
+def test_disconnected_nonconvex_regions():
+    """Two far-apart non-convex exclusions (the paper's disconnected case)."""
+    rng = random.Random(42)
+    # Low-weight exclusions apply *after* the disks have shrunk the pieces,
+    # and they straddle the base disk's boundary: neither bbox rejection nor
+    # the keyhole (strictly-contained) shortcut can resolve them, so the
+    # subtraction must run -- through the mask fold.
+    constraints = [
+        positive(disk_at(0, 0, 1200.0), 1.0, "base"),
+        negative(nonconvex_ring(rng, -1150.0, -400.0, 350.0), 0.5, "west"),
+        negative(nonconvex_ring(rng, 1150.0, 400.0, 350.0), 0.5, "east"),
+        positive(disk_at(45.0, 300.0, 600.0), 0.7, "aux"),
+    ]
+    solver, _ = assert_engines_identical(constraints)
+    assert solver.diagnostics.mask_cells_clipped > 0
+
+
+def test_mask_counters_surface_in_kernel_summary():
+    rng = random.Random(7)
+    solver, _ = assert_engines_identical(random_nonconvex_system(rng))
+    summary = solver.diagnostics.kernel_summary()
+    for key in (
+        "fallback_pieces",
+        "fallback_vertices",
+        "mask_cells_clipped",
+        "geometry_table_hits",
+        "geometry_table_misses",
+    ):
+        assert key in summary
+    assert summary["mask_cells_clipped"] > 0
+
+
+def test_mask_fold_matches_gh_region_area():
+    """Mask fold and Greiner-Hormann compute the same difference region.
+
+    Fragmentation (hence piece lists) may differ, but the subtracted area
+    must agree: the mask cells partition the exclusion exactly.
+    """
+    rng = random.Random(11)
+    piece = disk_at(0, 0, 700.0)
+    exclusion = nonconvex_ring(rng, 120.0, -80.0, 350.0)
+    masked = subtract_cautious(piece, exclusion, True)
+    general = subtract_cautious(piece, exclusion, False)
+    masked_area = sum(p.area() for p in masked)
+    general_area = sum(p.area() for p in general)
+    assert masked_area == pytest.approx(general_area, rel=1e-6)
+
+
+# --------------------------------------------------------------------------- #
+# Batched Greiner-Hormann (masks off, or non-decomposable rings)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(8))
+def test_gh_fallback_equivalence(seed):
+    """Masks disabled: the batched GH classification vs the scalar GH loop."""
+    rng = random.Random(9300 + seed)
+    assert_engines_identical(
+        random_nonconvex_system(rng), {"nonconvex_exclusion": "gh"}
+    )
+
+
+def test_gh_fallback_counters():
+    """Boundary-straddling non-convex exclusions must hit the GH row kernel."""
+    rng = random.Random(42)
+    constraints = [
+        positive(disk_at(0, 0, 1200.0), 1.0, "base"),
+        negative(nonconvex_ring(rng, -1150.0, -400.0, 350.0), 0.5, "west"),
+        negative(nonconvex_ring(rng, 1150.0, 400.0, 350.0), 0.5, "east"),
+        positive(disk_at(45.0, 300.0, 600.0), 0.7, "aux"),
+    ]
+    solver, _ = assert_engines_identical(constraints, {"nonconvex_exclusion": "gh"})
+    assert solver.diagnostics.fallback_pieces > 0
+    assert solver.diagnostics.fallback_vertices > 0
+    assert solver.diagnostics.mask_cells_clipped == 0
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_batched_gh_matches_legacy_object_fallback(seed):
+    """``"gh"`` (batched row kernel) vs ``"object"`` (legacy per-piece loop)
+    on the same vector engine must agree bit for bit -- the sharpest pin on
+    the precomputed-intersection ring assembly."""
+    rng = random.Random(9400 + seed)
+    constraints = random_nonconvex_system(rng)
+    batched = WeightedRegionSolver(
+        SolverConfig(engine="vector", nonconvex_exclusion="gh")
+    )
+    legacy = WeightedRegionSolver(
+        SolverConfig(engine="vector", nonconvex_exclusion="object")
+    )
+    region_b = batched.solve(constraints, PROJ)
+    region_l = legacy.solve(constraints, PROJ)
+    assert region_b.area_km2() == region_l.area_km2()
+    assert len(region_b.pieces) == len(region_l.pieces)
+    for piece_b, piece_l in zip(region_b.pieces, region_l.pieces):
+        assert piece_b.weight == piece_l.weight
+        assert piece_b.polygon.coords == piece_l.polygon.coords
+
+
+def test_antimeridian_ring_equivalence():
+    """A non-convex ring crossing the antimeridian, far from the projection
+    centre: the projected exclusion must still solve bit-identically on both
+    engines (the azimuthal projection keeps it simple, so it rides the mask
+    fold; the point of the case is the extreme coordinates)."""
+    from repro.core import GeoRegionConstraint, Polarity
+
+    ring = tuple(
+        GeoPoint(lat, lon)
+        for lat, lon in [
+            (40.0, 170.0),
+            (45.0, -175.0),
+            (35.0, -170.0),
+            (38.0, 178.0),  # concave bend on the date line itself
+            (30.0, 175.0),
+            (35.0, 165.0),
+        ]
+    )
+    planar = GeoRegionConstraint(ring=ring, polarity=Polarity.NEGATIVE).to_planar(PROJ)
+    assert planar is not None and planar.exclusion is not None
+    constraints = [
+        positive(disk_at(270.0, 6000.0, 4000.0), 1.0, "pacific"),
+        planar,
+    ]
+    assert_engines_identical(constraints)
+
+
+def test_self_intersecting_ring_rides_gh():
+    """A bowtie exclusion (a projection fold) refuses decomposition and must
+    agree bit for bit through the batched Greiner-Hormann path."""
+    from repro.geometry.decompose import convex_decompose
+
+    bowtie = Polygon(
+        [
+            Point2D(-300.0, -250.0),
+            Point2D(300.0, 250.0),
+            Point2D(300.0, -250.0),
+            Point2D(-300.0, 250.0),
+        ]
+    )
+    assert convex_decompose(bowtie) is None
+    constraints = [
+        positive(disk_at(0, 0, 700.0), 1.0, "base"),
+        negative(bowtie, 0.5, "fold"),
+        positive(disk_at(120.0, 250.0, 400.0), 0.7, "aux"),
+    ]
+    solver, _ = assert_engines_identical(constraints)
+    assert solver.diagnostics.fallback_pieces > 0
+
+
+def test_detailed_geo_regions_are_nonconvex_and_identical():
+    """The detailed catalogue rings exercise the mask path end to end."""
+    from repro.core import GeoRegionConstraint, Polarity
+    from repro.network.geodata import DETAILED_OCEAN_REGIONS
+
+    constraints = [positive(disk_at(90.0, 2500.0, 3500.0), 1.0, "base")]
+    nonconvex = 0
+    for region in DETAILED_OCEAN_REGIONS[:4]:
+        planar = GeoRegionConstraint(
+            ring=region.ring, polarity=Polarity.NEGATIVE, weight=5.0
+        ).to_planar(PROJ)
+        assert planar is not None
+        if not planar.exclusion.is_convex():
+            nonconvex += 1
+        constraints.append(planar)
+    assert nonconvex > 0  # detailed regions must stay non-convex when projected
+    assert_engines_identical(constraints)
+
+
+# --------------------------------------------------------------------------- #
+# Fused cohort identity on non-convex-heavy cohorts
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("size", [1, 5, 16, 17])
+def test_fused_cohort_nonconvex_identity(size):
+    """Cohort of one, mid-size, and fuse-width-boundary cohorts."""
+    rng = random.Random(7000 + size)
+    cohort = [random_nonconvex_system(rng) for _ in range(size)]
+    assert_cohort_identical(cohort)
+
+
+def test_fused_chunk_boundary_through_batch_engine():
+    """fuse_width chunking with detailed (non-convex) geographic regions."""
+    from repro import BatchLocalizer, Octant, collect_dataset
+    from repro.core.config import OctantConfig, SolverConfig
+    from repro.network.planetlab import small_deployment
+
+    deployment = small_deployment(host_count=6, seed=13)
+    dataset = collect_dataset(deployment)
+    config = OctantConfig(
+        geographic_detail="detailed",
+        solver=SolverConfig(engine="fused", fuse_width=4),
+    )
+    fused = BatchLocalizer(Octant(dataset, config)).localize_all()
+    vector_config = config.with_overrides(solver=SolverConfig(engine="vector"))
+    vector = BatchLocalizer(Octant(dataset, vector_config)).localize_all()
+    assert set(fused) == set(vector)
+    for target, estimate_f in fused.items():
+        estimate_v = vector[target]
+        if estimate_v.point is None:
+            assert estimate_f.point is None
+            continue
+        assert (estimate_f.point.lat, estimate_f.point.lon) == (
+            estimate_v.point.lat,
+            estimate_v.point.lon,
+        )
+        assert estimate_f.region.area_km2() == estimate_v.region.area_km2()
+
+
+# --------------------------------------------------------------------------- #
+# Cross-solve geometry table cache
+# --------------------------------------------------------------------------- #
+class TestGeometryTables:
+    def test_warm_solve_hits_and_is_identical(self):
+        reset_geometry_tables()
+        rng = random.Random(55)
+        constraints = random_nonconvex_system(rng)
+        cold = WeightedRegionSolver(SolverConfig(engine="vector"))
+        warm = WeightedRegionSolver(SolverConfig(engine="vector"))
+        region_cold = cold.solve(constraints, PROJ)
+        region_warm = warm.solve(constraints, PROJ)
+        assert cold.diagnostics.geometry_table_misses == len(constraints)
+        assert cold.diagnostics.geometry_table_hits == 0
+        assert warm.diagnostics.geometry_table_hits == len(constraints)
+        assert warm.diagnostics.geometry_table_misses == 0
+        assert region_cold.area_km2() == region_warm.area_km2()
+        for piece_c, piece_w in zip(region_cold.pieces, region_warm.pieces):
+            assert piece_c.weight == piece_w.weight
+            assert piece_c.polygon.coords == piece_w.polygon.coords
+        stats = geometry_table_stats()
+        assert stats["entries"] >= len(constraints)
+        assert stats["hits"] >= len(constraints)
+
+    def test_zero_capacity_disables_cache(self):
+        reset_geometry_tables()
+        constraints = [positive(disk_at(0, 0, 300.0))]
+        solver = WeightedRegionSolver(
+            SolverConfig(engine="vector", geometry_table_cache_size=0)
+        )
+        solver.solve(constraints, PROJ)
+        assert solver.diagnostics.geometry_table_hits == 0
+        assert solver.diagnostics.geometry_table_misses == 0
+        assert geometry_table_stats()["entries"] == 0
+
+    def test_equal_valued_but_distinct_polygons_miss(self):
+        """Identity keying: a rebuilt (non-cached) polygon must not hit."""
+        reset_geometry_tables()
+        first = [positive(disk_at(0, 0, 300.0))]
+        second = [positive(disk_at(0, 0, 300.0))]  # equal values, new objects
+        s1 = WeightedRegionSolver(SolverConfig(engine="vector"))
+        s2 = WeightedRegionSolver(SolverConfig(engine="vector"))
+        s1.solve(first, PROJ)
+        s2.solve(second, PROJ)
+        assert s2.diagnostics.geometry_table_hits == 0
+        assert s2.diagnostics.geometry_table_misses == 1
+
+    def test_pipeline_stats_surface_table_counters(self):
+        from repro.core.pipeline import PipelineStats
+
+        snapshot = PipelineStats().snapshot()
+        assert "geometry_table_hits" in snapshot
+        assert "geometry_table_misses" in snapshot
+
+
+class TestIngestInvalidation:
+    def test_post_ingest_solve_never_serves_stale_geometry(self):
+        """After ``ingest()`` the answer equals a cold-cache rebuild.
+
+        Invalidation is structural -- changed measurements realize new
+        polygon objects, which miss the identity-keyed table cache -- so a
+        warm process and a cold process must agree bit for bit on the
+        post-ingest dataset.
+        """
+        from repro import BatchLocalizer, Octant, collect_dataset
+        from repro.network.planetlab import small_deployment
+
+        deployment = small_deployment(host_count=9, seed=11)
+        ids = sorted(deployment.host_ids)
+        full = collect_dataset(deployment)
+        new_id, kept = ids[8], set(ids[:8])
+        payload_hosts = [full.hosts[new_id]]
+        payload_pings = [
+            p
+            for (s, d), p in sorted(full.pings.items())
+            if new_id in (s, d) and (s in kept or d in kept)
+        ]
+
+        def signature(estimate):
+            return (
+                None
+                if estimate.point is None
+                else (estimate.point.lat, estimate.point.lon),
+                None if estimate.region is None else estimate.region.area_km2(),
+                estimate.constraints_used,
+            )
+
+        target = ids[0]
+
+        live = collect_dataset(deployment, host_ids=ids[:8])
+        localizer = BatchLocalizer(Octant(live))
+        before = localizer.localize_one(target)
+        again = localizer.localize_one(target)
+        assert signature(before) == signature(again)  # warm path identical
+        version_before = live.version
+        live.ingest(hosts=payload_hosts, pings=payload_pings)
+        assert live.version > version_before
+        after = localizer.localize_one(target)
+
+        # Cold reference: identical dataset history, empty geometry tables.
+        reset_geometry_tables()
+        live_cold = collect_dataset(deployment, host_ids=ids[:8])
+        live_cold.ingest(hosts=payload_hosts, pings=payload_pings)
+        reference = BatchLocalizer(Octant(live_cold)).localize_one(target)
+        assert signature(after) == signature(reference)
+        # The ingest changed the landmark set, so the answer moved too.
+        assert signature(after) != signature(before)

@@ -1,0 +1,146 @@
+"""Convex decomposition of simple polygons (the geographic mask layer).
+
+The mask fold's correctness rests on :func:`convex_decompose` producing an
+*exact partition*: convex CCW cells, built only from the polygon's own
+vertices, whose areas sum to the polygon's area.  Non-simple rings must be
+detected and refused (the solver keeps Greiner-Hormann for them).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.decompose import (
+    convex_cells_for,
+    convex_decompose,
+    mask_cache_stats,
+)
+from repro.geometry.point import Point2D
+from repro.geometry.polygon import Polygon
+
+
+def radial_polygon(seed: int, min_vertices: int = 5, max_vertices: int = 24) -> Polygon:
+    """A random simple polygon: radial star with jittered radii."""
+    rng = random.Random(seed)
+    n = rng.randint(min_vertices, max_vertices)
+    points = []
+    for i in range(n):
+        angle = 2.0 * math.pi * i / n
+        radius = rng.uniform(2.0, 12.0)
+        points.append(Point2D(radius * math.cos(angle), radius * math.sin(angle)))
+    return Polygon(points)
+
+
+def assert_exact_partition(polygon: Polygon, cells: list[Polygon]) -> None:
+    total = sum(cell.area() for cell in cells)
+    assert abs(total - polygon.area()) <= 1e-9 * max(polygon.area(), 1.0)
+    vertex_pool = set(polygon.ensure_ccw().coords)
+    for cell in cells:
+        assert cell.is_convex()
+        assert cell.is_ccw()
+        assert set(cell.coords) <= vertex_pool
+
+
+class TestConvexDecompose:
+    def test_l_shape_two_cells(self):
+        polygon = Polygon(
+            [
+                Point2D(0, 0),
+                Point2D(4, 0),
+                Point2D(4, 1),
+                Point2D(1, 1),
+                Point2D(1, 3),
+                Point2D(0, 3),
+            ]
+        )
+        cells = convex_decompose(polygon)
+        assert cells is not None and len(cells) == 2
+        assert_exact_partition(polygon, cells)
+
+    def test_notched_square(self):
+        polygon = Polygon(
+            [
+                Point2D(-5, -5),
+                Point2D(5, -5),
+                Point2D(5, 5),
+                Point2D(0, 0),
+                Point2D(-5, 5),
+            ]
+        )
+        cells = convex_decompose(polygon)
+        assert cells is not None and len(cells) >= 2
+        assert_exact_partition(polygon, cells)
+
+    def test_convex_input_returned_unchanged(self):
+        polygon = Polygon.regular(Point2D(0, 0), 5.0, 16)
+        cells = convex_decompose(polygon)
+        assert cells == [polygon]
+
+    def test_cw_input_cells_are_ccw(self):
+        polygon = Polygon(
+            [
+                Point2D(0, 3),
+                Point2D(1, 3),
+                Point2D(1, 1),
+                Point2D(4, 1),
+                Point2D(4, 0),
+                Point2D(0, 0),
+            ]
+        )
+        assert not polygon.is_ccw()
+        cells = convex_decompose(polygon)
+        assert cells is not None
+        assert_exact_partition(polygon, cells)
+
+    def test_bowtie_returns_none(self):
+        bowtie = Polygon(
+            [Point2D(0, 0), Point2D(2, 2), Point2D(2, 0), Point2D(0, 2)]
+        )
+        assert convex_decompose(bowtie) is None
+
+    def test_merge_reduces_triangle_count(self):
+        """The convex merge must do real work: far fewer cells than n - 2."""
+        polygon = radial_polygon(3, min_vertices=16, max_vertices=16)
+        cells = convex_decompose(polygon)
+        assert cells is not None
+        assert len(cells) < len(polygon) - 2
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_randomized_partition_exactness(self, seed):
+        polygon = radial_polygon(seed)
+        cells = convex_decompose(polygon)
+        assert cells is not None
+        assert_exact_partition(polygon, cells)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_deterministic(self, seed):
+        polygon = radial_polygon(100 + seed)
+        first = convex_decompose(polygon)
+        second = convex_decompose(Polygon(polygon.vertices))
+        assert [c.coords for c in first] == [c.coords for c in second]
+
+
+class TestMaskMemo:
+    def test_identity_keyed_hits(self):
+        polygon = radial_polygon(7)
+        before = mask_cache_stats()
+        first = convex_cells_for(polygon)
+        second = convex_cells_for(polygon)
+        after = mask_cache_stats()
+        assert first is second
+        assert after["hits"] >= before["hits"] + 1
+        # An equal-valued but distinct polygon is a different entry.
+        clone = Polygon(polygon.vertices)
+        third = convex_cells_for(clone)
+        assert third is not first
+        assert [c.coords for c in third] == [c.coords for c in first]
+
+    def test_non_decomposable_memoized_as_none(self):
+        bowtie = Polygon(
+            [Point2D(0, 0), Point2D(3, 3), Point2D(3, 0), Point2D(0, 3)]
+        )
+        assert convex_cells_for(bowtie) is None
+        assert convex_cells_for(bowtie) is None
