@@ -229,7 +229,10 @@ def test_cohort_engine_speedup(dataset, target_ids):
     # noise margin below the tracked ratio; a real regression (pooling
     # silently disabled reads ~1.0x) still trips it.  Gated on the
     # *requested* cohort so dropped presolves cannot silently shrink the
-    # run below the threshold and disable the gate.
+    # run below the threshold and disable the gate.  This guards the
+    # *solver-level* pooling only; the end-to-end fused-pipeline floor
+    # (>=1.4x with every pre-solve stage batched) is gated separately by
+    # ``bench_batch_localize.py::test_fused_pipeline_drift_gate``.
     if len(target_ids) >= 20 and len(dataset.hosts) >= 20:
         assert dropped <= len(target_ids) // 4, "too many presolve failures"
         assert speedup >= 1.1

@@ -50,12 +50,31 @@ from .._lru import BoundedLRU
 from ..geometry import CircleCache, GeoPoint
 from ..network.dataset import MeasurementDataset
 from ..network.dns import UndnsParser
-from .calibration import CalibrationSet, build_calibration_set
+from .calibration import (
+    CalibrationSet,
+    build_calibration_set,
+    build_calibration_sets_many,
+)
 from .config import OctantConfig
 from .estimate import LocationEstimate
-from .heights import HeightModel, estimate_landmark_heights
-from .octant import Octant, PreparedLandmarks, pseudo_target_heights
-from .piecewise import RouterLocalizer, RouterPosition, build_router_observation_index
+from .heights import (
+    HeightModel,
+    TargetHeightTables,
+    estimate_landmark_heights,
+    estimate_landmark_heights_many,
+)
+from .octant import (
+    Octant,
+    PreparedLandmarks,
+    pseudo_target_heights,
+    pseudo_target_heights_tabled,
+)
+from .piecewise import (
+    RouterLocalizer,
+    RouterPosition,
+    build_router_observation_index,
+    localize_routers_many,
+)
 
 __all__ = ["BatchLocalizer", "BatchSharedState", "failed_estimate", "localize_many"]
 
@@ -65,6 +84,7 @@ def failed_estimate(
     method: str,
     error: BaseException | str,
     traceback: str | None = None,
+    stats: Mapping[str, float] | None = None,
 ) -> LocationEstimate:
     """A recorded per-target failure: no point, no region, reason in details.
 
@@ -72,13 +92,19 @@ def failed_estimate(
     modes can be aggregated without parsing messages; ``traceback`` accepts a
     pre-formatted traceback string (the serving path captures it at the
     executor boundary) stored under ``details["traceback"]`` -- failures stay
-    diagnosable from the estimate alone, without process logs.
+    diagnosable from the estimate alone, without process logs.  ``stats``
+    records the target's share of pooled pipeline-stage time under
+    ``details["pipeline_stats"]``: a target that fails halfway through the
+    batched derivation still consumed height/calibration work, and per-stage
+    accounting would undercount without it.
     """
     details: dict[str, object] = {"error": str(error)}
     if isinstance(error, BaseException):
         details["error_type"] = type(error).__name__
     if traceback:
         details["traceback"] = traceback
+    if stats:
+        details["pipeline_stats"] = {k: float(v) for k, v in dict(stats).items()}
     return LocationEstimate(
         target_id=target_id,
         method=method,
@@ -86,6 +112,19 @@ def failed_estimate(
         region=None,
         details=details,
     )
+
+
+@dataclass
+class _PrepareFailure:
+    """A captured per-target preparation failure from the batched derivation.
+
+    Carries the exception exactly as the scalar path would have raised it,
+    plus the target's share of any pooled stage time it consumed before
+    failing (fed to :func:`failed_estimate` as ``stats``).
+    """
+
+    error: Exception
+    stats: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -197,6 +236,12 @@ class BatchLocalizer:
         self._prepared_lock = threading.Lock()
         self.prepared_hits = 0
         self.prepared_misses = 0
+        # Cohort-shared target-height propagation tables, keyed by
+        # (dataset version, located pool): every target of a solve_many
+        # cohort estimates heights against the same landmark geometry, so
+        # the per-pair propagation terms are computed once per cohort.
+        self._tables_cache: BoundedLRU[TargetHeightTables] = BoundedLRU(4)
+        self._tables_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Shared state
@@ -351,6 +396,248 @@ class BatchLocalizer:
             router_positions=router_positions,
         )
 
+    def _height_tables(
+        self, shared: BatchSharedState, pool: Sequence[str]
+    ) -> TargetHeightTables:
+        """Cohort-shared target-height propagation tables for a landmark pool.
+
+        Built over the located pool hosts (every roster a cohort target uses
+        is a subset) and cached per ``(dataset version, located ids)``: the
+        tables only depend on landmark coordinates, so all of a cohort's
+        pseudo-height and target-height estimates share one table build.
+        """
+        ids = tuple(lid for lid in pool if lid in shared.locations)
+        key = (shared.dataset_version, ids)
+        with self._tables_lock:
+            cached = self._tables_cache.get(key)
+        if cached is not None:
+            return cached
+        tables = TargetHeightTables(ids, shared.locations)
+        with self._tables_lock:
+            self._tables_cache.put(key, tables)
+        return tables
+
+    def prepare_many(
+        self, target_ids: Sequence[str], landmark_pool: Sequence[str] | None = None
+    ) -> dict[str, "PreparedLandmarks | _PrepareFailure"]:
+        """Derive many targets' leave-one-out state through batched stages.
+
+        The cohort-axis counterpart of :meth:`prepare_for_target`: each
+        mask-sensitive estimator runs once over the whole cohort -- masked
+        tensor reductions for the height fix-point
+        (:func:`estimate_landmark_heights_many`), table-driven pseudo-target
+        heights, pooled calibration gathers
+        (:func:`build_calibration_sets_many`) and cohort-pooled router disk
+        realization (:func:`localize_routers_many`) -- instead of once per
+        target.  Every batched stage is bit-identical to its scalar
+        reference, so each returned :class:`PreparedLandmarks` equals what
+        :meth:`prepare_for_target` would derive; stage wall times are
+        recorded on the pipeline's :class:`PipelineStats`.
+
+        A target the scalar path would fail with :class:`ValueError` /
+        :class:`KeyError` is returned as a :class:`_PrepareFailure` carrying
+        that exception plus the target's share of the pooled stage time it
+        consumed before failing.
+        """
+        shared = self.shared_state()
+        dataset = self.dataset
+        stats = self.octant.pipeline.stats
+        pool = sorted(landmark_pool) if landmark_pool is not None else dataset.host_ids
+        pool_key = tuple(pool) if landmark_pool is not None else None
+        use_cache = self.prepared_cache_size > 0
+
+        results: dict[str, PreparedLandmarks | _PrepareFailure] = {}
+        pending: list[str] = []
+        for target in dict.fromkeys(target_ids):
+            if use_cache:
+                cache_key = (dataset.version, target, pool_key)
+                with self._prepared_lock:
+                    cached = self._prepared_cache.get(cache_key)
+                    if cached is not None:
+                        self.prepared_hits += 1
+                    else:
+                        self.prepared_misses += 1
+                if cached is not None:
+                    results[target] = cached
+                    continue
+            pending.append(target)
+        if not pending:
+            return results
+
+        # Per-target share of pooled stage time, accumulated as stages run;
+        # a failing target hands its shares to the failed estimate.
+        shares: dict[str, dict[str, float]] = {t: {} for t in pending}
+
+        def credit(targets: Sequence[str], stage: str, per_target: float) -> None:
+            for t in targets:
+                bucket = shares[t]
+                bucket[stage] = bucket.get(stage, 0.0) + per_target
+
+        # -- Roster resolution (pure per-target bookkeeping) ------------- #
+        located = shared.locations
+        active: list[tuple[str, tuple[str, ...], dict[str, GeoPoint], int]] = []
+        for target in pending:
+            key = tuple(lid for lid in pool if lid != target)
+            if len(key) < 3:
+                results[target] = _PrepareFailure(
+                    ValueError("localization needs at least 3 landmarks")
+                )
+                continue
+            try:
+                locations = {lid: located[lid] for lid in key}
+            except KeyError as exc:
+                results[target] = _PrepareFailure(
+                    KeyError(f"no ground-truth location recorded for {exc.args[0]!r}")
+                )
+                continue
+            if landmark_pool is None:
+                pair_count = len(shared.rtt_matrix) - shared.pair_degree.get(target, 0)
+            else:
+                members = set(key)
+                pair_count = sum(
+                    1 for (a, b) in shared.rtt_matrix if a in members and b in members
+                )
+            active.append((target, key, locations, pair_count))
+
+        # -- Heights: one masked tensor fix-point for the whole cohort --- #
+        failed: set[str] = set()
+        heights_map: dict[str, HeightModel | None] = {
+            entry[0]: None for entry in active
+        }
+        height_cohort = [
+            entry
+            for entry in active
+            if self.config.use_heights and entry[3] >= len(entry[1])
+        ]
+        if height_cohort:
+            started = time.perf_counter()
+            outcomes = estimate_landmark_heights_many(
+                [entry[2] for entry in height_cohort],
+                shared.rtt_matrix,
+                distance_km=dataset.cached_distance_km,
+            )
+            elapsed = time.perf_counter() - started
+            stats.heights_seconds += elapsed
+            credit([entry[0] for entry in height_cohort], "heights_seconds",
+                   elapsed / len(height_cohort))
+            for entry, outcome in zip(height_cohort, outcomes):
+                if isinstance(outcome, ValueError):
+                    failed.add(entry[0])
+                    results[entry[0]] = _PrepareFailure(outcome, shares[entry[0]])
+                else:
+                    heights_map[entry[0]] = outcome
+
+        # -- Calibration: pseudo-target heights + pooled convex hulls ---- #
+        survivors = [entry for entry in active if entry[0] not in failed]
+        calibrations_map: dict[str, CalibrationSet] = {}
+        if self.config.use_calibration and survivors:
+            tables = (
+                self._height_tables(shared, pool)
+                if any(heights_map[entry[0]] is not None for entry in survivors)
+                else None
+            )
+            started = time.perf_counter()
+            pseudo_map: dict[str, dict[str, float]] = {}
+            for target, key, locations, _ in survivors:
+                heights = heights_map[target]
+                if heights is None:
+                    pseudo_map[target] = {}
+                else:
+                    pseudo_map[target] = pseudo_target_heights_tabled(
+                        key, locations, heights, dataset.cached_min_rtt_ms, tables
+                    )
+            pseudo_elapsed = time.perf_counter() - started
+            stats.heights_seconds += pseudo_elapsed
+            credit([entry[0] for entry in survivors], "heights_seconds",
+                   pseudo_elapsed / len(survivors))
+
+            started = time.perf_counter()
+            outcomes = build_calibration_sets_many(
+                [entry[1] for entry in survivors],
+                located,
+                dataset.cached_min_rtt_ms,
+                heights_list=[heights_map[entry[0]] for entry in survivors],
+                pseudo_heights_list=[pseudo_map[entry[0]] for entry in survivors],
+                distance_km=dataset.cached_distance_km,
+                cutoff_percentile=self.config.calibration_cutoff_percentile,
+                sentinel_ms=self.config.calibration_sentinel_ms,
+                slack=self.config.calibration_slack,
+            )
+            elapsed = time.perf_counter() - started
+            stats.calibration_seconds += elapsed
+            credit([entry[0] for entry in survivors], "calibration_seconds",
+                   elapsed / len(survivors))
+            for entry, outcome in zip(survivors, outcomes):
+                if isinstance(outcome, ValueError):
+                    failed.add(entry[0])
+                    results[entry[0]] = _PrepareFailure(outcome, shares[entry[0]])
+                else:
+                    calibrations_map[entry[0]] = outcome
+            survivors = [entry for entry in survivors if entry[0] not in failed]
+
+        # -- Piecewise: cohort-pooled router disk realization ------------ #
+        router_maps: dict[str, dict[str, RouterPosition]] = {}
+        if self.config.use_piecewise and survivors:
+            started = time.perf_counter()
+            localizers = [
+                RouterLocalizer(
+                    dataset,
+                    self.config,
+                    calibrations_map.get(entry[0], CalibrationSet()),
+                    heights_map[entry[0]],
+                    self.parser,
+                    dns_cache=shared.dns_cache,
+                    router_observations=shared.router_observations,
+                    circle_cache=shared.circle_cache,
+                )
+                for entry in survivors
+            ]
+            rosters = [list(entry[1]) for entry in survivors]
+            try:
+                maps = localize_routers_many(localizers, rosters)
+            except (ValueError, KeyError):
+                # Mirror the scalar path's per-target failure capture: rerun
+                # each roster through the scalar method so only the targets
+                # that actually fail are recorded as failures.  The pooled
+                # pass only warmed content-addressed caches, so the rerun is
+                # unaffected by the aborted attempt.
+                maps = []
+                for localizer, roster, entry in zip(localizers, rosters, survivors):
+                    try:
+                        maps.append(localizer.localize_routers(roster))
+                    except (ValueError, KeyError) as exc:
+                        failed.add(entry[0])
+                        results[entry[0]] = _PrepareFailure(exc, shares[entry[0]])
+                        maps.append(None)
+            elapsed = time.perf_counter() - started
+            stats.piecewise_seconds += elapsed
+            credit([entry[0] for entry in survivors], "piecewise_seconds",
+                   elapsed / len(survivors))
+            for entry, positions in zip(survivors, maps):
+                if positions is not None:
+                    router_maps[entry[0]] = positions
+            survivors = [entry for entry in survivors if entry[0] not in failed]
+
+        # -- Assembly and cache insertion -------------------------------- #
+        for target, key, locations, _ in survivors:
+            calibrations = calibrations_map.get(target)
+            if calibrations is None:
+                calibrations = CalibrationSet()
+            prepared = PreparedLandmarks(
+                landmark_ids=key,
+                locations=locations,
+                heights=heights_map[target],
+                calibrations=calibrations,
+                router_positions=router_maps.get(target, {}),
+            )
+            results[target] = prepared
+            if use_cache:
+                with self._prepared_lock:
+                    self._prepared_cache.put(
+                        (dataset.version, target, pool_key), prepared
+                    )
+        return results
+
     # ------------------------------------------------------------------ #
     # Localization
     # ------------------------------------------------------------------ #
@@ -374,13 +661,18 @@ class BatchLocalizer:
         self,
         target_ids: Sequence[str],
         landmark_pool: Sequence[str] | None = None,
+        *,
+        _prepared: Mapping[str, "PreparedLandmarks | _PrepareFailure"] | None = None,
     ) -> dict[str, LocationEstimate]:
-        """Localize a cohort of targets through one fused solve.
+        """Localize a cohort of targets through whole-cohort batched stages.
 
-        Every target is presolved individually (leave-one-out derivation,
-        constraint assembly, planarization -- failures captured per target
-        exactly like :meth:`localize_one`), then the whole cohort's
-        weighted-region systems run through
+        The cohort rides the batched pipeline end to end: one
+        :meth:`prepare_many` pass derives every target's leave-one-out state
+        through the cohort-axis estimators (failures captured per target
+        exactly like :meth:`localize_one`), constraint assembly runs per
+        target with the cohort-shared target-height tables, planarization is
+        pooled through :meth:`ConstraintPipeline.planarize_many`, and the
+        whole cohort's weighted-region systems run through
         :meth:`ConstraintPipeline.solve_many` in a single kernel invocation.
         Under ``engine="fused"`` that is one lockstep run whose batched clip
         passes span every target; other engines fall back to per-system
@@ -390,24 +682,50 @@ class BatchLocalizer:
         targets = list(target_ids)
         pool = tuple(landmark_pool) if landmark_pool is not None else None
         estimates: dict[str, LocationEstimate] = {}
+        # Duplicates (a serving burst for one hot target) presolve once.
+        unique = list(dict.fromkeys(targets))
+        if _prepared is not None:
+            prepared_map = {t: _prepared[t] for t in unique}
+        else:
+            prepared_map = self.prepare_many(unique, pool)
+        tables = None
+        if self.config.use_heights:
+            shared = self.shared_state()
+            tables = self._height_tables(
+                shared,
+                sorted(pool) if pool is not None else self.dataset.host_ids,
+            )
         presolved = []
-        seen: set[str] = set()
-        for target in targets:
-            # Duplicates (a serving burst for one hot target) presolve once.
-            if target in seen:
-                continue
-            seen.add(target)
-            try:
-                prepared = self.prepare_for_target(target, pool)
-            except (ValueError, KeyError) as exc:
+        for target in unique:
+            outcome = prepared_map[target]
+            if isinstance(outcome, _PrepareFailure):
                 # Only the preparation step is failure-captured, exactly
                 # like localize_one: an exception from presolve (assembly /
                 # planarization) is an internal invariant violation and
                 # must surface, not become a quiet failed estimate.
-                estimates[target] = failed_estimate(target, "octant", exc)
+                estimates[target] = failed_estimate(
+                    target, "octant", outcome.error, stats=outcome.stats or None
+                )
                 continue
-            presolved.append(self.octant.presolve(target, prepared=prepared))
+            presolved.append(
+                self.octant.presolve(
+                    target,
+                    prepared=outcome,
+                    height_tables=tables,
+                    planarize=False,
+                )
+            )
         if presolved:
+            planarize_started = time.perf_counter()
+            planar_systems = self.octant.pipeline.planarize_many(
+                [(p.constraints, p.projection) for p in presolved]
+            )
+            planarize_share = (time.perf_counter() - planarize_started) / len(
+                presolved
+            )
+            for p, planar in zip(presolved, planar_systems):
+                p.planar = planar
+                p.presolve_seconds += planarize_share
             solve_started = time.perf_counter()
             solved = self.octant.pipeline.solve_many(
                 [(p.planar, p.projection) for p in presolved]
@@ -447,9 +765,15 @@ class BatchLocalizer:
                 tuple(targets[i : i + width]) for i in range(0, len(targets), width)
             ]
             if workers <= 1 or len(chunks) == 1:
+                # One whole-cohort preparation pass: the batched stage
+                # estimators pool across every target at once, and the
+                # per-chunk kernel runs below reuse the prepared state
+                # instead of re-deriving it fuse_width targets at a time.
+                unique_all = list(dict.fromkeys(targets))
+                prepared_all = self.prepare_many(unique_all, pool)
                 merged: dict[str, LocationEstimate] = {}
                 for chunk in chunks:
-                    merged.update(self.solve_many(chunk, pool))
+                    merged.update(self.solve_many(chunk, pool, _prepared=prepared_all))
                 return {t: merged[t] for t in targets}
             self.shared_state()
             executor = self._make_executor(workers)
@@ -533,12 +857,14 @@ class BatchLocalizer:
         state.pop("_dispatch_chunk", None)
         state.pop("_shared_lock", None)
         state.pop("_prepared_lock", None)
+        state.pop("_tables_lock", None)
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         self._shared_lock = threading.Lock()
         self._prepared_lock = threading.Lock()
+        self._tables_lock = threading.Lock()
 
 
 def _worker_localize_proxy(target_id: str, landmark_pool: tuple[str, ...] | None):

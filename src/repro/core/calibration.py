@@ -24,6 +24,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
+import numpy as np
+
 from ..geometry import GeoPoint, Point2D, lower_hull, rtt_ms_to_max_distance_km, upper_hull
 from .heights import HeightModel
 
@@ -33,6 +35,7 @@ __all__ = [
     "CalibrationSet",
     "calibrate_landmark",
     "build_calibration_set",
+    "build_calibration_sets_many",
 ]
 
 
@@ -148,14 +151,49 @@ def calibrate_landmark(
     extend the upper facet smoothly past the cutoff.
     """
     points = [CalibrationSample(s.latency_ms, s.distance_km) for s in samples]
-    if len(points) < 3:
+    return _calibrate_landmark_values(
+        landmark_id,
+        [p.latency_ms for p in points],
+        [p.distance_km for p in points],
+        cutoff_percentile=cutoff_percentile,
+        sentinel_ms=sentinel_ms,
+        slack=slack,
+    )
+
+
+def _calibrate_landmark_values(
+    landmark_id: str,
+    sample_latencies_ms: Sequence[float],
+    sample_distances_km: Sequence[float],
+    *,
+    cutoff_percentile: float = 75.0,
+    sentinel_ms: float = 400.0,
+    slack: float = 0.0,
+) -> LandmarkCalibration:
+    """:func:`calibrate_landmark` on raw value columns.
+
+    The batched calibration path gathers latencies and distances as array
+    slices; going through :class:`CalibrationSample` objects would dominate
+    the fit cost, so this core validates the raw columns with the same rules
+    (and messages) and runs the identical hull construction.
+    """
+    for latency_ms, distance_km in zip(sample_latencies_ms, sample_distances_km):
+        if latency_ms < 0:
+            raise ValueError(f"latency must be non-negative, got {latency_ms!r}")
+        if distance_km < 0:
+            raise ValueError(f"distance must be non-negative, got {distance_km!r}")
+    if len(sample_latencies_ms) < 3:
         raise ValueError(
-            f"calibration for {landmark_id!r} needs at least 3 samples, got {len(points)}"
+            f"calibration for {landmark_id!r} needs at least 3 samples, "
+            f"got {len(sample_latencies_ms)}"
         )
     if not 0.0 < cutoff_percentile <= 100.0:
         raise ValueError(f"cutoff_percentile must be in (0, 100], got {cutoff_percentile!r}")
 
-    planar = [Point2D(p.latency_ms, p.distance_km) for p in points]
+    planar = [
+        Point2D(latency_ms, distance_km)
+        for latency_ms, distance_km in zip(sample_latencies_ms, sample_distances_km)
+    ]
     # Anchor the hull at the origin: zero latency implies zero distance, which
     # keeps the facets sensible for latencies below the smallest observation.
     planar.append(Point2D(0.0, 0.0))
@@ -163,7 +201,7 @@ def calibrate_landmark(
     upper_pts = [(p.x, p.y) for p in upper_hull(planar)]
     lower_pts = [(p.x, p.y) for p in lower_hull(planar)]
 
-    latencies = sorted(p.latency_ms for p in points)
+    latencies = sorted(sample_latencies_ms)
     rank = (cutoff_percentile / 100.0) * (len(latencies) - 1)
     low_idx = int(math.floor(rank))
     high_idx = min(low_idx + 1, len(latencies) - 1)
@@ -186,7 +224,7 @@ def calibrate_landmark(
         lower=lower_fn,
         cutoff_ms=cutoff,
         upper_slope_beyond_cutoff=slope,
-        sample_count=len(points),
+        sample_count=len(sample_latencies_ms),
         slack=slack,
     )
 
@@ -245,6 +283,100 @@ def build_calibration_set(
             )
         )
     return calibrations
+
+
+def build_calibration_sets_many(
+    rosters: Sequence[Sequence[str]],
+    locations: Mapping[str, GeoPoint],
+    rtt_ms: Callable[[str, str], float | None],
+    *,
+    heights_list: Sequence[HeightModel | None] | None = None,
+    pseudo_heights_list: Sequence[Mapping[str, float] | None] | None = None,
+    distance_km: Callable[[str, str], float] | None = None,
+    cutoff_percentile: float = 75.0,
+    sentinel_ms: float = 400.0,
+    slack: float = 0.0,
+) -> list["CalibrationSet | ValueError"]:
+    """Cohort-axis :func:`build_calibration_set` over many landmark rosters.
+
+    All rosters draw from the same measurement lookups, so the expensive part
+    — one ``rtt_ms``/``distance_km`` call per ordered landmark pair — is
+    gathered once for the union roster and reused by every target; the
+    per-target work reduces to a masked height adjustment over the shared
+    matrix plus the per-landmark hull fits.  Sample values, ordering, and
+    skip/validation rules are exactly the scalar function's, so the resulting
+    calibrations are bitwise identical (pinned by the equivalence suites).
+    Per-roster validation failures are captured as ``ValueError`` entries.
+    """
+    rosters = [list(roster) for roster in rosters]
+    if not rosters:
+        return []
+    count = len(rosters)
+    if heights_list is None:
+        heights_list = [None] * count
+    if pseudo_heights_list is None:
+        pseudo_heights_list = [None] * count
+
+    union = sorted({lid for roster in rosters for lid in roster})
+    size = len(union)
+    union_index = {lid: i for i, lid in enumerate(union)}
+
+    # One directed measurement gather for the whole cohort: rtt[a, p] and
+    # distance[a, p] exactly as the scalar loop would look them up.
+    rtt_matrix = np.full((size, size), np.nan)
+    dist_matrix = np.zeros((size, size))
+    for i, a in enumerate(union):
+        for j, p in enumerate(union):
+            if i == j:
+                continue
+            rtt = rtt_ms(a, p)
+            if rtt is None:
+                continue
+            rtt_matrix[i, j] = rtt
+            if distance_km is not None:
+                dist_matrix[i, j] = distance_km(a, p)
+            else:
+                dist_matrix[i, j] = locations[a].distance_km(locations[p])
+    measured = np.isfinite(rtt_matrix)
+    rtt_filled = np.where(measured, rtt_matrix, 0.0)
+
+    results: list[CalibrationSet | ValueError] = []
+    for roster, heights, pseudo_heights in zip(rosters, heights_list, pseudo_heights_list):
+        selector = np.asarray([union_index[lid] for lid in roster], dtype=np.intp)
+        if heights is not None:
+            pseudo = pseudo_heights or {}
+            height_col = np.asarray([heights.height(lid) for lid in union])
+            pseudo_row = np.asarray([pseudo.get(lid, 0.0) for lid in union])
+            adjusted = np.maximum(0.0, (rtt_filled - height_col[:, None]) - pseudo_row[None, :])
+        else:
+            adjusted = rtt_filled
+
+        calibrations = CalibrationSet()
+        failure: ValueError | None = None
+        for position, landmark in enumerate(roster):
+            row = selector[position]
+            peer_slots = np.concatenate([selector[:position], selector[position + 1 :]])
+            usable = peer_slots[measured[row, peer_slots]]
+            latencies = adjusted[row, usable].tolist()
+            distances = dist_matrix[row, usable].tolist()
+            try:
+                calibration = _calibrate_landmark_values(
+                    landmark,
+                    latencies,
+                    distances,
+                    cutoff_percentile=cutoff_percentile,
+                    sentinel_ms=sentinel_ms,
+                    slack=slack,
+                )
+            except ValueError as exc:
+                message = str(exc)
+                if message.startswith(f"calibration for {landmark!r} needs at least 3 samples"):
+                    continue  # the scalar path skips under-sampled landmarks
+                failure = exc
+                break
+            calibrations.add(calibration)
+        results.append(failure if failure is not None else calibrations)
+    return results
 
 
 class CalibrationSet:

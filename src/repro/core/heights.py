@@ -32,9 +32,12 @@ from ..geometry.sphere import FIBER_SPEED_KM_PER_MS
 
 __all__ = [
     "HeightModel",
+    "TargetHeightTables",
     "estimate_landmark_heights",
     "estimate_landmark_heights_lstsq",
+    "estimate_landmark_heights_many",
     "estimate_target_height",
+    "estimate_target_height_tabled",
 ]
 
 
@@ -183,6 +186,153 @@ def estimate_landmark_heights(
     return HeightModel(heights_ms=dict(heights), residual_ms=residual)
 
 
+def estimate_landmark_heights_many(
+    rosters: Sequence[Mapping[str, GeoPoint]],
+    pairwise_rtt_ms,
+    quantile: float = 0.15,
+    iterations: int = 10,
+    distance_km: Callable[[str, str], float] | None = None,
+) -> list[HeightModel | ValueError]:
+    """Cohort-axis :func:`estimate_landmark_heights` over many landmark rosters.
+
+    Each entry of ``rosters`` is the landmark location map one scalar call
+    would receive (typically the shared cohort locations minus one target, so
+    the leave-one-out mask is expressed by roster membership).  All rosters
+    draw their measurements from the same ``pairwise_rtt_ms``, which makes
+    the fix-point iteration a single ``(cohort, landmark, landmark)`` tensor
+    pass instead of a per-target Python loop.
+
+    Results are bitwise identical to the scalar estimator: the excess table
+    is built with the same scalar arithmetic per measured pair, the quantile
+    rank and damped update replicate the reference expression ordering, and
+    the residual reduces the per-target excess rows in the scalar iteration
+    order.  Per-roster failures (too few landmarks or pairs) are captured as
+    ``ValueError`` entries instead of aborting the cohort.
+
+    The fast path requires a matrix-backed ``pairwise_rtt_ms`` (the
+    :class:`~repro.network.dataset.PairMatrixView` interface: sorted ``.ids``
+    plus a dense ``.matrix``); any other mapping falls back to scalar calls.
+    """
+    if not 0.0 <= quantile <= 0.5:
+        raise ValueError(f"quantile must be in [0, 0.5], got {quantile!r}")
+    rosters = list(rosters)
+    if not rosters:
+        return []
+
+    view_ids = getattr(pairwise_rtt_ms, "ids", None)
+    view_matrix = getattr(pairwise_rtt_ms, "matrix", None)
+    if view_ids is None or view_matrix is None or list(view_ids) != sorted(view_ids):
+        results: list[HeightModel | ValueError] = []
+        for roster in rosters:
+            try:
+                results.append(
+                    estimate_landmark_heights(
+                        roster,
+                        pairwise_rtt_ms,
+                        quantile=quantile,
+                        iterations=iterations,
+                        distance_km=distance_km,
+                    )
+                )
+            except ValueError as exc:
+                results.append(exc)
+        return results
+
+    union = sorted({lid for roster in rosters for lid in roster})
+    merged_locations: dict[str, GeoPoint] = {}
+    for roster in rosters:
+        for lid, location in roster.items():
+            merged_locations.setdefault(lid, location)
+
+    size = len(union)
+    union_index = {lid: i for i, lid in enumerate(union)}
+    view_index = {lid: i for i, lid in enumerate(view_ids)}
+    row_idx, col_idx = np.triu_indices(size, 1)
+
+    # Excess table over the union roster, one scalar evaluation per measured
+    # pair so every value is bit-for-bit the scalar `_pairwise_excess_table`
+    # entry.  Unmeasured pairs stay NaN.
+    excess_vals = np.full(row_idx.shape[0], np.nan)
+    for n, (p, q) in enumerate(zip(row_idx.tolist(), col_idx.tolist())):
+        a, b = union[p], union[q]
+        ia = view_index.get(a)
+        ib = view_index.get(b)
+        if ia is None or ib is None:
+            continue
+        rtt = view_matrix[ia, ib] if ia < ib else view_matrix[ib, ia]
+        if not math.isfinite(rtt):
+            continue
+        if distance_km is not None:
+            distance = distance_km(a, b)
+        else:
+            distance = merged_locations[a].distance_km(merged_locations[b])
+        excess_vals[n] = rtt - distance_km_to_min_rtt_ms(distance)
+
+    excess = np.full((size, size), np.nan)
+    excess[row_idx, col_idx] = excess_vals
+    excess[col_idx, row_idx] = excess_vals
+    measured = np.isfinite(excess)
+    excess_filled = np.where(measured, excess, 0.0)
+
+    cohort = len(rosters)
+    member = np.zeros((cohort, size), dtype=bool)
+    for t, roster in enumerate(rosters):
+        for lid in roster:
+            member[t, union_index[lid]] = True
+
+    valid = member[:, :, None] & member[:, None, :] & measured[None, :, :]
+    counts = valid.sum(axis=2)
+    pair_valid = valid[:, row_idx, col_idx]
+    pair_counts = pair_valid.sum(axis=1)
+
+    errors: dict[int, ValueError] = {}
+    for t, roster in enumerate(rosters):
+        if len(roster) < 3:
+            errors[t] = ValueError("height estimation needs at least 3 landmarks")
+        elif int(pair_counts[t]) < len(roster):
+            errors[t] = ValueError(
+                "height estimation needs at least as many measured pairs as landmarks; "
+                f"got {int(pair_counts[t])} pairs for {len(roster)} landmarks"
+            )
+
+    # rank = min(n - 1, max(0, round(quantile * (n - 1)))), exactly as the
+    # scalar loop computes it (banker's rounding); counts of zero gather a
+    # dummy slot and are masked to the scalar's 0.0 fallback below.
+    rank = np.rint(quantile * (counts - 1).astype(float)).astype(np.int64)
+    rank = np.minimum(counts - 1, np.maximum(0, rank))
+    rank = np.maximum(rank, 0)
+
+    heights = np.zeros((cohort, size))
+    for _ in range(iterations):
+        implied = excess_filled[None, :, :] - heights[:, None, :]
+        implied = np.where(valid, implied, np.inf)
+        implied.sort(axis=2)
+        gathered = np.take_along_axis(implied, rank[:, :, None], axis=2)[:, :, 0]
+        updated = np.where(counts > 0, np.maximum(0.0, gathered), 0.0)
+        # Damped update keeps the fix-point iteration stable.
+        heights = 0.5 * heights + 0.5 * updated
+
+    results = []
+    for t, roster in enumerate(rosters):
+        if t in errors:
+            results.append(errors[t])
+            continue
+        keep = np.nonzero(pair_valid[t])[0]
+        residuals = np.maximum(
+            0.0,
+            (excess_vals[keep] - heights[t, row_idx[keep]]) - heights[t, col_idx[keep]],
+        )
+        residual = (
+            float(np.sqrt(np.mean(np.square(residuals)))) if residuals.size else 0.0
+        )
+        landmark_ids = sorted(roster)
+        heights_ms = {
+            lid: float(heights[t, union_index[lid]]) for lid in landmark_ids
+        }
+        results.append(HeightModel(heights_ms=heights_ms, residual_ms=residual))
+    return results
+
+
 def estimate_landmark_heights_lstsq(
     landmark_locations: Mapping[str, GeoPoint],
     pairwise_rtt_ms: Mapping[tuple[str, str], float],
@@ -315,6 +465,224 @@ def estimate_target_height(
             best_residual = residual
             best_height = height
             best_lat, best_lon = lat, lon
+
+    # Local refinement around the best landmark-anchored candidate.
+    step = refine_step_deg
+    for _ in range(3):
+        improved = False
+        for dlat in (-step, 0.0, step):
+            for dlon in (-step, 0.0, step):
+                if dlat == 0.0 and dlon == 0.0:
+                    continue
+                lat = max(-89.0, min(89.0, best_lat + dlat))
+                lon = ((best_lon + dlon + 180.0) % 360.0) - 180.0
+                height, residual = evaluate(lat, lon)
+                if residual < best_residual:
+                    best_residual = residual
+                    best_height = height
+                    best_lat, best_lon = lat, lon
+                    improved = True
+        if not improved:
+            step /= 2.0
+
+    return best_height, GeoPoint(best_lat, best_lon)
+
+
+class TargetHeightTables:
+    """Cohort-shared candidate tables for :func:`estimate_target_height_tabled`.
+
+    The scalar estimator's candidate scan re-evaluates a haversine from every
+    landmark to every candidate position for every call; across a cohort the
+    candidates are the same landmark coordinates every time.  This table
+    precomputes, once per cohort, the propagation term
+    ``2 * distance(landmark_i, landmark_k) / fiber_speed`` with exactly the
+    expression ordering of the scalar ``evaluate`` closure, so the batched
+    scan reduces to a subtract-and-sort over the table.  Entries are built
+    with scalar ``math`` calls, keeping them bit-identical to the reference
+    on every NumPy build.
+    """
+
+    __slots__ = ("ids", "index", "locations", "lat_rad", "lon_rad", "cos_lat", "q_table")
+
+    def __init__(self, ids: Sequence[str], locations: Mapping[str, GeoPoint]):
+        self.ids = list(ids)
+        self.index = {lid: i for i, lid in enumerate(self.ids)}
+        self.locations = [locations[lid] for lid in self.ids]
+        self.lat_rad = [math.radians(loc.lat) for loc in self.locations]
+        self.lon_rad = [math.radians(loc.lon) for loc in self.locations]
+        self.cos_lat = [math.cos(lat) for lat in self.lat_rad]
+
+        count = len(self.ids)
+        table = np.empty((count, count))
+        sin = math.sin
+        asin = math.asin
+        sqrt = math.sqrt
+        lat_rad = self.lat_rad
+        lon_rad = self.lon_rad
+        cos_lat = self.cos_lat
+        for k in range(count):
+            phi = lat_rad[k]
+            lam = lon_rad[k]
+            cos_phi = cos_lat[k]
+            for i in range(count):
+                s1 = sin((lat_rad[i] - phi) / 2.0)
+                s2 = sin((lon_rad[i] - lam) / 2.0)
+                h = s1 * s1 + cos_phi * cos_lat[i] * (s2 * s2)
+                if h < 0.0:
+                    h = 0.0
+                elif h > 1.0:
+                    h = 1.0
+                distance = 2.0 * 6371.0088 * asin(sqrt(h))
+                table[i, k] = 2.0 * distance / FIBER_SPEED_KM_PER_MS
+        self.q_table = table
+
+    def covers(self, landmark_ids: Sequence[str], locations: Mapping[str, GeoPoint]) -> bool:
+        """True when every id is tabled with exactly the given coordinates."""
+        for lid in landmark_ids:
+            slot = self.index.get(lid)
+            if slot is None:
+                return False
+            tabled = self.locations[slot]
+            given = locations[lid]
+            if tabled.lat != given.lat or tabled.lon != given.lon:
+                return False
+        return True
+
+
+def _quantile_sorted_columns(sorted_columns: np.ndarray, q: float) -> np.ndarray:
+    """:func:`_quantile_sorted` over every column of a column-sorted matrix."""
+    n = sorted_columns.shape[0]
+    if n == 1:
+        return sorted_columns[0].copy()
+    position = q * (n - 1)
+    low = int(position)
+    if low >= n - 1:
+        return sorted_columns[n - 1].copy()
+    t = position - low
+    a = sorted_columns[low]
+    b = sorted_columns[low + 1]
+    if t == 0.0:
+        return a.copy()
+    diff = b - a
+    if t >= 0.5:
+        return b - diff * (1.0 - t)
+    return a + diff * t
+
+
+def estimate_target_height_tabled(
+    target_rtts_ms: Mapping[str, float],
+    landmark_locations: Mapping[str, GeoPoint],
+    landmark_heights: HeightModel,
+    tables: TargetHeightTables,
+    quantile: float = 0.15,
+    refine_step_deg: float = 1.0,
+) -> tuple[float, GeoPoint]:
+    """:func:`estimate_target_height` with the candidate scan read from tables.
+
+    Bitwise identical to the scalar estimator: the landmark-anchored candidate
+    scan becomes ``corrected - q_table`` followed by a column sort and the
+    vectorized quantile/residual reduction (all elementwise IEEE arithmetic in
+    the scalar expression order), while the midpoint candidate and the local
+    refinement — which visit positions no table can anticipate — run the
+    scalar ``evaluate`` verbatim.  Falls back to the scalar function whenever
+    the tables do not cover the usable landmarks at the exact coordinates.
+    """
+    usable = {
+        lid: rtt
+        for lid, rtt in target_rtts_ms.items()
+        if lid in landmark_locations and rtt >= 0
+    }
+    if len(usable) < 3:
+        raise ValueError("target height estimation needs measurements to >= 3 landmarks")
+
+    landmark_ids = sorted(usable)
+    if not tables.covers(landmark_ids, landmark_locations):
+        return estimate_target_height(
+            target_rtts_ms,
+            landmark_locations,
+            landmark_heights,
+            quantile=quantile,
+            refine_step_deg=refine_step_deg,
+        )
+
+    locations = [landmark_locations[lid] for lid in landmark_ids]
+    rtts = np.asarray([usable[lid] for lid in landmark_ids])
+    lm_heights = np.asarray([landmark_heights.height(lid) for lid in landmark_ids])
+
+    height_ceiling = max(0.0, float(np.min(rtts - lm_heights)))
+    corrected_arr = rtts - lm_heights
+
+    lat_rad = [math.radians(loc.lat) for loc in locations]
+    lon_rad = [math.radians(loc.lon) for loc in locations]
+    cos_lat = [math.cos(lat) for lat in lat_rad]
+    corrected = corrected_arr.tolist()  # native floats for the scalar evaluate
+    count = len(landmark_ids)
+    sin = math.sin
+    asin = math.asin
+    sqrt = math.sqrt
+
+    def _finish(implied_list: list[float]) -> tuple[float, float]:
+        """Quantile height and RMS residual from per-landmark implied heights."""
+        implied_list.sort()
+        height = _quantile_sorted(implied_list, quantile)
+        height = min(max(0.0, height), height_ceiling)
+        total = 0.0
+        for value in implied_list:
+            deviation = value - height
+            total += deviation * deviation
+        residual = sqrt(total / count)
+        return height, residual
+
+    # 2.0 * 6371.0088 hoisted: the product of the same two literals is the
+    # same double, so `diameter * asin(...)` reproduces the reference
+    # expression `2.0 * 6371.0088 * asin(...)` bit for bit.
+    diameter = 2.0 * 6371.0088
+    per_landmark = list(zip(lat_rad, lon_rad, cos_lat, corrected))
+
+    def evaluate(lat_deg: float, lon_deg: float) -> tuple[float, float]:
+        """Optimal height and RMS residual for a candidate position."""
+        phi = math.radians(lat_deg)
+        lam = math.radians(lon_deg)
+        cos_phi = math.cos(phi)
+        implied_list = []
+        append = implied_list.append
+        for lat_r, lon_r, c_lat, corr in per_landmark:
+            s1 = sin((lat_r - phi) / 2.0)
+            s2 = sin((lon_r - lam) / 2.0)
+            h = s1 * s1 + cos_phi * c_lat * (s2 * s2)
+            if h < 0.0:
+                h = 0.0
+            elif h > 1.0:
+                h = 1.0
+            distance = diameter * asin(sqrt(h))
+            append(corr - 2.0 * distance / FIBER_SPEED_KM_PER_MS)
+        return _finish(implied_list)
+
+    # Landmark-anchored candidates, evaluated in one table pass: column c is
+    # the scalar evaluate() at candidate position `locations[c]`.
+    selector = [tables.index[lid] for lid in landmark_ids]
+    implied = corrected_arr[:, None] - tables.q_table[np.ix_(selector, selector)]
+    implied.sort(axis=0)
+    height_vec = _quantile_sorted_columns(implied, quantile)
+    height_vec = np.minimum(np.maximum(0.0, height_vec), height_ceiling)
+    total_vec = np.zeros(count)
+    for i in range(count):
+        deviation = implied[i] - height_vec
+        total_vec = total_vec + deviation * deviation
+    residual_vec = np.sqrt(total_vec / count)
+
+    candidates: list[tuple[float, float]] = [(loc.lat, loc.lon) for loc in locations]
+    midpoint = geographic_midpoint(locations)
+    candidates.append((midpoint.lat, midpoint.lon))
+    mid_height, mid_residual = evaluate(midpoint.lat, midpoint.lon)
+
+    all_residuals = np.concatenate([residual_vec, [mid_residual]])
+    all_heights = np.concatenate([height_vec, [mid_height]])
+    # First index attaining the minimum == the scalar loop's strict-< winner.
+    best_index = int(np.argmin(all_residuals))
+    best_residual = float(all_residuals[best_index])
+    best_height = float(all_heights[best_index])
+    best_lat, best_lon = candidates[best_index]
 
     # Local refinement around the best landmark-anchored candidate.
     step = refine_step_deg

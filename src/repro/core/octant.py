@@ -33,11 +33,23 @@ from .calibration import CalibrationSet, build_calibration_set
 from .config import OctantConfig
 from .constraints import ConstraintSet
 from .estimate import LocationEstimate
-from .heights import HeightModel, estimate_landmark_heights, estimate_target_height
+from .heights import (
+    HeightModel,
+    TargetHeightTables,
+    estimate_landmark_heights,
+    estimate_target_height,
+    estimate_target_height_tabled,
+)
 from .piecewise import RouterLocalizer, RouterPosition
 from .pipeline import ConstraintPipeline
 
-__all__ = ["Octant", "PreparedLandmarks", "PresolvedTarget", "pseudo_target_heights"]
+__all__ = [
+    "Octant",
+    "PreparedLandmarks",
+    "PresolvedTarget",
+    "pseudo_target_heights",
+    "pseudo_target_heights_tabled",
+]
 
 
 def pseudo_target_heights(
@@ -74,6 +86,34 @@ def pseudo_target_heights(
     return pseudo
 
 
+def pseudo_target_heights_tabled(
+    landmark_ids: Sequence[str],
+    locations: Mapping[str, GeoPoint],
+    heights: HeightModel,
+    rtt_ms: Callable[[str, str], float | None],
+    tables: TargetHeightTables,
+) -> dict[str, float]:
+    """:func:`pseudo_target_heights` against precomputed propagation tables.
+
+    Bit-identical to the scalar function; the per-pair propagation terms of
+    the candidate scan come from ``tables`` (shared across a cohort by the
+    batch engine) instead of being recomputed for every peer.
+    """
+    pseudo: dict[str, float] = {}
+    for peer in landmark_ids:
+        rtts = {
+            lid: rtt
+            for lid in landmark_ids
+            if lid != peer and (rtt := rtt_ms(lid, peer)) is not None
+        }
+        if len(rtts) < 3:
+            pseudo[peer] = heights.height(peer)
+            continue
+        height, _ = estimate_target_height_tabled(rtts, locations, heights, tables)
+        pseudo[peer] = height
+    return pseudo
+
+
 @dataclass
 class PreparedLandmarks:
     """Per-landmark state derived from inter-landmark measurements only."""
@@ -102,11 +142,16 @@ class PresolvedTarget:
     prepared: PreparedLandmarks
     target_height_ms: float
     projection: Projection
-    planar: list
+    #: ``None`` only while planarization is deferred to a cohort-level
+    #: :meth:`ConstraintPipeline.planarize_many` pass.
+    planar: list | None
     started: float
     #: Wall time the presolve itself took; cohort drivers combine it with
     #: each target's amortized solve share for an honest per-target timing.
     presolve_seconds: float = 0.0
+    #: Assembled constraint system; retained so deferred planarization can
+    #: run after the fact.
+    constraints: ConstraintSet | None = None
 
 
 class Octant:
@@ -290,6 +335,9 @@ class Octant:
         target_id: str,
         landmark_ids: Sequence[str] | None = None,
         prepared: PreparedLandmarks | None = None,
+        *,
+        height_tables: TargetHeightTables | None = None,
+        planarize: bool = True,
     ) -> PresolvedTarget:
         """Everything before the weighted-region solve for one target.
 
@@ -298,6 +346,12 @@ class Octant:
         stages that are inherently per-target.  The returned
         :class:`PresolvedTarget` feeds :meth:`ConstraintPipeline.solve` (or
         a cohort-level ``solve_many``) and then :meth:`postsolve`.
+
+        ``height_tables`` routes the target-height estimate through the
+        cohort-shared propagation tables (bit-identical to the scalar
+        estimator); ``planarize=False`` defers planarization so a cohort
+        driver can pool it across targets via
+        :meth:`ConstraintPipeline.planarize_many`.
         """
         started = time.perf_counter()
         if prepared is not None:
@@ -323,13 +377,18 @@ class Octant:
                 if (rtt := self.dataset.min_rtt_ms(lid, target_id)) is not None
             }
             if len(target_rtts) >= 3:
-                target_height, _rough_position = estimate_target_height(
-                    target_rtts, prepared.locations, prepared.heights
-                )
+                if height_tables is not None:
+                    target_height, _rough_position = estimate_target_height_tabled(
+                        target_rtts, prepared.locations, prepared.heights, height_tables
+                    )
+                else:
+                    target_height, _rough_position = estimate_target_height(
+                        target_rtts, prepared.locations, prepared.heights
+                    )
 
         projection = self._projection_for(prepared, target_id)
         constraints = self.pipeline.assemble(target_id, prepared, target_height)
-        planar = self.pipeline.planarize(constraints, projection)
+        planar = self.pipeline.planarize(constraints, projection) if planarize else None
         return PresolvedTarget(
             target_id=target_id,
             landmarks=landmarks,
@@ -339,6 +398,7 @@ class Octant:
             planar=planar,
             started=started,
             presolve_seconds=time.perf_counter() - started,
+            constraints=constraints,
         )
 
     def postsolve(

@@ -47,6 +47,7 @@ from .heights import HeightModel
 __all__ = [
     "RouterPosition",
     "RouterLocalizer",
+    "localize_routers_many",
     "secondary_constraints_for_target",
     "build_router_observation_index",
 ]
@@ -133,21 +134,21 @@ class RouterLocalizer:
         """
         landmarks = set(landmark_ids)
         positions: dict[str, RouterPosition] = {}
-        if self.router_observations is not None:
-            router_ids = sorted(
-                router_id
-                for router_id, observations in self.router_observations.items()
-                if any(host in landmarks for host, _ in observations)
-            )
-        else:
-            router_ids = sorted(
-                {r for (h, r) in self.dataset.router_pings if h in landmarks}
-            )
-        for router_id in router_ids:
+        for router_id in self._candidate_router_ids(landmarks):
             position = self._localize_router(router_id, landmark_ids, landmarks)
             if position is not None:
                 positions[router_id] = position
         return positions
+
+    def _candidate_router_ids(self, landmarks: set[str]) -> list[str]:
+        """Routers with at least one observation from the landmark set."""
+        if self.router_observations is not None:
+            return sorted(
+                router_id
+                for router_id, observations in self.router_observations.items()
+                if any(host in landmarks for host, _ in observations)
+            )
+        return sorted({r for (h, r) in self.dataset.router_pings if h in landmarks})
 
     def localize_router(
         self, router_id: str, landmark_ids: Sequence[str]
@@ -195,6 +196,20 @@ class RouterLocalizer:
         *set*; reading observations from the shared index therefore yields
         positions identical to probing the dataset landmark by landmark.
         """
+        observations = self._latency_observations(router_id, landmark_ids, landmark_set)
+        if observations is None:
+            return None
+        centers, disks = self._observation_disks(observations)
+        projection = projection_for_points(centers)
+        return self._intersect_disks(router_id, disks, projection)
+
+    def _latency_observations(
+        self,
+        router_id: str,
+        landmark_ids: Sequence[str],
+        landmark_set: set[str] | None = None,
+    ) -> list[tuple[float, str]] | None:
+        """Height-adjusted ``(rtt, landmark)`` observations, tightest five."""
         observations: list[tuple[float, str]] = []
         if self.router_observations is not None:
             members = landmark_set if landmark_set is not None else set(landmark_ids)
@@ -216,8 +231,12 @@ class RouterLocalizer:
         if not observations:
             return None
         observations.sort()
-        observations = observations[:5]
+        return observations[:5]
 
+    def _observation_disks(
+        self, observations: Sequence[tuple[float, str]]
+    ) -> tuple[list[GeoPoint], list[tuple[GeoPoint, float]]]:
+        """Calibrated disk (center, radius) per observation, plus the centers."""
         centers: list[GeoPoint] = []
         disks: list[tuple[GeoPoint, float]] = []
         for rtt, landmark_id in observations:
@@ -231,8 +250,15 @@ class RouterLocalizer:
                 radius = rtt_ms_to_max_distance_km(rtt)
             centers.append(location)
             disks.append((location, radius))
+        return centers, disks
 
-        projection = projection_for_points(centers)
+    def _intersect_disks(
+        self,
+        router_id: str,
+        disks: Sequence[tuple[GeoPoint, float]],
+        projection,
+    ) -> RouterPosition | None:
+        """The scalar greedy disk intersection, shared by both pipelines."""
         region: Polygon | None = None
         for center, radius in disks:
             disk = disk_polygon(
@@ -272,6 +298,67 @@ class RouterLocalizer:
             position.center, max(position.uncertainty_km, 1.0), projection, segments=24
         )
         return Region.from_polygon(polygon, projection, weight=position.confidence)
+
+
+def localize_routers_many(
+    localizers: Sequence[RouterLocalizer],
+    rosters: Sequence[Sequence[str]],
+) -> list[dict[str, RouterPosition]]:
+    """Cohort-axis :meth:`RouterLocalizer.localize_routers` over many rosters.
+
+    Each localizer carries its own per-target heights and calibrations but the
+    cohort shares the dataset, DNS cache, observation index, and circle cache.
+    The batched pass runs the same stages as the scalar method — DNS hint,
+    observation gather, disk radii, greedy intersection — but defers every
+    disk realization until the full cohort's disk specs are known, then warms
+    the shared :class:`~repro.geometry.circles.CircleCache` with one pooled
+    boundary pass and one pooled projection pass per working plane.  The
+    greedy intersection then runs the scalar fold against warm cache entries,
+    so positions are bitwise identical to per-target calls (the cache's warm
+    path is itself pinned to the scalar realization).
+    """
+    if len(localizers) != len(rosters):
+        raise ValueError("localize_routers_many needs one roster per localizer")
+    outputs: list[dict[str, RouterPosition]] = [{} for _ in localizers]
+    pending: list[tuple[int, str, list[tuple[GeoPoint, float]], object]] = []
+    boundary_jobs: dict[int, tuple[CircleCache, list]] = {}
+    planar_jobs: dict[tuple[int, tuple], tuple[CircleCache, object, list]] = {}
+
+    for t, (localizer, roster) in enumerate(zip(localizers, rosters)):
+        roster = list(roster)
+        landmarks = set(roster)
+        cache = localizer.circle_cache
+        for router_id in localizer._candidate_router_ids(landmarks):
+            dns_position = localizer._dns_position(router_id)
+            if dns_position is not None:
+                outputs[t][router_id] = dns_position
+                continue
+            observations = localizer._latency_observations(router_id, roster, landmarks)
+            if observations is None:
+                continue
+            centers, disks = localizer._observation_disks(observations)
+            projection = projection_for_points(centers)
+            pending.append((t, router_id, disks, projection))
+            if cache is None:
+                continue
+            specs = [(center, max(radius, 5.0), 24) for center, radius in disks]
+            boundary_jobs.setdefault(id(cache), (cache, []))[1].extend(specs)
+            projection_key = projection.cache_key()
+            if projection_key is not None:
+                planar_jobs.setdefault(
+                    (id(cache), projection_key), (cache, projection, [])
+                )[2].extend(specs)
+
+    for cache, specs in boundary_jobs.values():
+        cache.warm_boundaries(specs)
+    for cache, projection, specs in planar_jobs.values():
+        cache.warm_planar_disks(projection, specs)
+
+    for t, router_id, disks, projection in pending:
+        position = localizers[t]._intersect_disks(router_id, disks, projection)
+        if position is not None:
+            outputs[t][router_id] = position
+    return outputs
 
 
 def secondary_constraints_for_target(

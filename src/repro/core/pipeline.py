@@ -40,7 +40,15 @@ from ..geometry import CircleCache, Projection, Region, rtt_ms_to_max_distance_k
 from ..network.dataset import MeasurementDataset
 from ..network.dns import UndnsParser
 from .config import OctantConfig
-from .constraints import Constraint, ConstraintSet, DistanceConstraint, PlanarConstraint, latency_weight
+from .constraints import (
+    Constraint,
+    ConstraintSet,
+    DiskConstraint,
+    DistanceConstraint,
+    GeoRegionConstraint,
+    PlanarConstraint,
+    latency_weight,
+)
 from .geo_constraints import geographic_constraints, whois_constraint
 from .piecewise import secondary_constraints_for_target
 from .solver import SolverDiagnostics, WeightedRegionSolver, solve_systems
@@ -59,6 +67,11 @@ class PipelineStats:
     assemble_seconds: float = 0.0
     planarize_seconds: float = 0.0
     solve_seconds: float = 0.0
+    #: Pre-solve derivation stages driven by the batch engine; the scalar
+    #: facade leaves them at zero (its derivations happen inside prepare()).
+    heights_seconds: float = 0.0
+    calibration_seconds: float = 0.0
+    piecewise_seconds: float = 0.0
     constraints_assembled: int = 0
     constraints_planarized: int = 0
     planar_memo_hits: int = 0
@@ -79,6 +92,9 @@ class PipelineStats:
         self.assemble_seconds += other.assemble_seconds
         self.planarize_seconds += other.planarize_seconds
         self.solve_seconds += other.solve_seconds
+        self.heights_seconds += other.heights_seconds
+        self.calibration_seconds += other.calibration_seconds
+        self.piecewise_seconds += other.piecewise_seconds
         self.constraints_assembled += other.constraints_assembled
         self.constraints_planarized += other.constraints_planarized
         self.planar_memo_hits += other.planar_memo_hits
@@ -93,6 +109,9 @@ class PipelineStats:
             "assemble_seconds": round(self.assemble_seconds, 6),
             "planarize_seconds": round(self.planarize_seconds, 6),
             "solve_seconds": round(self.solve_seconds, 6),
+            "heights_seconds": round(self.heights_seconds, 6),
+            "calibration_seconds": round(self.calibration_seconds, 6),
+            "piecewise_seconds": round(self.piecewise_seconds, 6),
             "constraints_assembled": self.constraints_assembled,
             "constraints_planarized": self.constraints_planarized,
             "planar_memo_hits": self.planar_memo_hits,
@@ -227,6 +246,22 @@ class ConstraintPipeline:
         self.stats.constraints_assembled += len(constraints)
         return constraints
 
+    def assemble_many(
+        self,
+        items: Sequence[tuple[str, "PreparedLandmarks", float]],
+    ) -> list[ConstraintSet]:
+        """Assemble constraint sets for a cohort of targets, in input order.
+
+        Assembly is measurement gathering plus constraint-object construction;
+        the shared work (the geographic constraint list) is already memoized
+        per pipeline, so the cohort form is a straight loop kept for stage
+        symmetry — timings accumulate per call into :attr:`stats`.
+        """
+        return [
+            self.assemble(target_id, prepared, target_height_ms)
+            for target_id, prepared, target_height_ms in items
+        ]
+
     # ------------------------------------------------------------------ #
     # Stage 2: projection planarization
     # ------------------------------------------------------------------ #
@@ -258,6 +293,74 @@ class ConstraintPipeline:
         self.stats.planarize_seconds += time.perf_counter() - started
         self.stats.constraints_planarized += len(planar)
         return planar
+
+    def planarize_many(
+        self,
+        systems: Sequence[tuple[ConstraintSet, Projection]],
+    ) -> list[list[PlanarConstraint]]:
+        """Planarize a cohort of constraint systems with pooled geometry.
+
+        Before realizing anything, every system that will miss the planar
+        memo contributes its disk and ring realizations to one pooled
+        :class:`~repro.geometry.circles.CircleCache` warm pass (a single
+        batched boundary computation plus one projection pass per working
+        plane, instead of per-disk scalar loops).  Each system is then
+        planarized by the scalar :meth:`planarize`, which finds every circle
+        already cached — results are bitwise identical to per-target calls
+        because the warm path realizes exactly the scalar geometry.
+        """
+        started = time.perf_counter()
+        boundary_jobs: dict[int, tuple[CircleCache, list]] = {}
+        planar_jobs: dict[tuple[int, tuple], tuple[CircleCache, Projection, list]] = {}
+        ring_jobs: dict[tuple[int, tuple, tuple], tuple[CircleCache, Projection, tuple]] = {}
+        for constraints, projection in systems:
+            ordered = constraints.sorted_by_weight()
+            key = self._memo_key(ordered, projection)
+            if key is not None and self._planar_memo.get(key) is not None:
+                continue  # planarize() will take the memo hit
+            projection_key = projection.cache_key()
+            for constraint in ordered:
+                cache = getattr(constraint, "geometry_cache", None)
+                if cache is None:
+                    continue
+                specs = []
+                if isinstance(constraint, DistanceConstraint):
+                    specs.append(
+                        (constraint.landmark_location, constraint.max_km, constraint.circle_segments)
+                    )
+                    if constraint.min_km > 0:
+                        specs.append(
+                            (constraint.landmark_location, constraint.min_km, constraint.circle_segments)
+                        )
+                elif isinstance(constraint, DiskConstraint):
+                    specs.append(
+                        (constraint.center, constraint.radius_km, constraint.circle_segments)
+                    )
+                elif isinstance(constraint, GeoRegionConstraint) and projection_key is not None:
+                    ring = tuple(constraint.ring)
+                    ring_jobs.setdefault(
+                        (id(cache), projection_key, ring), (cache, projection, ring)
+                    )
+                    continue
+                if not specs:
+                    continue
+                boundary_jobs.setdefault(id(cache), (cache, []))[1].extend(specs)
+                if projection_key is not None:
+                    planar_jobs.setdefault(
+                        (id(cache), projection_key), (cache, projection, [])
+                    )[2].extend(specs)
+        for cache, specs in boundary_jobs.values():
+            cache.warm_boundaries(specs)
+        for cache, projection, specs in planar_jobs.values():
+            cache.warm_planar_disks(projection, specs)
+        for cache, projection, ring in ring_jobs.values():
+            cache.planar_ring(ring, projection)
+        self.stats.planarize_seconds += time.perf_counter() - started
+
+        return [
+            self.planarize(constraints, projection)
+            for constraints, projection in systems
+        ]
 
     @staticmethod
     def _memo_key(

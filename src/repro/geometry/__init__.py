@@ -57,6 +57,7 @@ from .sphere import (
     MILES_PER_KM,
     SPEED_OF_LIGHT_KM_PER_MS,
     GeoPoint,
+    destination_arrays,
     destination_point,
     distance_km_to_min_rtt_ms,
     geographic_midpoint,
@@ -86,6 +87,7 @@ __all__ = [
     "rtt_ms_to_max_distance_km",
     "distance_km_to_min_rtt_ms",
     "initial_bearing_deg",
+    "destination_arrays",
     "destination_point",
     "geographic_midpoint",
     "normalize_latitude",

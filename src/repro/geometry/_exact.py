@@ -1,0 +1,86 @@
+"""Bitwise libm-exact building blocks for vectorized geometry.
+
+Octant's conformance discipline requires every batched/vectorized code path
+to produce results bitwise identical to its scalar reference (the property
+the equivalence suites pin).  Elementwise IEEE arithmetic (+, -, *, /,
+sqrt, min/max, comparisons) is exact by definition, but transcendentals are
+not: some NumPy builds dispatch double-precision trig to SIMD kernels
+(SVML) that differ from the C library in the last ulp, and NumPy's
+``arcsin``/``arccos``/``arctan2`` differ from ``math.asin``/``acos``/
+``atan2`` even on builds whose ``sin``/``cos`` agree.
+
+This module centralizes the two tools every vectorized fast path needs:
+
+* :data:`NUMPY_TRIG_MATCHES_LIBM` -- a probe-derived flag that is ``True``
+  only when NumPy's array ``sin``/``cos``/``radians`` round exactly like
+  libm's scalars on this build.  Fast paths must fall back to their scalar
+  loops when it is ``False``.
+* :func:`asin_elementwise` / :func:`acos_elementwise` /
+  :func:`atan2_elementwise` -- inverse trig applied through ``math.*`` per
+  element (never ``np.arcsin`` et al.), so vectorized pipelines can keep
+  every other step as an array operation while the inverse-trig step stays
+  bit-for-bit the scalar one.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "NUMPY_TRIG_MATCHES_LIBM",
+    "probe_numpy_trig",
+    "asin_elementwise",
+    "acos_elementwise",
+    "atan2_elementwise",
+]
+
+
+def probe_numpy_trig() -> bool:
+    """True when NumPy's array sin/cos are bitwise-identical to libm's.
+
+    Ulp-level divergence, when present, shows up immediately on a spread of
+    probe values this size; the degree conversion is probed too because fast
+    paths use ``np.radians`` where scalar references use ``math.radians``.
+    """
+    probe = np.linspace(-2.0 * math.pi, 2.0 * math.pi, 257)
+    sins = np.sin(probe)
+    coss = np.cos(probe)
+    for value, s, c in zip(probe.tolist(), sins.tolist(), coss.tolist()):
+        if s != math.sin(value) or c != math.cos(value):
+            return False
+    degrees = np.linspace(-180.0, 180.0, 181)
+    for value, r in zip(degrees.tolist(), np.radians(degrees).tolist()):
+        if r != math.radians(value):
+            return False
+        if math.degrees(r) != np.degrees(np.float64(r)):
+            return False
+    return True
+
+
+NUMPY_TRIG_MATCHES_LIBM = probe_numpy_trig()
+
+
+def asin_elementwise(values: np.ndarray) -> np.ndarray:
+    """``math.asin`` applied per element (bitwise libm; never ``np.arcsin``)."""
+    flat = np.asarray(values, dtype=float)
+    out = np.array([math.asin(v) for v in flat.ravel().tolist()])
+    return out.reshape(flat.shape)
+
+
+def acos_elementwise(values: np.ndarray) -> np.ndarray:
+    """``math.acos`` applied per element (bitwise libm; never ``np.arccos``)."""
+    flat = np.asarray(values, dtype=float)
+    out = np.array([math.acos(v) for v in flat.ravel().tolist()])
+    return out.reshape(flat.shape)
+
+
+def atan2_elementwise(y: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``math.atan2`` applied per element (bitwise libm; never ``np.arctan2``)."""
+    ya = np.asarray(y, dtype=float)
+    xa = np.asarray(x, dtype=float)
+    out = np.array(
+        [math.atan2(yv, xv) for yv, xv in zip(ya.ravel().tolist(), xa.ravel().tolist())]
+    )
+    return out.reshape(ya.shape)

@@ -156,6 +156,58 @@ class CircleCache:
         self._entries.put(key, (lats, lons))
         return lats, lons
 
+    def warm_boundaries(
+        self, specs: "Sequence[tuple[GeoPoint, float, int]]"
+    ) -> int:
+        """Realize missing geodesic boundaries in one pooled vectorized pass.
+
+        ``specs`` is an iterable of ``(center, radius_km, segments)``.  The
+        cohort-axis pipeline collects every circle an entire batch of targets
+        will realize (constraint disks, router localization disks) and warms
+        them here with a single :func:`~repro.geometry.sphere.destination_arrays`
+        call instead of ``segments`` scalar destination points per circle.
+        Warmed entries are bitwise identical to what
+        :meth:`boundary_arrays` would build on a miss (pinned by the batched
+        equivalence suites), so scalar and batched callers stay
+        interchangeable.  Invalid specs (non-positive radius, too few
+        segments) are skipped -- the scalar path is the one that raises.
+        Returns the number of boundaries realized.
+        """
+        from .sphere import destination_arrays
+
+        missing: dict[tuple, tuple[GeoPoint, float, int]] = {}
+        for center, radius_km, segments in specs:
+            if radius_km <= 0 or segments < 3:
+                continue
+            key = (center.lat, center.lon, radius_km, segments)
+            if key in missing or self._entries.get(key) is not None:
+                continue
+            missing[key] = (center, radius_km, segments)
+        if not missing:
+            return 0
+
+        lats: list[float] = []
+        lons: list[float] = []
+        bearings: list[float] = []
+        dists: list[float] = []
+        for center, radius_km, segments in missing.values():
+            for i in range(segments):
+                lats.append(center.lat)
+                lons.append(center.lon)
+                bearings.append(360.0 * i / segments)
+                dists.append(radius_km)
+        out_lat, out_lon = destination_arrays(lats, lons, bearings, dists)
+
+        offset = 0
+        for key, (_center, _radius, segments) in missing.items():
+            # Scalar geodesic_circle_points reverses into CCW planar order.
+            chunk_lat = out_lat[offset : offset + segments][::-1].copy()
+            chunk_lon = out_lon[offset : offset + segments][::-1].copy()
+            offset += segments
+            self.boundary_misses += 1
+            self._entries.put(key, (chunk_lat, chunk_lon))
+        return len(missing)
+
     # ------------------------------------------------------------------ #
     # Planar layer: (projection, circle) -> constraint polygon
     # ------------------------------------------------------------------ #
@@ -217,6 +269,54 @@ class CircleCache:
             self.mask_prewarms += 1
         self._planar.put(key, polygon)
         return polygon
+
+    def warm_planar_disks(
+        self,
+        projection: Projection,
+        specs: "Sequence[tuple[GeoPoint, float, int]]",
+    ) -> int:
+        """Project missing disk polygons under ``projection`` in one pooled pass.
+
+        The per-projection companion of :meth:`warm_boundaries`: all missing
+        ``(center, radius_km, segments)`` disks are projected through a
+        single ``forward_array`` call over the concatenated boundaries, and
+        the resulting polygons (identical to :meth:`planar_disk` misses) are
+        memoized.  No-op (returns 0) when the projection exposes no cache
+        key.  Returns the number of polygons realized.
+        """
+        projection_key = projection.cache_key()
+        if projection_key is None:
+            return 0
+        missing: dict[tuple, tuple[GeoPoint, float, int]] = {}
+        for center, radius_km, segments in specs:
+            if radius_km <= 0 or segments < 3:
+                continue
+            key = (projection_key, center.lat, center.lon, radius_km, segments)
+            if key in missing or self._planar.get(key) is not None:
+                continue
+            missing[key] = (center, radius_km, segments)
+        if not missing:
+            return 0
+
+        boundaries = [
+            self.boundary_arrays(center, radius_km, segments)
+            for center, radius_km, segments in missing.values()
+        ]
+        planar = projection.forward_array(
+            np.concatenate([lats for lats, _ in boundaries]),
+            np.concatenate([lons for _, lons in boundaries]),
+        )
+        offset = 0
+        for key, (lats, _lons) in zip(missing, boundaries):
+            count = len(lats)
+            chunk = planar[offset : offset + count]
+            offset += count
+            polygon = Polygon(
+                [Point2D(x, y) for x, y in chunk.tolist()]
+            ).ensure_ccw()
+            self.planar_misses += 1
+            self._planar.put(key, polygon)
+        return len(missing)
 
     def _project_disk(
         self,

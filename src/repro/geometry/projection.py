@@ -21,6 +21,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ._exact import NUMPY_TRIG_MATCHES_LIBM, acos_elementwise
 from .point import Point2D
 from .sphere import (
     EARTH_RADIUS_KM,
@@ -38,32 +39,10 @@ __all__ = [
 ]
 
 
-def _probe_numpy_trig() -> bool:
-    """True when NumPy's array sin/cos are bitwise-identical to libm's.
-
-    Some NumPy builds dispatch double-precision trig to SIMD kernels (SVML)
-    that differ from the C library in the last ulp.  The vectorized
-    projection fast path requires exact agreement with ``math.sin``/``cos``
-    (scalar and batch callers must never diverge), so it is enabled only
-    when a spread of probe values round-trips identically; ulp-level
-    differences, when present, show up immediately on a sample this size.
-    """
-    probe = np.linspace(-2.0 * math.pi, 2.0 * math.pi, 257)
-    sins = np.sin(probe)
-    coss = np.cos(probe)
-    for value, s, c in zip(probe.tolist(), sins.tolist(), coss.tolist()):
-        if s != math.sin(value) or c != math.cos(value):
-            return False
-    # The fast path converts degrees with np.radians where the scalar path
-    # uses math.radians; their rounding must agree too.
-    degrees = np.linspace(-180.0, 180.0, 181)
-    for value, r in zip(degrees.tolist(), np.radians(degrees).tolist()):
-        if r != math.radians(value):
-            return False
-    return True
-
-
-_NUMPY_TRIG_MATCHES_LIBM = _probe_numpy_trig()
+# The probe lives in ._exact so every vectorized fast path (projection,
+# batched destination points, batched height estimation) gates on the same
+# build check; the historical module-level name is kept as an alias.
+_NUMPY_TRIG_MATCHES_LIBM = NUMPY_TRIG_MATCHES_LIBM
 
 
 class Projection:
@@ -218,7 +197,7 @@ class AzimuthalEquidistantProjection(Projection):
         cos_dlam = np.cos(dlam)
         cos_c = self._sin_phi0 * sin_phi + self._cos_phi0 * cos_phi * cos_dlam
         cos_c = np.minimum(1.0, np.maximum(-1.0, cos_c))
-        c = np.array([math.acos(v) for v in cos_c.tolist()])
+        c = acos_elementwise(cos_c)
 
         small = c < 1e-12
         with np.errstate(divide="ignore", invalid="ignore"):

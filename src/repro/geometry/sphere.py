@@ -39,6 +39,7 @@ __all__ = [
     "distance_km_to_min_rtt_ms",
     "initial_bearing_deg",
     "destination_point",
+    "destination_arrays",
     "geographic_midpoint",
     "normalize_longitude",
     "normalize_latitude",
@@ -225,6 +226,77 @@ def destination_point(origin: GeoPoint, bearing_deg: float, distance_km: float) 
         normalize_latitude(math.degrees(phi2)),
         normalize_longitude(math.degrees(lmb2)),
     )
+
+
+def destination_arrays(
+    lats_deg: "object",
+    lons_deg: "object",
+    bearings_deg: "object",
+    distances_km: "object",
+) -> tuple["object", "object"]:
+    """Vectorized :func:`destination_point` over aligned coordinate arrays.
+
+    Takes origin latitude/longitude, bearing and distance arrays (or
+    broadcastable scalars), returns ``(lat_deg, lon_deg)`` arrays.  Every
+    element is bitwise identical to the corresponding
+    ``destination_point(GeoPoint(lat, lon), bearing, distance)`` result:
+    the elementwise steps run as array operations only on builds whose
+    NumPy trig matches libm exactly, the inverse trig always goes through
+    ``math.asin``/``math.atan2`` per element, and otherwise the whole
+    function falls back to the scalar loop.  This is the realization kernel
+    the cohort-axis pipeline uses to pool geodesic circle boundaries across
+    a whole batch of targets.
+    """
+    import numpy as np
+
+    from ._exact import NUMPY_TRIG_MATCHES_LIBM, asin_elementwise, atan2_elementwise
+
+    lats = np.broadcast_arrays(
+        np.asarray(lats_deg, dtype=float),
+        np.asarray(lons_deg, dtype=float),
+        np.asarray(bearings_deg, dtype=float),
+        np.asarray(distances_km, dtype=float),
+    )
+    lat_a, lon_a, bearing_a, dist_a = lats
+    if not NUMPY_TRIG_MATCHES_LIBM:
+        out_lat = np.empty(lat_a.shape)
+        out_lon = np.empty(lat_a.shape)
+        flat = zip(
+            lat_a.ravel().tolist(),
+            lon_a.ravel().tolist(),
+            bearing_a.ravel().tolist(),
+            dist_a.ravel().tolist(),
+        )
+        lat_flat = out_lat.ravel()
+        lon_flat = out_lon.ravel()
+        for i, (lat, lon, bearing, dist) in enumerate(flat):
+            p = destination_point(GeoPoint(lat, lon), bearing, dist)
+            lat_flat[i] = p.lat
+            lon_flat[i] = p.lon
+        return lat_flat.reshape(lat_a.shape), lon_flat.reshape(lat_a.shape)
+
+    if dist_a.size and float(np.min(dist_a)) < 0:
+        raise ValueError("distance must be non-negative")
+    delta = dist_a / EARTH_RADIUS_KM
+    theta = np.radians(bearing_a)
+    phi1 = np.radians(lat_a)
+    lmb1 = np.radians(lon_a)
+
+    sin_phi1 = np.sin(phi1)
+    cos_phi1 = np.cos(phi1)
+    sin_delta = np.sin(delta)
+    cos_delta = np.cos(delta)
+    sin_phi2 = sin_phi1 * cos_delta + cos_phi1 * sin_delta * np.cos(theta)
+    sin_phi2 = np.minimum(1.0, np.maximum(-1.0, sin_phi2))
+    phi2 = asin_elementwise(sin_phi2)
+    y = np.sin(theta) * sin_delta * cos_phi1
+    x = cos_delta - sin_phi1 * sin_phi2
+    lmb2 = lmb1 + atan2_elementwise(y, x)
+
+    out_lat = np.maximum(-90.0, np.minimum(90.0, np.degrees(phi2)))
+    lon = np.fmod(np.degrees(lmb2) + 180.0, 360.0)
+    lon = np.where(lon < 0, lon + 360.0, lon) - 180.0
+    return out_lat, lon
 
 
 def geographic_midpoint(points: Sequence[GeoPoint] | Iterable[GeoPoint]) -> GeoPoint:

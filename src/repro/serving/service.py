@@ -361,13 +361,23 @@ class LocalizationService:
         with self._stats_lock:
             self.stats.fused_batches += 1
         started = time.perf_counter()
-        groups: dict[tuple[int, tuple[str, ...] | None], list[_Request]] = {}
+        # Split by snapshot BEFORE stage batching: a dispatch that drained
+        # requests enqueued on both sides of an ingest() must not run them
+        # through one cohort pass.  The snapshot version is part of the key
+        # explicitly -- object identity alone would conflate two snapshots
+        # if a retired localizer's id were ever reused.
+        groups: dict[tuple[int, int, tuple[str, ...] | None], list[_Request]] = {}
         for request in batch:
             groups.setdefault(
-                (id(request.localizer), request.landmark_pool), []
+                (
+                    id(request.localizer),
+                    request.snapshot_version,
+                    request.landmark_pool,
+                ),
+                [],
             ).append(request)
         results: dict[int, LocationEstimate] = {}
-        for (_key, pool), requests in groups.items():
+        for (_key, _version, pool), requests in groups.items():
             localizer = requests[0].localizer
             known: list[_Request] = []
             for request in requests:

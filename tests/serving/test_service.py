@@ -330,6 +330,57 @@ class TestServiceMicroBatching:
         # ... and a target known to both answers from its own snapshot.
         assert known_answer.point is not None
 
+    def test_cross_ingest_batch_splits_by_snapshot(
+        self, deployment, full_dataset, live_dataset, fused_config
+    ):
+        """Requests coalesced across an ingest() run as separate cohort
+        passes: each answer is bit-identical to a direct solve_many on its
+        own enqueue-time snapshot, not to the other snapshot's answer."""
+        import asyncio as aio
+
+        from repro.serving.service import _Request
+
+        record, pings = ninth_host_payload(deployment, full_dataset)
+        targets = list(live_dataset.host_ids[:2])
+
+        async def main():
+            async with LocalizationService(
+                live_dataset, fused_config, workers=1
+            ) as service:
+                old_localizer = service._current
+                old_version = old_localizer.dataset.version
+                await service.ingest(hosts=[record], pings=pings)
+                new_localizer = service._current
+                new_version = new_localizer.dataset.version
+                assert new_version != old_version
+                loop = aio.get_running_loop()
+                # Interleave snapshots inside one coalesced dispatch.
+                batch = [
+                    _Request(t, None, loc, loop.create_future(), ver)
+                    for t in targets
+                    for loc, ver in (
+                        (old_localizer, old_version),
+                        (new_localizer, new_version),
+                    )
+                ]
+                estimates = await loop.run_in_executor(
+                    service._executor, service._localize_batch_sync, batch
+                )
+                return estimates, old_localizer, new_localizer
+
+        estimates, old_localizer, new_localizer = run(main())
+        old_direct = old_localizer.solve_many(targets)
+        new_direct = new_localizer.solve_many(targets)
+        for i, target in enumerate(targets):
+            assert signature(estimates[2 * i]) == signature(old_direct[target])
+            assert signature(estimates[2 * i + 1]) == signature(new_direct[target])
+        # The landmark pool grew across the ingest, so at least one target's
+        # answer must differ between snapshots -- which is exactly what a
+        # conflated cohort pass would have papered over.
+        assert any(
+            signature(old_direct[t]) != signature(new_direct[t]) for t in targets
+        )
+
     def test_repeated_target_within_batch(self, live_dataset, fused_config):
         """Duplicate targets in one coalesced dispatch each get an answer."""
         target = live_dataset.host_ids[0]
