@@ -14,6 +14,9 @@ organized in four layers:
   compares against and the harness that regenerates its figures and tables.
 * :mod:`repro.serving` -- the online front-end: an asyncio localization
   service with snapshot-per-request semantics and measurement ingest.
+* :mod:`repro.resilience` -- fault injection, deadlines and cooperative
+  cancellation, retry/backoff, circuit breakers and the typed error
+  taxonomy behind the serving tier's graceful-degradation ladder.
 
 Quickstart::
 
@@ -42,6 +45,15 @@ from .network import (
     collect_dataset,
     small_deployment,
 )
+from .resilience import (
+    DeadlineExceeded,
+    FatalError,
+    FaultPlan,
+    OperationCancelled,
+    ResilienceConfig,
+    RetriableError,
+    RetryPolicy,
+)
 from .serving import LocalizationService
 
 __version__ = "1.0.0"
@@ -57,6 +69,13 @@ __all__ = [
     "ConstraintPipeline",
     "LocalizationService",
     "LocationEstimate",
+    "FaultPlan",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "RetriableError",
+    "FatalError",
+    "DeadlineExceeded",
+    "OperationCancelled",
     "Deployment",
     "DeploymentConfig",
     "MeasurementDataset",

@@ -43,6 +43,7 @@ import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -50,6 +51,9 @@ from .._lru import BoundedLRU
 from ..geometry import CircleCache, GeoPoint
 from ..network.dataset import MeasurementDataset
 from ..network.dns import UndnsParser
+from ..resilience.deadline import checkpoint, resilience_scope
+from ..resilience.errors import classify_error
+from ..resilience.faults import FaultPlan
 from .calibration import (
     CalibrationSet,
     build_calibration_set,
@@ -85,22 +89,32 @@ def failed_estimate(
     error: BaseException | str,
     traceback: str | None = None,
     stats: Mapping[str, float] | None = None,
+    error_type: str | None = None,
 ) -> LocationEstimate:
     """A recorded per-target failure: no point, no region, reason in details.
 
     ``details["error_type"]`` carries the exception class name so failure
-    modes can be aggregated without parsing messages; ``traceback`` accepts a
-    pre-formatted traceback string (the serving path captures it at the
-    executor boundary) stored under ``details["traceback"]`` -- failures stay
-    diagnosable from the estimate alone, without process logs.  ``stats``
-    records the target's share of pooled pipeline-stage time under
-    ``details["pipeline_stats"]``: a target that fails halfway through the
-    batched derivation still consumed height/calibration work, and per-stage
-    accounting would undercount without it.
+    modes can be aggregated without parsing messages (``error_type``
+    overrides it for failures with no exception, e.g. ``"shutdown"``);
+    ``details["error_class"]`` is the resilience taxonomy bucket
+    (``retriable`` / ``fatal`` / ``deadline`` / ``cancelled`` / ``timeout``
+    / ``shutdown``) so policy-level aggregation does not depend on concrete
+    exception classes.  ``traceback`` accepts a pre-formatted traceback
+    string (the serving path captures it at the executor boundary) stored
+    under ``details["traceback"]`` -- failures stay diagnosable from the
+    estimate alone, without process logs.  ``stats`` records the target's
+    share of pooled pipeline-stage time under ``details["pipeline_stats"]``:
+    a target that fails halfway through the batched derivation still
+    consumed height/calibration work, and per-stage accounting would
+    undercount without it.
     """
     details: dict[str, object] = {"error": str(error)}
-    if isinstance(error, BaseException):
+    if error_type is not None:
+        details["error_type"] = error_type
+        details["error_class"] = error_type
+    elif isinstance(error, BaseException):
         details["error_type"] = type(error).__name__
+        details["error_class"] = classify_error(error)
     if traceback:
         details["traceback"] = traceback
     if stats:
@@ -228,6 +242,12 @@ class BatchLocalizer:
         self.max_workers = max_workers
         self.executor_kind = executor_kind
         self.prepared_cache_size = prepared_cache_size
+        #: Optional fault-injection plan scoped to this localizer's work
+        #: (chaos testing of batch studies without touching global state).
+        #: Picklable, so it ships to process-pool workers with the rest of
+        #: the localizer; each worker re-rolls the same deterministic
+        #: schedule from the plan's seed.
+        self.fault_plan: FaultPlan | None = None
         self._shared: BatchSharedState | None = None
         self._shared_lock = threading.Lock()
         self._prepared_cache: BoundedLRU[PreparedLandmarks] = BoundedLRU(
@@ -298,6 +318,7 @@ class BatchLocalizer:
         return the cached derivation (bit-identical: the derivation is a
         pure function of the masked shared state).
         """
+        checkpoint("prepare", target_id)
         if self.prepared_cache_size <= 0:
             return self._derive_prepared(target_id, landmark_pool)
         key = (
@@ -439,6 +460,8 @@ class BatchLocalizer:
         that exception plus the target's share of the pooled stage time it
         consumed before failing.
         """
+        for target in dict.fromkeys(target_ids):
+            checkpoint("prepare", target)
         shared = self.shared_state()
         dataset = self.dataset
         stats = self.octant.pipeline.stats
@@ -641,27 +664,39 @@ class BatchLocalizer:
     # ------------------------------------------------------------------ #
     # Localization
     # ------------------------------------------------------------------ #
+    def _fault_scope(self):
+        """Resilience scope activating :attr:`fault_plan`, if one is installed."""
+        if self.fault_plan is None:
+            return nullcontext()
+        return resilience_scope(plan=self.fault_plan)
+
     def localize_one(
-        self, target_id: str, landmark_pool: Sequence[str] | None = None
+        self,
+        target_id: str,
+        landmark_pool: Sequence[str] | None = None,
+        engine: str | None = None,
     ) -> LocationEstimate:
         """Localize one target via the incremental derivation, capturing failure.
 
         Only the preparation step is failure-captured (too few reachable
         landmarks, missing ground truth); an exception from the localization
         itself would be an internal invariant violation and must surface, not
-        be recorded as an ordinary per-target failure.
+        be recorded as an ordinary per-target failure.  ``engine`` overrides
+        the configured solver engine for this call (degradation ladder).
         """
-        try:
-            prepared = self.prepare_for_target(target_id, landmark_pool)
-        except (ValueError, KeyError) as exc:
-            return failed_estimate(target_id, "octant", exc)
-        return self.octant.localize(target_id, prepared=prepared)
+        with self._fault_scope():
+            try:
+                prepared = self.prepare_for_target(target_id, landmark_pool)
+            except (ValueError, KeyError) as exc:
+                return failed_estimate(target_id, "octant", exc)
+            return self.octant.localize(target_id, prepared=prepared, engine=engine)
 
     def solve_many(
         self,
         target_ids: Sequence[str],
         landmark_pool: Sequence[str] | None = None,
         *,
+        engine: str | None = None,
         _prepared: Mapping[str, "PreparedLandmarks | _PrepareFailure"] | None = None,
     ) -> dict[str, LocationEstimate]:
         """Localize a cohort of targets through whole-cohort batched stages.
@@ -679,6 +714,19 @@ class BatchLocalizer:
         solves -- either way the estimates are identical to calling
         :meth:`localize_one` per target.
         """
+        with self._fault_scope():
+            return self._solve_many_inner(
+                target_ids, landmark_pool, engine=engine, _prepared=_prepared
+            )
+
+    def _solve_many_inner(
+        self,
+        target_ids: Sequence[str],
+        landmark_pool: Sequence[str] | None = None,
+        *,
+        engine: str | None = None,
+        _prepared: Mapping[str, "PreparedLandmarks | _PrepareFailure"] | None = None,
+    ) -> dict[str, LocationEstimate]:
         targets = list(target_ids)
         pool = tuple(landmark_pool) if landmark_pool is not None else None
         estimates: dict[str, LocationEstimate] = {}
@@ -728,7 +776,9 @@ class BatchLocalizer:
                 p.presolve_seconds += planarize_share
             solve_started = time.perf_counter()
             solved = self.octant.pipeline.solve_many(
-                [(p.planar, p.projection) for p in presolved]
+                [(p.planar, p.projection) for p in presolved],
+                engine=engine,
+                key=tuple(p.target_id for p in presolved),
             )
             solve_share = (time.perf_counter() - solve_started) / len(presolved)
             self.octant.pipeline.stats.runs += len(presolved)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..resilience.config import ResilienceConfig
+
 __all__ = ["OctantConfig", "SolverConfig"]
 
 
@@ -188,6 +190,13 @@ class OctantConfig:
 
     # ---- solver ---------------------------------------------------------- #
     solver: SolverConfig = field(default_factory=SolverConfig)
+
+    # ---- serving resilience --------------------------------------------- #
+    #: Deadlines, retries, circuit breakers and the graceful-degradation
+    #: ladder of the serving tier (:mod:`repro.serving`).  Batch studies and
+    #: direct pipeline use ignore it; defaults keep zero-fault serving runs
+    #: bit-identical to the plain engine output.
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     # ------------------------------------------------------------------ #
     # Convenience constructors for the ablation study

@@ -29,6 +29,7 @@ from ..geometry import (
 )
 from ..network.dataset import MeasurementDataset
 from ..network.dns import UndnsParser
+from ..resilience.deadline import checkpoint
 from .calibration import CalibrationSet, build_calibration_set
 from .config import OctantConfig
 from .constraints import ConstraintSet
@@ -316,16 +317,19 @@ class Octant:
         target_id: str,
         landmark_ids: Sequence[str] | None = None,
         prepared: PreparedLandmarks | None = None,
+        engine: str | None = None,
     ) -> LocationEstimate:
         """Localize one target and return its estimate.
 
         ``prepared`` optionally injects per-landmark state derived elsewhere
         (the batch engine's incremental leave-one-out derivation); it must
         have been computed from a landmark set that excludes the target.
+        ``engine`` overrides the configured solver engine for this call only
+        (the serving degradation ladder's fallback rungs).
         """
         presolved = self.presolve(target_id, landmark_ids, prepared)
         region, diagnostics = self.pipeline.solve(
-            presolved.planar, presolved.projection
+            presolved.planar, presolved.projection, engine=engine, key=target_id
         )
         self.pipeline.stats.runs += 1
         return self.postsolve(presolved, region, diagnostics)
@@ -353,6 +357,7 @@ class Octant:
         driver can pool it across targets via
         :meth:`ConstraintPipeline.planarize_many`.
         """
+        checkpoint("prepare", target_id)
         started = time.perf_counter()
         if prepared is not None:
             landmarks = [lid for lid in prepared.landmark_ids if lid != target_id]
@@ -388,7 +393,11 @@ class Octant:
 
         projection = self._projection_for(prepared, target_id)
         constraints = self.pipeline.assemble(target_id, prepared, target_height)
-        planar = self.pipeline.planarize(constraints, projection) if planarize else None
+        planar = (
+            self.pipeline.planarize(constraints, projection, key=target_id)
+            if planarize
+            else None
+        )
         return PresolvedTarget(
             target_id=target_id,
             landmarks=landmarks,

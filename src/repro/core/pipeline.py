@@ -32,10 +32,11 @@ warm/cold statistics.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Sequence
 
 from .._lru import BoundedLRU
+from ..resilience.deadline import checkpoint
 from ..geometry import CircleCache, Projection, Region, rtt_ms_to_max_distance_km
 from ..network.dataset import MeasurementDataset
 from ..network.dns import UndnsParser
@@ -171,6 +172,7 @@ class ConstraintPipeline:
         target_height_ms: float = 0.0,
     ) -> ConstraintSet:
         """Assemble every constraint for one target under the configuration."""
+        checkpoint("assemble", target_id)
         started = time.perf_counter()
         cfg = self.config
         constraints = ConstraintSet()
@@ -266,7 +268,10 @@ class ConstraintPipeline:
     # Stage 2: projection planarization
     # ------------------------------------------------------------------ #
     def planarize(
-        self, constraints: ConstraintSet, projection: Projection
+        self,
+        constraints: ConstraintSet,
+        projection: Projection,
+        key: object = None,
     ) -> list[PlanarConstraint]:
         """Realize the constraints as planar geometry, heaviest first.
 
@@ -275,8 +280,10 @@ class ConstraintPipeline:
         would otherwise skip.  A memo hit returns the realized list built by
         an earlier identical request (same projection, equal constraint
         descriptions); the planar constraints are immutable, so the hit is
-        bit-identical to re-realizing them.
+        bit-identical to re-realizing them.  ``key`` labels the resilience
+        checkpoint with the unit of work (typically the target id).
         """
+        checkpoint("planarize", key)
         started = time.perf_counter()
         ordered = constraints.sorted_by_weight()
         key = self._memo_key(ordered, projection)
@@ -381,17 +388,29 @@ class ConstraintPipeline:
     # Stage 3: kernel solve
     # ------------------------------------------------------------------ #
     def solve(
-        self, planar: Sequence[PlanarConstraint], projection: Projection
+        self,
+        planar: Sequence[PlanarConstraint],
+        projection: Projection,
+        engine: str | None = None,
+        key: object = None,
     ) -> tuple[Region, SolverDiagnostics]:
         """Run the weighted accumulation and return region + diagnostics.
 
         Dispatches on ``SolverConfig.engine`` (a ``"fused"`` engine solves a
         single system as a cohort of one); cohort callers should prefer
         :meth:`solve_many`, which amortizes the fused kernel's batched
-        passes across every system of the cohort.
+        passes across every system of the cohort.  ``engine`` overrides the
+        configured engine for this solve only -- the degradation ladder uses
+        it to retry a failed solve on a lower rung without rebuilding the
+        pipeline (all engines are bit-identical, so a fallback answer equals
+        the primary one).
         """
+        checkpoint("solve", key)
         started = time.perf_counter()
-        solver = WeightedRegionSolver(self.config.solver)
+        config = self.config.solver
+        if engine is not None and engine != config.engine:
+            config = replace(config, engine=engine)
+        solver = WeightedRegionSolver(config)
         region = solver.solve(planar, projection)
         self.stats.solve_seconds += time.perf_counter() - started
         self.stats.geometry_table_hits += solver.diagnostics.geometry_table_hits
@@ -401,6 +420,8 @@ class ConstraintPipeline:
     def solve_many(
         self,
         systems: Sequence[tuple[Sequence[PlanarConstraint], Projection]],
+        engine: str | None = None,
+        key: object = None,
     ) -> list[tuple[Region, SolverDiagnostics]]:
         """Solve a cohort of realized constraint systems.
 
@@ -408,10 +429,16 @@ class ConstraintPipeline:
         through one :class:`~repro.geometry.kernel.FusedSolverKernel` run
         (single NumPy passes clip every target's pieces at once); other
         engines solve each system independently.  Results are bit-identical
-        to calling :meth:`solve` per system, in input order.
+        to calling :meth:`solve` per system, in input order.  ``engine``
+        overrides the configured engine for this cohort only (degradation
+        ladder); ``key`` labels the resilience checkpoint.
         """
+        checkpoint("solve", key)
         started = time.perf_counter()
-        results = solve_systems(self.config.solver, list(systems))
+        config = self.config.solver
+        if engine is not None and engine != config.engine:
+            config = replace(config, engine=engine)
+        results = solve_systems(config, list(systems))
         self.stats.solve_seconds += time.perf_counter() - started
         for _region, diagnostics in results:
             self.stats.geometry_table_hits += diagnostics.geometry_table_hits
@@ -427,10 +454,11 @@ class ConstraintPipeline:
         prepared: "PreparedLandmarks",
         target_height_ms: float,
         projection: Projection,
+        engine: str | None = None,
     ) -> tuple[Region, SolverDiagnostics]:
         """Assemble, planarize and solve one target's constraint system."""
         constraints = self.assemble(target_id, prepared, target_height_ms)
-        planar = self.planarize(constraints, projection)
-        region, diagnostics = self.solve(planar, projection)
+        planar = self.planarize(constraints, projection, key=target_id)
+        region, diagnostics = self.solve(planar, projection, engine=engine, key=target_id)
         self.stats.runs += 1
         return region, diagnostics

@@ -1,0 +1,73 @@
+"""Resilience layer: fault injection, deadlines, retries, breakers, degradation.
+
+This package is deliberately free of imports from :mod:`repro.core` so the
+core configuration can embed :class:`ResilienceConfig` without a cycle.  The
+serving tier (:mod:`repro.serving`) composes the pieces:
+
+* :mod:`~repro.resilience.faults` -- deterministic, seedable fault injection
+  at named stage boundaries (``OCTANT_FAULT_PLAN`` for codeless chaos runs).
+* :mod:`~repro.resilience.deadline` -- per-request deadlines, cooperative
+  cancellation tokens, and the :func:`checkpoint` hook the pipeline calls at
+  every stage boundary.
+* :mod:`~repro.resilience.retry` -- jittered exponential backoff policy.
+* :mod:`~repro.resilience.breaker` -- per-stage circuit breakers.
+* :mod:`~repro.resilience.errors` -- the typed error taxonomy
+  (:class:`RetriableError` / :class:`FatalError` / :class:`DeadlineExceeded`
+  / :class:`OperationCancelled`).
+* :mod:`~repro.resilience.config` -- :class:`ResilienceConfig`, the knob set
+  attached to :class:`repro.core.config.OctantConfig`.
+"""
+
+from .breaker import BreakerBoard, BreakerConfig, CircuitBreaker
+from .config import ResilienceConfig
+from .deadline import (
+    CancelToken,
+    Deadline,
+    checkpoint,
+    current_scope,
+    resilience_scope,
+)
+from .errors import (
+    DeadlineExceeded,
+    FatalError,
+    OperationCancelled,
+    ResilienceError,
+    RetriableError,
+    classify_error,
+)
+from .faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    active_fault_plan,
+    clear_fault_plan,
+    install_fault_plan,
+    stable_uniform,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerConfig",
+    "CancelToken",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FAULT_PLAN_ENV",
+    "FatalError",
+    "FaultPlan",
+    "FaultSpec",
+    "OperationCancelled",
+    "ResilienceConfig",
+    "ResilienceError",
+    "RetriableError",
+    "RetryPolicy",
+    "active_fault_plan",
+    "checkpoint",
+    "classify_error",
+    "clear_fault_plan",
+    "current_scope",
+    "install_fault_plan",
+    "resilience_scope",
+    "stable_uniform",
+]

@@ -1,0 +1,146 @@
+"""Per-stage circuit breakers: stop hammering a stage that keeps failing.
+
+Classic three-state machine, one breaker per ``stage:engine`` key:
+
+* **closed** -- normal operation; consecutive failures are counted and any
+  success resets the count.
+* **open** -- entered after ``failure_threshold`` consecutive failures;
+  every :meth:`~CircuitBreaker.allow` is refused (the serving ladder skips
+  straight to the next rung) until ``recovery_s`` has elapsed.
+* **half-open** -- after the recovery window one *probe* attempt is let
+  through; its success closes the breaker, its failure re-opens it for
+  another full recovery window.
+
+The clock is injectable so tests drive the state machine without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "BreakerBoard"]
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning of every breaker on a board."""
+
+    enabled: bool = True
+    #: Consecutive failures that trip the breaker open.
+    failure_threshold: int = 5
+    #: Seconds the breaker stays open before allowing a half-open probe.
+    recovery_s: float = 30.0
+
+
+class CircuitBreaker:
+    """One stage's breaker.  Thread-safe; see module docstring."""
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_outstanding = False
+        #: Lifetime counters for observability.
+        self.opens = 0
+        self.failures = 0
+        self.successes = 0
+        self.refusals = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May an attempt proceed right now?
+
+        In the open state this flips to half-open once the recovery window
+        has elapsed and admits exactly one probe; concurrent callers during
+        the probe are refused.
+        """
+        if not self.config.enabled:
+            return True
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self.config.recovery_s:
+                    self._state = "half-open"
+                    self._probe_outstanding = True
+                    return True
+                self.refusals += 1
+                return False
+            # half-open: one probe at a time
+            if self._probe_outstanding:
+                self.refusals += 1
+                return False
+            self._probe_outstanding = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.successes += 1
+            self._consecutive_failures = 0
+            self._state = "closed"
+            self._probe_outstanding = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            self._consecutive_failures += 1
+            if self._state == "half-open" or (
+                self._state == "closed"
+                and self._consecutive_failures >= self.config.failure_threshold
+            ):
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._probe_outstanding = False
+                self.opens += 1
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "opens": self.opens,
+                "failures": self.failures,
+                "successes": self.successes,
+                "refusals": self.refusals,
+            }
+
+
+class BreakerBoard:
+    """A lazy registry of named breakers sharing one configuration."""
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, name: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = CircuitBreaker(self.config, self._clock)
+                self._breakers[name] = breaker
+            return breaker
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        with self._lock:
+            items = list(self._breakers.items())
+        return {name: breaker.snapshot() for name, breaker in sorted(items)}

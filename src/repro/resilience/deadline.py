@@ -1,0 +1,158 @@
+"""Per-request deadlines, cooperative cancellation, and stage checkpoints.
+
+The pipeline is CPU-bound synchronous Python running on executor threads, so
+cancellation cannot be preemptive -- it has to be *cooperative*: the work
+itself must look up "should I still be running?" at natural boundaries.
+Those boundaries already exist: the stage transitions that
+:class:`~repro.core.pipeline.PipelineStats` times (prepare, assemble,
+planarize, solve) plus ingest and executor dispatch.  Each of them calls
+:func:`checkpoint`, which
+
+1. raises :class:`~repro.resilience.errors.OperationCancelled` when the
+   request's :class:`CancelToken` was cancelled (caller timeout, service
+   shutdown),
+2. raises :class:`~repro.resilience.errors.DeadlineExceeded` when the
+   request's :class:`Deadline` expired, and
+3. fires the active :class:`~repro.resilience.faults.FaultPlan`, if any.
+
+Deadline, token and plan travel in a thread-local :class:`resilience_scope`
+stack: the serving executor opens a scope around each request's work, nested
+scopes inherit what they don't override, and code outside any scope (batch
+studies, direct pipeline use) pays two attribute reads per checkpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from .errors import DeadlineExceeded, OperationCancelled
+from .faults import FaultPlan, active_fault_plan
+
+__all__ = [
+    "CancelToken",
+    "Deadline",
+    "checkpoint",
+    "current_scope",
+    "resilience_scope",
+]
+
+
+class Deadline:
+    """A monotonic-clock expiry instant."""
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float):
+        self.expires_at = expires_at
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(time.monotonic() + seconds)
+
+    def remaining(self) -> float:
+        """Seconds until expiry (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+
+class CancelToken:
+    """A one-way cancellation flag with a reason, shared across threads."""
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self.reason = "cancelled"
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cancellation; the first reason recorded wins."""
+        if not self._event.is_set():
+            self.reason = reason
+            self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+@dataclass
+class _Scope:
+    deadline: Deadline | None
+    token: CancelToken | None
+    plan: FaultPlan | None
+
+
+_LOCAL = threading.local()
+
+
+def _stack() -> list[_Scope]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = []
+        _LOCAL.stack = stack
+    return stack
+
+
+def current_scope() -> _Scope | None:
+    """The innermost active scope on this thread, or ``None``."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def resilience_scope(
+    deadline: Deadline | None = None,
+    token: CancelToken | None = None,
+    plan: FaultPlan | None = None,
+):
+    """Activate deadline/token/plan for the current thread.
+
+    Arguments left ``None`` inherit from the enclosing scope, so a service
+    can open an outer plan-only scope around a whole dispatch and an inner
+    per-request scope that adds that request's deadline and token.
+    """
+    outer = current_scope()
+    if outer is not None:
+        deadline = deadline if deadline is not None else outer.deadline
+        token = token if token is not None else outer.token
+        plan = plan if plan is not None else outer.plan
+    stack = _stack()
+    stack.append(_Scope(deadline, token, plan))
+    try:
+        yield stack[-1]
+    finally:
+        stack.pop()
+
+
+def checkpoint(stage: str, key: object = None) -> None:
+    """The cooperative stage-boundary check (see module docstring).
+
+    ``key`` identifies the unit of work (typically the target id) so fault
+    draws are independent per target and reproducible regardless of thread
+    interleaving.
+    """
+    scope = current_scope()
+    if scope is not None:
+        token = scope.token
+        if token is not None and token.cancelled:
+            raise OperationCancelled(
+                f"request cancelled ({token.reason}) at stage {stage!r}",
+                stage=stage,
+                reason=token.reason,
+            )
+        deadline = scope.deadline
+        if deadline is not None and deadline.expired():
+            raise DeadlineExceeded(
+                f"deadline expired at stage {stage!r}", stage=stage
+            )
+        plan = scope.plan if scope.plan is not None else active_fault_plan()
+    else:
+        plan = active_fault_plan()
+    if plan is not None:
+        plan.fire(stage, key)

@@ -1,0 +1,54 @@
+"""Retry with jittered exponential backoff, deterministic per request.
+
+The policy object is what the serving tier consults wherever it used to make
+an ad-hoc "try again" decision -- the per-target retry of a retriable stage
+fault, and the micro-batch "retry each request individually" fallback that
+predates this module (now counted and bounded by the same policy).
+
+Jitter is derived from :func:`~repro.resilience.faults.stable_uniform` over
+``(seed, key, attempt)`` rather than a shared RNG: two runs of the same
+fault schedule sleep the same delays, which keeps the availability benchmark
+and chaos tests reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .faults import stable_uniform
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to attempt a unit of work, and how long to wait between.
+
+    ``max_attempts`` counts the first try: ``2`` means one retry.  Delays
+    grow geometrically from ``base_delay_s`` by ``multiplier`` and are capped
+    at ``max_delay_s``; ``jitter`` spreads each delay uniformly over
+    ``[delay * (1 - jitter), delay * (1 + jitter)]`` so synchronized clients
+    do not retry in lockstep.
+    """
+
+    max_attempts: int = 2
+    base_delay_s: float = 0.002
+    multiplier: float = 2.0
+    max_delay_s: float = 0.05
+    jitter: float = 0.5
+    #: Seed of the deterministic jitter (combined with the per-request key).
+    seed: int = 0
+
+    def retries_left(self, attempt: int) -> bool:
+        """True when a failure on 0-based ``attempt`` should be retried."""
+        return attempt + 1 < max(1, self.max_attempts)
+
+    def delay_s(self, attempt: int, key: object = None) -> float:
+        """The backoff before retrying after 0-based ``attempt`` failed."""
+        delay = min(
+            self.base_delay_s * (self.multiplier ** attempt), self.max_delay_s
+        )
+        if self.jitter > 0:
+            u = stable_uniform(self.seed, "retry", key, attempt)
+            delay *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return max(0.0, delay)

@@ -25,6 +25,19 @@ The localization work itself is CPU-bound pure Python, so the executor
 threads provide *concurrency* (the event loop stays responsive, requests
 overlap with ingests) rather than parallel speedup; scale-out across
 processes is the batch engine's process pool or sharding, not this service.
+
+**Resilience** (see ``DESIGN_RESILIENCE.md``).  Every request carries a
+:class:`~repro.resilience.deadline.Deadline` and a
+:class:`~repro.resilience.deadline.CancelToken` through a thread-local
+resilience scope; the pipeline's stage checkpoints enforce them
+cooperatively.  A failed attempt rides a graceful-degradation ladder --
+retry with jittered backoff for retriable faults, then lower solver engine
+rungs (``fused`` -> ``vector`` -> ``object``, all bit-identical), then the
+coarse shortest-ping baseline -- with per-rung circuit breakers and
+deadline-aware shedding of expired queue entries.  Every degraded answer
+records its provenance under ``details["degraded"]``; with no faults
+injected and no deadline pressure, answers are bit-identical to the plain
+engine output (the ladder never engages on the happy path).
 """
 
 from __future__ import annotations
@@ -37,6 +50,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from ..baselines.shortest_ping import ShortestPing
 from ..core.batch import BatchLocalizer, failed_estimate
 from ..core.config import OctantConfig
 from ..core.estimate import LocationEstimate
@@ -47,8 +61,26 @@ from ..geometry.kernel import geometry_table_stats
 from ..network.dataset import MeasurementDataset
 from ..network.dns import UndnsParser
 from ..network.probes import PingResult, TracerouteResult
+from ..resilience import (
+    BreakerBoard,
+    CancelToken,
+    Deadline,
+    DeadlineExceeded,
+    FaultPlan,
+    OperationCancelled,
+    ResilienceConfig,
+    RetriableError,
+    checkpoint,
+    classify_error,
+    resilience_scope,
+)
 
 __all__ = ["LocalizationService", "ServiceStats"]
+
+#: Solver-engine degradation ladder, strongest (most batched) first.  All
+#: three engines are bit-identical (pinned by the engine-equivalence
+#: suites), so falling down a rung changes performance, never the answer.
+ENGINE_LADDER = ("fused", "vector", "object")
 
 
 @dataclass
@@ -76,6 +108,23 @@ class ServiceStats:
     #: dispatch (targets/rows/passes of the pooled clip passes).
     fused_passes: int = 0
     fused_rows: int = 0
+    #: Resilience counters.  ``retries``: same-rung retry attempts of
+    #: retriable faults; ``degraded_answers``: answers produced below the
+    #: primary rung (lower engine or baseline), every one of which carries
+    #: ``details["degraded"]``; ``baseline_answers``: the subset answered by
+    #: the coarse shortest-ping fallback; ``shed_requests``: queue entries
+    #: resolved at dequeue without an executor dispatch (expired deadline or
+    #: withdrawn caller); ``microbatch_retries``: coalesced group solves
+    #: that fell back to per-request execution; ``deadline_failures`` /
+    #: ``cancelled_failures``: requests resolved with a terminal
+    #: deadline/cancellation failure.
+    retries: int = 0
+    degraded_answers: int = 0
+    baseline_answers: int = 0
+    shed_requests: int = 0
+    microbatch_retries: int = 0
+    deadline_failures: int = 0
+    cancelled_failures: int = 0
 
     def mean_cold_ms(self) -> float:
         """Mean latency of first-time (cold) requests, in milliseconds."""
@@ -97,6 +146,13 @@ class _Request:
     snapshot_version: int = 0
     cold: bool = False
     elapsed: float = field(default=0.0, compare=False)
+    #: Per-request deadline enforced cooperatively at stage checkpoints and
+    #: at dequeue (load shedding); ``None`` means unbounded.
+    deadline: Deadline | None = None
+    #: Cancellation token; cancelled when the awaiting caller times out or
+    #: the service shuts down, reaping the in-flight work at its next
+    #: checkpoint.
+    token: CancelToken = field(default_factory=CancelToken)
 
 
 class LocalizationService:
@@ -114,6 +170,10 @@ class LocalizationService:
     ``workers`` sizes both the executor thread pool and the number of queue
     consumers; ``max_queue`` bounds admission; ``prepared_cache_size`` is
     forwarded to each snapshot's :class:`BatchLocalizer` (the warm path).
+    ``resilience`` overrides ``config.resilience`` for this service
+    instance; ``fault_plan`` installs a deterministic fault-injection
+    schedule scoped to this service's request/ingest work (chaos testing --
+    see :meth:`install_fault_plan` and the ``OCTANT_FAULT_PLAN`` env var).
     """
 
     def __init__(
@@ -125,12 +185,18 @@ class LocalizationService:
         workers: int = 2,
         max_queue: int = 256,
         prepared_cache_size: int = 128,
+        resilience: ResilienceConfig | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         if dataset.is_snapshot:
             raise ValueError("serve the live dataset, not a snapshot")
         self._live = dataset
         self.config = config or OctantConfig()
         self.parser = parser
+        self.resilience = resilience if resilience is not None else self.config.resilience
+        self.fault_plan = fault_plan
+        #: Per-rung circuit breakers (``solve:fused`` etc.); shared clock.
+        self._breakers = BreakerBoard(self.resilience.breaker)
         self.workers = max(1, workers)
         self.max_queue = max_queue
         self.prepared_cache_size = prepared_cache_size
@@ -205,11 +271,13 @@ class LocalizationService:
                     await asyncio.sleep(0)
                     continue
                 if not stray.future.done():
+                    stray.token.cancel("shutdown")
                     stray.future.set_result(
                         failed_estimate(
                             stray.target_id,
                             "octant",
                             RuntimeError("service stopped"),
+                            error_type="shutdown",
                         )
                     )
                 self._queue.task_done()
@@ -238,26 +306,37 @@ class LocalizationService:
         target_id: str,
         landmark_pool: Sequence[str] | None = None,
         timeout: float | None = None,
+        deadline_s: float | None = None,
     ) -> LocationEstimate:
         """Queue one localization and await its estimate.
 
         The request is bound to the current dataset snapshot at enqueue
         time; a concurrent :meth:`ingest` does not affect it.  A full queue
         blocks admission (backpressure); ``timeout`` bounds the wait for
-        the *result* and raises :class:`asyncio.TimeoutError`.  Failures are
-        returned as failed estimates (``point=None``, reason/type/traceback
-        under ``details``), never raised.
+        the *result* and raises :class:`asyncio.TimeoutError` -- the
+        underlying request is then cancelled (its token is set, so queued
+        work is shed at dequeue and in-flight work aborts at its next stage
+        checkpoint) rather than left running unobserved.  ``deadline_s``
+        bounds the *work* itself: past the deadline, queued requests are
+        shed and in-flight requests degrade to the near-instant baseline
+        (or fail with a ``deadline`` error when degradation is off).  It
+        defaults to the configured ``ResilienceConfig.deadline_s``.
+        Failures are returned as failed estimates (``point=None``,
+        reason/type/traceback under ``details``), never raised.
         """
         if not self.started or self._closing:
             raise RuntimeError("service not started; use 'async with service:'")
         localizer = self._current
         version = localizer.dataset.version
+        if deadline_s is None:
+            deadline_s = self.resilience.deadline_s
         request = _Request(
             target_id=target_id,
             landmark_pool=tuple(landmark_pool) if landmark_pool is not None else None,
             localizer=localizer,
             future=asyncio.get_running_loop().create_future(),
             snapshot_version=version,
+            deadline=Deadline.after(deadline_s) if deadline_s is not None else None,
         )
         if version != self._seen_version:
             self._seen = set()
@@ -277,7 +356,15 @@ class LocalizationService:
             self.stats.queue_high_water, self._queue.qsize()
         )
         if timeout is not None:
-            return await asyncio.wait_for(request.future, timeout)
+            try:
+                return await asyncio.wait_for(request.future, timeout)
+            except (asyncio.TimeoutError, TimeoutError):
+                # Reap the abandoned request: still queued, it is shed at
+                # dequeue; in flight, the executor work aborts at its next
+                # stage checkpoint instead of running to completion for a
+                # caller that stopped listening.
+                request.token.cancel("timeout")
+                raise
         return await request.future
 
     async def localize_many(
@@ -295,6 +382,65 @@ class LocalizationService:
             return 1
         return max(1, solver.fuse_width)
 
+    def _shed(self, request: _Request) -> bool:
+        """Resolve a dequeued request without dispatching it, if warranted.
+
+        Deadline-aware load shedding on the admission queue: an entry whose
+        caller has withdrawn (timed out, cancelled) or whose deadline
+        already expired gets a terminal failure immediately instead of
+        burning an executor slot on an answer nobody is waiting for.
+        """
+        reason: str | None = None
+        if request.token.cancelled:
+            reason = request.token.reason
+        elif request.future.done():
+            reason = "cancelled"
+        elif (
+            self.resilience.shed_expired
+            and request.deadline is not None
+            and request.deadline.expired()
+        ):
+            reason = "deadline"
+        if reason is None:
+            return False
+        self.stats.shed_requests += 1
+        if not request.future.done():
+            if reason == "deadline":
+                error: Exception = DeadlineExceeded(
+                    f"deadline expired before dispatch of {request.target_id!r} (shed)",
+                    stage="dispatch",
+                )
+            else:
+                error = OperationCancelled(
+                    f"request withdrawn before dispatch ({reason})",
+                    stage="dispatch",
+                    reason=reason,
+                )
+            estimate = failed_estimate(request.target_id, "octant", error)
+            self._record(request, estimate)
+            request.future.set_result(estimate)
+        return True
+
+    def _resolve_shutdown(self, requests: Sequence[_Request]) -> None:
+        """Terminal shutdown results for requests the worker abandons.
+
+        The executor-side work may still be running; cancelling each token
+        makes it abort at its next stage checkpoint, and the awaiting
+        callers get a ``failed_estimate`` with ``error_type="shutdown"``
+        instead of a cancelled (hanging) future.
+        """
+        for request in requests:
+            request.token.cancel("shutdown")
+            if not request.future.done():
+                request.future.set_result(
+                    failed_estimate(
+                        request.target_id,
+                        "octant",
+                        RuntimeError("service stopped"),
+                        error_type="shutdown",
+                    )
+                )
+
     async def _worker_loop(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
@@ -311,14 +457,15 @@ class LocalizationService:
                 except asyncio.QueueEmpty:
                     break
             try:
+                live = [request for request in batch if not self._shed(request)]
+                if not live:
+                    continue
                 try:
                     estimates = await loop.run_in_executor(
-                        self._executor, self._localize_batch_sync, batch
+                        self._executor, self._localize_batch_sync, live
                     )
                 except asyncio.CancelledError:
-                    for request in batch:
-                        if not request.future.done():
-                            request.future.cancel()
+                    self._resolve_shutdown(live)
                     raise
                 except Exception as exc:  # noqa: BLE001 - keep the worker alive
                     # _localize_batch_sync captures request errors itself;
@@ -332,9 +479,9 @@ class LocalizationService:
                             exc,
                             traceback=traceback_module.format_exc(),
                         )
-                        for request in batch
+                        for request in live
                     ]
-                for request, estimate in zip(batch, estimates):
+                for request, estimate in zip(live, estimates):
                     self._record(request, estimate)
                     if not request.future.done():
                         request.future.set_result(estimate)
@@ -397,9 +544,16 @@ class LocalizationService:
             if not known:
                 continue
             try:
-                solved = localizer.solve_many(
-                    [request.target_id for request in known], pool
-                )
+                # Group solves run under the service's fault plan but not
+                # under any single request's deadline/token -- the pooled
+                # kernel passes are shared, so per-request deadlines are
+                # enforced at dequeue (shedding) and by the per-request
+                # fallback below, never mid-cohort.
+                with resilience_scope(plan=self.fault_plan):
+                    checkpoint("dispatch")
+                    solved = localizer.solve_many(
+                        [request.target_id for request in known], pool
+                    )
                 # Any successful groupmate carries the cohort-level
                 # counters; a failed estimate's details hold no kernel dict.
                 kernel = next(
@@ -423,8 +577,12 @@ class LocalizationService:
             except Exception:  # noqa: BLE001 - boundary of the service
                 # One target's unexpected failure must not fail its
                 # groupmates: retry each request individually through the
-                # single path, which captures its own error with type and
-                # traceback -- exactly what an uncoalesced dispatch does.
+                # single path -- the first-class retry/degradation policy,
+                # which backs off retriable faults, falls down the engine
+                # ladder and captures terminal errors with type and
+                # traceback, exactly what an uncoalesced dispatch does.
+                with self._stats_lock:
+                    self.stats.microbatch_retries += 1
                 for request in known:
                     results[id(request)] = self._localize_sync(request)
         # The dispatch is one shared span; report the amortized share as
@@ -434,45 +592,188 @@ class LocalizationService:
             request.elapsed = share
         return [results[id(request)] for request in batch]
 
+    def _engine_ladder(self) -> list[str]:
+        """Solver engines to try, primary first, degradation rungs after."""
+        primary = self.config.solver.engine
+        if not self.resilience.degradation or primary not in ENGINE_LADDER:
+            return [primary]
+        return list(ENGINE_LADDER[ENGINE_LADDER.index(primary):])
+
     def _localize_sync(self, request: _Request) -> LocationEstimate:
         """Executor-side request execution with full failure capture.
 
         Serving must answer every request, so unlike the batch path --
         where an exception past preparation is an invariant violation worth
         crashing a study for -- any error is recorded on the estimate with
-        its type and traceback.
+        its type and traceback.  The request's deadline, cancellation token
+        and the service's fault plan are active for the whole execution (a
+        thread-local scope the pipeline's stage checkpoints consult), and
+        failures ride the degradation ladder in :meth:`_localize_resilient`.
         """
         started = time.perf_counter()
-        try:
-            if request.target_id not in request.localizer.dataset.hosts:
-                # Without this guard an unknown target would "resolve" from
-                # the geographic priors alone -- an answer with no
-                # measurement behind it.  Ingesting a target's measurements
-                # must include its NodeRecord (location may be None).
-                raise KeyError(
-                    f"unknown target {request.target_id!r}: "
-                    "not in the served snapshot"
-                )
-            estimate = request.localizer.localize_one(
-                request.target_id, request.landmark_pool
-            )
-        except KeyError as exc:
-            estimate = failed_estimate(request.target_id, "octant", exc)
-        except Exception as exc:  # noqa: BLE001 - boundary of the service
-            estimate = failed_estimate(
-                request.target_id,
-                "octant",
-                exc,
-                traceback=traceback_module.format_exc(),
-            )
+        with resilience_scope(
+            deadline=request.deadline, token=request.token, plan=self.fault_plan
+        ):
+            estimate = self._localize_resilient(request)
         request.elapsed = time.perf_counter() - started
         return estimate
+
+    def _localize_resilient(self, request: _Request) -> LocationEstimate:
+        """One request through the retry/degradation ladder.
+
+        Rung order: the configured engine, then each lower engine rung
+        (bit-identical results, so a fallback answer equals the primary
+        one), then the coarse baseline.  Per rung, retriable faults are
+        retried with jittered backoff up to the policy budget; fatal faults
+        drop to the next rung; an expired deadline jumps straight to the
+        baseline (no time for another full solve); cancellation and data
+        refusals (unknown target, too few landmarks) are terminal.  Every
+        rung is gated by its circuit breaker, so a persistently failing
+        engine is skipped instead of hammered.
+        """
+        target = request.target_id
+        if target not in request.localizer.dataset.hosts:
+            # Without this guard an unknown target would "resolve" from
+            # the geographic priors alone -- an answer with no
+            # measurement behind it.  Ingesting a target's measurements
+            # must include its NodeRecord (location may be None).
+            return failed_estimate(
+                target,
+                "octant",
+                KeyError(f"unknown target {target!r}: not in the served snapshot"),
+            )
+        policy = self.resilience.retry
+        rungs = self._engine_ladder()
+        primary = rungs[0]
+        attempted: list[str] = []
+        last_error: BaseException | None = None
+        last_traceback: str | None = None
+        for rung in rungs:
+            breaker = self._breakers.get(f"solve:{rung}")
+            if not breaker.allow():
+                attempted.append(f"{rung}:breaker-open")
+                continue
+            attempt = 0
+            while True:
+                try:
+                    checkpoint("dispatch", target)
+                    estimate = request.localizer.localize_one(
+                        target, request.landmark_pool, engine=rung
+                    )
+                except OperationCancelled as exc:
+                    # The caller (or the service lifecycle) withdrew the
+                    # request; resolve terminally, do no further work.
+                    return failed_estimate(target, "octant", exc)
+                except DeadlineExceeded as exc:
+                    return self._degraded_baseline(request, exc, attempted + [rung])
+                except RetriableError as exc:
+                    breaker.record_failure()
+                    last_error = exc
+                    last_traceback = traceback_module.format_exc()
+                    deadline = request.deadline
+                    if policy.retries_left(attempt) and (
+                        deadline is None or not deadline.expired()
+                    ):
+                        with self._stats_lock:
+                            self.stats.retries += 1
+                        delay = policy.delay_s(attempt, target)
+                        if deadline is not None:
+                            delay = min(delay, max(0.0, deadline.remaining()))
+                        if delay > 0:
+                            time.sleep(delay)
+                        attempt += 1
+                        continue
+                    attempted.append(rung)
+                    break
+                except (ValueError, KeyError) as exc:
+                    # Data refusal: deterministic for these inputs on every
+                    # engine, so the ladder cannot help -- terminal.
+                    return failed_estimate(target, "octant", exc)
+                except Exception as exc:  # noqa: BLE001 - boundary of the service
+                    breaker.record_failure()
+                    last_error = exc
+                    last_traceback = traceback_module.format_exc()
+                    attempted.append(rung)
+                    break
+                else:
+                    breaker.record_success()
+                    if rung != primary and estimate.point is not None:
+                        estimate.details["degraded"] = {
+                            "engine": rung,
+                            "primary": primary,
+                            "attempted": list(attempted),
+                            "error_class": (
+                                classify_error(last_error)
+                                if last_error is not None
+                                else None
+                            ),
+                            "error": str(last_error) if last_error is not None else None,
+                        }
+                    return estimate
+        return self._degraded_baseline(
+            request, last_error, attempted, traceback=last_traceback
+        )
+
+    def _degraded_baseline(
+        self,
+        request: _Request,
+        cause: BaseException | None,
+        attempted: Sequence[str],
+        traceback: str | None = None,
+    ) -> LocationEstimate:
+        """The ladder's last rung: a coarse baseline answer, else terminal failure.
+
+        The shortest-ping baseline needs no pipeline work (one pass over
+        the target's measurements), so it answers even when every solver
+        rung failed or the deadline left no time for another solve.  Its
+        answer is marked ``details["degraded"]`` with the full provenance:
+        what was attempted, and the failure that forced the fallback.
+        """
+        target = request.target_id
+        resilience = self.resilience
+        if resilience.degradation and resilience.baseline_fallback:
+            pool = (
+                list(request.landmark_pool)
+                if request.landmark_pool is not None
+                else None
+            )
+            estimate = None
+            try:
+                estimate = ShortestPing(request.localizer.dataset).localize(target, pool)
+            except (ValueError, KeyError) as exc:
+                cause = cause if cause is not None else exc
+            if estimate is not None and estimate.point is not None:
+                estimate.details["degraded"] = {
+                    "fallback": "baseline",
+                    "method": ShortestPing.name,
+                    "primary": self.config.solver.engine,
+                    "attempted": list(attempted),
+                    "error_class": (
+                        classify_error(cause) if cause is not None else None
+                    ),
+                    "error": str(cause) if cause is not None else None,
+                }
+                return estimate
+        if cause is None:
+            cause = RuntimeError("no ladder rung produced an answer")
+        return failed_estimate(target, "octant", cause, traceback=traceback)
 
     def _record(self, request: _Request, estimate: LocationEstimate) -> None:
         stats = self.stats
         stats.served += 1
+        details = estimate.details
+        degraded = details.get("degraded")
+        if isinstance(degraded, dict):
+            stats.degraded_answers += 1
+            if degraded.get("fallback") == "baseline":
+                stats.baseline_answers += 1
         if estimate.point is None:
             stats.failed += 1
+            error_class = details.get("error_class")
+            if error_class == "deadline":
+                stats.deadline_failures += 1
+            elif error_class in ("cancelled", "timeout", "shutdown"):
+                stats.cancelled_failures += 1
         elif request.snapshot_version == self._seen_version:
             # Mark warm only on successful completion, so retries after a
             # failure and concurrent first-timers stay classified cold.
@@ -519,6 +820,12 @@ class LocalizationService:
 
     def _ingest_sync(self, payload: dict) -> frozenset[str]:
         with self._ingest_lock:
+            # The ingest stage boundary is checkpointed like any pipeline
+            # stage: chaos plans can inject latency or failure here, and an
+            # injected error surfaces to the awaiting ingest() caller
+            # before any mutation happens.
+            with resilience_scope(plan=self.fault_plan):
+                checkpoint("ingest")
             touched = self._live.ingest(**payload)
             # Build before swapping so concurrent localize() calls always
             # observe a usable localizer (the old snapshot until the swap,
@@ -550,8 +857,78 @@ class LocalizationService:
         self._current = fresh
 
     # ------------------------------------------------------------------ #
+    # Fault injection
+    # ------------------------------------------------------------------ #
+    def install_fault_plan(self, plan: FaultPlan | None) -> FaultPlan | None:
+        """Install (or with ``None``, remove) this service's fault plan.
+
+        The plan activates through the resilience scope wrapped around
+        every request execution and ingest, so it affects *this service's*
+        work only -- unlike :func:`repro.resilience.install_fault_plan`,
+        which is process-wide.  Returns the previously installed plan.
+        Chaos runs that cannot edit code can set the ``OCTANT_FAULT_PLAN``
+        environment variable instead (picked up process-wide, lazily).
+        """
+        previous = self.fault_plan
+        self.fault_plan = plan
+        return previous
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    def health(self) -> dict[str, object]:
+        """A cheap liveness/readiness summary for external monitors.
+
+        ``status`` is ``"ok"`` when the service is accepting requests and
+        every circuit breaker is closed, ``"degraded"`` when any breaker is
+        open or half-open (requests are still answered, possibly below the
+        primary rung), and ``"stopped"`` otherwise.
+        """
+        breakers = self._breakers.snapshot()
+        open_breakers = sorted(
+            name for name, snap in breakers.items() if snap["state"] != "closed"
+        )
+        if not self.started or self._closing:
+            status = "stopped"
+        elif open_breakers:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "started": self.started,
+            "closing": self._closing,
+            "dataset_version": self._live.version,
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "queue_capacity": self.max_queue,
+            "workers": self.workers,
+            "breakers_open": open_breakers,
+            "degraded_answers": self.stats.degraded_answers,
+            "deadline_failures": self.stats.deadline_failures,
+        }
+
+    def _resilience_stats_snapshot(self) -> dict[str, object]:
+        """The ``cache_stats()["resilience"]`` section."""
+        stats = self.stats
+        resilience = self.resilience
+        with self._stats_lock:
+            retries = stats.retries
+            microbatch_retries = stats.microbatch_retries
+        return {
+            "deadline_s": resilience.deadline_s,
+            "degradation": resilience.degradation,
+            "baseline_fallback": resilience.baseline_fallback,
+            "retries": retries,
+            "degraded_answers": stats.degraded_answers,
+            "baseline_answers": stats.baseline_answers,
+            "shed_requests": stats.shed_requests,
+            "microbatch_retries": microbatch_retries,
+            "deadline_failures": stats.deadline_failures,
+            "cancelled_failures": stats.cancelled_failures,
+            "breakers": self._breakers.snapshot(),
+            "faults": self.fault_plan.stats() if self.fault_plan is not None else None,
+        }
+
     def cache_stats(self) -> dict[str, object]:
         """Warm/cold serving statistics plus every cache's hit/miss counters."""
         stats = self.stats
@@ -585,6 +962,7 @@ class LocalizationService:
             "geometry_tables": geometry_table_stats(),
             "pipeline": pipeline,
             "fused": self._fused_stats_snapshot(),
+            "resilience": self._resilience_stats_snapshot(),
         }
 
     def _fused_stats_snapshot(self) -> dict[str, object]:

@@ -1,0 +1,160 @@
+"""Deadlines, cancel tokens, scope inheritance and stage checkpoints."""
+
+import threading
+
+import pytest
+
+from repro.resilience import (
+    CancelToken,
+    Deadline,
+    DeadlineExceeded,
+    FaultPlan,
+    OperationCancelled,
+    RetriableError,
+    checkpoint,
+    clear_fault_plan,
+    current_scope,
+    install_fault_plan,
+    resilience_scope,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_global_plan():
+    previous = install_fault_plan(None)
+    yield
+    install_fault_plan(previous)
+
+
+class TestDeadline:
+    def test_future_deadline_not_expired(self):
+        deadline = Deadline.after(60.0)
+        assert not deadline.expired()
+        assert 0 < deadline.remaining() <= 60.0
+
+    def test_past_deadline_expired(self):
+        deadline = Deadline.after(-1.0)
+        assert deadline.expired()
+        assert deadline.remaining() < 0
+
+
+class TestCancelToken:
+    def test_first_reason_wins(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.cancel("timeout")
+        token.cancel("shutdown")
+        assert token.cancelled
+        assert token.reason == "timeout"
+
+    def test_visible_across_threads(self):
+        token = CancelToken()
+        seen = []
+        started = threading.Event()
+
+        def watcher():
+            started.set()
+            while not token.cancelled:
+                pass
+            seen.append(token.reason)
+
+        thread = threading.Thread(target=watcher)
+        thread.start()
+        started.wait()
+        token.cancel("shutdown")
+        thread.join(timeout=5)
+        assert seen == ["shutdown"]
+
+
+class TestScopes:
+    def test_no_scope_outside_context(self):
+        assert current_scope() is None
+
+    def test_scope_installs_and_pops(self):
+        deadline = Deadline.after(60)
+        with resilience_scope(deadline=deadline) as scope:
+            assert current_scope() is scope
+            assert scope.deadline is deadline
+        assert current_scope() is None
+
+    def test_nested_scope_inherits_unset_fields(self):
+        deadline = Deadline.after(60)
+        token = CancelToken()
+        plan = FaultPlan([])
+        with resilience_scope(deadline=deadline, plan=plan):
+            with resilience_scope(token=token) as inner:
+                assert inner.deadline is deadline
+                assert inner.token is token
+                assert inner.plan is plan
+
+    def test_nested_scope_overrides(self):
+        outer_deadline = Deadline.after(60)
+        inner_deadline = Deadline.after(30)
+        with resilience_scope(deadline=outer_deadline):
+            with resilience_scope(deadline=inner_deadline) as inner:
+                assert inner.deadline is inner_deadline
+            assert current_scope().deadline is outer_deadline
+
+    def test_scope_is_thread_local(self):
+        with resilience_scope(deadline=Deadline.after(60)):
+            seen = []
+            thread = threading.Thread(target=lambda: seen.append(current_scope()))
+            thread.start()
+            thread.join()
+            assert seen == [None]
+
+    def test_scope_pops_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with resilience_scope(token=CancelToken()):
+                raise RuntimeError("boom")
+        assert current_scope() is None
+
+
+class TestCheckpoint:
+    def test_noop_without_scope_or_plan(self):
+        checkpoint("solve", "h1")
+
+    def test_cancelled_token_raises_with_reason(self):
+        token = CancelToken()
+        token.cancel("shutdown")
+        with resilience_scope(token=token):
+            with pytest.raises(OperationCancelled) as info:
+                checkpoint("solve", "h1")
+        assert info.value.reason == "shutdown"
+        assert info.value.stage == "solve"
+        assert info.value.kind == "cancelled"
+
+    def test_expired_deadline_raises(self):
+        with resilience_scope(deadline=Deadline.after(-1)):
+            with pytest.raises(DeadlineExceeded) as info:
+                checkpoint("planarize", "h1")
+        assert info.value.stage == "planarize"
+        assert info.value.kind == "deadline"
+
+    def test_cancellation_beats_deadline(self):
+        token = CancelToken()
+        token.cancel("timeout")
+        with resilience_scope(deadline=Deadline.after(-1), token=token):
+            with pytest.raises(OperationCancelled):
+                checkpoint("solve")
+
+    def test_scoped_plan_fires(self):
+        plan = FaultPlan.from_spec("solve:p=1,error=retriable")
+        with resilience_scope(plan=plan):
+            with pytest.raises(RetriableError):
+                checkpoint("solve", "h1")
+
+    def test_scoped_plan_shadows_global_plan(self):
+        install_fault_plan(FaultPlan.from_spec("solve:p=1,error=fatal"))
+        quiet = FaultPlan([])
+        with resilience_scope(plan=quiet):
+            checkpoint("solve", "h1")  # scoped empty plan wins: no raise
+        clear_fault_plan()
+
+    def test_global_plan_fires_without_scope(self):
+        install_fault_plan(FaultPlan.from_spec("prepare:p=1,error=retriable"))
+        try:
+            with pytest.raises(RetriableError):
+                checkpoint("prepare", "h1")
+        finally:
+            clear_fault_plan()

@@ -1,0 +1,49 @@
+"""The typed error taxonomy and its classification of foreign exceptions."""
+
+import pytest
+
+from repro.resilience import (
+    DeadlineExceeded,
+    FatalError,
+    OperationCancelled,
+    ResilienceError,
+    RetriableError,
+    classify_error,
+)
+
+
+class TestTaxonomy:
+    def test_kinds(self):
+        assert RetriableError("x").kind == "retriable"
+        assert FatalError("x").kind == "fatal"
+        assert DeadlineExceeded("x").kind == "deadline"
+        assert OperationCancelled("x").kind == "cancelled"
+
+    def test_all_are_resilience_errors(self):
+        for cls in (RetriableError, FatalError, DeadlineExceeded, OperationCancelled):
+            assert issubclass(cls, ResilienceError)
+
+    def test_stage_recorded(self):
+        assert RetriableError("x", stage="solve").stage == "solve"
+        assert RetriableError("x").stage is None
+
+    def test_cancelled_reason(self):
+        assert OperationCancelled("x").reason == "cancelled"
+        assert OperationCancelled("x", reason="timeout").reason == "timeout"
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "error, expected",
+        [
+            (RetriableError("x"), "retriable"),
+            (FatalError("x"), "fatal"),
+            (DeadlineExceeded("x"), "deadline"),
+            (OperationCancelled("x", reason="shutdown"), "shutdown"),
+            (TimeoutError("x"), "deadline"),
+            (ValueError("x"), "fatal"),
+            (KeyError("x"), "fatal"),
+        ],
+    )
+    def test_classification(self, error, expected):
+        assert classify_error(error) == expected

@@ -1,0 +1,269 @@
+"""Fault-injection framework: spec grammar, determinism, limits, activation."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.resilience import (
+    FatalError,
+    FaultPlan,
+    FaultSpec,
+    RetriableError,
+    active_fault_plan,
+    clear_fault_plan,
+    install_fault_plan,
+    stable_uniform,
+)
+from repro.resilience import faults as faults_module
+from repro.resilience.errors import DeadlineExceeded
+
+
+@pytest.fixture(autouse=True)
+def _no_global_plan():
+    """Tests must not leak a process-wide plan into the rest of the suite."""
+    previous = install_fault_plan(None)
+    yield
+    install_fault_plan(previous)
+
+
+class TestStableUniform:
+    def test_pure_function_of_parts(self):
+        assert stable_uniform(7, "solve", "h1", 0) == stable_uniform(
+            7, "solve", "h1", 0
+        )
+
+    def test_distinct_parts_give_distinct_draws(self):
+        draws = {stable_uniform(7, "solve", f"h{i}", 0) for i in range(50)}
+        assert len(draws) == 50
+
+    def test_range(self):
+        for i in range(100):
+            assert 0.0 <= stable_uniform(i) < 1.0
+
+
+class TestFaultSpec:
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault stage"):
+            FaultSpec(stage="frobnicate")
+
+    def test_unknown_error_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault error kind"):
+            FaultSpec(stage="solve", error="explode")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(stage="solve", probability=1.5)
+
+    def test_wildcard_stage_allowed(self):
+        assert FaultSpec(stage="*").stage == "*"
+
+
+class TestSpecGrammar:
+    def test_parse_full_grammar(self):
+        plan = FaultPlan.from_spec(
+            "seed=7; solve:p=0.3,error=fatal,limit=2;"
+            " *:p=0.05,latency_ms=1,error=none"
+        )
+        assert plan.seed == 7
+        assert len(plan.specs) == 2
+        solve, wild = plan.specs
+        assert (solve.stage, solve.probability, solve.error, solve.limit) == (
+            "solve",
+            0.3,
+            "fatal",
+            2,
+        )
+        assert (wild.stage, wild.error, wild.latency_s) == ("*", "none", 0.001)
+
+    def test_defaults(self):
+        (spec,) = FaultPlan.from_spec("solve:").specs
+        assert spec.probability == 1.0
+        assert spec.error == "retriable"
+        assert spec.latency_s == 0.0
+        assert spec.limit is None
+
+    def test_describe_round_trips(self):
+        text = "seed=11;solve:p=0.3,error=fatal,limit=2;*:p=0.05,error=none,latency_ms=2"
+        plan = FaultPlan.from_spec(text)
+        again = FaultPlan.from_spec(plan.describe())
+        assert again.seed == plan.seed
+        assert again.specs == plan.specs
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault spec field"):
+            FaultPlan.from_spec("solve:frequency=2")
+
+    def test_empty_clauses_ignored(self):
+        plan = FaultPlan.from_spec(" ; solve:p=1 ; ")
+        assert len(plan.specs) == 1
+
+
+class TestFiring:
+    def test_probability_one_always_raises(self):
+        plan = FaultPlan.from_spec("solve:p=1,error=retriable")
+        with pytest.raises(RetriableError) as info:
+            plan.fire("solve", "h1")
+        assert info.value.stage == "solve"
+        assert info.value.kind == "retriable"
+
+    def test_probability_zero_never_fires(self):
+        plan = FaultPlan.from_spec("solve:p=0")
+        for i in range(100):
+            plan.fire("solve", f"h{i}")
+        assert plan.stats()["errors"] == {}
+
+    def test_stage_mismatch_never_fires(self):
+        plan = FaultPlan.from_spec("solve:p=1")
+        plan.fire("prepare", "h1")  # no raise
+
+    def test_wildcard_matches_every_stage(self):
+        plan = FaultPlan.from_spec("*:p=1,error=fatal")
+        for stage in faults_module.STAGES:
+            with pytest.raises(FatalError):
+                plan.fire(stage)
+
+    def test_error_kinds_map_to_types(self):
+        for kind, exc in (
+            ("retriable", RetriableError),
+            ("fatal", FatalError),
+            ("deadline", DeadlineExceeded),
+        ):
+            plan = FaultPlan.from_spec(f"solve:p=1,error={kind}")
+            with pytest.raises(exc):
+                plan.fire("solve")
+
+    def test_latency_only_rule_sleeps_without_raising(self):
+        plan = FaultPlan.from_spec("solve:p=1,error=none,latency_ms=1")
+        plan.fire("solve", "h1")
+        stats = plan.stats()
+        assert stats["delays"] == {"solve": 1}
+        assert stats["errors"] == {}
+
+    def test_schedule_is_deterministic_across_instances(self):
+        def schedule():
+            plan = FaultPlan.from_spec("seed=7;solve:p=0.5")
+            fired = []
+            for i in range(40):
+                try:
+                    plan.fire("solve", f"h{i}")
+                except RetriableError:
+                    fired.append(i)
+            return fired
+
+        first, second = schedule(), schedule()
+        assert first == second
+        assert 0 < len(first) < 40  # p=0.5 actually mixes outcomes
+
+    def test_seed_changes_schedule(self):
+        def schedule(seed):
+            plan = FaultPlan.from_spec(f"seed={seed};solve:p=0.5")
+            fired = []
+            for i in range(40):
+                try:
+                    plan.fire("solve", f"h{i}")
+                except RetriableError:
+                    fired.append(i)
+            return fired
+
+        assert schedule(1) != schedule(2)
+
+    def test_repeated_key_rerolls(self):
+        """Retrying the same target re-draws instead of replaying one draw."""
+        plan = FaultPlan.from_spec("seed=3;solve:p=0.5")
+        outcomes = []
+        for _ in range(40):
+            try:
+                plan.fire("solve", "h1")
+                outcomes.append(False)
+            except RetriableError:
+                outcomes.append(True)
+        assert True in outcomes and False in outcomes
+
+    def test_key_independence_under_thread_interleaving(self):
+        """Per-key draws do not depend on which thread fires first."""
+
+        def run_split(order):
+            plan = FaultPlan.from_spec("seed=7;solve:p=0.5")
+            outcome = {}
+            for key in order:
+                try:
+                    plan.fire("solve", key)
+                    outcome[key] = False
+                except RetriableError:
+                    outcome[key] = True
+            return outcome
+
+        keys = [f"h{i}" for i in range(20)]
+        assert run_split(keys) == run_split(list(reversed(keys)))
+
+    def test_limit_stops_injection(self):
+        plan = FaultPlan.from_spec("solve:p=1,error=fatal,limit=2")
+        for _ in range(2):
+            with pytest.raises(FatalError):
+                plan.fire("solve", "h1")
+        plan.fire("solve", "h1")  # limit exhausted: no raise
+        assert plan.stats()["errors"] == {"solve": 2}
+
+    def test_counters_survive_concurrent_firing(self):
+        plan = FaultPlan.from_spec("*:p=1,error=retriable")
+        errors = []
+
+        def worker(tid):
+            for i in range(50):
+                try:
+                    plan.fire("solve", (tid, i))
+                except RetriableError:
+                    errors.append(1)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(errors) == 200
+        assert plan.stats()["errors"] == {"solve": 200}
+
+
+class TestActivation:
+    def test_install_returns_previous(self):
+        first = FaultPlan.from_spec("solve:p=1")
+        second = FaultPlan.from_spec("prepare:p=1")
+        assert install_fault_plan(first) is None
+        assert install_fault_plan(second) is first
+        assert active_fault_plan() is second
+        clear_fault_plan()
+        assert active_fault_plan() is None
+
+    def test_env_activation_is_lazy(self, monkeypatch):
+        monkeypatch.setenv(faults_module.FAULT_PLAN_ENV, "seed=9;solve:p=1")
+        monkeypatch.setattr(faults_module, "_ENV_CHECKED", False)
+        monkeypatch.setattr(faults_module, "_GLOBAL_PLAN", None)
+        plan = active_fault_plan()
+        assert plan is not None and plan.seed == 9
+        # Parsed once: later lookups return the same object.
+        assert active_fault_plan() is plan
+
+    def test_blank_env_means_no_plan(self, monkeypatch):
+        monkeypatch.setenv(faults_module.FAULT_PLAN_ENV, "   ")
+        assert FaultPlan.from_env() is None
+
+    def test_explicit_install_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(faults_module.FAULT_PLAN_ENV, "solve:p=1")
+        monkeypatch.setattr(faults_module, "_ENV_CHECKED", False)
+        monkeypatch.setattr(faults_module, "_GLOBAL_PLAN", None)
+        install_fault_plan(None)  # explicit "no plan" beats the env default
+        assert active_fault_plan() is None
+
+
+class TestPickling:
+    def test_plan_round_trips_without_counters(self):
+        plan = FaultPlan.from_spec("seed=5;solve:p=1,error=fatal,limit=1")
+        with pytest.raises(FatalError):
+            plan.fire("solve", "h1")
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.seed == plan.seed
+        assert clone.specs == plan.specs
+        # Counters restart: the clone's limit budget is fresh.
+        with pytest.raises(FatalError):
+            clone.fire("solve", "h1")

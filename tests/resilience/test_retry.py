@@ -1,0 +1,57 @@
+"""Retry policy arithmetic: attempt budget and deterministic jittered backoff."""
+
+from repro.resilience import RetryPolicy
+
+
+class TestAttemptBudget:
+    def test_default_allows_one_retry(self):
+        policy = RetryPolicy()
+        assert policy.retries_left(0)
+        assert not policy.retries_left(1)
+
+    def test_single_attempt_never_retries(self):
+        policy = RetryPolicy(max_attempts=1)
+        assert not policy.retries_left(0)
+
+    def test_degenerate_budget_clamped_to_one_attempt(self):
+        policy = RetryPolicy(max_attempts=0)
+        assert not policy.retries_left(0)
+
+
+class TestBackoff:
+    def test_geometric_growth_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay_s=0.01, multiplier=2.0, max_delay_s=10.0, jitter=0.0
+        )
+        assert policy.delay_s(0) == 0.01
+        assert policy.delay_s(1) == 0.02
+        assert policy.delay_s(2) == 0.04
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(
+            base_delay_s=0.01, multiplier=10.0, max_delay_s=0.05, jitter=0.0
+        )
+        assert policy.delay_s(5) == 0.05
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(
+            base_delay_s=0.01, multiplier=1.0, max_delay_s=1.0, jitter=0.5
+        )
+        for i in range(50):
+            delay = policy.delay_s(0, key=f"h{i}")
+            assert 0.005 <= delay <= 0.015
+
+    def test_jitter_deterministic_per_key_and_attempt(self):
+        policy = RetryPolicy()
+        assert policy.delay_s(0, "h1") == policy.delay_s(0, "h1")
+        assert policy.delay_s(0, "h1") != policy.delay_s(0, "h2")
+        assert policy.delay_s(0, "h1") != policy.delay_s(1, "h1")
+
+    def test_seed_changes_jitter(self):
+        a = RetryPolicy(seed=1).delay_s(0, "h1")
+        b = RetryPolicy(seed=2).delay_s(0, "h1")
+        assert a != b
+
+    def test_never_negative(self):
+        policy = RetryPolicy(base_delay_s=0.0, jitter=1.0)
+        assert policy.delay_s(0, "h1") >= 0.0
