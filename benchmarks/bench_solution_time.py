@@ -36,7 +36,10 @@ import pytest
 from repro import BatchLocalizer, Octant
 
 #: Bump when the shape of BENCH_solver.json changes.
-SCHEMA_VERSION = 3
+#: v4: the fused engine books the same per-phase names as the vector engine
+#: (inclusion / exclusion / assemble / select -- ``fused_step`` is gone) and
+#: ``single_target`` records the active clip-kernel backend.
+SCHEMA_VERSION = 4
 
 
 def _merge_json(section: str, payload: dict) -> None:

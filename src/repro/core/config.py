@@ -86,12 +86,31 @@ class SolverConfig:
     #: general clipping), while ``"gh"`` and ``"object"`` are bit-identical
     #: to each other -- all pinned by the engine-equivalence suites.
     nonconvex_exclusion: str = "masks"
+    #: Which implementation runs the row clip kernels (the batched
+    #: Sutherland-Hodgman passes and the Greiner-Hormann intersection scan).
+    #: ``"auto"`` (default) uses the compiled backend
+    #: (:mod:`repro.geometry.kernel_compiled`, Numba ``@njit(nogil=True)``)
+    #: when the compiler is importable and falls back to the pure-NumPy
+    #: path otherwise; ``"compiled"`` requests it explicitly (still falling
+    #: back, with the reason recorded in
+    #: :func:`repro.geometry.kernel_compiled.kernel_runtime_stats`);
+    #: ``"numpy"`` pins the NumPy path.  Both backends are bit-identical
+    #: operand for operand (pinned by ``tests/core/test_kernel_backend``);
+    #: the compiled passes additionally release the GIL, which is what lets
+    #: :class:`repro.core.batch.BatchLocalizer`'s thread executor scale
+    #: fused chunks across cores.
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.nonconvex_exclusion not in ("masks", "gh", "object"):
             raise ValueError(
                 f"unknown nonconvex_exclusion {self.nonconvex_exclusion!r}; "
                 "expected 'masks', 'gh' or 'object'"
+            )
+        if self.kernel_backend not in ("auto", "compiled", "numpy"):
+            raise ValueError(
+                f"unknown kernel_backend {self.kernel_backend!r}; "
+                "expected 'auto', 'compiled' or 'numpy'"
             )
     #: LRU capacity of the cross-solve constraint-geometry table cache
     #: (:func:`repro.geometry.kernel.geometry_for_constraint`): derived edge

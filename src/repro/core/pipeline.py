@@ -31,6 +31,7 @@ warm/cold statistics.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Sequence
@@ -161,6 +162,23 @@ class ConstraintPipeline:
         # geometry underneath them.
         self._planar_memo: BoundedLRU[list[PlanarConstraint]] = BoundedLRU(256)
         self.stats = PipelineStats()
+        # Counter accumulation is read-modify-write; the batch engine's
+        # scaled thread executor drives one shared pipeline from many
+        # threads concurrently (the compiled clip backend releases the GIL,
+        # so chunk solves genuinely overlap), and unlocked ``+=`` would
+        # quietly lose updates.  Every stats mutation takes this lock; the
+        # stage caches themselves are lock-free by design (BoundedLRU
+        # tolerates races, CircleCache is content-addressed).
+        self._stats_lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_stats_lock", None)  # locks are not picklable
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Stage 1: constraint assembly
@@ -244,8 +262,9 @@ class ConstraintPipeline:
                     geometry_cache=self.circle_cache,
                 )
             )
-        self.stats.assemble_seconds += time.perf_counter() - started
-        self.stats.constraints_assembled += len(constraints)
+        with self._stats_lock:
+            self.stats.assemble_seconds += time.perf_counter() - started
+            self.stats.constraints_assembled += len(constraints)
         return constraints
 
     def assemble_many(
@@ -290,15 +309,18 @@ class ConstraintPipeline:
         if key is not None:
             cached = self._planar_memo.get(key)
             if cached is not None:
-                self.stats.planar_memo_hits += 1
-                self.stats.planarize_seconds += time.perf_counter() - started
+                with self._stats_lock:
+                    self.stats.planar_memo_hits += 1
+                    self.stats.planarize_seconds += time.perf_counter() - started
                 return list(cached)
-            self.stats.planar_memo_misses += 1
+            with self._stats_lock:
+                self.stats.planar_memo_misses += 1
         planar = [p for c in ordered if (p := c.to_planar(projection)) is not None]
         if key is not None:
             self._planar_memo.put(key, list(planar))
-        self.stats.planarize_seconds += time.perf_counter() - started
-        self.stats.constraints_planarized += len(planar)
+        with self._stats_lock:
+            self.stats.planarize_seconds += time.perf_counter() - started
+            self.stats.constraints_planarized += len(planar)
         return planar
 
     def planarize_many(
@@ -362,7 +384,8 @@ class ConstraintPipeline:
             cache.warm_planar_disks(projection, specs)
         for cache, projection, ring in ring_jobs.values():
             cache.planar_ring(ring, projection)
-        self.stats.planarize_seconds += time.perf_counter() - started
+        with self._stats_lock:
+            self.stats.planarize_seconds += time.perf_counter() - started
 
         return [
             self.planarize(constraints, projection)
@@ -412,9 +435,12 @@ class ConstraintPipeline:
             config = replace(config, engine=engine)
         solver = WeightedRegionSolver(config)
         region = solver.solve(planar, projection)
-        self.stats.solve_seconds += time.perf_counter() - started
-        self.stats.geometry_table_hits += solver.diagnostics.geometry_table_hits
-        self.stats.geometry_table_misses += solver.diagnostics.geometry_table_misses
+        with self._stats_lock:
+            self.stats.solve_seconds += time.perf_counter() - started
+            self.stats.geometry_table_hits += solver.diagnostics.geometry_table_hits
+            self.stats.geometry_table_misses += (
+                solver.diagnostics.geometry_table_misses
+            )
         return region, solver.diagnostics
 
     def solve_many(
@@ -439,10 +465,11 @@ class ConstraintPipeline:
         if engine is not None and engine != config.engine:
             config = replace(config, engine=engine)
         results = solve_systems(config, list(systems))
-        self.stats.solve_seconds += time.perf_counter() - started
-        for _region, diagnostics in results:
-            self.stats.geometry_table_hits += diagnostics.geometry_table_hits
-            self.stats.geometry_table_misses += diagnostics.geometry_table_misses
+        with self._stats_lock:
+            self.stats.solve_seconds += time.perf_counter() - started
+            for _region, diagnostics in results:
+                self.stats.geometry_table_hits += diagnostics.geometry_table_hits
+                self.stats.geometry_table_misses += diagnostics.geometry_table_misses
         return results
 
     # ------------------------------------------------------------------ #
@@ -460,5 +487,10 @@ class ConstraintPipeline:
         constraints = self.assemble(target_id, prepared, target_height_ms)
         planar = self.planarize(constraints, projection, key=target_id)
         region, diagnostics = self.solve(planar, projection, engine=engine, key=target_id)
-        self.stats.runs += 1
+        self.count_runs(1)
         return region, diagnostics
+
+    def count_runs(self, n: int) -> None:
+        """Thread-safe run-counter bump (batch chunk solves share one pipeline)."""
+        with self._stats_lock:
+            self.stats.runs += n

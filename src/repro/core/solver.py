@@ -77,6 +77,9 @@ class SolverDiagnostics:
     # ---- engine / kernel instrumentation ------------------------------- #
     #: Which engine ran the solve (``"vector"`` or ``"object"``).
     engine: str = "object"
+    #: Which clip-kernel backend the engine's row passes ran on
+    #: (``"compiled"`` or ``"numpy"``; stays ``"numpy"`` on the object path).
+    kernel_backend: str = "numpy"
     #: Total wall time of the solve call.
     solve_seconds: float = 0.0
     #: Pieces resolved by the bounding-box rejection alone (no clipping).
@@ -103,8 +106,11 @@ class SolverDiagnostics:
     geometry_table_misses: int = 0
     #: Wall time per kernel phase; the phases (``inclusion``, ``exclusion``,
     #: ``assemble``, ``select``) are disjoint, so their sum approximates the
-    #: solve time.  The fused engine books its shared lockstep span under
-    #: ``fused_step`` (an equal share per cohort member).
+    #: solve time.  The fused engine books its shared lockstep spans under
+    #: the same phase names (an equal share per active cohort member per
+    #: step; geometry-table lookup and the pooled rebuild land in
+    #: ``assemble``), so backend regressions stay attributable per phase
+    #: across engines.
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
     # ---- fused cohort instrumentation ---------------------------------- #
@@ -123,8 +129,12 @@ class SolverDiagnostics:
 
     def kernel_summary(self) -> dict[str, object]:
         """Compact counters for ``EstimateResult.details`` reporting."""
+        from ..geometry.kernel_compiled import kernel_runtime_stats
+
+        runtime = kernel_runtime_stats(self.kernel_backend)
         return {
             "engine": self.engine,
+            "kernel_backend": self.kernel_backend,
             "prefilter_bbox": self.prefilter_bbox,
             "prefilter_inside": self.prefilter_inside,
             "prefilter_outside": self.prefilter_outside,
@@ -145,6 +155,14 @@ class SolverDiagnostics:
             else 0.0,
             "fused_targets_per_pass": round(self.fused_targets_per_pass, 3),
             "phase_seconds": {k: round(v, 6) for k, v in self.phase_seconds.items()},
+            # Process-wide compiled-backend runtime: JIT compile cost
+            # (first call vs warm) per kernel and nogil pass counts.
+            "kernel_runtime": {
+                "jit": runtime["jit"],
+                "fallback_reason": runtime["fallback_reason"],
+                "nogil_passes": runtime["nogil_passes"],
+                "kernels": runtime["kernels"],
+            },
         }
 
 

@@ -49,9 +49,11 @@ from .clipping import (
     subtract_polygons_with_hits,
 )
 from .decompose import convex_cells_for, mask_cache_stats, reset_mask_cache
+from .kernel_compiled import KernelBackend, resolve_backend
 from .point import EPSILON, Point2D
 from .polygon import MERGE_TOLERANCE_KM, Polygon
 from .region import Region, RegionPiece
+from .xp import xp
 
 __all__ = [
     "CohortPieceBuffer",
@@ -199,20 +201,20 @@ def _bboxes_from_packed(
     an inverted box (+inf mins, -inf maxes) -- every bbox intersection test
     rejects them -- and the rest reduce piece by piece.
     """
-    counts = np.diff(offsets)
+    counts = xp.diff(offsets)
     if len(counts) == 0:
-        return np.zeros((0, 4))
+        return xp.zeros((0, 4))
     starts = offsets[:-1]
     if len(xs) and bool((counts > 0).all()):
-        return np.column_stack(
+        return xp.column_stack(
             [
-                np.minimum.reduceat(xs, starts),
-                np.minimum.reduceat(ys, starts),
-                np.maximum.reduceat(xs, starts),
-                np.maximum.reduceat(ys, starts),
+                xp.minimum.reduceat(xs, starts),
+                xp.minimum.reduceat(ys, starts),
+                xp.maximum.reduceat(xs, starts),
+                xp.maximum.reduceat(ys, starts),
             ]
         )
-    boxes = np.empty((len(counts), 4))
+    boxes = xp.empty((len(counts), 4))
     boxes[:, 0] = boxes[:, 1] = np.inf
     boxes[:, 2] = boxes[:, 3] = -np.inf
     for i in range(len(counts)):
@@ -379,11 +381,11 @@ class PieceBuffer:
         buffer and shared between the per-constraint batched stages.
         """
         if self._padded is None:
-            counts = np.diff(self.offsets)
+            counts = xp.diff(self.offsets)
             if len(counts) == 0 or len(self.xs) == 0:
                 width = 1
-                X = np.zeros((len(counts), width))
-                self._padded = (X, np.zeros_like(X), counts)
+                X = xp.zeros((len(counts), width))
+                self._padded = (X, xp.zeros_like(X), counts)
             else:
                 # Vectorized gather from the packed arrays: lane j of piece
                 # i reads ``xs[offsets[i] + j]`` -- the very values the
@@ -391,9 +393,9 @@ class PieceBuffer:
                 width = max(int(counts.max()), 1)
                 lanes = _lanes(width)[None, :]
                 valid = lanes < counts[:, None]
-                pos = np.where(valid, self.offsets[:-1, None] + lanes, 0)
-                X = np.where(valid, self.xs[pos], 0.0)
-                Y = np.where(valid, self.ys[pos], 0.0)
+                pos = xp.where(valid, self.offsets[:-1, None] + lanes, 0)
+                X = xp.where(valid, self.xs[pos], 0.0)
+                Y = xp.where(valid, self.ys[pos], 0.0)
                 self._padded = (X, Y, counts)
         return self._padded
 
@@ -463,22 +465,22 @@ class CohortPieceBuffer:
         if self._xs is not None:
             return
         if self.buffers:
-            self._xs = np.concatenate([b.xs for b in self.buffers])
-            self._ys = np.concatenate([b.ys for b in self.buffers])
+            self._xs = xp.concatenate([b.xs for b in self.buffers])
+            self._ys = xp.concatenate([b.ys for b in self.buffers])
             vertex_bases = np.zeros(len(self.buffers), dtype=np.int64)
             np.cumsum(
                 [len(b.xs) for b in self.buffers[:-1]], out=vertex_bases[1:]
             )
-            self._offsets = np.concatenate(
+            self._offsets = xp.concatenate(
                 [b.offsets[:-1] + base for b, base in zip(self.buffers, vertex_bases)]
                 + [np.array([len(self._xs)], dtype=np.int64)]
             )
-            self._weights = np.concatenate([b.weights for b in self.buffers])
+            self._weights = xp.concatenate([b.weights for b in self.buffers])
         else:
-            self._xs = np.zeros(0)
-            self._ys = np.zeros(0)
+            self._xs = xp.zeros(0)
+            self._ys = xp.zeros(0)
             self._offsets = np.zeros(1, dtype=np.int64)
-            self._weights = np.zeros(0)
+            self._weights = xp.zeros(0)
 
     @property
     def xs(self) -> np.ndarray:
@@ -586,8 +588,8 @@ def _pad_parts(
     """Pack parts into padded row arrays ``(X, Y, counts, signed)``."""
     counts = np.array([len(p[0]) for p in parts], dtype=np.int64)
     width = int(counts.max()) if len(counts) else 0
-    X = np.zeros((len(parts), max(width, 1)))
-    Y = np.zeros_like(X)
+    X = xp.zeros((len(parts), max(width, 1)))
+    Y = xp.zeros_like(X)
     for r, (xs, ys, _signed) in enumerate(parts):
         X[r, : len(xs)] = xs
         Y[r, : len(ys)] = ys
@@ -865,6 +867,7 @@ def _clip_convex_rows(
     parts: Sequence[_Part],
     edges: np.ndarray,
     stats: "_StatsHook | None" = None,
+    backend: KernelBackend | None = None,
 ) -> list[_Part | None]:
     """Batched ``clip_convex``: clip every part against the same convex edges.
 
@@ -872,8 +875,17 @@ def _clip_convex_rows(
     Rows are pre-oriented CCW exactly like ``_ccw_coords``; a row is dead as
     soon as its vertex count drops below 3 (the scalar loop returns ``None``
     before the next pass); the surviving chains go through the scalar-exact
-    finalization (cleaning, sliver threshold).
+    finalization (cleaning, sliver threshold).  A compiled ``backend`` runs
+    the same passes as per-row loops (bit-identical; see
+    ``kernel_compiled``); ``None`` keeps the NumPy path.
     """
+    if backend is not None and backend.use_compiled and len(parts):
+        E = int(edges.shape[0])
+        edge_arr = np.zeros((len(parts), max(E, 1), 4))
+        if E:
+            edge_arr[:, :E, :] = np.asarray(edges, dtype=np.float64)[None, :, :]
+        seq_lens = np.full(len(parts), E, dtype=np.int64)
+        return backend.convex_rows(parts, edge_arr, seq_lens, stats)
     X, Y, counts, signed = _pad_parts(parts)
     X, Y = _reverse_rows(X, Y, counts, ~(signed > 0.0))
     for e in range(edges.shape[0]):
@@ -900,6 +912,7 @@ def _clip_convex_rows_multi(
     parts: Sequence[_Part],
     edge_seqs: Sequence[np.ndarray],
     stats: "_StatsHook | None" = None,
+    backend: KernelBackend | None = None,
 ) -> list[_Part | None]:
     """Batched ``clip_convex`` with one convex edge sequence *per row*.
 
@@ -910,12 +923,12 @@ def _clip_convex_rows_multi(
     arithmetic per row is elementwise, hence bitwise equal to the scalar-edge
     pass :func:`_clip_convex_rows` would run on that row alone.  Rows die at
     <3 vertices exactly where the scalar loop returns ``None``; survivors go
-    through the shared scalar-exact finalization.
+    through the shared scalar-exact finalization.  A compiled ``backend``
+    instead drives each row through its whole sequence in one GIL-free loop
+    (row independence makes the reordering bit-identical).
     """
     if not parts:
         return []
-    X, Y, counts, signed = _pad_parts(parts)
-    X, Y = _reverse_rows(X, Y, counts, ~(signed > 0.0))
     seq_lens = np.array([len(s) for s in edge_seqs], dtype=np.int64)
     max_len = int(seq_lens.max()) if len(seq_lens) else 0
     R = len(parts)
@@ -923,6 +936,10 @@ def _clip_convex_rows_multi(
     for r, seq in enumerate(edge_seqs):
         if len(seq):
             edge_arr[r, : len(seq), :] = seq
+    if backend is not None and backend.use_compiled:
+        return backend.convex_rows(parts, edge_arr, seq_lens, stats)
+    X, Y, counts, signed = _pad_parts(parts)
+    X, Y = _reverse_rows(X, Y, counts, ~(signed > 0.0))
     for e in range(max_len):
         counts = np.where(counts >= 3, counts, 0)
         act = np.nonzero((counts > 0) & (e < seq_lens))[0]
@@ -976,6 +993,7 @@ def _halfplane_chain_rows(
     parts: Sequence[_Part],
     edge_seqs: Sequence[np.ndarray],
     stats: "_StatsHook | None" = None,
+    backend: KernelBackend | None = None,
 ) -> list[_Part | None]:
     """Batched chains of ``clip_halfplane`` calls (one edge sequence per row).
 
@@ -995,7 +1013,7 @@ def _halfplane_chain_rows(
     edge_arr = np.zeros((R, max_len, 4))
     for r, seq in enumerate(edge_seqs):
         edge_arr[r, : len(seq), :] = seq
-    return _halfplane_chain_run(parts, edge_arr, seq_lens, stats)
+    return _halfplane_chain_run(parts, edge_arr, seq_lens, stats, backend)
 
 
 def _halfplane_chain_run(
@@ -1003,8 +1021,11 @@ def _halfplane_chain_run(
     edge_arr: np.ndarray,
     seq_lens: np.ndarray,
     stats: "_StatsHook | None" = None,
+    backend: KernelBackend | None = None,
 ) -> list[_Part | None]:
     """The pass loop of :func:`_halfplane_chain_rows` on a prebuilt edge array."""
+    if backend is not None and backend.use_compiled and len(parts):
+        return backend.chain_rows(parts, edge_arr, seq_lens, stats)
     max_len = edge_arr.shape[1]
     R = len(parts)
     X, Y, counts, signed = _pad_parts(parts)
@@ -1932,6 +1953,8 @@ class VectorSolverKernel:
         self.config = config
         self.diagnostics = diagnostics
         self._hook = _StatsHook()
+        self._backend = resolve_backend(getattr(config, "kernel_backend", "auto"))
+        diagnostics.kernel_backend = self._backend.name
 
     # ------------------------------------------------------------------ #
     # Entry point
@@ -2136,7 +2159,7 @@ class VectorSolverKernel:
                 if clipped is not None:
                     plan.out[piece] = [_part_from_polygon(clipped)]
             return plan.out
-        results = _clip_convex_rows(plan.parts, plan.edges, self._hook)
+        results = _clip_convex_rows(plan.parts, plan.edges, self._hook, self._backend)
         for piece, result in zip(plan.still, results):
             if result is not None:
                 plan.out[piece] = [result]
@@ -2304,7 +2327,7 @@ class VectorSolverKernel:
         plan = self._exclusion_classify(inside_parts, geometry, buffer)
         if plan.chain_parts:
             chained = _halfplane_chain_rows(
-                plan.chain_parts, plan.chain_seqs, self._hook
+                plan.chain_parts, plan.chain_seqs, self._hook, self._backend
             )
             _distribute_chained(plan, chained)
         if plan.mask_parts:
@@ -2559,6 +2582,25 @@ class VectorSolverKernel:
         # preserves the cleaned vertex list, so flipping the stored rows
         # reproduces those coordinates bitwise.
         X, Y = _reverse_rows(X, Y, counts, ~(signed > 0.0))
+        if self._backend.use_compiled:
+            # Compiled per-row scan: same EPSILON gate, in-range predicate,
+            # clamp and hit order as the tensor below, without materializing
+            # the O(R x V x E) intermediate.
+            flags, hits_rows = self._backend.gh_scan(X, Y, counts, clip)
+            for k, fi in enumerate(subtract_idx):
+                diag.fallback_pieces += 1
+                diag.fallback_vertices += int(counts[k])
+                subject = _polygon_from_part(flat[fi])
+                if flags[k] == 2:
+                    polys = subtract_polygons(subject, exclusion)
+                elif flags[k] == 0:
+                    polys = _no_crossing_difference(subject, exclusion)
+                else:
+                    polys = subtract_polygons_with_hits(
+                        subject, exclusion, hits_rows[k]
+                    )
+                results[fi] = [_part_from_polygon(p) for p in polys]
+            return
         R, V = X.shape
         lanes = _lanes(V)[None, :]
         valid = lanes < counts[:, None]
@@ -2809,6 +2851,7 @@ class FusedSolverKernel:
         self.config = config
         #: Pooled pass counters for the whole cohort run.
         self._hook = _StatsHook()
+        self._backend = resolve_backend(getattr(config, "kernel_backend", "auto"))
         self._steps = 0
         self._step_targets = 0
 
@@ -2861,6 +2904,7 @@ class FusedSolverKernel:
             s.geometry = geometry_for_constraint(
                 s.ordered[s.cursor], self.config, s.kernel.diagnostics
             )
+        geom_done = time.perf_counter()
 
         # ---- inclusion stage ------------------------------------------ #
         fusable: list[_FusedTargetState] = []
@@ -2876,6 +2920,7 @@ class FusedSolverKernel:
                 fusable.append(s)
         if fusable:
             self._fused_inclusion(fusable)
+        inc_done = time.perf_counter()
 
         # ---- exclusion stage ------------------------------------------ #
         excluding: list[_FusedTargetState] = []
@@ -2886,6 +2931,7 @@ class FusedSolverKernel:
                 excluding.append(s)
         if excluding:
             self._fused_exclusion(excluding)
+        exc_done = time.perf_counter()
 
         # ---- per-target assembly and pruning, pooled rebuild ---------- #
         # Mirrors VectorSolverKernel._integrate_parts decision for decision,
@@ -2923,14 +2969,20 @@ class FusedSolverKernel:
         if rebuilds:
             self._rebuild_buffers(rebuilds)
 
-        # The cohort step is one shared span; book each target an equal
-        # share so per-target phase sums remain meaningful.
-        share = (time.perf_counter() - started) / len(active)
+        # The cohort step is shared spans; book each target an equal share
+        # per stage so per-target phase sums remain meaningful and backend
+        # regressions stay attributable to a phase, like the vector engine.
+        # Geometry-table lookup and the assembly/rebuild tail both land in
+        # "assemble" (the vector engine's remainder bucket).
+        n = len(active)
+        inc_share = (inc_done - geom_done) / n
+        exc_share = (exc_done - inc_done) / n
+        asm_share = ((geom_done - started) + (time.perf_counter() - exc_done)) / n
         for s in active:
-            diag = s.kernel.diagnostics
-            diag.phase_seconds["fused_step"] = (
-                diag.phase_seconds.get("fused_step", 0.0) + share
-            )
+            phases = s.kernel.diagnostics.phase_seconds
+            phases["inclusion"] = phases.get("inclusion", 0.0) + inc_share
+            phases["exclusion"] = phases.get("exclusion", 0.0) + exc_share
+            phases["assemble"] = phases.get("assemble", 0.0) + asm_share
 
     def _rebuild_buffers(
         self, rebuilds: list[tuple[_FusedTargetState, list, list]]
@@ -3023,6 +3075,7 @@ class FusedSolverKernel:
                     [pooled_parts[i] for i in bucket],
                     [pooled_seqs[i] for i in bucket],
                     self._hook,
+                    self._backend,
                 )
                 for i, result in zip(bucket, results):
                     if result is not None:
@@ -3046,15 +3099,38 @@ class FusedSolverKernel:
         of every target pools into a single runner call.
         """
         simple: list[_FusedTargetState] = []
+        masked: list[_FusedTargetState] = []
         for s in group:
             if s.geometry.exc_convex:
                 simple.append(s)
-            else:
-                # Non-convex exclusion (Greiner-Hormann territory): the
-                # whole per-target path, exactly like the vector engine.
+                continue
+            # Non-convex exclusion.  With mask tables available the cell
+            # fold pools across the cohort axis below; everything else
+            # (Greiner-Hormann / object fallback) rides the whole
+            # per-target path, exactly like the vector engine.
+            mode = getattr(self.config, "nonconvex_exclusion", "masks")
+            cells = s.geometry.ensure_mask_tables() if mode == "masks" else None
+            if cells is None:
                 s.satisfied = s.kernel._exclusion_step(
                     s.inside_parts, s.geometry, s.buffer
                 )
+                continue
+            # Mirror of VectorSolverKernel._exclusion_step with the
+            # _run_masked fold deferred to the pooled cohort version.
+            plan = s.kernel._exclusion_classify(s.inside_parts, s.geometry, s.buffer)
+            if plan.chain_parts:
+                chained = _halfplane_chain_rows(
+                    plan.chain_parts, plan.chain_seqs, s.kernel._hook,
+                    s.kernel._backend,
+                )
+                _distribute_chained(plan, chained)
+            s.plan = plan
+            masked.append(s)
+        if masked:
+            self._fused_masked(masked)
+            for s in masked:
+                s.satisfied = _assemble_exclusion(s.plan)
+                s.plan = None
         if not simple:
             return
 
@@ -3074,7 +3150,11 @@ class FusedSolverKernel:
             buffer = s.buffer
             if not flat:
                 blocks.append(None)
-            elif len(flat) == len(buffer) and _parts_are_buffer(flat, buffer):
+            elif (
+                buffer is not None
+                and len(flat) == len(buffer)
+                and _parts_are_buffer(flat, buffer)
+            ):
                 blocks.append(buffer.padded())
             else:
                 # Raw part lists are padded straight into the cohort matrix
@@ -3213,12 +3293,65 @@ class FusedSolverKernel:
                         edge_arr,
                         seq_lens,
                         self._hook,
+                        self._backend,
                     )
                     for spec, piece in zip(bucket_specs, chained):
                         if piece is not None:
                             spec[1].results[spec[2]].append(piece)
         for s, plan in zip(simple, plans):
             s.satisfied = _assemble_exclusion(plan)
+
+    def _fused_masked(self, masked: list[_FusedTargetState]) -> None:
+        """Pooled mask-cell folds across the fused cohort axis.
+
+        Replicates :meth:`VectorSolverKernel._run_masked` per target --
+        fold ``subtract_cautious(part, cell)`` over the decomposition's
+        cells in order -- but runs rank ``j`` of *every* target's fold as
+        one cohort exclusion pass, so the cell applications ride the same
+        pooled bbox/keyhole/wedge tensors (and compiled chain passes) as
+        the convex exclusions instead of batching per target.  Per target
+        the operation sequence is unchanged (its cells still apply in
+        order, each through the fused≡vector exclusion step), so bit
+        identity with the per-target fold follows from the row
+        independence of every pooled stage.  Mask cells are convex by
+        construction, so the recursive ``_fused_exclusion`` call below
+        never re-enters this method.
+        """
+        shims: list[_FusedTargetState] = []
+        currents: list[list[list]] = []
+        depth = 0
+        for s in masked:
+            cells = s.geometry.exc_cells
+            s.kernel.diagnostics.mask_cells_clipped += len(cells)
+            currents.append([[part] for part in s.plan.mask_parts])
+            # Shim state: no buffer (the fold's parts are never the piece
+            # buffer's own rows), no constraint cursor -- only the slots
+            # _fused_exclusion reads.
+            shims.append(_FusedTargetState(s.kernel, None, (), None))
+            depth = max(depth, len(cells))
+        for j in range(depth):
+            stage_idx = [
+                i
+                for i, s in enumerate(masked)
+                if j < len(s.geometry.exc_cells) and currents[i]
+            ]
+            if not stage_idx:
+                continue
+            stage = []
+            for i in stage_idx:
+                shim = shims[i]
+                shim.geometry = masked[i].geometry.exc_cells[j]
+                shim.inside_parts = currents[i]
+                stage.append(shim)
+            self._fused_exclusion(stage)
+            for i in stage_idx:
+                currents[i] = shims[i].satisfied
+                shims[i].geometry = None
+                shims[i].inside_parts = None
+                shims[i].satisfied = None
+        for s, current in zip(masked, currents):
+            for fi, kept in zip(s.plan.mask_owner, current):
+                s.plan.results[fi] = kept
 
     def _fused_keyhole(
         self,

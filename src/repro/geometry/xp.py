@@ -1,0 +1,37 @@
+"""Array-API seam for the flat-buffer kernel (``xp`` namespace indirection).
+
+The batched clip kernel in :mod:`repro.geometry.kernel` performs all of its
+buffer work -- padding ragged piece lists into rectangular matrices, packed
+coordinate gathers, bbox reductions -- through the ``xp`` namespace exported
+here rather than through a direct ``numpy`` import.  Today ``xp`` *is*
+numpy, so this module changes nothing about behavior or performance; what it
+buys is a single switch point for an accelerator backend later:
+
+* A CuPy (or other array-API compatible) backend only has to rebind the
+  namespace returned by :func:`get_namespace` -- the buffer-op call sites in
+  ``kernel.py`` are already written against the portable subset
+  (``zeros``/``empty``/``where``/``cumsum``/``concatenate``/fancy gather)
+  that every array-API library provides.
+* The *compiled* CPU backend (:mod:`repro.geometry.kernel_compiled`) sits
+  below this seam: it consumes the padded host buffers ``xp`` produced and
+  never allocates through the namespace, so the two backends compose (pad on
+  device, solve on whichever backend the config selects).
+
+Keep this module dependency-free and trivially importable: ``kernel.py``
+imports it at module load, before any configuration exists.
+"""
+
+from __future__ import annotations
+
+import numpy as _numpy
+
+__all__ = ["xp", "get_namespace"]
+
+#: The active array namespace for kernel buffer ops.  Bound to numpy; a GPU
+#: backend rebints this (module-level, process-wide) before building buffers.
+xp = _numpy
+
+
+def get_namespace():
+    """Return the active array namespace (numpy today; CuPy-shaped later)."""
+    return xp

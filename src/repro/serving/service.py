@@ -58,6 +58,7 @@ from ..core.octant import Octant
 from ..core.pipeline import PipelineStats
 from ..geometry import CircleCache
 from ..geometry.kernel import geometry_table_stats
+from ..geometry.kernel_compiled import kernel_runtime_stats
 from ..network.dataset import MeasurementDataset
 from ..network.dns import UndnsParser
 from ..network.probes import PingResult, TracerouteResult
@@ -960,6 +961,11 @@ class LocalizationService:
             # arrays + convex mask cells keyed by realized constraint
             # identity); the serving warm path should be hit-dominated.
             "geometry_tables": geometry_table_stats(),
+            # Clip-kernel backend runtime: which backend the row passes run
+            # on, JIT compile cost (first call vs warm), nogil pass counts.
+            "kernel": kernel_runtime_stats(
+                getattr(self.config.solver, "kernel_backend", "auto")
+            ),
             "pipeline": pipeline,
             "fused": self._fused_stats_snapshot(),
             "resilience": self._resilience_stats_snapshot(),

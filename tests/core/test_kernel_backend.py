@@ -1,0 +1,429 @@
+"""Compiled clip-kernel backend: bit identity, fallback, runtime, threads.
+
+The compiled backend ports the batched clip drivers' per-row loops to
+nogil machine code (numba ``@njit``) with the NumPy passes as the always
+available fallback.  The contract is *bit identity operand for operand*:
+for every constraint system, solving with ``kernel_backend="compiled"``
+must reproduce the NumPy kernel's output exactly -- every vertex
+coordinate, every weight, every diagnostic counter.
+
+Locally (and on the CI no-numba leg) the compiled bodies run uncompiled
+under ``OCTANT_KERNEL_FORCE=purepy``: same code path, same arithmetic,
+interpreted -- which is exactly what makes the identity suite meaningful
+without requiring the compiler.  With numba installed the identical
+bodies are jitted, so the purepy identity plus numba's semantics carry
+the contract to the compiled case (CI's compiled-identity gate re-checks
+end to end).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import SolverConfig, WeightedRegionSolver
+from repro.geometry.kernel_compiled import (
+    FORCE_ENV,
+    NUMBA_AVAILABLE,
+    kernel_runtime_stats,
+    reset_backends,
+    reset_kernel_runtime,
+    resolve_backend,
+)
+
+from test_solver_engines import (
+    PROJ,
+    annulus,
+    disk_at,
+    negative,
+    positive,
+    random_constraints,
+)
+
+
+@pytest.fixture(params=["purepy"] + (["jit"] if NUMBA_AVAILABLE else []))
+def purepy_backend(request, monkeypatch):
+    """The compiled code path: uncompiled bodies always, jitted when numba is.
+
+    ``purepy`` forces the compiled drivers with interpreted kernel bodies
+    (works everywhere, pins the algorithm); ``jit`` runs the same bodies
+    through numba and is parametrized in only where the compiler exists --
+    CI's compiled-identity gate relies on it.
+    """
+    if request.param == "purepy":
+        monkeypatch.setenv(FORCE_ENV, "purepy")
+    else:
+        monkeypatch.delenv(FORCE_ENV, raising=False)
+    reset_backends()
+    backend = resolve_backend("compiled")
+    assert backend.use_compiled
+    assert backend.jitted == (request.param == "jit")
+    yield backend
+    reset_backends()
+
+
+def solve_with_backend(constraints, kernel_backend, config_kwargs=None):
+    kwargs = dict(config_kwargs or {})
+    solver = WeightedRegionSolver(
+        SolverConfig(engine="vector", kernel_backend=kernel_backend, **kwargs)
+    )
+    region = solver.solve(constraints, PROJ)
+    return solver, region
+
+
+#: Diagnostics that must agree exactly between the two backends.  The
+#: geometry-table hit/miss counters are excluded on purpose: they track the
+#: process-global cache, so the second solve of the pair hits tables the
+#: first one populated regardless of backend.
+_PINNED_DIAGNOSTICS = (
+    "constraints_applied",
+    "constraints_skipped",
+    "dropped_constraints",
+    "final_piece_count",
+    "max_weight",
+    "selected_weight",
+    "max_pieces_seen",
+    "prefilter_bbox",
+    "prefilter_inside",
+    "prefilter_outside",
+    "pieces_clipped",
+    "vertices_clipped",
+    "fallback_pieces",
+    "fallback_vertices",
+    "mask_cells_clipped",
+)
+
+
+def assert_backend_identical(constraints, config_kwargs=None):
+    """Full bit identity between compiled and NumPy kernel backends."""
+    compiled_solver, region_c = solve_with_backend(
+        constraints, "compiled", config_kwargs
+    )
+    numpy_solver, region_n = solve_with_backend(constraints, "numpy", config_kwargs)
+    assert compiled_solver.diagnostics.kernel_backend == "compiled"
+    assert numpy_solver.diagnostics.kernel_backend == "numpy"
+
+    assert region_c.area_km2() == region_n.area_km2()
+    assert len(region_c.pieces) == len(region_n.pieces)
+    pc = region_c.representative_point()
+    pn = region_n.representative_point()
+    if pn is None:
+        assert pc is None
+    else:
+        assert (pc.x, pc.y) == (pn.x, pn.y)
+    for piece_c, piece_n in zip(region_c.pieces, region_n.pieces):
+        assert piece_c.weight == piece_n.weight
+        assert piece_c.polygon.coords == piece_n.polygon.coords
+    for field in _PINNED_DIAGNOSTICS:
+        assert getattr(compiled_solver.diagnostics, field) == getattr(
+            numpy_solver.diagnostics, field
+        ), field
+    return region_c, region_n
+
+
+# --------------------------------------------------------------------------- #
+# Randomized identity sweep (vector engine)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(12))
+def test_randomized_backend_identity(seed, purepy_backend):
+    rng = random.Random(8000 + seed)
+    assert_backend_identical(random_constraints(rng))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_randomized_backend_identity_pruned(seed, purepy_backend):
+    """Tight piece caps interleave pruning with the batched passes."""
+    rng = random.Random(8600 + seed)
+    assert_backend_identical(random_constraints(rng), {"max_pieces": 4})
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_randomized_backend_identity_slivers(seed, purepy_backend):
+    rng = random.Random(8800 + seed)
+    assert_backend_identical(random_constraints(rng), {"min_piece_area_km2": 500.0})
+
+
+class TestTargetedBackendIdentity:
+    """Shapes that route through each compiled kernel entry point."""
+
+    def test_keyhole_annulus(self, purepy_backend):
+        assert_backend_identical(
+            [annulus(disk_at(0, 0, 600.0), disk_at(0, 0, 150.0))]
+        )
+
+    def test_wedge_chain_crossing_exclusion(self, purepy_backend):
+        """Boundary-crossing exclusions ride the half-plane chain runner."""
+        reset_kernel_runtime()
+        assert_backend_identical(
+            [
+                positive(disk_at(b, 300.0, 400.0), label=f"c{b}")
+                for b in (0.0, 60.0, 120.0, 180.0, 240.0, 300.0)
+            ]
+            + [negative(disk_at(90.0, 380.0, 200.0))]
+        )
+        recorded = kernel_runtime_stats("compiled")["kernels"]
+        assert "convex_rows" in recorded and "chain_rows" in recorded
+
+    def test_nonconvex_exclusion_gh_scan(self, purepy_backend):
+        """A concave exclusion exercises the Greiner-Hormann hit scan.
+
+        The region is fragmented by overlapping positives first so the
+        concave subtract sees enough rows to ride the batched scan rather
+        than the scalar small-batch fallback.
+        """
+        from repro.geometry import Point2D, Polygon
+
+        ring = [
+            Point2D(-500.0, -500.0),
+            Point2D(500.0, -500.0),
+            Point2D(500.0, 500.0),
+            Point2D(0.0, 0.0),
+            Point2D(-500.0, 500.0),
+        ]
+        reset_kernel_runtime()
+        assert_backend_identical(
+            [
+                positive(disk_at(b, 300.0, 400.0), label=f"c{b}")
+                for b in (0.0, 60.0, 120.0, 180.0, 240.0, 300.0)
+            ]
+            + [negative(Polygon(ring))],
+            # "gh" routes concave exclusions through the batched subtract
+            # scan instead of the mask-cell decomposition.
+            {"nonconvex_exclusion": "gh"},
+        )
+        assert "gh_scan" in kernel_runtime_stats("compiled")["kernels"]
+
+    def test_cw_stored_exclusion(self, purepy_backend):
+        from repro.core import PlanarConstraint
+
+        cw_disk = disk_at(0, 0, 250.0).reversed()
+        assert not cw_disk.is_ccw()
+        assert_backend_identical(
+            [
+                positive(disk_at(0, 0, 400.0)),
+                PlanarConstraint(None, cw_disk, 1.0, "cw-exclusion"),
+                positive(disk_at(45.0, 200.0, 300.0), weight=0.5),
+            ]
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Fused cohort engine under the compiled backend
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(6))
+def test_randomized_cohort_backend_identity(seed, purepy_backend):
+    """Fused lockstep solves agree between backends, target for target."""
+    from repro.core.solver import solve_systems
+
+    rng = random.Random(9000 + seed)
+    cohort = [random_constraints(rng) for _ in range(rng.choice([1, 2, 4, 6]))]
+    systems = [(c, PROJ) for c in cohort]
+    compiled = solve_systems(
+        SolverConfig(engine="fused", kernel_backend="compiled"), systems
+    )
+    reference = solve_systems(
+        SolverConfig(engine="fused", kernel_backend="numpy"), systems
+    )
+    for (region_c, diag_c), (region_n, diag_n) in zip(compiled, reference):
+        assert region_c.area_km2() == region_n.area_km2()
+        assert len(region_c.pieces) == len(region_n.pieces)
+        for piece_c, piece_n in zip(region_c.pieces, region_n.pieces):
+            assert piece_c.weight == piece_n.weight
+            assert piece_c.polygon.coords == piece_n.polygon.coords
+        assert diag_c.constraints_applied == diag_n.constraints_applied
+        assert diag_c.dropped_constraints == diag_n.dropped_constraints
+
+
+# --------------------------------------------------------------------------- #
+# Backend resolution and fallback
+# --------------------------------------------------------------------------- #
+class TestBackendResolution:
+    @pytest.fixture(autouse=True)
+    def _clean_env(self, monkeypatch):
+        monkeypatch.delenv(FORCE_ENV, raising=False)
+        reset_backends()
+        yield
+        reset_backends()
+
+    def test_numpy_is_always_available(self):
+        backend = resolve_backend("numpy")
+        assert backend.name == "numpy"
+        assert not backend.use_compiled
+        assert backend.fallback_reason is None
+
+    def test_auto_matches_numba_availability(self):
+        backend = resolve_backend("auto")
+        if NUMBA_AVAILABLE:
+            assert backend.name == "compiled" and backend.jitted
+        else:
+            assert backend.name == "numpy" and not backend.use_compiled
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba installed")
+    def test_compiled_without_numba_falls_back(self):
+        backend = resolve_backend("compiled")
+        assert backend.name == "numpy"
+        assert backend.requested == "compiled"
+        assert not backend.use_compiled
+        assert backend.fallback_reason == "numba unavailable"
+
+    def test_force_numpy_disables_compiled(self, monkeypatch):
+        monkeypatch.setenv(FORCE_ENV, "numpy")
+        reset_backends()
+        backend = resolve_backend("compiled")
+        assert backend.name == "numpy"
+        assert backend.fallback_reason and FORCE_ENV in backend.fallback_reason
+
+    def test_unknown_backend_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_backend("cuda")
+
+    def test_config_validates_backend(self):
+        with pytest.raises(ValueError):
+            SolverConfig(kernel_backend="cuda")
+
+    def test_solver_runs_under_requested_compiled(self):
+        """kernel_backend='compiled' must solve regardless of numba.
+
+        This is the numba-absent functional guarantee: requesting the
+        compiled backend on a machine without the compiler silently rides
+        the NumPy passes and still produces the canonical answer.
+        """
+        solver, region = solve_with_backend([positive(disk_at(0, 0, 300.0))], "compiled")
+        assert not region.is_empty()
+        _, reference = solve_with_backend([positive(disk_at(0, 0, 300.0))], "numpy")
+        assert region.area_km2() == reference.area_km2()
+
+
+# --------------------------------------------------------------------------- #
+# Runtime observability
+# --------------------------------------------------------------------------- #
+class TestKernelRuntime:
+    def test_runtime_stats_shape(self, purepy_backend):
+        reset_kernel_runtime()
+        solver, _region = solve_with_backend(
+            [
+                positive(disk_at(b, 300.0, 400.0), label=f"c{b}")
+                for b in (0.0, 60.0, 120.0, 180.0, 240.0, 300.0)
+            ],
+            "compiled",
+        )
+        stats = kernel_runtime_stats("compiled")
+        assert stats["backend"] == "compiled"
+        assert stats["compiled"]
+        assert stats["jit"] == purepy_backend.jitted
+        assert stats["numba_available"] == NUMBA_AVAILABLE
+        assert stats["nogil_passes"] > 0
+        assert stats["rows_clipped"] > 0
+        assert stats["kernels"], "at least one kernel entry point must record"
+        for entry in stats["kernels"].values():
+            assert entry["calls"] >= 1
+            assert entry["first_call_s"] >= 0.0
+            assert entry["warm_s"] >= 0.0
+
+    def test_kernel_summary_carries_runtime(self, purepy_backend):
+        solver, _region = solve_with_backend(
+            [positive(disk_at(0, 0, 300.0))], "compiled"
+        )
+        summary = solver.diagnostics.kernel_summary()
+        assert summary["kernel_backend"] == "compiled"
+        runtime = summary["kernel_runtime"]
+        assert set(runtime) == {"jit", "fallback_reason", "nogil_passes", "kernels"}
+
+    def test_numpy_backend_records_nothing(self):
+        reset_kernel_runtime()
+        solve_with_backend([positive(disk_at(0, 0, 300.0))], "numpy")
+        stats = kernel_runtime_stats("numpy")
+        assert stats["nogil_passes"] == 0
+        assert stats["kernels"] == {}
+
+
+# --------------------------------------------------------------------------- #
+# Warm-cache thread safety (the scaled thread pool's view)
+# --------------------------------------------------------------------------- #
+class TestWarmCacheThreadSafety:
+    def test_geometry_table_hammer(self):
+        """Concurrent geometry_for_constraint over one shared cache.
+
+        The thread fan-out path solves fused chunks over *shared* warm
+        caches; every thread resolves the same constraints through the
+        process-global geometry table LRU.  All threads must observe
+        consistent tables (identity or bit-equal rebuilds) with no
+        exceptions, including the lazily-built mask tables of a concave
+        exclusion (``ensure_mask_tables`` mutates the shared entry).
+        """
+        from repro.core import PlanarConstraint
+        from repro.geometry import Point2D, Polygon
+        from repro.geometry.kernel import (
+            geometry_for_constraint,
+            reset_geometry_tables,
+        )
+
+        concave = Polygon(
+            [
+                Point2D(-500.0, -500.0),
+                Point2D(500.0, -500.0),
+                Point2D(500.0, 500.0),
+                Point2D(0.0, 0.0),
+                Point2D(-500.0, 500.0),
+            ]
+        )
+        constraints = [
+            positive(disk_at(b, 250.0, 350.0), label=f"pos{b}")
+            for b in (0.0, 90.0, 180.0, 270.0)
+        ] + [PlanarConstraint(None, concave, 1.0, "concave")]
+        config = SolverConfig()
+        reset_geometry_tables()
+
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def hammer(worker: int):
+            try:
+                barrier.wait(timeout=30)
+                rng = random.Random(worker)
+                for _ in range(200):
+                    constraint = rng.choice(constraints)
+                    geometry = geometry_for_constraint(constraint, config)
+                    assert geometry.inclusion is constraint.inclusion
+                    assert geometry.exclusion is constraint.exclusion
+                    if constraint.exclusion is concave:
+                        cells = geometry.ensure_mask_tables()
+                        assert cells, "concave exclusion must decompose"
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(8)))
+        assert not errors, errors
+
+        # Every worker converged on the shared cached entries: one more
+        # lookup per constraint is a pure hit.
+        for constraint in constraints:
+            first = geometry_for_constraint(constraint, config)
+            again = geometry_for_constraint(constraint, config)
+            assert first is again
+
+    def test_thread_fanout_matches_serial(self, purepy_backend):
+        """Fused chunks across threads: identical estimates, shared caches."""
+        from repro import BatchLocalizer, Octant, OctantConfig, collect_dataset
+        from repro.network.planetlab import small_deployment
+
+        dataset = collect_dataset(small_deployment(host_count=8, seed=5))
+        targets = dataset.host_ids[:6]
+        config = OctantConfig(
+            solver=SolverConfig(
+                engine="fused", kernel_backend="compiled", fuse_width=2
+            )
+        )
+        serial = BatchLocalizer(Octant(dataset, config)).localize_all(targets)
+        threaded = BatchLocalizer(
+            Octant(dataset, config), max_workers=4, executor_kind="thread"
+        ).localize_all(targets)
+        for target in targets:
+            a, b = serial[target], threaded[target]
+            assert (a.point.lat, a.point.lon) == (b.point.lat, b.point.lon)
+            assert a.constraints_used == b.constraints_used
+            assert a.region.area_km2() == b.region.area_km2()

@@ -140,7 +140,12 @@ class TestServiceIngest:
             async with LocalizationService(live_dataset, workers=1) as service:
                 # Enqueue first, ingest immediately after: the request holds
                 # its enqueue-time localizer even if it runs post-ingest.
+                # ensure_future only *schedules* the coroutine; yield to the
+                # loop until it has actually captured its snapshot, otherwise
+                # ingest's executor thread can race the capture and the
+                # request legitimately binds to the new snapshot.
                 pending = asyncio.ensure_future(service.localize(target))
+                await asyncio.sleep(0)
                 await service.ingest(hosts=[record], pings=pings)
                 old_answer = await pending
                 new_answer = await service.localize(target)
