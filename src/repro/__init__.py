@@ -54,7 +54,11 @@ from .resilience import (
     RetriableError,
     RetryPolicy,
 )
-from .serving import LocalizationService
+from .serving import (
+    ClusterConfig,
+    LocalizationService,
+    ShardedLocalizationService,
+)
 
 __version__ = "1.0.0"
 
@@ -67,7 +71,9 @@ __all__ = [
     "Octant",
     "BatchLocalizer",
     "ConstraintPipeline",
+    "ClusterConfig",
     "LocalizationService",
+    "ShardedLocalizationService",
     "LocationEstimate",
     "FaultPlan",
     "ResilienceConfig",

@@ -7,7 +7,7 @@ records -- with a known ground truth, so the localization algorithms can be
 evaluated end to end on a laptop.
 """
 
-from .dataset import MeasurementDataset, NodeRecord, collect_dataset
+from .dataset import IngestRecord, MeasurementDataset, NodeRecord, collect_dataset
 from .dns import DEFAULT_CITY_ALIASES, DnsLocationHint, UndnsParser
 from .geodata import (
     EUROPEAN_CITIES,
@@ -86,4 +86,5 @@ __all__ = [
     "NodeRecord",
     "MeasurementDataset",
     "collect_dataset",
+    "IngestRecord",
 ]

@@ -29,7 +29,13 @@ from .planetlab import Deployment
 from .probes import PingResult, TracerouteResult
 from .whois import WhoisRecord, WhoisRegistry
 
-__all__ = ["NodeRecord", "MeasurementDataset", "PairMatrixView", "collect_dataset"]
+__all__ = [
+    "IngestRecord",
+    "NodeRecord",
+    "MeasurementDataset",
+    "PairMatrixView",
+    "collect_dataset",
+]
 
 
 class PairMatrixView(MappingABC):
@@ -126,6 +132,53 @@ class NodeRecord:
     def with_location(self, location: GeoPoint | None) -> "NodeRecord":
         """Copy of this record with a different (possibly hidden) location."""
         return NodeRecord(self.node_id, self.ip_address, self.dns_name, location, self.is_host)
+
+
+@dataclass(frozen=True)
+class IngestRecord:
+    """One :meth:`MeasurementDataset.ingest` payload, captured for replay.
+
+    The sharded serving tier logs every replicated ingest as one of these
+    (picklable, immutable) records: a worker restarted from a snapshot at
+    version ``V`` replays the records after ``V`` and arrives, version for
+    version and bit for bit, at the same dataset the surviving workers
+    serve.  Applying a record is *exactly* an ingest call -- same touched
+    set, same version bump -- so replay needs no second code path.
+    """
+
+    hosts: tuple[NodeRecord, ...] = ()
+    pings: tuple[PingResult, ...] = ()
+    traceroutes: tuple[TracerouteResult, ...] = ()
+    routers: tuple[NodeRecord, ...] = ()
+    router_pings: tuple[tuple[tuple[str, str], float], ...] = ()
+
+    @classmethod
+    def capture(
+        cls,
+        hosts: Iterable[NodeRecord] = (),
+        pings: Iterable[PingResult] = (),
+        traceroutes: Iterable[TracerouteResult] = (),
+        routers: Iterable[NodeRecord] = (),
+        router_pings: Mapping[tuple[str, str], float] | None = None,
+    ) -> "IngestRecord":
+        """Freeze one ingest payload (tuples, so the record hashes/pickles)."""
+        return cls(
+            hosts=tuple(hosts),
+            pings=tuple(pings),
+            traceroutes=tuple(traceroutes),
+            routers=tuple(routers),
+            router_pings=tuple(sorted((router_pings or {}).items())),
+        )
+
+    def apply(self, dataset: "MeasurementDataset") -> frozenset[str]:
+        """Replay this record into ``dataset`` via its ordinary ingest path."""
+        return dataset.ingest(
+            hosts=self.hosts,
+            pings=self.pings,
+            traceroutes=self.traceroutes,
+            routers=self.routers,
+            router_pings=dict(self.router_pings),
+        )
 
 
 @dataclass
@@ -409,6 +462,50 @@ class MeasurementDataset:
         snap._frozen = True
         self._cow_pending = True
         return snap
+
+    def thaw(self) -> "MeasurementDataset":
+        """A live (ingestable) dataset observing this dataset's measurements.
+
+        The inverse of :meth:`snapshot`, and like it O(1): the thawed copy
+        shares every container and built matrix with ``self`` in
+        copy-on-write mode, carries the version forward, and accepts
+        :meth:`ingest`.  This is how a sharded worker process boots -- the
+        orchestrator pickles a frozen snapshot across the process boundary
+        and the worker thaws it into its own live dataset, replaying any
+        ingests that landed while it was starting (:meth:`replay`).  The
+        original (frozen or live) dataset is never affected by ingests into
+        the thawed copy.
+        """
+        live = MeasurementDataset(
+            hosts=self.hosts,
+            routers=self.routers,
+            pings=self.pings,
+            traceroutes=self.traceroutes,
+            router_pings=self.router_pings,
+            whois=self.whois,
+        )
+        live._rtt_view = self._rtt_view
+        live._rtt_index = self._rtt_index
+        live._distance_view = self._distance_view
+        live._distance_index = self._distance_index
+        live._rtt_degree = self._rtt_degree
+        live._version = self._version
+        # The containers are shared with self (and possibly with snapshots
+        # of self); the first ingest must replace, not mutate, them.
+        live._cow_pending = True
+        return live
+
+    def replay(self, records: Iterable[IngestRecord]) -> frozenset[str]:
+        """Apply a sequence of captured ingests in order; union of touched ids.
+
+        Each record bumps :attr:`version` by one, exactly as the original
+        ingest did, so a worker replaying the orchestrator's log converges
+        on the orchestrator's version number as well as its data.
+        """
+        touched: set[str] = set()
+        for record in records:
+            touched |= record.apply(self)
+        return frozenset(touched)
 
     def ingest(
         self,

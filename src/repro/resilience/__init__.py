@@ -31,6 +31,7 @@ from .errors import (
     DeadlineExceeded,
     FatalError,
     OperationCancelled,
+    ReplyDropped,
     ResilienceError,
     RetriableError,
     classify_error,
@@ -58,6 +59,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "OperationCancelled",
+    "ReplyDropped",
     "ResilienceConfig",
     "ResilienceError",
     "RetriableError",

@@ -35,6 +35,7 @@ __all__ = [
     "FatalError",
     "DeadlineExceeded",
     "OperationCancelled",
+    "ReplyDropped",
     "classify_error",
 ]
 
@@ -88,6 +89,20 @@ class OperationCancelled(ResilienceError):
     ):
         super().__init__(message, stage)
         self.reason = reason
+
+
+class ReplyDropped(ResilienceError):
+    """An injected process-level fault: compute the answer, send no reply.
+
+    Raised by a ``drop_reply`` fault rule at the worker's ``reply`` stage
+    boundary (see :mod:`repro.serving.worker`): the worker swallows it and
+    skips the reply frame, modelling a reply lost on the wire.  The
+    orchestrator observes only silence -- its per-attempt timeout fires and
+    the request fails over to a peer shard.  Classified ``retriable``
+    because the work itself succeeded; only the delivery was lost.
+    """
+
+    kind = "retriable"
 
 
 def classify_error(error: BaseException | str) -> str:

@@ -34,17 +34,40 @@ Each clause is ``stage:key=value,...`` with keys ``p`` (probability,
 default 1), ``error`` (``retriable``/``fatal``/``deadline``/``none``,
 default ``retriable``), ``latency_ms`` (sleep before the error, default 0)
 and ``limit`` (stop after N injections, default unlimited).
+
+**Process-level fault kinds** (the sharded serving tier's chaos vocabulary;
+see ``DESIGN_SERVING.md`` "Sharded tier"):
+
+* ``kill`` -- hard-crash the current process with ``SIGKILL`` (no cleanup,
+  no exit handlers): the supervisor must detect the death and restart the
+  worker.  On platforms without ``SIGKILL`` the process exits hard via
+  ``os._exit``.
+* ``hang`` -- sleep effectively forever at the checkpoint.  Heartbeats from
+  a single-threaded worker loop stop, so the supervisor's liveness deadline
+  reaps the worker exactly as it would a livelocked one.
+* ``drop_reply`` -- raise :class:`~repro.resilience.errors.ReplyDropped`;
+  the worker loop computes the answer but never sends the reply frame (the
+  orchestrator's attempt timeout + failover path is exercised).
+
+These kinds are meant to fire inside worker processes (a plan carrying them
+is threaded through the worker bootstrap); firing ``kill`` in the
+orchestrator process kills the orchestrator, which is occasionally the
+chaos test you want -- but rarely by accident, so keep the spec's stages
+narrow.  Counters are per-process: a restarted worker re-rolls its schedule
+from the seed with fresh draw counters (deterministic given a deterministic
+kill schedule, since the incarnation's draws depend only on the plan).
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import signal
 import threading
 import time
 from dataclasses import dataclass
 
-from .errors import DeadlineExceeded, FatalError, RetriableError
+from .errors import DeadlineExceeded, FatalError, ReplyDropped, RetriableError
 
 __all__ = [
     "FaultPlan",
@@ -60,9 +83,20 @@ __all__ = [
 FAULT_PLAN_ENV = "OCTANT_FAULT_PLAN"
 
 #: Stage names the pipeline fires checkpoints for (``*`` matches all).
-STAGES = ("prepare", "assemble", "planarize", "solve", "ingest", "dispatch")
+#: ``reply`` is the sharded worker's outbound-frame boundary (the only place
+#: ``drop_reply`` is meaningful).
+STAGES = ("prepare", "assemble", "planarize", "solve", "ingest", "dispatch", "reply")
 
 _ERROR_KINDS = ("retriable", "fatal", "deadline", "none")
+
+#: Process-level fault kinds (see module docstring); valid wherever an error
+#: kind is, but they act on the whole process instead of raising a typed
+#: error up the ladder.
+_PROCESS_KINDS = ("kill", "hang", "drop_reply")
+
+#: How long a ``hang`` fault sleeps.  Effectively forever next to any
+#: liveness deadline, yet bounded so an unsupervised chaos run terminates.
+HANG_SECONDS = 3600.0
 
 
 def stable_uniform(*parts: object) -> float:
@@ -95,8 +129,11 @@ class FaultSpec:
     def __post_init__(self) -> None:
         if self.stage != "*" and self.stage not in STAGES:
             raise ValueError(f"unknown fault stage {self.stage!r}; expected one of {STAGES} or '*'")
-        if self.error not in _ERROR_KINDS:
-            raise ValueError(f"unknown fault error kind {self.error!r}; expected one of {_ERROR_KINDS}")
+        if self.error not in _ERROR_KINDS and self.error not in _PROCESS_KINDS:
+            raise ValueError(
+                f"unknown fault error kind {self.error!r}; expected one of "
+                f"{_ERROR_KINDS + _PROCESS_KINDS}"
+            )
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError(f"fault probability must be in [0, 1], got {self.probability}")
 
@@ -197,6 +234,18 @@ class FaultPlan:
             if spec.error == "none":
                 continue
             message = f"injected {spec.error} fault at stage {stage!r}"
+            if spec.error == "kill":
+                # Hard crash: no cleanup, no atexit, no finally blocks --
+                # the same signature as the OOM killer or a segfault, which
+                # is exactly what the supervisor must survive.
+                if hasattr(signal, "SIGKILL"):
+                    os.kill(os.getpid(), signal.SIGKILL)
+                os._exit(137)
+            if spec.error == "hang":
+                time.sleep(HANG_SECONDS)
+                continue
+            if spec.error == "drop_reply":
+                raise ReplyDropped(message, stage=stage)
             if spec.error == "retriable":
                 raise RetriableError(message, stage=stage)
             if spec.error == "fatal":

@@ -11,8 +11,23 @@ asyncio service over the batch engine:
   enqueue time, absorbs new measurements through
   :meth:`LocalizationService.ingest`, and reports warm/cold latency plus
   geometry/prepared cache statistics.
+* :class:`ShardedLocalizationService` -- the multi-process tier over it:
+  consistent-hash sharding across supervised worker processes (framed pipe
+  protocol, replicated version-vectored ingest, heartbeat liveness, backoff
+  restarts, ring failover) that survives worker crashes, hangs and dropped
+  replies while keeping zero-fault answers bit-identical to the
+  single-process service.  See :mod:`repro.serving.cluster`.
 """
 
+from .cluster import ClusterConfig, ClusterStats, ShardedLocalizationService
 from .service import LocalizationService, ServiceStats
+from .worker import WorkerBootstrap
 
-__all__ = ["LocalizationService", "ServiceStats"]
+__all__ = [
+    "ClusterConfig",
+    "ClusterStats",
+    "LocalizationService",
+    "ServiceStats",
+    "ShardedLocalizationService",
+    "WorkerBootstrap",
+]

@@ -877,19 +877,64 @@ class LocalizationService:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
-    def health(self) -> dict[str, object]:
-        """A cheap liveness/readiness summary for external monitors.
+    def liveness(self) -> dict[str, object]:
+        """Is the process worth keeping?  (Restart-decision probe.)
 
-        ``status`` is ``"ok"`` when the service is accepting requests and
-        every circuit breaker is closed, ``"degraded"`` when any breaker is
-        open or half-open (requests are still answered, possibly below the
-        primary rung), and ``"stopped"`` otherwise.
+        Deliberately minimal -- the k8s-style liveness contract: it must
+        only fail when a *restart* would help, so it looks at nothing that
+        legitimately degrades under load (breakers, queue depth).  A service
+        that is started and not closing is alive, full stop.
+        """
+        alive = self.started and not self._closing
+        return {
+            "alive": alive,
+            "started": self.started,
+            "closing": self._closing,
+        }
+
+    def readiness(self) -> dict[str, object]:
+        """Should traffic be routed here right now?  (Routing-decision probe.)
+
+        Everything a load balancer or the sharded tier's orchestrator wants
+        before sending a request: admission headroom (queue depth vs.
+        capacity), breaker states, the snapshot version answers would pin,
+        and which clip-kernel backend the solve path is running on (a worker
+        that fell back from the compiled backend is ready but slower --
+        routers may prefer a peer).
         """
         breakers = self._breakers.snapshot()
         open_breakers = sorted(
             name for name, snap in breakers.items() if snap["state"] != "closed"
         )
-        if not self.started or self._closing:
+        queue_depth = self._queue.qsize() if self._queue is not None else 0
+        return {
+            "ready": self.started and not self._closing,
+            "snapshot_version": self._live.version,
+            "queue_depth": queue_depth,
+            "queue_capacity": self.max_queue,
+            "queue_headroom": max(0, self.max_queue - queue_depth),
+            "workers": self.workers,
+            "breakers_open": open_breakers,
+            "kernel_backend": kernel_runtime_stats(
+                getattr(self.config.solver, "kernel_backend", "auto")
+            ).get("backend"),
+            "degraded_answers": self.stats.degraded_answers,
+            "deadline_failures": self.stats.deadline_failures,
+        }
+
+    def health(self) -> dict[str, object]:
+        """Combined liveness + readiness summary for external monitors.
+
+        Kept as the one-call probe (and for compatibility: ``status`` /
+        ``started`` / ``breakers_open`` keep their meanings); the split
+        :meth:`liveness` / :meth:`readiness` views are what the sharded
+        tier reports per shard -- restart decisions and routing decisions
+        have different failure bars.
+        """
+        liveness = self.liveness()
+        readiness = self.readiness()
+        open_breakers = readiness["breakers_open"]
+        if not liveness["alive"]:
             status = "stopped"
         elif open_breakers:
             status = "degraded"
@@ -899,8 +944,10 @@ class LocalizationService:
             "status": status,
             "started": self.started,
             "closing": self._closing,
-            "dataset_version": self._live.version,
-            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "liveness": liveness,
+            "readiness": readiness,
+            "dataset_version": readiness["snapshot_version"],
+            "queue_depth": readiness["queue_depth"],
             "queue_capacity": self.max_queue,
             "workers": self.workers,
             "breakers_open": open_breakers,

@@ -1,0 +1,408 @@
+"""Supervision of the sharded tier's worker processes.
+
+Two layers live here, both transport-level -- neither knows anything about
+localization:
+
+:class:`WorkerHandle`
+    The orchestrator's stub for one shard.  It owns the pipe to the current
+    worker *incarnation*, a reader thread that demultiplexes reply frames
+    into per-request futures, and the shard's observed state machine::
+
+        starting --Hello--> syncing --caught up--> live
+           ^                                        |
+           |   exit / pipe EOF / liveness deadline  |
+           +---------------- dead <-----------------+
+                        (backoff, then respawn -> starting)
+
+    ``syncing`` is the catch-up window: a worker bootstraps from a dataset
+    snapshot, so ingests committed after that snapshot was cut must be
+    replayed to it before it may serve (otherwise its version lineage would
+    diverge from its peers').  The cluster performs the replay; the handle
+    just holds the state.
+
+:class:`Supervisor`
+    A single monitor thread over all handles.  Each tick it (a) reaps
+    workers whose process has exited -- including hard ``SIGKILL``, seen as
+    a pipe EOF and a non-``None`` exitcode -- or whose heartbeats have gone
+    quiet past the liveness deadline (a *hung* worker's process is alive but
+    its single-threaded frame loop is stuck, so heartbeats stop; the
+    supervisor SIGKILLs it to get a clean corpse), (b) restarts dead workers
+    on a bounded exponential backoff reusing
+    :class:`~repro.resilience.retry.RetryPolicy`, and (c) drives the
+    catch-up replay for ``syncing`` workers.  A worker that exhausts its
+    restart budget without ever becoming stable is left ``dead`` (the
+    cluster routes its range to replicas permanently); a stable run resets
+    the budget.
+
+Death is observable from three independent signals -- reader-thread EOF,
+``process.exitcode``, heartbeat age -- and all three funnel into
+:meth:`WorkerHandle.mark_dead`, which atomically flips the state and fails
+every in-flight future with :class:`WorkerDied` so callers fail over
+immediately instead of waiting out their timeouts.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future
+
+from ..resilience import RetryPolicy
+from .protocol import (
+    FrameError,
+    Heartbeat,
+    Hello,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = ["Supervisor", "WorkerDied", "WorkerHandle", "WorkerUnavailable"]
+
+
+class WorkerUnavailable(RuntimeError):
+    """The shard has no live worker to send to (dead, restarting, syncing)."""
+
+
+class WorkerDied(RuntimeError):
+    """The worker died with this request in flight."""
+
+
+class WorkerHandle:
+    """Orchestrator-side stub for one shard's current worker incarnation."""
+
+    def __init__(self, shard_id: int, *, clock=time.monotonic):
+        self.shard_id = shard_id
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._pending: dict[int, Future] = {}
+        self.state = "dead"  # nothing spawned yet
+        self.process = None
+        self.conn = None
+        self.incarnation = 0
+        self.pid: int | None = None
+        self.restarts = 0  # completed respawns (first spawn not counted)
+        self.restart_attempt = 0  # consecutive failures, resets when stable
+        self.next_restart_at = 0.0
+        self.died_at: float | None = None
+        self.death_reason: str | None = None
+        self.last_heartbeat: float | None = None
+        self.heartbeat: Heartbeat | None = None
+        self.hello: Hello | None = None
+        self.live_since: float | None = None
+        self.ready = threading.Event()  # set when state leaves "starting"
+        self._reader: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def attach(self, process, conn, incarnation: int) -> None:
+        """Adopt a freshly spawned worker process and start reading frames."""
+        with self._lock:
+            self.process = process
+            self.conn = conn
+            self.incarnation = incarnation
+            self.pid = process.pid
+            self.state = "starting"
+            self.hello = None
+            self.heartbeat = None
+            self.last_heartbeat = None
+            self.live_since = None
+            self.died_at = None
+            # death_reason is intentionally NOT cleared: it is the *last*
+            # death's diagnosis, worth keeping visible after the restart.
+            self.ready.clear()
+        reader = threading.Thread(
+            target=self._read_loop,
+            args=(conn, incarnation),
+            name=f"octant-shard{self.shard_id}-r{incarnation}",
+            daemon=True,
+        )
+        self._reader = reader
+        reader.start()
+
+    def mark_dead(self, reason: str) -> None:
+        """Flip to ``dead`` and fail every in-flight request (idempotent)."""
+        with self._lock:
+            if self.state in ("dead", "stopped"):
+                return
+            self.state = "dead"
+            self.died_at = self._clock()
+            self.death_reason = reason
+            pending, self._pending = self._pending, {}
+            self.ready.set()
+        error = WorkerDied(f"shard {self.shard_id} worker died: {reason}")
+        for future in pending.values():
+            if not future.cancelled():
+                future.set_exception(error)
+
+    def mark_live(self) -> bool:
+        """Flip ``syncing -> live`` after catch-up; False if dead meanwhile."""
+        with self._lock:
+            if self.state != "syncing":
+                return False
+            self.state = "live"
+            self.live_since = self._clock()
+            return True
+
+    def mark_stopped(self) -> None:
+        """Terminal state for orderly cluster shutdown (no restart)."""
+        self.mark_dead("stopped")
+        self.state = "stopped"
+
+    def kill(self, join_timeout: float = 5.0) -> None:
+        """SIGKILL the current process, if any, and reap it."""
+        process = self.process
+        if process is None:
+            return
+        try:
+            if process.is_alive():
+                process.kill()
+            process.join(join_timeout)
+        except (ValueError, OSError):  # pragma: no cover - already reaped
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+    def call(self, make_message, *, states=("live",)) -> tuple[int, Future]:
+        """Send one request frame; returns ``(request_id, reply_future)``.
+
+        ``make_message`` is called with the allocated request id under the
+        handle lock, so id allocation, pending registration and the send are
+        atomic with respect to :meth:`mark_dead` -- a request can never slip
+        into the pending map of a worker already declared dead.
+        """
+        with self._lock:
+            if self.state not in states:
+                raise WorkerUnavailable(
+                    f"shard {self.shard_id} is {self.state}"
+                    + (f" ({self.death_reason})" if self.death_reason else "")
+                )
+            request_id = next(self._ids)
+            future: Future = Future()
+            self._pending[request_id] = future
+            conn = self.conn
+            try:
+                conn.send_bytes(encode_frame(make_message(request_id)))
+            except (BrokenPipeError, OSError) as exc:
+                self._pending.pop(request_id, None)
+                send_error = exc
+            else:
+                return request_id, future
+        # Send failed: the pipe is gone even if the reader hasn't noticed yet.
+        self.mark_dead(f"send failed: {send_error}")
+        raise WorkerUnavailable(f"shard {self.shard_id} pipe broken") from send_error
+
+    def discard(self, request_id: int) -> None:
+        """Forget a request whose caller gave up (late replies are dropped)."""
+        with self._lock:
+            self._pending.pop(request_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def heartbeat_age(self) -> float | None:
+        last = self.last_heartbeat
+        return None if last is None else max(0.0, self._clock() - last)
+
+    def exitcode(self) -> int | None:
+        process = self.process
+        return None if process is None else process.exitcode
+
+    # ------------------------------------------------------------------ #
+    # Reader thread
+    # ------------------------------------------------------------------ #
+    def _read_loop(self, conn, incarnation: int) -> None:
+        while True:
+            try:
+                message = decode_frame(conn.recv_bytes())
+            except (EOFError, OSError):
+                break
+            except FrameError as exc:
+                self._if_current(incarnation, lambda: self.mark_dead(f"protocol: {exc}"))
+                return
+            if isinstance(message, Hello):
+                self._on_hello(message, incarnation)
+            elif isinstance(message, Heartbeat):
+                self._on_heartbeat(message, incarnation)
+            else:
+                request_id = getattr(message, "request_id", None)
+                if request_id is None:
+                    continue
+                with self._lock:
+                    future = self._pending.pop(request_id, None)
+                if future is not None and not future.cancelled():
+                    try:
+                        future.set_result(message)
+                    except Exception:  # pragma: no cover - cancel race
+                        pass
+        # Pipe EOF: the worker process is gone (exit, crash, or SIGKILL).
+        self._if_current(
+            incarnation,
+            lambda: self.mark_dead(f"pipe closed (exitcode {self.exitcode()})"),
+        )
+
+    def _if_current(self, incarnation: int, action) -> None:
+        """Run ``action`` only if this reader still serves the live incarnation."""
+        with self._lock:
+            current = self.incarnation == incarnation and self.state != "stopped"
+        if current:
+            action()
+
+    def _on_hello(self, message: Hello, incarnation: int) -> None:
+        with self._lock:
+            if self.incarnation != incarnation or self.state != "starting":
+                return
+            self.hello = message
+            self.pid = message.pid
+            self.state = "syncing"  # cluster replays missed ingests, then live
+            self.last_heartbeat = self._clock()
+            self.ready.set()
+
+    def _on_heartbeat(self, message: Heartbeat, incarnation: int) -> None:
+        with self._lock:
+            if self.incarnation != incarnation:
+                return
+            self.heartbeat = message
+            self.last_heartbeat = self._clock()
+
+
+class Supervisor:
+    """Monitor thread: reap dead/hung workers, restart with backoff, sync.
+
+    ``spawn_worker(shard_id, incarnation)`` must start a fresh worker process
+    and return ``(process, conn)``; ``sync_worker(handle)`` must bring a
+    ``syncing`` worker's dataset up to the committed version and flip it
+    ``live`` (both are provided by the cluster).  The monitor never blocks on
+    request traffic -- catch-up replay waits on reply futures resolved by the
+    handle's reader thread, which stays independent.
+    """
+
+    def __init__(
+        self,
+        handles: list[WorkerHandle],
+        *,
+        spawn_worker,
+        sync_worker,
+        restart_policy: RetryPolicy | None = None,
+        liveness_deadline_s: float = 3.0,
+        starting_deadline_s: float = 120.0,
+        stable_after_s: float = 5.0,
+        poll_interval_s: float = 0.05,
+        clock=time.monotonic,
+    ):
+        self.handles = handles
+        self.spawn_worker = spawn_worker
+        self.sync_worker = sync_worker
+        self.restart_policy = restart_policy or RetryPolicy(
+            max_attempts=8, base_delay_s=0.05, max_delay_s=2.0, jitter=0.25
+        )
+        self.liveness_deadline_s = liveness_deadline_s
+        self.starting_deadline_s = starting_deadline_s
+        self.stable_after_s = stable_after_s
+        self.poll_interval_s = poll_interval_s
+        self._clock = clock
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.restarts_total = 0
+        self.gave_up: set[int] = set()
+        self._start_deadline: dict[int, float] = {}
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        thread = threading.Thread(
+            target=self._run, name="octant-supervisor", daemon=True
+        )
+        self._thread = thread
+        thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            for handle in self.handles:
+                try:
+                    self._tick(handle)
+                except Exception:  # pragma: no cover - keep supervising
+                    continue
+
+    def _tick(self, handle: WorkerHandle) -> None:
+        now = self._clock()
+        state = handle.state
+        if state in ("starting", "syncing", "live"):
+            exitcode = handle.exitcode()
+            if exitcode is not None:
+                handle.mark_dead(f"exit code {exitcode}")
+                self._schedule_restart(handle, now)
+                return
+            if state == "live":
+                age = handle.heartbeat_age()
+                if age is not None and age > self.liveness_deadline_s:
+                    # Alive process, silent frame loop: hung.  Record the
+                    # diagnosis BEFORE killing -- the SIGKILL's pipe EOF
+                    # would otherwise win the mark_dead race with a generic
+                    # "pipe closed" -- then kill for a clean corpse and
+                    # restart like any other crash.
+                    handle.mark_dead(f"liveness deadline ({age:.2f}s silent)")
+                    handle.kill(join_timeout=2.0)
+                    self._schedule_restart(handle, now)
+                    return
+                if (
+                    handle.restart_attempt
+                    and handle.live_since is not None
+                    and now - handle.live_since > self.stable_after_s
+                ):
+                    handle.restart_attempt = 0  # stable: reset the budget
+            elif state == "starting":
+                deadline = self._start_deadline.get(handle.shard_id)
+                if deadline is not None and now > deadline:
+                    handle.mark_dead("start deadline exceeded")
+                    handle.kill(join_timeout=2.0)
+                    self._schedule_restart(handle, now)
+            elif state == "syncing":
+                try:
+                    self.sync_worker(handle)
+                except Exception as exc:
+                    handle.mark_dead(f"catch-up failed: {exc}")
+                    handle.kill(join_timeout=2.0)
+                    self._schedule_restart(handle, now)
+            return
+        if state == "dead" and handle.shard_id not in self.gave_up:
+            if handle.next_restart_at <= 0.0:
+                self._schedule_restart(handle, now)
+            if now >= handle.next_restart_at:
+                self._respawn(handle)
+
+    def _schedule_restart(self, handle: WorkerHandle, now: float) -> None:
+        attempt = handle.restart_attempt
+        if attempt >= self.restart_policy.max_attempts:
+            self.gave_up.add(handle.shard_id)
+            return
+        delay = self.restart_policy.delay_s(attempt, key=f"shard:{handle.shard_id}")
+        handle.next_restart_at = now + delay
+
+    def _respawn(self, handle: WorkerHandle) -> None:
+        handle.kill(join_timeout=2.0)  # reap any zombie before respawning
+        handle.restart_attempt += 1
+        incarnation = handle.incarnation + 1
+        try:
+            process, conn = self.spawn_worker(handle.shard_id, incarnation)
+        except Exception as exc:
+            handle.death_reason = f"respawn failed: {exc}"
+            self._schedule_restart(handle, self._clock())
+            return
+        handle.attach(process, conn, incarnation)
+        self._start_deadline[handle.shard_id] = self._clock() + self.starting_deadline_s
+        handle.next_restart_at = 0.0
+        self.restarts_total += 1
+        handle.restarts += 1

@@ -109,6 +109,70 @@ class TestStateMachine:
         }
 
 
+class TestHalfOpenRace:
+    """Concurrent callers hitting the recovery boundary: one probe, exactly.
+
+    The sharded tier consults per-shard breakers from many concurrent
+    requests; if the half-open transition admitted more than one trial, a
+    sick worker would be hammered by a thundering herd the moment its
+    recovery window elapsed.  Driven by real threads on a fake clock so the
+    race is exercised without wall-clock sleeps deciding the outcome.
+    """
+
+    def _race_allow(self, breaker, thread_count):
+        import threading
+
+        barrier = threading.Barrier(thread_count)
+        admitted = []
+        lock = threading.Lock()
+
+        def probe():
+            barrier.wait()
+            if breaker.allow():
+                with lock:
+                    admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=probe) for _ in range(thread_count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return admitted
+
+    def test_concurrent_probes_admit_exactly_one(self):
+        breaker, clock = make_breaker(threshold=1, recovery_s=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        admitted = self._race_allow(breaker, thread_count=8)
+        assert len(admitted) == 1
+        assert breaker.state == "half-open"
+        assert breaker.refusals == 7
+
+    def test_failed_probe_reopens_and_blocks_the_herd_deterministically(self):
+        breaker, clock = make_breaker(threshold=1, recovery_s=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert len(self._race_allow(breaker, thread_count=6)) == 1
+        breaker.record_failure()  # the single probe fails
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        # The full recovery window applies again: nobody gets in early...
+        clock.advance(9.99)
+        assert self._race_allow(breaker, thread_count=6) == []
+        # ...and after it elapses, again exactly one probe.
+        clock.advance(0.02)
+        assert len(self._race_allow(breaker, thread_count=6)) == 1
+
+    def test_successful_probe_reopens_the_floodgates(self):
+        breaker, clock = make_breaker(threshold=1, recovery_s=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert len(self._race_allow(breaker, thread_count=4)) == 1
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert len(self._race_allow(breaker, thread_count=4)) == 4
+
+
 class TestBoard:
     def test_get_is_lazy_and_stable(self):
         board = BreakerBoard(BreakerConfig(failure_threshold=2))

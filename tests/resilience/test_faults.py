@@ -225,6 +225,88 @@ class TestFiring:
         assert plan.stats()["errors"] == {"solve": 200}
 
 
+class TestProcessKinds:
+    """Process-level fault vocabulary: kill / hang / drop_reply."""
+
+    def test_grammar_accepts_process_kinds(self):
+        plan = FaultPlan.from_spec(
+            "seed=3; reply:p=0.5,error=drop_reply;"
+            " solve:error=kill,limit=1; dispatch:error=hang"
+        )
+        assert [spec.error for spec in plan.specs] == ["drop_reply", "kill", "hang"]
+        assert plan.specs[0].stage == "reply"
+
+    def test_describe_round_trips_process_kinds(self):
+        plan = FaultPlan.from_spec("seed=2;reply:p=0.25,error=drop_reply,limit=3")
+        again = FaultPlan.from_spec(plan.describe())
+        assert again.specs == plan.specs
+
+    def test_reply_is_a_known_stage(self):
+        assert "reply" in faults_module.STAGES
+        FaultSpec(stage="reply")  # no raise
+
+    def test_drop_reply_raises_retriable_reply_dropped(self):
+        from repro.resilience import ReplyDropped, ResilienceError
+
+        plan = FaultPlan.from_spec("reply:p=1,error=drop_reply")
+        with pytest.raises(ReplyDropped) as info:
+            plan.fire("reply", 42)
+        assert info.value.stage == "reply"
+        assert info.value.kind == "retriable"  # the work succeeded
+        assert isinstance(info.value, ResilienceError)
+        assert plan.stats()["errors"] == {"reply": 1}
+
+    def test_drop_reply_respects_limit_and_determinism(self):
+        plan = FaultPlan.from_spec("seed=7;reply:p=0.5,limit=2,error=drop_reply")
+        from repro.resilience import ReplyDropped
+
+        dropped = []
+        for i in range(40):
+            try:
+                plan.fire("reply", i)
+            except ReplyDropped:
+                dropped.append(i)
+        assert len(dropped) == 2
+        clone = FaultPlan.from_spec("seed=7;reply:p=0.5,limit=2,error=drop_reply")
+        redropped = []
+        for i in range(40):
+            try:
+                clone.fire("reply", i)
+            except ReplyDropped:
+                redropped.append(i)
+        assert redropped == dropped
+
+    def test_kill_hard_crashes_the_process(self):
+        """`kill` must be a SIGKILL-grade death: no cleanup, no excepthook.
+
+        Fired in a child process, obviously.
+        """
+        import subprocess
+        import sys
+
+        code = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.resilience import FaultPlan\n"
+            "plan = FaultPlan.from_spec('solve:p=1,error=kill')\n"
+            "try:\n"
+            "    plan.fire('solve', 'h1')\n"
+            "finally:\n"
+            "    print('cleanup-ran')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, timeout=60
+        )
+        assert result.returncode in (-9, 137)  # SIGKILL (or hard exit 137)
+        assert "cleanup-ran" not in result.stdout  # finally never ran
+
+    def test_hang_sleeps_hang_seconds(self, monkeypatch):
+        naps = []
+        monkeypatch.setattr(faults_module.time, "sleep", naps.append)
+        plan = FaultPlan.from_spec("dispatch:p=1,error=hang")
+        plan.fire("dispatch", "h1")  # no raise: a hang is silence, not an error
+        assert naps == [faults_module.HANG_SECONDS]
+
+
 class TestActivation:
     def test_install_returns_previous(self):
         first = FaultPlan.from_spec("solve:p=1")
