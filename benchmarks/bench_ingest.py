@@ -1,0 +1,303 @@
+"""Sustained-churn serving: the write-optimized ingest plane's latency bet.
+
+The measurement plane's contract is that *serving stays warm while probes
+stream in*: appends land in the measurement log without touching the
+serving path, the background compactor absorbs them into snapshot swaps,
+and delta-scoped invalidation carries every prepared entry whose roster
+the churn provably did not touch.  This benchmark measures that contract
+end to end, in one run:
+
+1. **Quiescent warm** -- a fixed landmark cohort answers repeated-target
+   requests with no ingest traffic: the baseline warm p50.
+2. **Sustained churn, selective invalidation** -- probe agents stream
+   value-changing target-side re-probes through ``ingest_nowait`` at
+   greater than one probe per tracked target per second while the same
+   warm requests repeat.  Gates: warm p50 within
+   ``OCTANT_INGEST_P50_FACTOR`` (default 1.3x) of quiescent, prepared-
+   cache hit rate >= 70%.
+3. **Sustained churn, full invalidation** -- the identical phase with
+   delta carry-over disabled (every compaction evicts everything), the
+   baseline the selective path is judged against.
+
+Results land in ``BENCH_ingest.json`` (override with
+``OCTANT_INGEST_BENCH_JSON``) so CI can archive them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import os
+import time
+
+import pytest
+
+from repro import BatchLocalizer, LocalizationService, MeasurementDataset
+from repro.network import ProbeAgent
+
+
+#: Bump when the shape of BENCH_ingest.json changes.
+SCHEMA_VERSION = 1
+
+P50_FACTOR = float(os.environ.get("OCTANT_INGEST_P50_FACTOR", "1.3"))
+HIT_RATE_FLOOR = 0.70
+
+
+def _merge_json(section: str, payload: dict) -> None:
+    from conftest import merge_bench_json
+
+    merge_bench_json(
+        "OCTANT_INGEST_BENCH_JSON", "BENCH_ingest.json", SCHEMA_VERSION, section, payload
+    )
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _signature(estimate):
+    return (
+        None if estimate.point is None else (estimate.point.lat, estimate.point.lon),
+        estimate.constraints_used,
+        estimate.constraints_dropped,
+        None if estimate.region is None else estimate.region.area_km2(),
+    )
+
+
+def _private_live(dataset) -> MeasurementDataset:
+    """A mutable copy: ingest must not touch the shared session fixture."""
+    return MeasurementDataset(
+        hosts=dict(dataset.hosts),
+        routers=dict(dataset.routers),
+        pings=dict(dataset.pings),
+        traceroutes=dict(dataset.traceroutes),
+        router_pings=dict(dataset.router_pings),
+        whois=dataset.whois,
+    )
+
+
+def _make_agents(service, live, targets, pool, rate_per_s):
+    """Agents streaming value-changing target-side re-probes into the log.
+
+    Every probed pair joins a tracked target to a cohort landmark: the
+    combined minimum drops multiplicatively each tick, so every append is
+    a real delta -- but the pair never lies inside any request's roster
+    (the target is outside its own pool), which is exactly the traffic the
+    selective path is built to absorb.
+    """
+    base = dict(live.pings)
+    pairs = [
+        key
+        for key in sorted(base)
+        if (key[0] in targets and key[1] in pool)
+        or (key[1] in targets and key[0] in pool)
+    ]
+
+    def probe(src, dst, tick):
+        ping = base[(src, dst)]
+        scale = 1.0 - 1e-4 * (tick + 1)
+        return dataclasses.replace(
+            ping, rtts_ms=tuple(r * scale for r in ping.rtts_ms)
+        )
+
+    return [
+        ProbeAgent(
+            f"churn-{i}",
+            service.measurement_log,
+            pairs,
+            probe_fn=probe,
+            rate_per_s=rate_per_s,
+            seed=i,
+        )
+        for i in range(2)
+    ]
+
+
+async def _warm_round_trips(service, targets, pool, rounds):
+    """Client-side per-request latencies over repeated warm requests."""
+    latencies: list[float] = []
+    answers = {}
+    for _ in range(rounds):
+        for target in targets:
+            started = time.perf_counter()
+            answers[target] = await service.localize(target, landmark_pool=pool)
+            latencies.append(time.perf_counter() - started)
+        await asyncio.sleep(0)
+    return latencies, answers
+
+
+async def _churn_phase(service, live, targets, pool, rounds, rate_per_s):
+    """Warm rounds under streaming ingest; returns latencies + churn stats."""
+    agents = _make_agents(service, live, targets, pool, rate_per_s)
+    before = service.cache_stats()
+    started = time.perf_counter()
+    for agent in agents:
+        agent.start()
+    try:
+        latencies, answers = await _warm_round_trips(service, targets, pool, rounds)
+    finally:
+        for agent in agents:
+            agent.stop()
+    await service.flush_ingest()
+    elapsed = time.perf_counter() - started
+    after = service.cache_stats()
+
+    hits = after["prepared_hits"] - before["prepared_hits"]
+    misses = after["prepared_misses"] - before["prepared_misses"]
+    appended = (
+        after["ingest"]["log"]["appended"] - before["ingest"]["log"]["appended"]
+    )
+    for agent in agents:
+        assert agent.errors == 0, agent.stats()
+    return {
+        "latencies": latencies,
+        "answers": answers,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "appended": appended,
+        "probe_rate_per_s": appended / elapsed if elapsed else float("inf"),
+        "elapsed_s": elapsed,
+        "ingest": after["ingest"],
+    }
+
+
+@pytest.mark.benchmark(group="ingest")
+def test_sustained_churn_keeps_serving_warm(dataset, monkeypatch):
+    hosts = dataset.host_ids
+    pool = hosts[: max(8, len(hosts) // 2)]
+    targets = [h for h in hosts if h not in set(pool)][:6]
+    assert len(targets) >= 3, "cohort too small for a meaningful churn phase"
+    rounds = int(os.environ.get("OCTANT_BENCH_INGEST_ROUNDS", "6"))
+    rate_per_s = float(os.environ.get("OCTANT_BENCH_INGEST_RATE", "150"))
+    # Compaction cadence: at streaming rates, per-poll snapshot rebuilds are
+    # pure overhead -- a few swaps per second bounds staleness while leaving
+    # the CPU to the serving path (the knob the write-optimized plane adds).
+    poll_s = float(os.environ.get("OCTANT_BENCH_INGEST_POLL", "0.25"))
+
+    # ---- Phase 1 + 2: quiescent warm, then churn with selective carry ---- #
+    live = _private_live(dataset)
+
+    async def selective_run():
+        async with LocalizationService(
+            live, workers=1, ingest_poll_interval_s=poll_s
+        ) as service:
+            cold = {t: await service.localize(t, landmark_pool=pool) for t in targets}
+            quiescent, warm = await _warm_round_trips(service, targets, pool, rounds)
+            churn = await _churn_phase(service, live, targets, pool, rounds, rate_per_s)
+            return cold, quiescent, warm, churn
+
+    cold, quiescent, warm_answers, selective = asyncio.run(selective_run())
+
+    # Zero-churn warm answers are bit-identical to the cold derivations.
+    for target in targets:
+        assert _signature(warm_answers[target]) == _signature(cold[target])
+    for estimate in selective["answers"].values():
+        assert estimate.point is not None
+
+    # ---- Phase 3: the same churn with delta carry-over disabled ---------- #
+    original_adopt = BatchLocalizer.adopt_caches
+
+    def full_invalidation_adopt(self, previous, deltas):
+        return original_adopt(self, previous, None)
+
+    monkeypatch.setattr(BatchLocalizer, "adopt_caches", full_invalidation_adopt)
+    baseline_live = _private_live(dataset)
+
+    async def baseline_run():
+        async with LocalizationService(
+            baseline_live, workers=1, ingest_poll_interval_s=poll_s
+        ) as service:
+            for target in targets:
+                await service.localize(target, landmark_pool=pool)
+            await _warm_round_trips(service, targets, pool, 1)
+            return await _churn_phase(
+                service, baseline_live, targets, pool, rounds, rate_per_s
+            )
+
+    baseline = asyncio.run(baseline_run())
+    monkeypatch.undo()
+
+    quiescent_p50 = _percentile(quiescent, 0.50) * 1000
+    churn_p50 = _percentile(selective["latencies"], 0.50) * 1000
+    baseline_p50 = _percentile(baseline["latencies"], 0.50) * 1000
+    ratio = churn_p50 / quiescent_p50 if quiescent_p50 else float("inf")
+
+    print()
+    print("=" * 72)
+    print(
+        f"Sustained-churn serving -- {len(hosts)} hosts, {len(targets)} targets, "
+        f"{len(pool)} landmarks, {rounds} warm rounds"
+    )
+    print("=" * 72)
+    print(f"  quiescent warm p50:     {quiescent_p50:8.2f} ms")
+    print(
+        f"  churn warm p50:         {churn_p50:8.2f} ms  ({ratio:5.2f}x, "
+        f"gate {P50_FACTOR:.2f}x) at {selective['probe_rate_per_s']:7.1f} probes/s"
+    )
+    print(
+        f"  selective hit rate:     {selective['hit_rate']:8.1%} "
+        f"({selective['hits']} hits / {selective['misses']} misses, "
+        f"gate {HIT_RATE_FLOOR:.0%})"
+    )
+    print(
+        f"  full-invalidation p50:  {baseline_p50:8.2f} ms, "
+        f"hit rate {baseline['hit_rate']:6.1%}"
+    )
+    carried = selective["ingest"]["prepared_carried"]
+    compactions = selective["ingest"]["log"]["compactions"]
+    print(
+        f"  carry-over: {carried} prepared entries across "
+        f"{compactions} compactions "
+        f"({selective['ingest']['invalidations_selective']} selective, "
+        f"{selective['ingest']['invalidations_full']} full)"
+    )
+
+    # The gates.  Churn must actually have been sustained: more than one
+    # probe per tracked target per second, every append a value change.
+    assert selective["probe_rate_per_s"] >= len(targets)
+    assert selective["ingest"]["invalidations_full"] == 0
+    assert selective["hit_rate"] >= HIT_RATE_FLOOR
+    assert ratio <= P50_FACTOR
+    # And the baseline shows what the selective path is buying.
+    assert baseline["hit_rate"] < selective["hit_rate"]
+
+    payload = {
+        "hosts": len(hosts),
+        "targets": len(targets),
+        "landmarks": len(pool),
+        "warm_rounds": rounds,
+        "agent_rate_per_s": rate_per_s,
+        "compaction_poll_s": poll_s,
+        "quiescent_warm_p50_ms": round(quiescent_p50, 3),
+        "churn_warm_p50_ms": round(churn_p50, 3),
+        "p50_ratio": round(ratio, 3),
+        "p50_gate": P50_FACTOR,
+        "hit_rate_gate": HIT_RATE_FLOOR,
+        "selective": {
+            "hit_rate": round(selective["hit_rate"], 4),
+            "hits": selective["hits"],
+            "misses": selective["misses"],
+            "probe_rate_per_s": round(selective["probe_rate_per_s"], 1),
+            "appended": selective["appended"],
+            "compactions": selective["ingest"]["log"]["compactions"],
+            "coalesced": selective["ingest"]["log"]["coalesced"],
+            "prepared_carried": selective["ingest"]["prepared_carried"],
+            "prepared_evicted": selective["ingest"]["prepared_evicted"],
+            "invalidations_selective": selective["ingest"]["invalidations_selective"],
+            "invalidations_full": selective["ingest"]["invalidations_full"],
+        },
+        "full_baseline": {
+            "hit_rate": round(baseline["hit_rate"], 4),
+            "hits": baseline["hits"],
+            "misses": baseline["misses"],
+            "churn_warm_p50_ms": round(baseline_p50, 3),
+            "probe_rate_per_s": round(baseline["probe_rate_per_s"], 1),
+            "compactions": baseline["ingest"]["log"]["compactions"],
+        },
+    }
+    _merge_json("sustained_churn", payload)

@@ -64,3 +64,21 @@ class BoundedLRU(Generic[V]):
             except (KeyError, RuntimeError):
                 break  # racing evictor got there first
         entries[key] = value
+
+    def items(self) -> list[tuple[Hashable, V]]:
+        """A point-in-time list of ``(key, value)`` pairs, LRU-first.
+
+        Materialized in one pass so callers can walk a stable snapshot (e.g.
+        to carry surviving entries into a fresh cache) while other threads
+        keep reading; a concurrent mutation at worst omits or duplicates the
+        racing entry, mirroring the get/put race tolerance above.
+        """
+        while True:
+            try:
+                return list(self._entries.items())
+            except RuntimeError:
+                continue  # dict mutated mid-iteration; retry on the new state
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()

@@ -49,7 +49,7 @@ from typing import Mapping, Sequence
 
 from .._lru import BoundedLRU
 from ..geometry import CircleCache, GeoPoint
-from ..network.dataset import MeasurementDataset
+from ..network.dataset import IngestDelta, MeasurementDataset
 from ..network.dns import UndnsParser
 from ..resilience.deadline import checkpoint, resilience_scope
 from ..resilience.errors import classify_error
@@ -437,6 +437,87 @@ class BatchLocalizer:
         with self._tables_lock:
             self._tables_cache.put(key, tables)
         return tables
+
+    def adopt_caches(
+        self,
+        previous: "BatchLocalizer",
+        deltas: tuple[IngestDelta, ...] | None,
+    ) -> dict[str, int | bool]:
+        """Carry warm cache entries from a retired localizer across an ingest.
+
+        ``previous`` is the localizer that served the prior dataset version;
+        ``deltas`` is ``live.deltas_since(previous.dataset.version)``.  A
+        prepared entry for ``(target, pool)`` is a pure function of its
+        roster's measurements (the target's own RTTs are read live at
+        assembly time), so it survives the ingest iff no delta's changed
+        scope lands inside the roster (:meth:`IngestDelta.affects_roster`)
+        -- and, for implicit leave-one-out entries, no new host joined the
+        cohort (which changes the roster itself).  Survivors are re-keyed to
+        this localizer's dataset version, bit-identical by construction: a
+        fresh derivation would read exactly the inputs the delta proves
+        unchanged.  ``deltas is None`` (the bounded delta log no longer
+        covers the retired version, or router metadata was replaced) means
+        full invalidation: nothing is carried.
+
+        Height tables carry on the same argument scoped to locations, and
+        the shared DNS-position cache (a pure function of router records,
+        which selective deltas prove unreplaced) transfers wholesale.
+
+        Returns counters for ``cache_stats()["ingest"]`` accounting.
+        """
+        stats: dict[str, int | bool] = {
+            "full": deltas is None,
+            "prepared_carried": 0,
+            "prepared_evicted": 0,
+            "tables_carried": 0,
+            "dns_carried": 0,
+        }
+        if deltas is None:
+            with previous._prepared_lock:
+                stats["prepared_evicted"] = len(previous._prepared_cache)
+            return stats
+        prev_version = previous.dataset.version
+        new_version = self.dataset.version
+        new_hosts_any = any(d.new_hosts for d in deltas)
+        if self.prepared_cache_size > 0:
+            with previous._prepared_lock:
+                entries = previous._prepared_cache.items()
+            carried = evicted = 0
+            for key, prepared in entries:
+                version, target, pool_key = key
+                if (
+                    version != prev_version
+                    or (pool_key is None and new_hosts_any)
+                    or any(
+                        d.affects_roster(frozenset(prepared.landmark_ids))
+                        for d in deltas
+                    )
+                ):
+                    evicted += 1
+                    continue
+                with self._prepared_lock:
+                    self._prepared_cache.put((new_version, target, pool_key), prepared)
+                carried += 1
+            stats["prepared_carried"] = carried
+            stats["prepared_evicted"] = evicted
+        with previous._tables_lock:
+            table_entries = previous._tables_cache.items()
+        for key, tables in table_entries:
+            version, ids = key
+            members = frozenset(ids)
+            if version != prev_version or any(
+                not d.location_hosts.isdisjoint(members) for d in deltas
+            ):
+                continue
+            with self._tables_lock:
+                self._tables_cache.put((new_version, ids), tables)
+            stats["tables_carried"] = int(stats["tables_carried"]) + 1
+        prev_shared = previous._shared
+        if prev_shared is not None and prev_shared.dns_cache:
+            shared = self.shared_state()
+            shared.dns_cache.update(prev_shared.dns_cache)
+            stats["dns_carried"] = len(prev_shared.dns_cache)
+        return stats
 
     def prepare_many(
         self, target_ids: Sequence[str], landmark_pool: Sequence[str] | None = None

@@ -21,6 +21,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
+from .._lru import BoundedLRU
 from ..geometry import (
     CircleCache,
     GeoPoint,
@@ -164,6 +165,7 @@ class Octant:
         config: OctantConfig | None = None,
         parser: UndnsParser | None = None,
         circle_cache: CircleCache | None = None,
+        planar_memo: "BoundedLRU | None" = None,
     ):
         self.dataset = dataset
         self.config = config or OctantConfig()
@@ -181,7 +183,7 @@ class Octant:
         # (the serving layer, batch studies over dataset snapshots) keep one
         # warm cache across many Octant instances.
         self.pipeline = ConstraintPipeline(
-            dataset, self.config, self.parser, circle_cache
+            dataset, self.config, self.parser, circle_cache, planar_memo
         )
         self.circle_cache = self.pipeline.circle_cache
 

@@ -140,6 +140,7 @@ class ConstraintPipeline:
         config: OctantConfig | None = None,
         parser: UndnsParser | None = None,
         circle_cache: CircleCache | None = None,
+        planar_memo: BoundedLRU[list[PlanarConstraint]] | None = None,
     ):
         self.dataset = dataset
         self.config = config or OctantConfig()
@@ -159,8 +160,15 @@ class ConstraintPipeline:
         # Constraints are frozen dataclasses, so equal measurement state
         # yields equal keys; a repeated-target request at the same dataset
         # version therefore skips every to_planar call, not just the circle
-        # geometry underneath them.
-        self._planar_memo: BoundedLRU[list[PlanarConstraint]] = BoundedLRU(256)
+        # geometry underneath them.  Content addressing also makes the memo
+        # safe to share across pipelines over *different* dataset versions
+        # (changed measurements produce different constraints, hence
+        # different keys), so the serving layer passes one service-lifetime
+        # ``planar_memo`` through every post-ingest rebuild, like the circle
+        # cache above.
+        self._planar_memo: BoundedLRU[list[PlanarConstraint]] = (
+            planar_memo if planar_memo is not None else BoundedLRU(256)
+        )
         self.stats = PipelineStats()
         # Counter accumulation is read-modify-write; the batch engine's
         # scaled thread executor drives one shared pipeline from many

@@ -7,7 +7,15 @@ records -- with a known ground truth, so the localization algorithms can be
 evaluated end to end on a laptop.
 """
 
-from .dataset import IngestRecord, MeasurementDataset, NodeRecord, collect_dataset
+from .agents import ProbeAgent, run_agents
+from .dataset import (
+    IngestDelta,
+    IngestRecord,
+    MeasurementDataset,
+    NodeRecord,
+    collect_dataset,
+)
+from .log import MeasurementLog
 from .dns import DEFAULT_CITY_ALIASES, DnsLocationHint, UndnsParser
 from .geodata import (
     EUROPEAN_CITIES,
@@ -87,4 +95,9 @@ __all__ = [
     "MeasurementDataset",
     "collect_dataset",
     "IngestRecord",
+    "IngestDelta",
+    # streaming measurement plane
+    "MeasurementLog",
+    "ProbeAgent",
+    "run_agents",
 ]

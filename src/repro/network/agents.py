@@ -1,0 +1,185 @@
+"""Autonomous probe agents streaming measurements into a measurement log.
+
+Each :class:`ProbeAgent` models one vantage point running a measurement
+daemon: it wakes on a Poisson process, picks the next ``(src, dst)`` pair from
+its round-robin schedule, issues the probe, and appends the result to a
+:class:`~repro.network.log.MeasurementLog`.  A fleet of agents is the live
+churn scenario the ROADMAP's "continuous measurement plane" item asks for --
+sustained writes arriving while the serving tier localizes against pinned
+snapshots.
+
+Determinism: inter-arrival gaps and the probe schedule derive from
+:func:`~repro.resilience.faults.stable_uniform` keyed on ``(agent name, seed,
+tick index)``, so the *sequence of measurements* produced by a run is a pure
+function of its configuration.  Only the wall-clock interleaving with the
+compactor varies between runs, which is exactly the nondeterminism the
+hammer tests exercise.
+
+``probe_fn`` exists because :class:`~repro.network.probes.Prober` is
+stateless and deterministic: re-probing a pair returns the identical
+``PingResult``, which the delta-scoped invalidation correctly treats as a
+no-op.  Benchmarks that need *honest* churn inject a ``probe_fn`` that
+perturbs RTTs deterministically per tick.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from ..resilience.faults import stable_uniform
+from .log import MeasurementLog
+from .probes import PingResult, Prober
+
+__all__ = ["ProbeAgent", "run_agents"]
+
+
+class ProbeAgent:
+    """One streaming measurement agent feeding a :class:`MeasurementLog`.
+
+    Parameters
+    ----------
+    name:
+        Stable identity; keys the deterministic arrival/schedule draws.
+    log:
+        Destination for every probe result.
+    pairs:
+        The ``(src, dst)`` pairs this agent owns, probed round-robin with a
+        deterministic per-tick rotation.
+    rate_per_s:
+        Mean Poisson probe rate.  Gaps are ``-ln(1 - u) / rate`` with ``u``
+        drawn from ``stable_uniform(name, seed, tick)``.
+    probe_fn:
+        ``(src, dst, tick) -> PingResult``; defaults to ``prober.ping`` when
+        a ``prober`` is given instead.
+    seed:
+        Folded into every draw, so fleets can be re-seeded as a unit.
+    max_ticks:
+        Optional stop bound, for bounded test runs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        log: MeasurementLog,
+        pairs: Sequence[tuple[str, str]],
+        *,
+        rate_per_s: float = 50.0,
+        prober: Prober | None = None,
+        probe_fn: Callable[[str, str, int], PingResult] | None = None,
+        seed: int = 0,
+        max_ticks: int | None = None,
+    ) -> None:
+        if not pairs:
+            raise ValueError("agent needs at least one (src, dst) pair")
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0, got {rate_per_s!r}")
+        if probe_fn is None:
+            if prober is None:
+                raise ValueError("provide either probe_fn or prober")
+            probe_fn = lambda src, dst, tick: prober.ping(src, dst)  # noqa: E731
+        self.name = name
+        self.log = log
+        self.pairs = tuple(pairs)
+        self.rate_per_s = rate_per_s
+        self.probe_fn = probe_fn
+        self.seed = seed
+        self.max_ticks = max_ticks
+        self.ticks = 0
+        self.errors = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ #
+    # Deterministic schedule
+    # ------------------------------------------------------------------ #
+    def gap_s(self, tick: int) -> float:
+        """Poisson inter-arrival gap before ``tick`` (pure function)."""
+        u = stable_uniform("agent-gap", self.name, self.seed, tick)
+        return -math.log(1.0 - u) / self.rate_per_s
+
+    def pair_for(self, tick: int) -> tuple[str, str]:
+        """The pair probed at ``tick``: round-robin with a seeded offset."""
+        offset = int(
+            stable_uniform("agent-pair", self.name, self.seed) * len(self.pairs)
+        )
+        return self.pairs[(offset + tick) % len(self.pairs)]
+
+    def step(self) -> int:
+        """Probe once (synchronously) and append the result; returns the seq."""
+        tick = self.ticks
+        src, dst = self.pair_for(tick)
+        result = self.probe_fn(src, dst, tick)
+        seq = self.log.append(pings=(result,))
+        self.ticks = tick + 1
+        return seq
+
+    # ------------------------------------------------------------------ #
+    # Streaming loop
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ProbeAgent":
+        """Run the agent loop on a daemon thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name=f"probe-agent-{self.name}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Signal the loop to exit and join the thread."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+        self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            if self.max_ticks is not None and self.ticks >= self.max_ticks:
+                return
+            if self._stop.wait(timeout=self.gap_s(self.ticks)):
+                return
+            try:
+                self.step()
+            except RuntimeError:
+                # Log stopped under us: the fleet is shutting down.
+                self.errors += 1
+                return
+            except Exception:  # noqa: BLE001 - a dead agent, not a dead fleet
+                self.errors += 1
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "ticks": self.ticks,
+            "errors": self.errors,
+            "running": self._thread is not None and self._thread.is_alive(),
+        }
+
+
+def run_agents(
+    agents: Sequence[ProbeAgent],
+    duration_s: float,
+    *,
+    poll_s: float = 0.01,
+) -> None:
+    """Run a fleet for ``duration_s`` (or until all hit max_ticks), then stop."""
+    for agent in agents:
+        agent.start()
+    deadline = time.monotonic() + duration_s
+    try:
+        while time.monotonic() < deadline:
+            if all(
+                a.max_ticks is not None and a.ticks >= a.max_ticks for a in agents
+            ):
+                break
+            time.sleep(poll_s)
+    finally:
+        for agent in agents:
+            agent.stop()

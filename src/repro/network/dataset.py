@@ -30,6 +30,7 @@ from .probes import PingResult, TracerouteResult
 from .whois import WhoisRecord, WhoisRegistry
 
 __all__ = [
+    "IngestDelta",
     "IngestRecord",
     "NodeRecord",
     "MeasurementDataset",
@@ -76,11 +77,15 @@ class PairMatrixView(MappingABC):
             iu, ju = np.triu_indices(n, k=1)
             upper = self._matrix[iu, ju]
             keep = ~np.isnan(upper)
-            for i, j, value in zip(
-                iu[keep].tolist(), ju[keep].tolist(), upper[keep].tolist()
-            ):
-                pairs.append((ids[i], ids[j]))
-                values.append(value)
+            # Bulk construction instead of per-pair appends: one NaN filter,
+            # one tolist() per array, one zip-driven comprehension.  Values
+            # are the same float objects tolist() produced before, so the
+            # view stays bit-identical to the dict it replaced.
+            pairs = [
+                (ids[i], ids[j])
+                for i, j in zip(iu[keep].tolist(), ju[keep].tolist())
+            ]
+            values = upper[keep].tolist()
         self._pairs = pairs
         self._values = values
 
@@ -180,6 +185,101 @@ class IngestRecord:
             router_pings=dict(self.router_pings),
         )
 
+    @classmethod
+    def merge(cls, records: Sequence["IngestRecord"]) -> "IngestRecord":
+        """Coalesce a sequence of records into one equivalent record.
+
+        Applying the merged record yields the same final dataset state as
+        applying the sequence in order -- hosts/routers/pings/traceroutes
+        last-wins per key, router latency samples min-merge (associative and
+        commutative) -- in a single version bump.  This is what lets the
+        measurement log compact a burst of appends into one ingest, and the
+        sharded tier replicate the burst as one fan-out frame.
+        """
+        hosts: dict[str, NodeRecord] = {}
+        routers: dict[str, NodeRecord] = {}
+        pings: dict[tuple[str, str], PingResult] = {}
+        traceroutes: dict[tuple[str, str], TracerouteResult] = {}
+        router_pings: dict[tuple[str, str], float] = {}
+        for record in records:
+            for host in record.hosts:
+                hosts[host.node_id] = host
+            for router in record.routers:
+                routers[router.node_id] = router
+            for ping in record.pings:
+                pings[(ping.src, ping.dst)] = ping
+            for trace in record.traceroutes:
+                traceroutes[(trace.src, trace.dst)] = trace
+            for key, rtt in record.router_pings:
+                current = router_pings.get(key)
+                if current is None or rtt < current:
+                    router_pings[key] = rtt
+        return cls(
+            hosts=tuple(hosts.values()),
+            pings=tuple(pings.values()),
+            traceroutes=tuple(traceroutes.values()),
+            routers=tuple(routers.values()),
+            router_pings=tuple(sorted(router_pings.items())),
+        )
+
+
+@dataclass(frozen=True)
+class IngestDelta:
+    """The exact scope of one ingest generation, for delta-scoped invalidation.
+
+    :meth:`MeasurementDataset.touched_since` answers "which *hosts* changed"
+    -- too coarse for the warm caches: a refreshed landmark-to-target probe
+    touches both endpoints, so under leave-one-out pools every prepared
+    derivation looks stale even though none of its inputs moved.  A delta
+    records what an ingest changed at the granularity the caches actually
+    depend on:
+
+    * ``ping_pairs`` -- host pairs whose *combined min-RTT value changed*
+      (canonical ``(a, b)`` with ``a < b``).  A re-probe that lands on the
+      same minimum is invisible to every estimator and is not recorded.
+    * ``record_hosts`` -- hosts whose :class:`NodeRecord` was added or
+      actually changed (a re-ingested identical record is not recorded).
+    * ``new_hosts`` -- the subset of ``record_hosts`` that joined the
+      roster (they change every implicit leave-one-out landmark set).
+    * ``router_observers`` -- hosts whose router latency table gained or
+      lowered an entry (the min-merge can no-op; those are not recorded).
+    * ``router_replaced`` -- an existing router record changed: DNS-derived
+      router hints have no per-host scope, so this forces full invalidation.
+
+    A derived cache entry whose landmark roster is disjoint from every
+    recorded scope is untouched by the ingest and may be carried forward to
+    the new version unchanged -- the carried object is bit-identical to a
+    re-derivation because none of its inputs changed.
+    """
+
+    version: int
+    touched: frozenset[str]
+    record_hosts: frozenset[str] = frozenset()
+    new_hosts: frozenset[str] = frozenset()
+    location_hosts: frozenset[str] = frozenset()
+    ping_pairs: frozenset[tuple[str, str]] = frozenset()
+    router_observers: frozenset[str] = frozenset()
+    router_replaced: bool = False
+
+    def affects_roster(self, roster: frozenset[str]) -> bool:
+        """Would a cache entry derived from exactly ``roster`` be stale?
+
+        True when any changed host record, changed-value pair, or router
+        observation lies *within* the roster.  Pairs with an endpoint
+        outside the roster (e.g. a landmark-to-target probe, target not in
+        the pool) leave the derivation's inputs untouched.
+        """
+        if self.router_replaced:
+            return True
+        if not self.record_hosts.isdisjoint(roster):
+            return True
+        if not self.router_observers.isdisjoint(roster):
+            return True
+        for a, b in self.ping_pairs:
+            if a in roster and b in roster:
+                return True
+        return False
+
 
 @dataclass
 class MeasurementDataset:
@@ -232,9 +332,13 @@ class MeasurementDataset:
     _touched_log: list[tuple[int, frozenset[str]]] = field(
         default_factory=list, init=False, repr=False, compare=False
     )
+    _delta_log: list[IngestDelta] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
 
-    #: How many ingest generations :meth:`touched_since` can answer about
-    #: before reporting "unknown" (callers then invalidate everything).
+    #: How many ingest generations :meth:`touched_since` (and the structured
+    #: :meth:`deltas_since`) can answer about before reporting "unknown"
+    #: (callers then invalidate everything).
     TOUCHED_LOG_LIMIT = 64
 
     # ------------------------------------------------------------------ #
@@ -435,6 +539,28 @@ class MeasurementDataset:
                 touched |= hosts
         return frozenset(touched)
 
+    def deltas_since(self, version: int) -> tuple[IngestDelta, ...] | None:
+        """Per-ingest :class:`IngestDelta` records applied after ``version``.
+
+        The fine-grained companion to :meth:`touched_since`: instead of a
+        single union of touched hosts, each returned delta scopes one ingest
+        down to the measurements that actually *changed value* -- refreshed
+        pings landing on the same combined minimum, or host records replayed
+        unchanged, produce no scope at all.  Cache layers use
+        :meth:`IngestDelta.affects_roster` to keep entries whose inputs
+        provably did not move.
+
+        Returns an empty tuple when nothing changed, or ``None`` when the
+        bounded log no longer covers ``version`` (including after a router
+        metadata replacement, which clears the log to force full
+        invalidation).
+        """
+        if version >= self._version:
+            return ()
+        if not self._delta_log or self._delta_log[0].version > version + 1:
+            return None
+        return tuple(d for d in self._delta_log if d.version > version)
+
     def snapshot(self) -> "MeasurementDataset":
         """An immutable copy-on-write snapshot of the current measurements.
 
@@ -546,11 +672,18 @@ class MeasurementDataset:
 
         touched: set[str] = set()
         location_touched: set[str] = set()
+        record_hosts: set[str] = set()
+        new_hosts: set[str] = set()
+        router_observers: set[str] = set()
         router_replaced = False
         for record in hosts:
             existing = self.hosts.get(record.node_id)
+            if existing is None:
+                new_hosts.add(record.node_id)
             if existing is None or existing.location != record.location:
                 location_touched.add(record.node_id)
+            if existing is None or existing != record:
+                record_hosts.add(record.node_id)
             self.hosts[record.node_id] = record
             touched.add(record.node_id)
         for record in routers:
@@ -561,10 +694,24 @@ class MeasurementDataset:
                 # as a touched-host set; force full downstream invalidation.
                 router_replaced = True
             self.routers[record.node_id] = record
-        for ping in pings:
+        # Per canonical pair: combined min-RTT before the batch lands, so the
+        # delta records only pairs whose *value* an estimator could observe
+        # changing (a re-probe landing on the same minimum is a no-op).
+        ping_list = list(pings)
+        old_pair_min: dict[tuple[str, str], float | None] = {}
+        for ping in ping_list:
+            key = (ping.src, ping.dst) if ping.src < ping.dst else (ping.dst, ping.src)
+            if key not in old_pair_min:
+                old_pair_min[key] = self.min_rtt_ms(*key)
+        for ping in ping_list:
             self.pings[(ping.src, ping.dst)] = ping
             touched.add(ping.src)
             touched.add(ping.dst)
+        ping_pairs = {
+            key
+            for key, old in old_pair_min.items()
+            if self.min_rtt_ms(*key) != old
+        }
         for trace in traceroutes:
             self.traceroutes[(trace.src, trace.dst)] = trace
             touched.add(trace.src)
@@ -573,6 +720,7 @@ class MeasurementDataset:
             current = self.router_pings.get((host_id, router_id))
             if current is None or rtt < current:
                 self.router_pings[(host_id, router_id)] = rtt
+                router_observers.add(host_id)
             touched.add(host_id)
 
         frozen_touched = frozenset(touched)
@@ -583,9 +731,22 @@ class MeasurementDataset:
             # report "unknown" for every earlier version, which is the
             # conservative full invalidation this mutation requires.
             self._touched_log.clear()
+            self._delta_log.clear()
         else:
             self._touched_log.append((self._version, frozen_touched))
             del self._touched_log[: -self.TOUCHED_LOG_LIMIT]
+            self._delta_log.append(
+                IngestDelta(
+                    version=self._version,
+                    touched=frozen_touched,
+                    record_hosts=frozenset(record_hosts),
+                    new_hosts=frozenset(new_hosts),
+                    location_hosts=frozenset(location_touched),
+                    ping_pairs=frozenset(ping_pairs),
+                    router_observers=frozenset(router_observers),
+                )
+            )
+            del self._delta_log[: -self.TOUCHED_LOG_LIMIT]
         return frozen_touched
 
     def _extend_matrices(
@@ -613,16 +774,36 @@ class MeasurementDataset:
                 matrix[np.ix_(new_pos, new_pos)] = self._rtt_view.matrix[
                     np.ix_(old_pos, old_pos)
                 ]
+            n = len(ids)
+            get = self.pings.get
             for host in sorted(touched):
                 i = index.get(host)
                 if i is None:
                     continue
-                for j, other in enumerate(ids):
-                    if other == host:
-                        matrix[i, j] = np.nan
-                        continue
-                    rtt = self.min_rtt_ms(host, other)
-                    matrix[i, j] = matrix[j, i] = np.nan if rtt is None else rtt
+                # Whole-row recompute: gather both probing directions into
+                # flat arrays and combine with fmin (NaN = unmeasured, and
+                # fmin(x, nan) == x), which reproduces min_rtt_ms exactly for
+                # positive RTTs.  Row and column are assigned in bulk.
+                fwd = np.fromiter(
+                    (
+                        r.min_rtt_ms if (r := get((host, other))) is not None else np.nan
+                        for other in ids
+                    ),
+                    dtype=np.float64,
+                    count=n,
+                )
+                bwd = np.fromiter(
+                    (
+                        r.min_rtt_ms if (r := get((other, host))) is not None else np.nan
+                        for other in ids
+                    ),
+                    dtype=np.float64,
+                    count=n,
+                )
+                row = np.fmin(fwd, bwd)
+                row[i] = np.nan
+                matrix[i, :] = row
+                matrix[:, i] = row
             self._rtt_index = index
             self._rtt_view = PairMatrixView(ids, index, matrix)
             self._rtt_degree = None

@@ -54,6 +54,7 @@ from ..core.batch import failed_estimate
 from ..core.config import OctantConfig
 from ..core.estimate import LocationEstimate
 from ..network.dataset import IngestRecord, MeasurementDataset
+from ..network.log import MeasurementLog
 from ..resilience import (
     BreakerBoard,
     Deadline,
@@ -234,6 +235,14 @@ class ShardedLocalizationService:
         self._ingest_gate: asyncio.Lock | None = None
         self._local_gate: asyncio.Lock | None = None
         self._local = None  # lazily started in-process LocalizationService
+        #: Write-optimized replicated ingest: ``ingest_nowait`` appends ride
+        #: this log's delta buffer; the background compactor coalesces a
+        #: burst into one merged record and replicates it as a single
+        #: fan-out frame (one version bump cluster-wide per compaction).
+        #: ``committed_version`` semantics are unchanged -- the compactor
+        #: advances it only after every live recipient acknowledged, exactly
+        #: like the synchronous :meth:`ingest`.
+        self.measurement_log = MeasurementLog(self._replicate_record)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -264,6 +273,7 @@ class ShardedLocalizationService:
         await loop.run_in_executor(None, self._await_ready)
         if self._supervisor is not None:
             self._supervisor.start()
+        self.measurement_log.start()
         self.started = True
         return self
 
@@ -287,9 +297,12 @@ class ShardedLocalizationService:
         if not self.started and self._ctx is None:
             return
         self._closing = True
+        loop = asyncio.get_running_loop()
+        # Drain buffered appends (each compaction replicates and awaits
+        # acks) before tearing down the workers they replicate to.
+        await loop.run_in_executor(None, self.measurement_log.stop)
         if self._supervisor is not None:
             self._supervisor.stop()
-        loop = asyncio.get_running_loop()
         for handle in self._handles:
             try:
                 _, future = handle.call(
@@ -691,7 +704,9 @@ class ShardedLocalizationService:
                 if isinstance(reply, ErrorReply):
                     handle.mark_dead(f"ingest rejected: {reply.error}")
                     handle.kill(join_timeout=2.0)
-            self._committed_version = version
+            # max(): a background compaction may have committed a later
+            # version while this fan-out's acks were in flight.
+            self._committed_version = max(self._committed_version, version)
             self.stats.ingests += 1
             return touched
 
@@ -722,6 +737,66 @@ class ShardedLocalizationService:
                     continue  # dead/starting/syncing: log or snapshot covers it
                 sends.append((handle, request_id, future))
         return touched, version, sends
+
+    def ingest_nowait(
+        self,
+        hosts: Iterable = (),
+        pings: Iterable = (),
+        traceroutes: Iterable = (),
+        routers: Iterable = (),
+        router_pings: Mapping[tuple[str, str], float] | None = None,
+    ) -> int:
+        """Append measurements to the replicated write log; returns their seq.
+
+        The caller never blocks on matrix extension or worker round trips:
+        the payload lands in the measurement log's buffer and the compactor
+        replicates a merged record in the background.  ``committed_version``
+        advances per compaction, after acknowledgement, exactly as
+        :meth:`ingest`'s does; use :meth:`flush_ingest` to barrier.
+        """
+        self._ensure_started()
+        return self.measurement_log.append(
+            hosts=hosts,
+            pings=pings,
+            traceroutes=traceroutes,
+            routers=routers,
+            router_pings=router_pings,
+        )
+
+    async def flush_ingest(self, timeout: float | None = 30.0) -> int:
+        """Await compaction+replication of everything appended so far."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, lambda: self.measurement_log.flush(timeout=timeout)
+        )
+
+    def _replicate_record(self, record: IngestRecord) -> int:
+        """Measurement-log apply hook: commit + replicate one merged record.
+
+        The synchronous twin of :meth:`ingest`'s fan-out (the compactor is a
+        plain thread), reusing :meth:`_commit_record` for the
+        membership-locked apply/log/send step and blocking on each ack
+        future directly.  Ack failures follow the same policy: the recipient
+        is declared dead (supervision restarts it from a post-ingest
+        snapshot), never left silently stale.
+        """
+        touched, version, sends = self._commit_record(record)
+        for handle, request_id, future in sends:
+            try:
+                reply = future.result(timeout=self.cluster.attempt_timeout_s)
+            except TimeoutError:
+                handle.discard(request_id)
+                handle.mark_dead("ingest ack timeout")
+                handle.kill(join_timeout=2.0)
+                continue
+            except (WorkerDied, WorkerUnavailable):
+                continue  # already marked dead; restart re-snapshots
+            if isinstance(reply, ErrorReply):
+                handle.mark_dead(f"ingest rejected: {reply.error}")
+                handle.kill(join_timeout=2.0)
+        self._committed_version = max(self._committed_version, version)
+        self.stats.ingests += 1
+        return version
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -784,11 +859,17 @@ class ShardedLocalizationService:
         else:
             status = "degraded"
         supervisor = self._supervisor
+        log_stats = self.measurement_log.stats()
         return {
             "status": status,
             "started": self.started,
             "supervised": self.cluster.supervise,
             "committed_version": self._committed_version,
+            # Replicated write-plane backlog: appends not yet compacted into
+            # a committed version, and the age of the oldest one.
+            "ingest_pending": log_stats["pending"],
+            "compaction_lag_s": round(float(log_stats["lag_seconds"]), 6),
+            "ingest_log": log_stats,
             "live_shards": live,
             "shards": shards,
             "breakers_open": open_breakers,

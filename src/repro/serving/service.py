@@ -46,10 +46,12 @@ import asyncio
 import threading
 import time
 import traceback as traceback_module
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from .._lru import BoundedLRU
 from ..baselines.shortest_ping import ShortestPing
 from ..core.batch import BatchLocalizer, failed_estimate
 from ..core.config import OctantConfig
@@ -59,8 +61,9 @@ from ..core.pipeline import PipelineStats
 from ..geometry import CircleCache
 from ..geometry.kernel import geometry_table_stats
 from ..geometry.kernel_compiled import kernel_runtime_stats
-from ..network.dataset import MeasurementDataset
+from ..network.dataset import IngestDelta, IngestRecord, MeasurementDataset
 from ..network.dns import UndnsParser
+from ..network.log import MeasurementLog
 from ..network.probes import PingResult, TracerouteResult
 from ..resilience import (
     BreakerBoard,
@@ -76,7 +79,7 @@ from ..resilience import (
     resilience_scope,
 )
 
-__all__ = ["LocalizationService", "ServiceStats"]
+__all__ = ["DriftDetector", "LocalizationService", "ServiceStats"]
 
 #: Solver-engine degradation ladder, strongest (most batched) first.  All
 #: three engines are bit-identical (pinned by the engine-equivalence
@@ -156,6 +159,162 @@ class _Request:
     token: CancelToken = field(default_factory=CancelToken)
 
 
+class DriftDetector:
+    """Selective re-localization of targets whose measurements drifted.
+
+    Each compaction's :class:`~repro.network.dataset.IngestDelta` names the
+    measurements that changed value; the detector intersects that scope with
+    the targets the service has already answered (``_seen``) and enqueues
+    only those -- a target whose own pings, host record or router
+    observations moved -- onto a bounded work queue.  A background thread
+    re-localizes them against the *new* snapshot, which both refreshes the
+    answer and re-warms the prepared cache entries the ingest evicted,
+    before live traffic pays the cold cost.
+
+    The queue is bounded (oldest entries dropped, counted) and each
+    re-localization runs under its own deadline, so a burst of churn can
+    never wedge the thread or grow memory: drift work is strictly
+    best-effort background load.
+    """
+
+    def __init__(
+        self,
+        service: "LocalizationService",
+        *,
+        queue_limit: int = 64,
+        deadline_s: float | None = 5.0,
+    ) -> None:
+        self._service = service
+        self.queue_limit = max(1, queue_limit)
+        self.deadline_s = deadline_s
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: deque[str] = deque()
+        self._queued: set[str] = set()
+        self.enqueued = 0
+        self.dropped = 0
+        self.processed = 0
+        self.errors = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: Latest drift-refreshed estimate per target (bounded by the seen
+        #: population; consumers poll it for push-style notification).
+        self.refreshed: dict[str, LocationEstimate] = {}
+
+    @staticmethod
+    def affected_targets(deltas: Sequence[IngestDelta]) -> set[str]:
+        """Hosts whose *own* localization inputs changed value.
+
+        Under leave-one-out every answer formally depends on every other
+        host, but the drift trigger is the target's own measurements: its
+        ping RTTs (read live at assembly), its host record, or its router
+        observations.  Roster-side churn is handled by cache invalidation,
+        not re-localization.
+        """
+        affected: set[str] = set()
+        for delta in deltas:
+            affected |= delta.record_hosts
+            affected |= delta.router_observers
+            for a, b in delta.ping_pairs:
+                affected.add(a)
+                affected.add(b)
+        return affected
+
+    def notify(self, targets: Iterable[str]) -> int:
+        """Enqueue targets for re-localization; returns how many were new."""
+        added = 0
+        with self._lock:
+            for target in targets:
+                if target in self._queued:
+                    continue
+                self._queue.append(target)
+                self._queued.add(target)
+                self.enqueued += 1
+                added += 1
+                while len(self._queue) > self.queue_limit:
+                    stale = self._queue.popleft()
+                    self._queued.discard(stale)
+                    self.dropped += 1
+            if added:
+                self._wakeup.notify()
+        return added
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def start(self) -> "DriftDetector":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="octant-drift", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        self._stop.set()
+        with self._lock:
+            self._wakeup.notify_all()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+        self._thread = None
+
+    def drain(self, timeout: float | None = 10.0) -> None:
+        """Process the queue inline until empty (for tests / no-thread use)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._step():
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("drift queue did not drain in time")
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                while not self._queue and not self._stop.is_set():
+                    self._wakeup.wait(timeout=0.1)
+                if self._stop.is_set():
+                    return
+            self._step()
+
+    def _step(self) -> bool:
+        with self._lock:
+            if not self._queue:
+                return False
+            target = self._queue.popleft()
+            self._queued.discard(target)
+        localizer = self._service._current
+        if localizer is None:
+            return True
+        deadline = (
+            Deadline.after(self.deadline_s) if self.deadline_s is not None else None
+        )
+        try:
+            with resilience_scope(
+                plan=self._service.fault_plan, deadline=deadline
+            ):
+                estimate = localizer.localize_one(target)
+            self.refreshed[target] = estimate
+            self.processed += 1
+        except Exception:  # noqa: BLE001 - best-effort background work
+            self.errors += 1
+        return True
+
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            depth = len(self._queue)
+        return {
+            "queue_depth": depth,
+            "queue_limit": self.queue_limit,
+            "enqueued": self.enqueued,
+            "processed": self.processed,
+            "dropped": self.dropped,
+            "errors": self.errors,
+            "running": self._thread is not None and self._thread.is_alive(),
+        }
+
+
 class LocalizationService:
     """Serve ``localize(target)`` requests over a live measurement dataset.
 
@@ -188,6 +347,11 @@ class LocalizationService:
         prepared_cache_size: int = 128,
         resilience: ResilienceConfig | None = None,
         fault_plan: FaultPlan | None = None,
+        ingest_max_pending: int = 4096,
+        ingest_poll_interval_s: float = 0.05,
+        drift_relocalize: bool = False,
+        drift_queue_limit: int = 64,
+        drift_deadline_s: float | None = 5.0,
     ):
         if dataset.is_snapshot:
             raise ValueError("serve the live dataset, not a snapshot")
@@ -204,6 +368,45 @@ class LocalizationService:
         #: One geometry cache for the service's whole lifetime: entries are
         #: content-addressed, so they stay valid across snapshots/ingests.
         self.circle_cache = CircleCache(capacity=self.config.solver.circle_cache_size)
+        #: Service-lifetime planar constraint memo, threaded through every
+        #: post-ingest pipeline rebuild; like the circle cache its entries
+        #: are content-addressed (keyed by the constraint values themselves),
+        #: so unchanged constraints stay memoized across snapshots.
+        self.planar_memo: BoundedLRU = BoundedLRU(256)
+        #: Write-optimized ingest plane: appends land in this log's delta
+        #: buffer (lock-cheap, no matrix work) and a background compactor
+        #: merges them into one ingest + snapshot swap (see
+        #: repro.network.log).  Started/stopped with the service.
+        #: ``ingest_poll_interval_s`` is the compaction cadence: longer
+        #: intervals coalesce more appends per snapshot rebuild (less CPU
+        #: stolen from serving) at the cost of staleness, bounded by the
+        #: interval itself.
+        self.measurement_log = MeasurementLog(
+            self._apply_record,
+            on_commit=self._on_compaction,
+            max_pending=ingest_max_pending,
+            poll_interval_s=ingest_poll_interval_s,
+        )
+        #: Opt-in drift detector: re-localizes (and re-warms) only the
+        #: targets whose own measurements changed value in a compaction.
+        self.drift: DriftDetector | None = (
+            DriftDetector(
+                self,
+                queue_limit=drift_queue_limit,
+                deadline_s=drift_deadline_s,
+            )
+            if drift_relocalize
+            else None
+        )
+        #: Delta-scoped invalidation accounting (cache_stats()["ingest"]).
+        self._ingest_accounting: dict[str, int] = {
+            "invalidations_full": 0,
+            "invalidations_selective": 0,
+            "prepared_carried": 0,
+            "prepared_evicted": 0,
+            "tables_carried": 0,
+            "dns_carried": 0,
+        }
         self.stats = ServiceStats()
         self._queue: asyncio.Queue[_Request] | None = None
         self._executor: ThreadPoolExecutor | None = None
@@ -248,6 +451,9 @@ class LocalizationService:
         self._workers = [
             loop.create_task(self._worker_loop()) for _ in range(self.workers)
         ]
+        self.measurement_log.start()
+        if self.drift is not None:
+            self.drift.start()
 
     async def stop(self) -> None:
         """Drain queued requests, then shut the workers and executor down."""
@@ -255,6 +461,13 @@ class LocalizationService:
             return
         self._closing = True  # reject new admissions while draining
         try:
+            # Drain buffered ingest appends first (off-loop: compaction
+            # rebuilds a localizer), then stop the background threads.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.measurement_log.stop
+            )
+            if self.drift is not None:
+                self.drift.stop()
             await self._queue.join()
             for task in self._workers:
                 task.cancel()
@@ -763,6 +976,10 @@ class LocalizationService:
         stats = self.stats
         stats.served += 1
         details = estimate.details
+        # Which dataset snapshot this answer was pinned to at enqueue time:
+        # the observable half of the optimistic-concurrency contract (a
+        # batch straddling an ingest can be audited answer by answer).
+        details.setdefault("snapshot_version", request.snapshot_version)
         degraded = details.get("degraded")
         if isinstance(degraded, dict):
             stats.degraded_answers += 1
@@ -819,7 +1036,58 @@ class LocalizationService:
             ),
         )
 
+    def ingest_nowait(
+        self,
+        hosts: Iterable = (),
+        pings: Iterable[PingResult] = (),
+        traceroutes: Iterable[TracerouteResult] = (),
+        routers: Iterable = (),
+        router_pings: Mapping[tuple[str, str], float] | None = None,
+    ) -> int:
+        """Append measurements to the write-optimized log; returns their seq.
+
+        The write path for sustained measurement traffic: the payload lands
+        in the measurement log's delta buffer under one short mutex hold --
+        no matrix extension, no snapshot rebuild, no cache invalidation on
+        the caller's thread.  The background compactor coalesces buffered
+        appends into a single :meth:`MeasurementDataset.ingest` (one version
+        bump per compaction, however many appends it absorbed) and swaps in
+        the fresh snapshot exactly as :meth:`ingest` does.  Call
+        ``measurement_log.flush()`` to barrier on everything appended so
+        far.
+        """
+        return self.measurement_log.append(
+            hosts=hosts,
+            pings=pings,
+            traceroutes=traceroutes,
+            routers=routers,
+            router_pings=router_pings,
+        )
+
+    async def flush_ingest(self, timeout: float | None = 30.0) -> int:
+        """Await compaction of everything appended via :meth:`ingest_nowait`."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, lambda: self.measurement_log.flush(timeout=timeout)
+        )
+
     def _ingest_sync(self, payload: dict) -> frozenset[str]:
+        return self._apply_payload(payload)
+
+    def _apply_record(self, record: IngestRecord) -> int:
+        """Measurement-log apply hook: compact one merged record; new version."""
+        self._apply_payload(
+            dict(
+                hosts=record.hosts,
+                pings=record.pings,
+                traceroutes=record.traceroutes,
+                routers=record.routers,
+                router_pings=dict(record.router_pings),
+            )
+        )
+        return self._live.version
+
+    def _apply_payload(self, payload: dict) -> frozenset[str]:
         with self._ingest_lock:
             # The ingest stage boundary is checkpointed like any pipeline
             # stage: chaos plans can inject latency or failure here, and an
@@ -827,20 +1095,66 @@ class LocalizationService:
             # before any mutation happens.
             with resilience_scope(plan=self.fault_plan):
                 checkpoint("ingest")
+            retired = self._current
+            # Deltas are scoped to the *retired snapshot's* version: that is
+            # the state whose caches adopt_caches() carries.  It normally
+            # equals the live version, but if the live dataset was advanced
+            # behind the service's back the gap shows up here and resolves
+            # to a full invalidation (deltas_since returns None).
+            previous_version = (
+                retired.dataset.version if retired is not None else self._live.version
+            )
             touched = self._live.ingest(**payload)
             # Build before swapping so concurrent localize() calls always
             # observe a usable localizer (the old snapshot until the swap,
             # which is exactly the enqueue-time-snapshot contract).
-            self._swap_localizer(self._build_localizer())
+            fresh = self._build_localizer()
+            deltas = self._live.deltas_since(previous_version)
+            if retired is not None:
+                adopt = fresh.adopt_caches(retired, deltas)
+                with self._stats_lock:
+                    accounting = self._ingest_accounting
+                    if adopt["full"]:
+                        accounting["invalidations_full"] += 1
+                    else:
+                        accounting["invalidations_selective"] += 1
+                    for key in (
+                        "prepared_carried",
+                        "prepared_evicted",
+                        "tables_carried",
+                        "dns_carried",
+                    ):
+                        accounting[key] += int(adopt[key])
+            self._swap_localizer(fresh)
             self.stats.ingests += 1
+            if self.drift is not None and deltas:
+                # Membership probes (not iteration) against _seen: it is
+                # mutated lock-free by request completions on other threads.
+                affected = DriftDetector.affected_targets(deltas)
+                self.drift.notify(
+                    t for t in sorted(affected) if t in self._seen
+                )
         return touched
+
+    def _on_compaction(self, version: int, record: IngestRecord) -> None:
+        """Measurement-log commit hook (runs on the compactor thread)."""
+        # The apply hook already did the swap + drift notification under the
+        # ingest lock; this is the seam where external observers (metrics,
+        # replication) would be notified.  Kept as a method so subclasses
+        # and the sharded tier can override.
 
     # ------------------------------------------------------------------ #
     # Snapshot localizer plumbing
     # ------------------------------------------------------------------ #
     def _build_localizer(self) -> BatchLocalizer:
         snapshot = self._live.snapshot()
-        octant = Octant(snapshot, self.config, self.parser, circle_cache=self.circle_cache)
+        octant = Octant(
+            snapshot,
+            self.config,
+            self.parser,
+            circle_cache=self.circle_cache,
+            planar_memo=self.planar_memo,
+        )
         localizer = BatchLocalizer(
             octant, prepared_cache_size=self.prepared_cache_size
         )
@@ -907,6 +1221,7 @@ class LocalizationService:
             name for name, snap in breakers.items() if snap["state"] != "closed"
         )
         queue_depth = self._queue.qsize() if self._queue is not None else 0
+        log_stats = self.measurement_log.stats()
         return {
             "ready": self.started and not self._closing,
             "snapshot_version": self._live.version,
@@ -920,6 +1235,15 @@ class LocalizationService:
             ).get("backend"),
             "degraded_answers": self.stats.degraded_answers,
             "deadline_failures": self.stats.deadline_failures,
+            # Write-plane lag: how far the compactor is behind the newest
+            # buffered append (age of the oldest un-compacted entry) and how
+            # many appends are waiting.  A router can prefer a peer whose
+            # answers pin a fresher snapshot.
+            "compaction_lag_s": round(float(log_stats["lag_seconds"]), 6),
+            "ingest_pending": log_stats["pending"],
+            "drift_queue_depth": (
+                self.drift.depth() if self.drift is not None else 0
+            ),
         }
 
     def health(self) -> dict[str, object]:
@@ -1016,6 +1340,25 @@ class LocalizationService:
             "pipeline": pipeline,
             "fused": self._fused_stats_snapshot(),
             "resilience": self._resilience_stats_snapshot(),
+            "ingest": self._ingest_stats_snapshot(),
+        }
+
+    def _ingest_stats_snapshot(self) -> dict[str, object]:
+        """The ``cache_stats()["ingest"]`` section: write-plane counters.
+
+        ``invalidations_selective`` counts post-ingest swaps where the delta
+        log scoped the eviction (surviving prepared entries were carried
+        into the fresh localizer); ``invalidations_full`` counts swaps that
+        had to drop everything (delta log window exceeded, or router
+        metadata replaced).  The satellite regression tests pin the
+        selective path staying selective.
+        """
+        with self._stats_lock:
+            accounting = dict(self._ingest_accounting)
+        return {
+            **accounting,
+            "log": self.measurement_log.stats(),
+            "drift": self.drift.stats() if self.drift is not None else None,
         }
 
     def _fused_stats_snapshot(self) -> dict[str, object]:

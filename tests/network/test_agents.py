@@ -1,0 +1,110 @@
+"""ProbeAgent: deterministic Poisson schedule, streaming into the log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import MeasurementLog, ProbeAgent, run_agents
+from repro.network.planetlab import small_deployment
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return small_deployment(host_count=6, seed=7)
+
+
+def agent_pairs(deployment, count=4):
+    ids = sorted(deployment.host_ids)
+    return [(ids[i], ids[(i + 1) % len(ids)]) for i in range(count)]
+
+
+class TestDeterminism:
+    def test_schedule_is_pure_function_of_identity(self, deployment):
+        log = MeasurementLog(lambda r: 0)
+        pairs = agent_pairs(deployment)
+        a = ProbeAgent("agent-0", log, pairs, prober=deployment.prober, seed=5)
+        b = ProbeAgent("agent-0", log, pairs, prober=deployment.prober, seed=5)
+        assert [a.gap_s(t) for t in range(10)] == [b.gap_s(t) for t in range(10)]
+        assert [a.pair_for(t) for t in range(10)] == [b.pair_for(t) for t in range(10)]
+        other = ProbeAgent("agent-1", log, pairs, prober=deployment.prober, seed=5)
+        assert [a.gap_s(t) for t in range(10)] != [other.gap_s(t) for t in range(10)]
+
+    def test_gaps_are_positive_and_rate_scaled(self, deployment):
+        log = MeasurementLog(lambda r: 0)
+        pairs = agent_pairs(deployment)
+        slow = ProbeAgent("a", log, pairs, prober=deployment.prober, rate_per_s=1.0)
+        fast = ProbeAgent("a", log, pairs, prober=deployment.prober, rate_per_s=100.0)
+        for t in range(20):
+            assert slow.gap_s(t) > 0
+            assert slow.gap_s(t) == pytest.approx(fast.gap_s(t) * 100.0)
+
+    def test_same_seed_same_appended_sequence(self, deployment):
+        def run_once():
+            log = MeasurementLog(lambda r: 0)
+            agent = ProbeAgent(
+                "agent-0",
+                log,
+                agent_pairs(deployment),
+                prober=deployment.prober,
+                seed=11,
+            )
+            for _ in range(6):
+                agent.step()
+            return list(log._pending)
+
+        assert run_once() == run_once()
+
+
+class TestStreaming:
+    def test_step_appends_one_ping(self, deployment):
+        applied = []
+        log = MeasurementLog(lambda r: (applied.append(r), 1)[1])
+        agent = ProbeAgent(
+            "agent-0", log, agent_pairs(deployment), prober=deployment.prober
+        )
+        seq = agent.step()
+        assert seq == 1 and agent.ticks == 1
+        log.flush()
+        assert len(applied) == 1 and len(applied[0].pings) == 1
+
+    def test_run_agents_respects_max_ticks(self, deployment):
+        log = MeasurementLog(lambda r: 1)
+        agents = [
+            ProbeAgent(
+                f"agent-{i}",
+                log,
+                agent_pairs(deployment),
+                prober=deployment.prober,
+                rate_per_s=2000.0,
+                max_ticks=5,
+                seed=i,
+            )
+            for i in range(3)
+        ]
+        run_agents(agents, duration_s=10.0)
+        for agent in agents:
+            assert agent.ticks == 5
+            assert agent.errors == 0
+        log.flush()
+        assert log.stats()["applied"] == 15
+
+    def test_probe_fn_override(self, deployment):
+        calls = []
+        from repro.network.probes import PingResult
+
+        def probe(src, dst, tick):
+            calls.append((src, dst, tick))
+            return PingResult(src, dst, (1.0 + tick,))
+
+        log = MeasurementLog(lambda r: 1)
+        agent = ProbeAgent("x", log, agent_pairs(deployment), probe_fn=probe)
+        agent.step()
+        agent.step()
+        assert [t for (_, _, t) in calls] == [0, 1]
+
+    def test_requires_pairs_and_probe_source(self, deployment):
+        log = MeasurementLog(lambda r: 1)
+        with pytest.raises(ValueError, match="at least one"):
+            ProbeAgent("x", log, [], prober=deployment.prober)
+        with pytest.raises(ValueError, match="probe_fn or prober"):
+            ProbeAgent("x", log, agent_pairs(deployment))

@@ -262,6 +262,36 @@ class TestIngestConsistency:
         for shard, info in detail.items():
             assert info["retained_versions"] == [0, 1], shard
 
+    def test_log_ingest_replicates_and_surfaces_health(
+        self, deployment, full_dataset, live_dataset
+    ):
+        """ingest_nowait replicates via the compactor; health shows the lag."""
+        host, pings = ninth_host_payload(deployment, full_dataset)
+
+        async def main():
+            async with make_cluster(live_dataset) as cluster:
+                seq = cluster.ingest_nowait(hosts=[host], pings=pings)
+                version = await cluster.flush_ingest()
+                estimate = await cluster.localize(host.node_id)
+                health = cluster.health()
+                detail = await cluster.health_detail()
+                return seq, version, estimate, health, detail
+
+        seq, version, estimate, health, detail = run(main())
+        assert seq == 1 and version == 1
+        assert estimate.point is not None
+        assert estimate.details["cluster"]["version"] == 1
+        assert health["ingest_pending"] == 0
+        assert health["compaction_lag_s"] == 0.0
+        assert health["ingest_log"]["compactions"] == 1
+        # Worker readiness (satellite surface) carries the ingest-plane keys.
+        for shard, info in detail.items():
+            assert info["retained_versions"] == [0, 1], shard
+            readiness = info["readiness"]
+            assert readiness["ingest_pending"] == 0, shard
+            assert "compaction_lag_s" in readiness, shard
+            assert "drift_queue_depth" in readiness, shard
+
     def test_localize_many_straddling_ingest_pins_one_version_vector(
         self, deployment, full_dataset, live_dataset, reference_answers
     ):
